@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Catalog Ctx Engine Ib Ikey List Oib_btree Oib_core Oib_sim Oib_sort Oib_storage Oib_txn Oib_util Oib_wal Oib_workload Option Printf Record Rid Rng Table_ops Table_printer

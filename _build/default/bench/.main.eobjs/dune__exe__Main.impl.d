@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments List Micro Printf String Term

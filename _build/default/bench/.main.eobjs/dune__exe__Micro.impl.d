@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Ikey Instance List Measure Oib_btree Oib_sim Oib_sort Oib_storage Oib_util Oib_wal Printf Record Rid Rng Staged String Test Time Toolkit

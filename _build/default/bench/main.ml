@@ -1,0 +1,52 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe                 — every experiment + micro
+   dune exec bench/main.exe -- --exp e4     — one experiment
+   dune exec bench/main.exe -- --micro      — micro-benchmarks only
+
+   Each experiment regenerates one row-set of DESIGN.md's experiment index;
+   EXPERIMENTS.md records the claim-vs-measured comparison. *)
+
+let run_experiment name =
+  match List.assoc_opt (String.lowercase_ascii name) Experiments.all with
+  | Some f ->
+    f ();
+    true
+  | None ->
+    Printf.eprintf "unknown experiment %S (known: %s)\n" name
+      (String.concat ", " (List.map fst Experiments.all));
+    false
+
+let main exps micro_only =
+  if micro_only then begin
+    Micro.run ();
+    0
+  end
+  else begin
+    match exps with
+    | [] ->
+      print_endline
+        "OIB benchmark suite — reproduction of Mohan & Narang, SIGMOD 1992";
+      List.iter (fun (_, f) -> f ()) Experiments.all;
+      Micro.run ();
+      0
+    | names -> if List.for_all run_experiment names then 0 else 1
+  end
+
+open Cmdliner
+
+let exps =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "e"; "exp" ] ~docv:"EXP"
+        ~doc:"Run one experiment (e1..e12); repeatable.")
+
+let micro =
+  Arg.(value & flag & info [ "micro" ] ~doc:"Run only the micro-benchmarks.")
+
+let cmd =
+  let doc = "Regenerate the evaluation of the online index build paper" in
+  Cmd.v (Cmd.info "oib-bench" ~doc) Term.(const main $ exps $ micro)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,134 @@
+(* Micro-benchmarks (bechamel): the hot inner operations of the engine.
+   M1 tournament-tree feed, M2 B-tree probe, M3 B-tree insert path (with
+   and without the remembered-path cursor), M4 log-record codec, M5
+   scheduler step. *)
+
+open Bechamel
+open Toolkit
+open Oib_util
+
+let keyn i = Ikey.make (Printf.sprintf "k%08d" i) (Rid.make ~page:i ~slot:0)
+
+(* M1: replacement-selection feed *)
+let m1_sort_feed () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  let sorter =
+    Oib_sort.Sort_phase.start kv store ~ckpt_id:"m1" ~memory_keys:1024
+  in
+  let rng = Rng.create 3 in
+  let pos = ref 0 in
+  Staged.stage (fun () ->
+      incr pos;
+      Oib_sort.Sort_phase.feed_page sorter ~scan_pos:!pos
+        (List.init 20 (fun _ -> keyn (Rng.int rng 1_000_000))))
+
+(* shared tree for probe / insert benchmarks *)
+let mk_tree n =
+  let sched = Oib_sim.Sched.create () in
+  let metrics = Oib_sim.Metrics.create () in
+  let log = Oib_wal.Log_manager.create metrics in
+  let store = Oib_storage.Stable_store.create () in
+  let kv = Oib_storage.Durable_kv.create () in
+  let pool = Oib_storage.Buffer_pool.create ~sched ~metrics ~log ~store in
+  let tree =
+    Oib_btree.Btree.create pool kv ~index_id:1 ~page_capacity:4096
+      ~unique:false
+  in
+  for i = 0 to n - 1 do
+    ignore (Oib_btree.Btree.set_state tree (keyn i) Oib_wal.Log_record.Present)
+  done;
+  tree
+
+let m2_btree_probe () =
+  let tree = mk_tree 50_000 in
+  let rng = Rng.create 5 in
+  Staged.stage (fun () ->
+      ignore (Oib_btree.Btree.read_state tree (keyn (Rng.int rng 50_000))))
+
+let m3_btree_insert_traversal () =
+  let tree = mk_tree 10_000 in
+  let i = ref 10_000 in
+  Staged.stage (fun () ->
+      incr i;
+      ignore (Oib_btree.Btree.set_state tree (keyn !i) Oib_wal.Log_record.Present))
+
+let m3b_btree_insert_cursor () =
+  let tree = mk_tree 10_000 in
+  let cursor = Oib_btree.Btree.new_cursor tree in
+  let i = ref 10_000 in
+  Staged.stage (fun () ->
+      incr i;
+      ignore (Oib_btree.Btree.insert_if_absent tree ~cursor (keyn !i)))
+
+let m4_codec () =
+  let record =
+    {
+      Oib_wal.Log_record.lsn = Oib_wal.Lsn.of_int 123;
+      txn = Some 7;
+      prev_lsn = Oib_wal.Lsn.of_int 99;
+      body =
+        Oib_wal.Log_record.Heap
+          {
+            page = 4;
+            visible_indexes = 2;
+            sidefiled = [ 9 ];
+            op =
+              Oib_wal.Log_record.Heap_insert
+                {
+                  rid = Rid.make ~page:4 ~slot:2;
+                  record = Record.make [| "hello"; "world" |];
+                };
+          };
+    }
+  in
+  Staged.stage (fun () ->
+      let bytes = Oib_wal.Log_codec.encode record in
+      ignore (Oib_wal.Log_codec.decode bytes ~pos:0))
+
+let m5_scheduler_step () =
+  Staged.stage (fun () ->
+      let s = Oib_sim.Sched.create () in
+      for _ = 1 to 4 do
+        ignore
+          (Oib_sim.Sched.spawn s (fun () ->
+               for _ = 1 to 5 do
+                 Oib_sim.Sched.yield s
+               done))
+      done;
+      Oib_sim.Sched.run s)
+
+let tests () =
+  Test.make_grouped ~name:"oib"
+    [
+      Test.make ~name:"m1-sort-feed-page(20 keys)" (m1_sort_feed ());
+      Test.make ~name:"m2-btree-probe(50k)" (m2_btree_probe ());
+      Test.make ~name:"m3-btree-insert(traversal)" (m3_btree_insert_traversal ());
+      Test.make ~name:"m3b-btree-insert(cursor)" (m3b_btree_insert_cursor ());
+      Test.make ~name:"m4-logrec-encode+decode" (m4_codec ());
+      Test.make ~name:"m5-sched-4fibers-5yields" (m5_scheduler_step ());
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "\n== micro-benchmarks (ns/op, OLS fit) ==";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%12.1f" e
+        | Some es ->
+          String.concat "," (List.map (Printf.sprintf "%.1f") es)
+        | None -> "n/a"
+      in
+      Printf.printf "%-34s %s\n" name est)
+    (List.sort compare rows)

@@ -1,0 +1,1 @@
+examples/batch_window.ml: Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_wal Oib_workload Printf Table_ops

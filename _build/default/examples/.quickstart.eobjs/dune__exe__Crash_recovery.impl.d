@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_storage Oib_util Oib_workload Printf

@@ -1,0 +1,1 @@
+examples/multi_index.ml: Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_workload Printf

@@ -1,0 +1,1 @@
+examples/online_reindex.ml: Catalog Ctx Engine Ib List Oib_btree Oib_core Oib_sim Oib_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_util Printf Table_ops

@@ -1,0 +1,1 @@
+examples/restartable_sort.ml: Array Durable_kv Ikey List Merge_phase Oib_sort Oib_storage Oib_util Option Printf Rid Rng Run_store Sort_phase

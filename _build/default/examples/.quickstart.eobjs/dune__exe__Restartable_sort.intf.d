@@ -1,0 +1,1 @@
+examples/restartable_sort.mli:

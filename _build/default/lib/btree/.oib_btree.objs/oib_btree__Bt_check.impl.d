@@ -1,0 +1,1 @@
+lib/btree/bt_check.ml: Array Bt_node Btree Ikey List Oib_util Printf

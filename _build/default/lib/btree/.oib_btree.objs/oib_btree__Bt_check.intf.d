@@ -1,0 +1,1 @@
+lib/btree/bt_check.mli: Btree Ikey Oib_util

@@ -1,0 +1,1 @@
+lib/btree/bt_node.ml: Array Binc Fun Ikey Oib_storage Oib_util Printf Rid String

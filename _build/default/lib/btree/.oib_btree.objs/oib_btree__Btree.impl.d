@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Bt_node Buffer_pool Durable_kv Ikey List Oib_sim Oib_storage Oib_util Oib_wal Page Printf Rid String

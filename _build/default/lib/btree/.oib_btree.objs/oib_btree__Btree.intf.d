@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Bt_node Buffer_pool Durable_kv Ikey Oib_storage Oib_util Oib_wal

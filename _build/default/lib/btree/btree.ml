@@ -1,0 +1,803 @@
+open Oib_util
+open Oib_storage
+module Latch = Oib_sim.Latch
+
+type state = Oib_wal.Log_record.key_state
+
+open Bt_node
+
+type t = {
+  pool : Buffer_pool.t;
+  kv : Durable_kv.t;
+  index_id : int;
+  capacity : int;
+  uniq : bool;
+  mutable root : int;
+}
+
+type cursor = { mutable pid : int }
+
+type Durable_kv.value +=
+  | Btree_meta of {
+      root : int;
+      capacity : int;
+      uniq : bool;
+      image_lsn : Oib_wal.Lsn.t;
+      pages : int list;
+    }
+
+let meta_key id = Printf.sprintf "index/%d/meta" id
+
+let metrics t = Buffer_pool.metrics t.pool
+
+let max_entry t = t.capacity / 4
+
+let node_of (p : Page.t) = Bt_node.of_payload p.payload
+
+let alloc_node t node =
+  let p =
+    Buffer_pool.new_page t.pool ~payload:(Node node)
+      ~copy_payload:Bt_node.copy_payload
+  in
+  p.Page.no_steal <- true;
+  p
+
+let page t id =
+  let p = Buffer_pool.get t.pool id in
+  p.Page.no_steal <- true;
+  p
+
+(* --- page-id inventory (walk from root) --- *)
+
+let rec collect_pages t id acc =
+  let p = page t id in
+  match node_of p with
+  | Leaf _ -> id :: acc
+  | Internal n ->
+    let acc = ref (id :: acc) in
+    for i = 0 to n.nc - 1 do
+      acc := collect_pages t n.children.(i) !acc
+    done;
+    !acc
+
+let page_ids t = List.rev (collect_pages t t.root [])
+
+(* --- create / persistence --- *)
+
+let persist_meta t ~image_lsn =
+  Durable_kv.set t.kv (meta_key t.index_id)
+    (Btree_meta
+       {
+         root = t.root;
+         capacity = t.capacity;
+         uniq = t.uniq;
+         image_lsn;
+         pages = page_ids t;
+       })
+
+let create pool kv ~index_id ~page_capacity ~unique =
+  if Durable_kv.mem kv (meta_key index_id) then
+    invalid_arg "Btree.create: index already exists";
+  let t =
+    { pool; kv; index_id; capacity = page_capacity; uniq = unique; root = -1 }
+  in
+  let root = alloc_node t (Leaf (new_leaf ())) in
+  t.root <- root.Page.id;
+  Buffer_pool.flush_page pool root;
+  persist_meta t ~image_lsn:Oib_wal.Lsn.nil;
+  t
+
+let open_from_image pool kv ~index_id =
+  match Durable_kv.get kv (meta_key index_id) with
+  | Some (Btree_meta m) ->
+    let t =
+      { pool; kv; index_id; capacity = m.capacity; uniq = m.uniq; root = m.root }
+    in
+    (* Pages allocated after the image was taken are deallocated (paper
+       §3.2.4); evict any volatile trace so traversals see the image. *)
+    List.iter (fun id -> Buffer_pool.evict pool id) m.pages;
+    t
+  | _ -> raise Not_found
+
+let index_id t = t.index_id
+let unique t = t.uniq
+let page_capacity t = t.capacity
+let root_page_id t = t.root
+
+let image_lsn t =
+  match Durable_kv.get t.kv (meta_key t.index_id) with
+  | Some (Btree_meta m) -> m.image_lsn
+  | _ -> Oib_wal.Lsn.nil
+
+let checkpoint_image t ~lsn =
+  (* Sharp snapshot: no yields occur between these flushes under the
+     cooperative scheduler. *)
+  List.iter
+    (fun id -> Buffer_pool.flush_page t.pool (page t id))
+    (page_ids t);
+  persist_meta t ~image_lsn:lsn
+
+(* --- descent --- *)
+
+let leaf_safe t l = l.bytes + max_entry t <= t.capacity
+
+let internal_safe t n = n.ibytes + max_entry t + 12 <= t.capacity
+
+let node_safe t p =
+  match node_of p with
+  | Leaf l -> leaf_safe t l
+  | Internal n -> internal_safe t n
+
+(* Write descent: X-latch crabbing from the root, releasing all held
+   ancestors whenever the newly latched node is safe (cannot split). On
+   return the leaf is X-latched and [held] lists the still-latched unsafe
+   ancestors, innermost first, each with the child index taken. *)
+let descend_write t key =
+  let m = metrics t in
+  m.tree_traversals <- m.tree_traversals + 1;
+  let release_held held =
+    List.iter (fun (p, _, _) -> Latch.release p.Page.latch X) held
+  in
+  let rec go p held =
+    match node_of p with
+    | Leaf l -> (p, l, held)
+    | Internal n ->
+      let i = child_for n key in
+      let child = page t n.children.(i) in
+      Latch.acquire child.Page.latch X;
+      if node_safe t child then begin
+        release_held held;
+        Latch.release p.Page.latch X;
+        go child []
+      end
+      else go child ((p, n, i) :: held)
+  in
+  let root = page t t.root in
+  Latch.acquire root.Page.latch X;
+  (match node_of root with
+  | Leaf l -> (root, l, [])
+  | Internal _ -> go root [])
+  |> fun (p, l, held) ->
+  ignore l;
+  (p, held)
+
+(* Read descent: S-latch crabbing; returns the S-latched leaf page. *)
+let descend_read t key =
+  let m = metrics t in
+  m.tree_traversals <- m.tree_traversals + 1;
+  let rec go p =
+    match node_of p with
+    | Leaf _ -> p
+    | Internal n ->
+      let i = child_for n key in
+      let child = page t n.children.(i) in
+      Latch.acquire child.Page.latch S;
+      Latch.release p.Page.latch S;
+      go child
+  in
+  let root = page t t.root in
+  Latch.acquire root.Page.latch S;
+  go root
+
+(* Leftmost leaf, S-latched. *)
+let leftmost_leaf t =
+  let rec go p =
+    match node_of p with
+    | Leaf _ -> p
+    | Internal n ->
+      let child = page t n.children.(0) in
+      Latch.acquire child.Page.latch S;
+      Latch.release p.Page.latch S;
+      go child
+  in
+  let root = page t t.root in
+  Latch.acquire root.Page.latch S;
+  go root
+
+(* --- splits --- *)
+
+(* Install a fresh page around a split-off right node and wire the leaf
+   chain. *)
+let install_right t (left : Page.t) right_node =
+  let right = alloc_node t right_node in
+  (match (node_of left, right_node) with
+  | Leaf l, Leaf _ -> l.next <- right.Page.id
+  | _ -> ());
+  (* the left page lost entries / gained a sibling link *)
+  Page.mark_dirty left;
+  right
+
+(* Propagate a (sep, right page id) insertion up the held ancestor chain.
+   The outermost held node is guaranteed (by the safe-release policy) to
+   absorb the last separator, unless it is the root, which may grow a new
+   level. All pages involved are already X-latched by us. *)
+let rec propagate t held sep right_pid =
+  let m = metrics t in
+  m.page_splits <- m.page_splits + 1;
+  match held with
+  | [] ->
+    (* split reached the root: grow a new root *)
+    let old_root = t.root in
+    let new_root =
+      alloc_node t
+        (Internal (new_internal ~children:[| old_root; right_pid |] ~seps:[| sep |]))
+    in
+    t.root <- new_root.Page.id
+  | (p, n, i) :: rest ->
+    internal_insert_sep n ~at:i sep ~right:right_pid;
+    Page.mark_dirty p;
+    if n.ibytes > t.capacity && n.nc >= 4 then begin
+      let right_n, push_up = internal_split_half n in
+      let right_page = alloc_node t (Internal right_n) in
+      (* If our own child index moved to the new right node, nothing more
+         to do here: we only continue upward with the push-up separator. *)
+      propagate t rest push_up right_page.Page.id
+    end
+
+(* Split [leaf] (X-latched, with [held] ancestors) to make room for [key].
+   Returns the leaf (left or right page) into which [key] now fits; that
+   page is X-latched, all ancestors and the sibling are released/never
+   latched. *)
+let split_leaf t (p : Page.t) (l : leaf) held key ~ib_split =
+  let m = metrics t in
+  let choose_std () =
+    let right_node, sep = leaf_split_half l in
+    let right = install_right t p (Leaf right_node) in
+    propagate t held sep right.Page.id;
+    if Ikey.compare key sep < 0 then (p, l)
+    else begin
+      Latch.release p.Page.latch X;
+      Latch.acquire right.Page.latch X;
+      (right, right_node)
+    end
+  in
+  let result =
+    if not ib_split then choose_std ()
+    else begin
+      let i = leaf_lower_bound l key in
+      if i >= l.n then begin
+        (* nothing higher: open a fresh rightmost leaf for the key *)
+        let right_node = new_leaf () in
+        right_node.next <- l.next;
+        right_node.high <- l.high;
+        let right = install_right t p (Leaf right_node) in
+        l.high <- Some key;
+        Page.mark_dirty p;
+        propagate t held key right.Page.id;
+        Latch.release p.Page.latch X;
+        Latch.acquire right.Page.latch X;
+        (right, right_node)
+      end
+      else begin
+        (* move only the higher keys (inserted by transactions) right *)
+        let right_node, _sep0 = leaf_split_above l key in
+        let right = install_right t p (Leaf right_node) in
+        if l.bytes + leaf_entry_cost key <= t.capacity then begin
+          (* the key becomes the left leaf's last entry, so the separator
+             must be computed against it, not the pre-split last *)
+          let sep =
+            Bt_node.separator ~before:key ~first:(fst right_node.entries.(0))
+          in
+          l.high <- Some sep;
+          Page.mark_dirty p;
+          propagate t held sep right.Page.id;
+          (p, l)
+        end
+        else begin
+          (* left is still too full: the key leads the right node instead *)
+          l.high <- Some key;
+          Page.mark_dirty p;
+          propagate t held key right.Page.id;
+          Latch.release p.Page.latch X;
+          Latch.acquire right.Page.latch X;
+          (right, right_node)
+        end
+      end
+    end
+  in
+  ignore m;
+  result
+
+(* Release all latches after a write operation. *)
+let release_write (p : Page.t) held =
+  Latch.release p.Page.latch X;
+  List.iter (fun (q, _, _) -> Latch.release q.Page.latch X) held
+
+(* --- compound key operations --- *)
+
+let state_of_flag = function
+  | true -> (Oib_wal.Log_record.Pseudo_deleted : state)
+  | false -> Oib_wal.Log_record.Present
+
+let read_state t key =
+  let p = descend_read t key in
+  let l = leaf_of_payload p.Page.payload in
+  let st =
+    match leaf_find l key with
+    | None -> (Oib_wal.Log_record.Absent : state)
+    | Some i -> state_of_flag (snd (leaf_get l i))
+  in
+  Latch.release p.Page.latch S;
+  st
+
+(* Insert [key] into the X-latched [l]/[p], splitting if needed. Returns
+   the page/leaf actually holding the key, still X-latched. *)
+let insert_into t p l held key ~pseudo ~ib_split =
+  if Ikey.encoded_size key > max_entry t then
+    invalid_arg "Btree: key larger than max entry size";
+  if l.bytes + leaf_entry_cost key <= t.capacity then begin
+    leaf_insert l key ~pseudo;
+    Page.mark_dirty p;
+    release_write p held;
+    p
+  end
+  else begin
+    let p', l' = split_leaf t p l held key ~ib_split in
+    leaf_insert l' key ~pseudo;
+    Page.mark_dirty p';
+    Latch.release p'.Page.latch X;
+    (* the split used the held ancestors but did not release them *)
+    List.iter (fun (q, _, _) -> Latch.release q.Page.latch X) held;
+    p'
+  end
+
+let new_cursor t = { pid = t.root }
+
+(* Cursor fast path: go straight to the remembered leaf if the key provably
+   belongs there and no split would be required. *)
+let try_fast_path t cursor key =
+  match Buffer_pool.get t.pool cursor.pid with
+  | exception Not_found -> None
+  | p -> (
+    match p.Page.payload with
+    | Node (Leaf l) ->
+      Latch.acquire p.Page.latch X;
+      let l' = leaf_of_payload p.Page.payload in
+      let in_range =
+        l' == l && l'.n > 0
+        && Ikey.compare key (fst l'.entries.(0)) >= 0
+        && (match l'.high with
+           | None -> true
+           | Some h -> Ikey.compare key h < 0)
+        && l'.bytes + leaf_entry_cost key <= t.capacity
+      in
+      if in_range then Some (p, l')
+      else begin
+        Latch.release p.Page.latch X;
+        None
+      end
+    | _ -> None)
+
+(* state transition on an X-latched leaf where the key is known to fit *)
+let set_on_leaf t p l key (target : state) : state =
+  let m = metrics t in
+  match leaf_find l key with
+  | Some i ->
+    let before = state_of_flag (snd (leaf_get l i)) in
+    (match target with
+    | Absent -> leaf_remove_at l i
+    | Present -> leaf_set_flag l i false
+    | Pseudo_deleted ->
+      leaf_set_flag l i true;
+      if before <> Pseudo_deleted then
+        m.pseudo_deletes <- m.pseudo_deletes + 1);
+    Page.mark_dirty p;
+    before
+  | None ->
+    (match target with
+    | Absent -> ()
+    | Present ->
+      m.keys_inserted <- m.keys_inserted + 1;
+      leaf_insert l key ~pseudo:false;
+      Page.mark_dirty p
+    | Pseudo_deleted ->
+      m.keys_inserted <- m.keys_inserted + 1;
+      m.pseudo_deletes <- m.pseudo_deletes + 1;
+      leaf_insert l key ~pseudo:true;
+      Page.mark_dirty p);
+    Absent
+
+let rec set_state t ?cursor key (target : state) : state =
+  match
+    match cursor with
+    | Some c -> (
+      match try_fast_path t c key with
+      | Some (p, l) ->
+        let m = metrics t in
+        m.fast_path_inserts <- m.fast_path_inserts + 1;
+        let before = set_on_leaf t p l key target in
+        Latch.release p.Page.latch X;
+        Some before
+      | None -> None)
+    | None -> None
+  with
+  | Some before -> before
+  | None -> set_state_slow t ?cursor key target
+
+and set_state_slow t ?cursor key (target : state) : state =
+  let m = metrics t in
+  let p, held = descend_write t key in
+  let l = leaf_of_payload p.Page.payload in
+  (match cursor with Some c -> c.pid <- p.Page.id | None -> ());
+  match leaf_find l key with
+  | Some i ->
+    let before = state_of_flag (snd (leaf_get l i)) in
+    (match target with
+    | Absent ->
+      leaf_remove_at l i;
+      Page.mark_dirty p
+    | Present -> leaf_set_flag l i false
+    | Pseudo_deleted ->
+      leaf_set_flag l i true;
+      if before <> Pseudo_deleted then
+        m.pseudo_deletes <- m.pseudo_deletes + 1);
+    Page.mark_dirty p;
+    release_write p held;
+    before
+  | None ->
+    (match target with
+    | Absent -> release_write p held
+    | Present ->
+      m.keys_inserted <- m.keys_inserted + 1;
+      ignore (insert_into t p l held key ~pseudo:false ~ib_split:false)
+    | Pseudo_deleted ->
+      m.keys_inserted <- m.keys_inserted + 1;
+      m.pseudo_deletes <- m.pseudo_deletes + 1;
+      ignore (insert_into t p l held key ~pseudo:true ~ib_split:false));
+    Absent
+
+let insert_if_absent t ?(ib_split = false) ?cursor key =
+  let m = metrics t in
+  let finish_fast p l =
+    match leaf_find l key with
+    | Some i ->
+      let st = state_of_flag (snd (leaf_get l i)) in
+      Latch.release p.Page.latch X;
+      m.keys_rejected_duplicate <- m.keys_rejected_duplicate + 1;
+      `Rejected st
+    | None ->
+      m.fast_path_inserts <- m.fast_path_inserts + 1;
+      m.keys_inserted <- m.keys_inserted + 1;
+      leaf_insert l key ~pseudo:false;
+      Page.mark_dirty p;
+      Latch.release p.Page.latch X;
+      `Inserted
+  in
+  let slow () =
+    let p, held = descend_write t key in
+    let l = leaf_of_payload p.Page.payload in
+    match leaf_find l key with
+    | Some i ->
+      let st = state_of_flag (snd (leaf_get l i)) in
+      release_write p held;
+      m.keys_rejected_duplicate <- m.keys_rejected_duplicate + 1;
+      `Rejected st
+    | None ->
+      m.keys_inserted <- m.keys_inserted + 1;
+      let landed = insert_into t p l held key ~pseudo:false ~ib_split in
+      (match cursor with Some c -> c.pid <- landed.Page.id | None -> ());
+      `Inserted
+  in
+  match cursor with
+  | None -> slow ()
+  | Some c -> (
+    match try_fast_path t c key with
+    | Some (p, l) -> finish_fast p l
+    | None -> slow ())
+
+let find_kv t kv =
+  let probe = Ikey.make kv Rid.minus_infinity in
+  let p = descend_read t probe in
+  let acc = ref [] in
+  let rec walk (p : Page.t) =
+    let l = leaf_of_payload p.Page.payload in
+    let i = ref (leaf_lower_bound l probe) in
+    while !i < l.n && String.compare (fst (leaf_get l !i)).Ikey.kv kv <= 0 do
+      let k, fl = leaf_get l !i in
+      if String.equal k.Ikey.kv kv then acc := (k, fl) :: !acc;
+      incr i
+    done;
+    (* continue right only if we did not see a larger key value and the
+       sibling may still hold entries with this key value *)
+    let continue_next =
+      ref
+        (!i >= l.n
+        &&
+        match l.high with
+        | Some h -> String.compare h.Ikey.kv kv <= 0
+        | None -> false)
+    in
+    if !continue_next && l.next >= 0 then begin
+      let np = page t l.next in
+      Latch.acquire np.Page.latch S;
+      Latch.release p.Page.latch S;
+      walk np
+    end
+    else Latch.release p.Page.latch S
+  in
+  walk p;
+  List.rev !acc
+
+let iter_range t ?lo ?hi f =
+  let start_key =
+    match lo with
+    | Some kv -> Ikey.make kv Rid.minus_infinity
+    | None -> Ikey.make "" Rid.minus_infinity
+  in
+  let p =
+    match lo with Some _ -> descend_read t start_key | None -> leftmost_leaf t
+  in
+  let beyond kv =
+    match hi with Some h -> String.compare kv h > 0 | None -> false
+  in
+  let rec walk (p : Page.t) first =
+    let l = leaf_of_payload p.Page.payload in
+    let i = ref (if first then leaf_lower_bound l start_key else 0) in
+    let stop = ref false in
+    while (not !stop) && !i < l.n do
+      let k, pseudo = leaf_get l !i in
+      if beyond k.Ikey.kv then stop := true
+      else begin
+        f k ~pseudo;
+        incr i
+      end
+    done;
+    let continue_right = (not !stop) && l.next >= 0 in
+    if continue_right then begin
+      let np = page t l.next in
+      Latch.acquire np.Page.latch S;
+      Latch.release p.Page.latch S;
+      walk np false
+    end
+    else Latch.release p.Page.latch S
+  in
+  walk p true
+
+let range t ?lo ?hi () =
+  let acc = ref [] in
+  iter_range t ?lo ?hi (fun k ~pseudo -> acc := (k, pseudo) :: !acc);
+  List.rev !acc
+
+let iter_leaves t f =
+  let p = leftmost_leaf t in
+  let rec walk (p : Page.t) =
+    let l = leaf_of_payload p.Page.payload in
+    f p.Page.id l;
+    if l.next >= 0 then begin
+      let np = page t l.next in
+      Latch.acquire np.Page.latch S;
+      Latch.release p.Page.latch S;
+      walk np
+    end
+    else Latch.release p.Page.latch S
+  in
+  walk p
+
+let iter_entries t f =
+  iter_leaves t (fun _ l ->
+      for i = 0 to l.n - 1 do
+        let k, pseudo = leaf_get l i in
+        f k ~pseudo
+      done)
+
+let gc_pseudo_deleted t ~keep =
+  let removed = ref 0 in
+  let rec walk (p : Page.t) =
+    let l = leaf_of_payload p.Page.payload in
+    let i = ref 0 in
+    while !i < l.n do
+      let k, pseudo = leaf_get l !i in
+      if pseudo && not (keep k) then begin
+        leaf_remove_at l !i;
+        Page.mark_dirty p;
+        incr removed
+      end
+      else incr i
+    done;
+    let next = l.next in
+    Latch.release p.Page.latch X;
+    if next >= 0 then begin
+      let np = page t next in
+      Latch.acquire np.Page.latch X;
+      walk np
+    end
+  in
+  let rec leftmost (p : Page.t) =
+    match node_of p with
+    | Leaf _ -> p
+    | Internal n ->
+      let child = page t n.children.(0) in
+      Latch.acquire child.Page.latch X;
+      Latch.release p.Page.latch X;
+      leftmost child
+  in
+  let root = page t t.root in
+  Latch.acquire root.Page.latch X;
+  walk (leftmost root);
+  !removed
+
+(* --- bottom-up bulk build (SF) --- *)
+
+module Bulk = struct
+  type tree = t
+
+  type b = {
+    tree : tree;
+    (* spine of the rightmost path, leaf first *)
+    mutable spine : Page.t list;
+    mutable highest : Ikey.t option;
+    mutable count : int;
+  }
+
+  let start tree =
+    let root = page tree tree.root in
+    (match node_of root with
+    | Leaf l when l.n = 0 -> ()
+    | _ -> invalid_arg "Btree.Bulk.start: tree not empty");
+    { tree; spine = [ root ]; highest = None; count = 0 }
+
+  let resume tree =
+    (* rightmost path, leaf first *)
+    let rec walk id acc =
+      let p = page tree id in
+      match node_of p with
+      | Leaf l ->
+        let highest = if l.n = 0 then None else Some (fst l.entries.(l.n - 1)) in
+        (p :: acc, highest)
+      | Internal n -> walk n.children.(n.nc - 1) (p :: acc)
+    in
+    let spine, highest = walk tree.root [] in
+    { tree; spine; highest; count = 0 }
+
+  (* Push (sep, right child) into the spine at [levels_above] the leaf;
+     grow new levels as needed. The paper's bottom-up split moves no keys:
+     a full node is frozen and a fresh one continues on the right. *)
+  let rec push_up b levels sep child_pid =
+    let t = b.tree in
+    match levels with
+    | [] ->
+      (* new root *)
+      let old_root = t.root in
+      let new_root =
+        alloc_node t
+          (Internal
+             (new_internal ~children:[| old_root; child_pid |] ~seps:[| sep |]))
+      in
+      t.root <- new_root.Page.id;
+      b.spine <- b.spine @ [ new_root ]
+    | p :: above -> (
+      match node_of p with
+      | Internal n ->
+        if internal_fits n ~capacity:t.capacity sep then begin
+          internal_append n sep ~child:child_pid;
+          Page.mark_dirty p
+        end
+        else begin
+          let fresh =
+            alloc_node t
+              (Internal (new_internal ~children:[| child_pid |] ~seps:[||]))
+          in
+          (* replace this spine level with the fresh node *)
+          let rec replace = function
+            | [] -> []
+            | q :: rest -> if q == p then fresh :: rest else q :: replace rest
+          in
+          b.spine <- replace b.spine;
+          push_up b above sep fresh.Page.id
+        end
+      | Leaf _ -> assert false)
+
+  let add b key =
+    let t = b.tree in
+    (match b.highest with
+    | Some h when Ikey.compare h key = 0 ->
+      (* the same logical entry extracted twice (e.g. a record re-read
+         across key-order scan rounds): adding it again is a no-op *)
+      raise Exit
+    | Some h when Ikey.compare h key > 0 ->
+      invalid_arg "Btree.Bulk.add: keys must be ascending"
+    | _ -> ());
+    b.highest <- Some key;
+    b.count <- b.count + 1;
+    let m = metrics t in
+    m.keys_inserted <- m.keys_inserted + 1;
+    m.fast_path_inserts <- m.fast_path_inserts + 1;
+    match b.spine with
+    | [] -> assert false
+    | leaf_page :: above ->
+      let l = leaf_of_payload leaf_page.Page.payload in
+      if leaf_fits l ~capacity:t.capacity key then begin
+        leaf_append l key ~pseudo:false;
+        Page.mark_dirty leaf_page
+      end
+      else begin
+        m.page_splits <- m.page_splits + 1;
+        let fresh_leaf = new_leaf () in
+        let fresh = alloc_node t (Leaf fresh_leaf) in
+        l.next <- fresh.Page.id;
+        l.high <- Some key;
+        (* the frozen leaf gained its sibling link / high key *)
+        Page.mark_dirty leaf_page;
+        leaf_append fresh_leaf key ~pseudo:false;
+        Page.mark_dirty fresh;
+        b.spine <- fresh :: above;
+        push_up b above key fresh.Page.id
+      end
+
+  let add b key = try add b key with Exit -> ()
+
+  let highest b = b.highest
+
+  let keys_added b = b.count
+
+  let finish _b = ()
+end
+
+(* --- truncation (SF restart) --- *)
+
+let truncate_above t key_opt =
+  match key_opt with
+  | None ->
+    (* empty the tree entirely *)
+    List.iter (fun id -> Buffer_pool.evict t.pool id) (page_ids t);
+    let root = alloc_node t (Leaf (new_leaf ())) in
+    t.root <- root.Page.id
+  | Some h ->
+    let rec drop_subtree id =
+      (match node_of (page t id) with
+      | Leaf _ -> ()
+      | Internal n ->
+        for i = 0 to n.nc - 1 do
+          drop_subtree n.children.(i)
+        done);
+      Buffer_pool.evict t.pool id
+    in
+    let rec go id =
+      let p = page t id in
+      match node_of p with
+      | Leaf l ->
+        while l.n > 0 && Ikey.compare (fst l.entries.(l.n - 1)) h > 0 do
+          leaf_remove_at l (l.n - 1)
+        done;
+        l.next <- -1;
+        l.high <- None;
+        Page.mark_dirty p
+      | Internal n ->
+        let i = child_for n h in
+        List.iter drop_subtree (internal_truncate_after n i);
+        Page.mark_dirty p;
+        go n.children.(i)
+    in
+    go t.root
+
+(* --- statistics --- *)
+
+let node_at t id = node_of (page t id)
+
+let entry_count t =
+  let n = ref 0 in
+  iter_entries t (fun _ ~pseudo:_ -> incr n);
+  !n
+
+let present_count t =
+  let n = ref 0 in
+  iter_entries t (fun _ ~pseudo -> if not pseudo then incr n);
+  !n
+
+let pseudo_count t =
+  let n = ref 0 in
+  iter_entries t (fun _ ~pseudo -> if pseudo then incr n);
+  !n
+
+let leaf_count t =
+  let n = ref 0 in
+  iter_leaves t (fun _ _ -> incr n);
+  !n
+
+let depth t =
+  let rec go id d =
+    match node_of (page t id) with
+    | Leaf _ -> d
+    | Internal n -> go n.children.(0) (d + 1)
+  in
+  go t.root 1

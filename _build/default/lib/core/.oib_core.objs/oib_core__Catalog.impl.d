@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Buffer_pool Durable_kv Hashtbl Heap_file Ikey List Oib_btree Oib_sidefile Oib_storage Oib_util Oib_wal Printf Record Rid String

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Ikey Oib_btree Oib_sidefile Oib_storage Oib_util Record Rid

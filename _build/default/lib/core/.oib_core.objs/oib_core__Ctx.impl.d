@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Catalog Oib_lock Oib_sim Oib_sort Oib_storage Oib_txn Oib_wal

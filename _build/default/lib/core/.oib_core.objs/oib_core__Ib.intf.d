@@ -1,0 +1,1 @@
+lib/core/ib.mli: Ctx

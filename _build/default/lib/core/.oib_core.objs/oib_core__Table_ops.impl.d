@@ -1,0 +1,1 @@
+lib/core/table_ops.ml: Buffer_pool Catalog Ctx Heap_file Heap_page Ikey List Oib_btree Oib_lock Oib_sidefile Oib_sim Oib_storage Oib_txn Oib_util Oib_wal Page Rid

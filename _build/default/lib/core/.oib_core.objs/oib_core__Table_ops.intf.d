@@ -1,0 +1,1 @@
+lib/core/table_ops.mli: Ctx Oib_txn Oib_util Oib_wal Record Rid

@@ -1,0 +1,269 @@
+open Oib_storage
+module Txn = Oib_txn.Txn_manager
+module LM = Oib_wal.Log_manager
+module Restart = Oib_recovery.Restart
+module Btree = Oib_btree.Btree
+
+type t = Ctx.t
+
+let create ?(seed = 42) ?(page_capacity = 1024) () =
+  let sched = Oib_sim.Sched.create ~seed () in
+  let metrics = Oib_sim.Metrics.create () in
+  let log = LM.create metrics in
+  let store = Stable_store.create () in
+  let kv = Durable_kv.create () in
+  let pool = Buffer_pool.create ~sched ~metrics ~log ~store in
+  let locks = Oib_lock.Lock_manager.create sched metrics in
+  let txns = Txn.create log locks metrics in
+  let catalog = Catalog.create kv ~page_capacity in
+  let runs = Oib_sort.Run_store.create () in
+  { Ctx.sched; metrics; log; store; kv; pool; locks; txns; catalog; runs }
+
+(* Rebuild a live system over [store]/[kv]/[runs] and the survivor log,
+   then run restart recovery: analysis, heap redo, logical index replay,
+   build-phase restoration, loser rollback. *)
+let recover_over ~seed (old : t) ~store ~kv ~runs =
+  let sched = Oib_sim.Sched.create ~seed () in
+  let log = LM.crash old.Ctx.log in
+  let pool = Buffer_pool.create ~sched ~metrics:old.Ctx.metrics ~log ~store in
+  let locks = Oib_lock.Lock_manager.create sched old.Ctx.metrics in
+  let txns = Txn.create log locks old.Ctx.metrics in
+  (* a fresh catalog over the (possibly restored) durable metadata *)
+  let catalog =
+    Catalog.create kv ~page_capacity:(Catalog.page_capacity old.Ctx.catalog)
+  in
+  let ctx =
+    {
+      Ctx.sched;
+      metrics = old.Ctx.metrics;
+      log;
+      store;
+      kv;
+      pool;
+      locks;
+      txns;
+      catalog;
+      runs;
+    }
+  in
+  (* ---- restart recovery ---- *)
+  let analysis = Restart.analyze log in
+  Txn.ensure_next_id txns (analysis.max_txn_id + 1);
+  (* catalog objects over the surviving store *)
+  Catalog.reopen ctx.Ctx.catalog pool;
+  (* replay DDL the restored metadata may predate (media recovery) *)
+  List.iter
+    (fun (r : Oib_wal.Log_record.t) ->
+      match r.body with
+      | Oib_wal.Log_record.Create_table { table } -> (
+        match Catalog.table ctx.Ctx.catalog table with
+        | _ -> ()
+        | exception Invalid_argument _ ->
+          ignore (Catalog.create_table ctx.Ctx.catalog pool ~table_id:table))
+      | Oib_wal.Log_record.Create_index { index; table; key_cols; uniq } -> (
+        match Catalog.index ctx.Ctx.catalog index with
+        | _ -> ()
+        | exception Invalid_argument _ ->
+          ignore
+            (Catalog.add_index ctx.Ctx.catalog pool ~table_id:table
+               ~index_id:index ~key_cols ~unique:uniq ~phase:Catalog.Ready))
+      | Oib_wal.Log_record.Drop_index { index } -> (
+        match Catalog.index ctx.Ctx.catalog index with
+        | _ -> Catalog.drop_index ctx.Ctx.catalog index
+        | exception Invalid_argument _ -> ())
+      | _ -> ())
+    (LM.durable_records log);
+  (* re-register file extensions the restored metadata may predate *)
+  List.iter
+    (fun (r : Oib_wal.Log_record.t) ->
+      match r.body with
+      | Oib_wal.Log_record.Heap_extend { table; page } -> (
+        match Catalog.table ctx.Ctx.catalog table with
+        | tbl -> Heap_file.ensure_page_registered tbl.heap page
+        | exception Invalid_argument _ -> ())
+      | _ -> ())
+    (LM.durable_records log);
+  (* repeat history on the data pages *)
+  Restart.redo_heap log pool
+    ~page_capacity:(Catalog.page_capacity ctx.Ctx.catalog);
+  (* bring every index from its image to the end of the durable log *)
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun (info : Catalog.index_info) -> Restart.replay_index log info.tree)
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
+  (* in-progress builds: phase down from Ready, rebuild side-files *)
+  List.iter
+    (fun (index_id, _table) ->
+      Ib.restore_phase_after_restart ctx ~index_id)
+    analysis.builds_in_progress;
+  (* roll back losers with the live-abort executor *)
+  List.iter
+    (fun (txn_id, last) ->
+      let txn = Txn.adopt txns ~txn_id ~last in
+      Table_ops.rollback ctx txn)
+    analysis.losers;
+  LM.flush_all log;
+  ctx
+
+let crash ?(seed = 4242) (old : t) =
+  (* volatile state vanishes; the stable store, durable metadata and
+     forced runs survive *)
+  recover_over ~seed old ~store:old.Ctx.store ~kv:old.Ctx.kv
+    ~runs:(Oib_sort.Run_store.crash old.Ctx.runs)
+
+type backup = {
+  b_store : Stable_store.t;
+  b_kv : Durable_kv.t;
+  b_runs : Oib_sort.Run_store.t;
+}
+
+let backup (ctx : t) =
+  (* an image copy must be taken from a clean point: flush the log and the
+     data pages, and sharp-image every completed index so the copy carries
+     fresh tree images *)
+  LM.flush_all ctx.Ctx.log;
+  Buffer_pool.flush_all ctx.Ctx.pool;
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun (info : Catalog.index_info) ->
+          match info.phase with
+          | Catalog.Ready ->
+            Btree.checkpoint_image info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log)
+          | Catalog.Nsf_building _ | Catalog.Sf_building _ -> ())
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
+  {
+    b_store = Stable_store.snapshot ctx.Ctx.store;
+    b_kv = Durable_kv.snapshot ctx.Ctx.kv;
+    b_runs = Oib_sort.Run_store.crash ctx.Ctx.runs;
+  }
+
+let media_restore ?(seed = 777) (old : t) b =
+  (* the data "disk" is gone; the log (on its own device) survives in
+     full. Restore the image copy and let redo repeat all of history since
+     the backup — including everything the index builder logged, which is
+     exactly why NSF's IB writes log records (§2.2.3): no post-build image
+     copy of the index is needed for media recovery. *)
+  recover_over ~seed old ~store:(Stable_store.snapshot b.b_store)
+    ~kv:(Durable_kv.snapshot b.b_kv)
+    ~runs:(Oib_sort.Run_store.crash b.b_runs)
+
+let run_txn (ctx : t) f =
+  let txn = Txn.begin_txn ctx.Ctx.txns in
+  match f txn with
+  | v ->
+    Txn.commit ctx.Ctx.txns txn;
+    Ok v
+  | exception Table_ops.Txn_deadlock ->
+    Table_ops.rollback ctx txn;
+    Error `Deadlock
+  | exception Table_ops.Unique_violation { index; kv } ->
+    Table_ops.rollback ctx txn;
+    Error (`Unique_violation (index, kv))
+  | exception e ->
+    Table_ops.rollback ctx txn;
+    raise e
+
+let checkpoint (ctx : t) =
+  LM.flush_all ctx.Ctx.log;
+  Buffer_pool.flush_all ctx.Ctx.pool
+
+(* Log truncation (paper footnote 8). The retained suffix must cover:
+   - the undo chains of active transactions (oldest begin LSN);
+   - redo for unflushed pages — we take a checkpoint first, so none;
+   - logical replay for every index, from its checkpoint image onward
+     (we re-image each index first, so only the log end matters);
+   - the side-file and progress of in-progress builds (their Build_start).
+   Truncating also forfeits media recovery to any backup older than the
+   new start — footnote 8's image-copy proviso is the caller's business. *)
+let truncate_log (ctx : t) =
+  checkpoint ctx;
+  let log_end = LM.last_lsn ctx.Ctx.log in
+  let safe = ref (Oib_wal.Lsn.next log_end) in
+  let keep lsn = if Oib_wal.Lsn.( < ) lsn !safe then safe := lsn in
+  (* active transactions *)
+  if Txn.active_count ctx.Ctx.txns > 0 then keep (Txn.commit_lsn ctx.Ctx.txns);
+  (* indexes: sharp-image each Ready tree so replay needs nothing older;
+     in-progress builds pin their Build_start *)
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun (info : Catalog.index_info) ->
+          match info.phase with
+          | Catalog.Ready ->
+            Btree.checkpoint_image info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log)
+          | Catalog.Nsf_building _ | Catalog.Sf_building _ -> ())
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
+  List.iter
+    (fun (r : Oib_wal.Log_record.t) ->
+      match r.body with
+      | Oib_wal.Log_record.Build_start { index; _ } -> (
+        match (Catalog.index ctx.Ctx.catalog index).phase with
+        | Catalog.Nsf_building _ | Catalog.Sf_building _ -> keep r.lsn
+        | Catalog.Ready -> ()
+        | exception Invalid_argument _ -> ())
+      | _ -> ())
+    (LM.durable_records ctx.Ctx.log);
+  LM.truncate ctx.Ctx.log ~below:!safe
+
+(* --- the consistency oracle --- *)
+
+let consistency_errors (ctx : t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      let records = Heap_file.all_records tbl.heap in
+      List.iter
+        (fun (info : Catalog.index_info) ->
+          match info.phase with
+          | Catalog.Nsf_building _ | Catalog.Sf_building _ -> ()
+          | Catalog.Ready ->
+            (match Oib_btree.Bt_check.check info.tree with
+            | [] -> ()
+            | es ->
+              err "index %d: structural: %s" info.index_id
+                (String.concat "; " es));
+            (* expected multiset of keys *)
+            let expected = Hashtbl.create 256 in
+            List.iter
+              (fun (rid, record) ->
+                Hashtbl.replace expected
+                  (Catalog.key_of info record ~rid)
+                  ())
+              records;
+            let seen = Hashtbl.create 256 in
+            Oib_btree.Btree.iter_entries info.tree (fun key ~pseudo ->
+                if not pseudo then begin
+                  if Hashtbl.mem seen key then
+                    err "index %d: duplicate entry %s" info.index_id
+                      (Oib_util.Ikey.to_string key);
+                  Hashtbl.replace seen key ();
+                  if not (Hashtbl.mem expected key) then
+                    err "index %d: spurious entry %s" info.index_id
+                      (Oib_util.Ikey.to_string key)
+                end);
+            Hashtbl.iter
+              (fun key () ->
+                if not (Hashtbl.mem seen key) then
+                  err "index %d: missing entry %s" info.index_id
+                    (Oib_util.Ikey.to_string key))
+              expected;
+            if info.uniq then begin
+              (* at most one live entry per key value *)
+              let kvs = Hashtbl.create 256 in
+              Oib_btree.Btree.iter_entries info.tree (fun key ~pseudo ->
+                  if not pseudo then begin
+                    if Hashtbl.mem kvs key.Oib_util.Ikey.kv then
+                      err "index %d: unique violated on %S" info.index_id
+                        key.Oib_util.Ikey.kv;
+                    Hashtbl.replace kvs key.Oib_util.Ikey.kv ()
+                  end)
+            end)
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
+  List.rev !errs

@@ -1,0 +1,59 @@
+(** System façade: assemble the engine, simulate failures, run restart
+    recovery.
+
+    [crash] models a system failure followed by restart: volatile state
+    (buffer pool, unflushed log tail, unfinished fibers, latches, locks) is
+    discarded; the stable store, the durable log prefix, forced metadata
+    and forced sorted runs survive. Recovery then runs: analysis over the
+    durable log, heap redo (page-LSN test), logical index replay from each
+    index's checkpoint image, restoration of in-progress build phases, and
+    rollback of loser transactions with the same undo logic as a live
+    abort. Interrupted index builds are *not* continued automatically —
+    spawn [Ib.resume_builds] in a fiber to carry them forward, as the
+    paper's restartable IB would. *)
+
+type t = Ctx.t
+
+val create : ?seed:int -> ?page_capacity:int -> unit -> t
+
+val crash : ?seed:int -> t -> t
+(** Survivor engine, recovery completed. *)
+
+type backup
+(** An image copy of the stable store, durable metadata and forced sorted
+    runs, taken at a clean point. *)
+
+val backup : t -> backup
+
+val media_restore : ?seed:int -> t -> backup -> t
+(** Media recovery: the data disk is lost; restore the image copy and redo
+    the (surviving) log from the backup point — the recovery mode that
+    motivates the NSF builder's logging (§2.2.3: "media recovery can be
+    supported without the user being forced to take an image copy of the
+    index immediately after the index build completes"). *)
+
+val run_txn :
+  t ->
+  (Oib_txn.Txn_manager.txn -> 'a) ->
+  ('a, [ `Deadlock | `Unique_violation of int * string ]) result
+(** Begin a transaction, run [f], commit. On [Table_ops.Txn_deadlock] or
+    [Table_ops.Unique_violation] the transaction is rolled back and the
+    reason returned. Other exceptions roll back and re-raise. *)
+
+val checkpoint : t -> unit
+(** Flush the log and all (stealable) dirty pages — shrinks recovery work,
+    like a DBMS system checkpoint. *)
+
+val truncate_log : t -> int
+(** Discard the durable log prefix that restart recovery can no longer
+    need (paper footnote 8): checkpoints the system, re-images every
+    [Ready] index, and keeps everything from the oldest active
+    transaction's begin and any in-progress build's start onward. Returns
+    bytes reclaimed. Media recovery to a backup older than the new start
+    is forfeited — take a fresh {!backup} first. *)
+
+val consistency_errors : t -> string list
+(** The oracle: for every table, every [Ready] index must contain exactly
+    one Present entry per record key (and its tree invariants must hold);
+    pseudo-deleted entries must not shadow live keys. Empty = consistent.
+    Call when no transaction is active. *)

@@ -1,0 +1,973 @@
+open Oib_util
+open Oib_storage
+module LR = Oib_wal.Log_record
+module Lsn = Oib_wal.Lsn
+module LM = Oib_wal.Log_manager
+module LockM = Oib_lock.Lock_manager
+module Btree = Oib_btree.Btree
+module Latch = Oib_sim.Latch
+module Sched = Oib_sim.Sched
+module SF = Oib_sidefile.Side_file
+module Sort = Oib_sort.Sort_phase
+module Merge = Oib_sort.Merge_phase
+module Runs = Oib_sort.Run_store
+
+type algorithm = Nsf | Sf
+
+type config = {
+  algorithm : algorithm;
+  memory_keys : int;
+  batch_size : int;
+  ckpt_every_pages : int;
+  ckpt_every_keys : int;
+  specialized_split : bool;
+  sort_sidefile : bool;
+}
+
+let default_config algorithm =
+  {
+    algorithm;
+    memory_keys = 512;
+    batch_size = 32;
+    ckpt_every_pages = 64;
+    ckpt_every_keys = 4096;
+    specialized_split = true;
+    sort_sidefile = false;
+  }
+
+exception Build_unique_violation of { index : int; kv : string }
+
+type spec = { index_id : int; key_cols : int list; unique : bool }
+
+(* durable build progress *)
+type stage =
+  | Scanning of { current_rid : Rid.t }
+  | Merging of { runs : string list }
+  | Inserting of { sorted : string; highest : Ikey.t option } (* NSF *)
+  | Bulking of { sorted : string; highest : Ikey.t option } (* SF *)
+  | Draining of { pos : int } (* SF *)
+
+type progress = {
+  p_algorithm : algorithm;
+  p_table : int;
+  p_stage : stage;
+  p_last_scan_page : int; (* scan end noted at build start; -1 = empty *)
+}
+
+type Durable_kv.value += Ib_progress of progress
+
+let progress_key index_id = Printf.sprintf "ib/%d/progress" index_id
+let sort_key index_id = Printf.sprintf "ib/%d/sort" index_id
+let merge_key index_id = Printf.sprintf "ib/%d/mergeckpt" index_id
+
+(* must NOT share a prefix with [sort_key]: Sort_phase.resume deletes
+   unknown runs under its own checkpoint prefix *)
+let sorted_run_name index_id = Printf.sprintf "ib/%d/merged-output" index_id
+
+(* a lock-owner id for IB's own lock calls, distinct from transaction ids *)
+let ib_owner index_id = 1_000_000 + index_id
+
+let set_progress ctx index_id ~algorithm ~table ~stage ~last_scan_page =
+  Durable_kv.set ctx.Ctx.kv (progress_key index_id)
+    (Ib_progress
+       {
+         p_algorithm = algorithm;
+         p_table = table;
+         p_stage = stage;
+         p_last_scan_page = last_scan_page;
+       })
+
+let get_progress ctx index_id =
+  match Durable_kv.get ctx.Ctx.kv (progress_key index_id) with
+  | Some (Ib_progress p) -> Some p
+  | _ -> None
+
+let clear_progress ctx index_id =
+  Durable_kv.remove ctx.Ctx.kv (progress_key index_id)
+
+(* --- IB unique-key-value verification (§2.2.3) ---
+
+   Two entries with the same key value and different RIDs: lock both
+   records in share mode, then verify the duplicate condition still holds
+   against the data pages. *)
+let ib_unique_check ctx (info : Catalog.index_info) (a : Ikey.t) (b : Ikey.t) =
+  let owner = ib_owner info.index_id in
+  let tbl = Catalog.table ctx.Ctx.catalog info.table_id in
+  let lock_rid rid =
+    match LockM.lock ctx.Ctx.locks ~txn:owner (LockM.Record rid) S with
+    | LockM.Granted -> ()
+    | LockM.Deadlock -> () (* IB holds no other locks: cannot deadlock *)
+  in
+  lock_rid a.rid;
+  lock_rid b.rid;
+  let kv_of rid =
+    match Heap_file.read_record tbl.Catalog.heap rid with
+    | Some record -> Some (Record.key_value record info.key_cols)
+    | None -> None
+    | exception Not_found -> None
+  in
+  let still =
+    kv_of a.rid = Some a.kv && kv_of b.rid = Some b.kv
+    && String.equal a.kv b.kv
+  in
+  LockM.unlock_all ctx.Ctx.locks ~txn:owner;
+  still
+
+(* --- scan + extract + sort (shared by NSF and SF) --- *)
+
+(* One build job per index within a (possibly multi-index) scan. *)
+type job = {
+  spec : spec;
+  info : Catalog.index_info;
+  sorter : Sort.t;
+}
+
+(* [dynamic] (SF): the scan chases the end of the file so that pages added
+   by concurrent extensions are still scanned — only extensions after the
+   scan has drained the file go through the Current-RID = infinity rule
+   (§3.2.2). NSF instead notes the last page before starting and lets
+   transactions index later extensions directly (§2.3.1). *)
+let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
+  let first_needed =
+    List.fold_left (fun acc j -> min acc (Sort.scan_pos j.sorter)) max_int jobs
+  in
+  let pages_done = ref 0 in
+  let process_page (page : Page.t) =
+    let pid = page.Page.id in
+    if pid > first_needed then begin
+      ctx.Ctx.metrics.sequential_reads <- ctx.Ctx.metrics.sequential_reads + 1;
+      (* extract under a share latch; no locks (§2.2.2 / §3.2.2) *)
+      Latch.acquire page.Page.latch S;
+      let per_job = List.map (fun j -> (j, ref [])) jobs in
+      Heap_page.iter (Heap_page.of_payload page.Page.payload) (fun slot r ->
+          let rid = Rid.make ~page:pid ~slot in
+          List.iter
+            (fun (j, acc) -> acc := Catalog.key_of j.info r ~rid :: !acc)
+            per_job;
+          set_current_rid rid);
+      (* the whole page is done: advance Current-RID to the page boundary
+         while still holding the latch, so an insert into a later slot of
+         this page (blocked on the latch right now) sees itself behind the
+         scan and writes its side-file entry *)
+      set_current_rid (Rid.make ~page:pid ~slot:max_int);
+      Latch.release page.Page.latch S;
+      List.iter
+        (fun (j, acc) ->
+          if pid > Sort.scan_pos j.sorter then
+            Sort.feed_page j.sorter ~scan_pos:pid (List.rev !acc))
+        per_job;
+      incr pages_done;
+      if !pages_done mod cfg.ckpt_every_pages = 0 then
+        List.iter (fun j -> Sort.checkpoint j.sorter) jobs
+    end;
+    (* let transactions interleave between pages *)
+    Sched.yield ctx.Ctx.sched
+  in
+  if not dynamic then
+    Heap_file.scan_pages tbl.Catalog.heap ~upto:last_scan_page process_page
+  else begin
+    let highest_done = ref (-1) in
+    let rec chase () =
+      let fresh =
+        List.filter
+          (fun id -> id > !highest_done)
+          (Heap_file.page_ids tbl.Catalog.heap)
+      in
+      match fresh with
+      | [] -> () (* drained: the caller flips Current-RID to infinity
+                    without yielding in between *)
+      | _ ->
+        List.iter
+          (fun id ->
+            process_page (Heap_file.page tbl.Catalog.heap id);
+            highest_done := id)
+          fresh;
+        chase ()
+    in
+    chase ()
+  end
+
+let merge_sorted ctx _cfg job =
+  let runs = Sort.finish job.sorter in
+  set_progress ctx job.spec.index_id
+    ~algorithm:
+      (match job.info.phase with
+      | Catalog.Nsf_building _ -> Nsf
+      | _ -> Sf)
+    ~table:job.info.table_id
+    ~stage:(Merging { runs })
+    ~last_scan_page:(-1);
+  runs
+
+(* merge [runs] into the canonical sorted run for this index *)
+let do_merge ctx job runs =
+  Merge.merge_all ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(merge_key job.spec.index_id)
+    ~inputs:runs
+    ~output:(sorted_run_name job.spec.index_id)
+    ~fan_in:16 ~ckpt_every:4096
+
+(* Run per-index post-scan pipelines in parallel, one fiber per index
+   (§6.2: "a process can be spawned for each index to sort the keys,
+   insert them and process the side-file"). Exceptions from children are
+   re-raised in the caller after all fibers finish. *)
+let parallel_jobs ctx jobs f =
+  match jobs with
+  | [ job ] -> f job
+  | _ ->
+    let remaining = ref (List.length jobs) in
+    let failed = ref None in
+    let cond = Sched.Cond.create ctx.Ctx.sched in
+    List.iter
+      (fun job ->
+        ignore
+          (Sched.spawn ctx.Ctx.sched
+             ~name:(Printf.sprintf "ib-pipeline-%d" job.spec.index_id)
+             (fun () ->
+               (try f job
+                with e -> if !failed = None then failed := Some e);
+               decr remaining;
+               if !remaining = 0 then Sched.Cond.broadcast cond)))
+      jobs;
+    while !remaining > 0 do
+      Sched.Cond.wait cond
+    done;
+    match !failed with Some e -> raise e | None -> ()
+
+(* --- NSF: insert phase (§2.2.3) --- *)
+
+let cancel_build_internal ctx ~index_id =
+  (* quiesce updaters so rollbacks cannot run into a missing descriptor
+     (§2.3.2), then drop everything *)
+  let info = Catalog.index ctx.Ctx.catalog index_id in
+  let owner = ib_owner index_id in
+  (match
+     LockM.lock ctx.Ctx.locks ~txn:owner (LockM.Table info.table_id) S
+   with
+  | LockM.Granted -> ()
+  | LockM.Deadlock -> ());
+  ignore
+    (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+       (LR.Build_done { index = index_id }));
+  ignore
+    (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+       (LR.Drop_index { index = index_id }));
+  LM.flush_all ctx.Ctx.log;
+  Catalog.drop_index ctx.Ctx.catalog index_id;
+  clear_progress ctx index_id;
+  LockM.unlock_all ctx.Ctx.locks ~txn:owner
+
+let nsf_unique_guard ctx job (key : Ikey.t) =
+  let info = job.info in
+  let rivals =
+    List.filter
+      (fun ((k : Ikey.t), pseudo) ->
+        (not pseudo) && not (Rid.equal k.rid key.rid))
+      (Btree.find_kv info.tree key.kv)
+  in
+  List.iter
+    (fun ((k : Ikey.t), _) ->
+      if ib_unique_check ctx info key k then begin
+        cancel_build_internal ctx ~index_id:info.index_id;
+        raise (Build_unique_violation { index = info.index_id; kv = key.kv })
+      end)
+    rivals
+
+let nsf_checkpoint ctx job ~highest =
+  (* §2.2.3 "Periodic Checkpointing by IB": force the log (the commit
+     call), take a sharp image, record the highest key *)
+  LM.flush_all ctx.Ctx.log;
+  Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
+  set_progress ctx job.spec.index_id ~algorithm:Nsf ~table:job.info.table_id
+    ~stage:
+      (Inserting { sorted = sorted_run_name job.spec.index_id; highest })
+    ~last_scan_page:(-1)
+
+let nsf_insert_phase ctx cfg job ~from_key =
+  let run = Runs.find_run ctx.Ctx.runs (sorted_run_name job.spec.index_id) in
+  let cursor = Btree.new_cursor job.info.tree in
+  let n = Runs.length run in
+  let highest = ref from_key in
+  let batch = ref [] in
+  let batch_n = ref 0 in
+  let since_ckpt = ref 0 in
+  let flush_batch () =
+    if !batch <> [] then begin
+      ignore
+        (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+           (LR.Index_bulk_insert
+              { index = job.spec.index_id; keys = List.rev !batch }));
+      batch := [];
+      batch_n := 0
+    end
+  in
+  let start_pos =
+    (* skip keys at or below the checkpointed highest *)
+    match from_key with
+    | None -> 0
+    | Some h ->
+      let rec find i =
+        if i >= n then n
+        else if Ikey.compare (Runs.get run i) h > 0 then i
+        else find (i + 1)
+      in
+      find 0
+  in
+  for i = start_pos to n - 1 do
+    let key = Runs.get run i in
+    if job.spec.unique then nsf_unique_guard ctx job key;
+    (match
+       Btree.insert_if_absent job.info.tree
+         ~ib_split:cfg.specialized_split ~cursor key
+     with
+    | `Inserted ->
+      batch := key :: !batch;
+      incr batch_n;
+      if !batch_n >= cfg.batch_size then flush_batch ()
+    | `Rejected _ -> () (* a transaction or a tombstone won the race *));
+    highest := Some key;
+    incr since_ckpt;
+    if !since_ckpt >= cfg.ckpt_every_keys then begin
+      flush_batch ();
+      nsf_checkpoint ctx job ~highest:!highest;
+      (* gradual availability (footnote 3): everything strictly below the
+         checkpointed key value is complete and may serve reads *)
+      (match (job.info.phase, !highest) with
+      | Catalog.Nsf_building st, Some h ->
+        st.Catalog.avail_below <- Some h.Ikey.kv
+      | _ -> ());
+      since_ckpt := 0
+    end;
+    if i mod 16 = 0 then Sched.yield ctx.Ctx.sched
+  done;
+  flush_batch ()
+
+(* --- SF: bulk build + side-file drain (§3.2.4-3.2.5) --- *)
+
+let sf_state (info : Catalog.index_info) =
+  match info.phase with
+  | Catalog.Sf_building sf -> sf
+  | _ -> invalid_arg "Ib.sf_state: not an SF build"
+
+let sf_checkpoint_bulk ctx job ~highest =
+  LM.flush_all ctx.Ctx.log;
+  Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
+  set_progress ctx job.spec.index_id ~algorithm:Sf ~table:job.info.table_id
+    ~stage:(Bulking { sorted = sorted_run_name job.spec.index_id; highest })
+    ~last_scan_page:(-1)
+
+let sf_bulk_phase ctx cfg job ~from_key =
+  let run = Runs.find_run ctx.Ctx.runs (sorted_run_name job.spec.index_id) in
+  let b =
+    match from_key with
+    | None -> Btree.Bulk.start job.info.tree
+    | Some _ -> Btree.Bulk.resume job.info.tree
+  in
+  let n = Runs.length run in
+  let start_pos =
+    match from_key with
+    | None -> 0
+    | Some h ->
+      let rec find i =
+        if i >= n then n
+        else if Ikey.compare (Runs.get run i) h > 0 then i
+        else find (i + 1)
+      in
+      find 0
+  in
+  let since_ckpt = ref 0 in
+  let prev = ref from_key in
+  for i = start_pos to n - 1 do
+    let key = Runs.get run i in
+    (* adjacent equal key values in the sorted stream: unique check *)
+    if job.spec.unique then begin
+      match !prev with
+      | Some p when String.equal p.Ikey.kv key.Ikey.kv ->
+        if ib_unique_check ctx job.info p key then begin
+          cancel_build_internal ctx ~index_id:job.spec.index_id;
+          raise
+            (Build_unique_violation
+               { index = job.spec.index_id; kv = key.Ikey.kv })
+        end
+      | _ -> ()
+    end;
+    Btree.Bulk.add b key;
+    prev := Some key;
+    incr since_ckpt;
+    if !since_ckpt >= cfg.ckpt_every_keys then begin
+      sf_checkpoint_bulk ctx job ~highest:(Some key);
+      since_ckpt := 0
+    end;
+    if i mod 16 = 0 then Sched.yield ctx.Ctx.sched
+  done;
+  Btree.Bulk.finish b
+
+(* apply one side-file entry to the tree as a transaction would, logging
+   redo-undo records (§3.2.5) *)
+let sf_apply_entry ?cursor ctx job (e : SF.entry) =
+  let tree = job.info.tree in
+  if e.insert then begin
+    if job.spec.unique then begin
+      let rivals =
+        List.filter
+          (fun ((k : Ikey.t), pseudo) ->
+            (not pseudo) && not (Rid.equal k.rid e.key.Ikey.rid))
+          (Btree.find_kv tree e.key.Ikey.kv)
+      in
+      List.iter
+        (fun ((k : Ikey.t), _) ->
+          if ib_unique_check ctx job.info e.key k then begin
+            cancel_build_internal ctx ~index_id:job.spec.index_id;
+            raise
+              (Build_unique_violation
+                 { index = job.spec.index_id; kv = e.key.Ikey.kv })
+          end)
+        rivals
+    end;
+    let before = Btree.set_state tree ?cursor e.key LR.Present in
+    if before <> LR.Present then
+      ignore
+        (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+           (LR.Index_key
+              {
+                redoable = true;
+                op =
+                  { index = job.spec.index_id; key = e.key; before;
+                    after = LR.Present };
+              }))
+  end
+  else begin
+    let before = Btree.set_state tree ?cursor e.key LR.Absent in
+    if before <> LR.Absent then
+      ignore
+        (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+           (LR.Index_key
+              {
+                redoable = true;
+                op =
+                  { index = job.spec.index_id; key = e.key; before;
+                    after = LR.Absent };
+              }))
+  end
+
+let sf_drain_phase ctx cfg job ~from_pos =
+  let sf = sf_state job.info in
+  sf.Catalog.draining <- true;
+  let pos = ref from_pos in
+  let since_ckpt = ref 0 in
+  let checkpoint () =
+    LM.flush_all ctx.Ctx.log;
+    Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
+    set_progress ctx job.spec.index_id ~algorithm:Sf ~table:job.info.table_id
+      ~stage:(Draining { pos = !pos })
+      ~last_scan_page:(-1)
+  in
+  checkpoint ();
+  let apply_upto upto ~sorted =
+    let entries =
+      if sorted then SF.sorted_slice sf.Catalog.sidefile ~from:!pos ~upto
+      else SF.slice sf.Catalog.sidefile ~from:!pos ~upto
+    in
+    (* a sorted stream is key-local: a remembered-path cursor avoids most
+       root-to-leaf traversals (the measurable benefit of §3.2.5) *)
+    let cursor =
+      if sorted then Some (Btree.new_cursor job.info.tree) else None
+    in
+    List.iter
+      (fun e ->
+        sf_apply_entry ?cursor ctx job e;
+        incr since_ckpt;
+        if !since_ckpt >= cfg.ckpt_every_keys then begin
+          (* position moves wholesale after the batch when sorting; only
+             checkpoint inside a batch when applying sequentially *)
+          if not sorted then begin
+            pos := !pos + !since_ckpt;
+            checkpoint ()
+          end;
+          since_ckpt := 0
+        end)
+      entries;
+    pos := upto;
+    since_ckpt := 0;
+    Sched.yield ctx.Ctx.sched
+  in
+  (* the bulk of the side-file may be applied sorted (§3.2.5); the chase
+     loop then applies new arrivals sequentially until it catches up *)
+  let first_target = SF.length sf.Catalog.sidefile in
+  if cfg.sort_sidefile && first_target > !pos then
+    apply_upto first_target ~sorted:true;
+  let rec chase () =
+    let target = SF.length sf.Catalog.sidefile in
+    if target > !pos then begin
+      apply_upto target ~sorted:false;
+      chase ()
+    end
+  in
+  chase ();
+  (* caught up: no yield between the check above and the flip below, so no
+     transaction can append in between *)
+  job.info.phase <- Catalog.Ready
+
+(* --- build orchestration --- *)
+
+let finish_build ctx job =
+  ignore
+    (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+       (LR.Build_done { index = job.spec.index_id }));
+  LM.flush_all ctx.Ctx.log;
+  Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
+  clear_progress ctx job.spec.index_id;
+  Runs.delete_run ctx.Ctx.runs (sorted_run_name job.spec.index_id);
+  job.info.phase <- Catalog.Ready
+
+let start_sorter ctx cfg index_id =
+  match
+    Sort.resume ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
+      ~memory_keys:cfg.memory_keys
+  with
+  | Some s -> s
+  | None ->
+    Sort.start ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
+      ~memory_keys:cfg.memory_keys
+
+let build_indexes_nsf ctx cfg ~table specs =
+  let tbl = Catalog.table ctx.Ctx.catalog table in
+  (* short quiesce: create all descriptors under an S table lock (§2.2.1) *)
+  let owner = ib_owner (List.hd specs).index_id in
+  (match LockM.lock ctx.Ctx.locks ~txn:owner (LockM.Table table) S with
+  | LockM.Granted -> ()
+  | LockM.Deadlock -> assert false);
+  let jobs =
+    List.map
+      (fun spec ->
+        let info =
+          Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
+            ~index_id:spec.index_id ~key_cols:spec.key_cols
+            ~unique:spec.unique
+            ~phase:(Catalog.Nsf_building { avail_below = None })
+        in
+        ignore
+          (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+             (LR.Build_start { index = spec.index_id; table }));
+        let sorter = start_sorter ctx cfg spec.index_id in
+        { spec; info; sorter })
+      specs
+  in
+  LM.flush_all ctx.Ctx.log;
+  let last_scan_page =
+    Option.value ~default:(-1) (Heap_file.last_page_id tbl.Catalog.heap)
+  in
+  List.iter
+    (fun job ->
+      set_progress ctx job.spec.index_id ~algorithm:Nsf ~table
+        ~stage:(Scanning { current_rid = Rid.minus_infinity })
+        ~last_scan_page)
+    jobs;
+  LockM.unlock_all ctx.Ctx.locks ~txn:owner;
+  (* quiesce over; updaters run against the new descriptors from here on *)
+  scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic:false jobs
+    ~set_current_rid:(fun _ -> ());
+  parallel_jobs ctx jobs (fun job ->
+      let runs = merge_sorted ctx cfg job in
+      ignore (do_merge ctx job runs);
+      set_progress ctx job.spec.index_id ~algorithm:Nsf ~table
+        ~stage:
+          (Inserting { sorted = sorted_run_name job.spec.index_id; highest = None })
+        ~last_scan_page:(-1);
+      nsf_insert_phase ctx cfg job ~from_key:None;
+      finish_build ctx job)
+
+let build_indexes_sf ctx cfg ~table specs =
+  let tbl = Catalog.table ctx.Ctx.catalog table in
+  (* no quiesce: descriptors appear while updaters run (§3.2.1) *)
+  let jobs =
+    List.map
+      (fun spec ->
+        let info =
+          Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
+            ~index_id:spec.index_id ~key_cols:spec.key_cols
+            ~unique:spec.unique
+            ~phase:
+              (Catalog.Sf_building
+                 {
+                   sidefile = SF.create ~sidefile_id:spec.index_id;
+                   current_rid = Rid.minus_infinity;
+                   current_key = None;
+                   key_scan = None;
+                   draining = false;
+                 })
+        in
+        ignore
+          (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+             (LR.Build_start { index = spec.index_id; table }));
+        let sorter = start_sorter ctx cfg spec.index_id in
+        { spec; info; sorter })
+      specs
+  in
+  LM.flush_all ctx.Ctx.log;
+  let last_scan_page =
+    Option.value ~default:(-1) (Heap_file.last_page_id tbl.Catalog.heap)
+  in
+  List.iter
+    (fun job ->
+      set_progress ctx job.spec.index_id ~algorithm:Sf ~table
+        ~stage:(Scanning { current_rid = Rid.minus_infinity })
+        ~last_scan_page)
+    jobs;
+  let states = List.map (fun job -> sf_state job.info) jobs in
+  scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic:true jobs
+    ~set_current_rid:(fun rid ->
+      List.iter (fun sf -> sf.Catalog.current_rid <- rid) states);
+  (* scan complete: later file extensions go to the side-file (§3.2.2) *)
+  List.iter (fun sf -> sf.Catalog.current_rid <- Rid.infinity) states;
+  parallel_jobs ctx jobs (fun job ->
+      let runs = merge_sorted ctx cfg job in
+      ignore (do_merge ctx job runs);
+      set_progress ctx job.spec.index_id ~algorithm:Sf ~table
+        ~stage:
+          (Bulking { sorted = sorted_run_name job.spec.index_id; highest = None })
+        ~last_scan_page:(-1);
+      sf_bulk_phase ctx cfg job ~from_key:None;
+      sf_drain_phase ctx cfg job ~from_pos:0;
+      finish_build ctx job)
+
+let build_indexes ctx cfg ~table specs =
+  match specs with
+  | [] -> invalid_arg "Ib.build_indexes: no specs"
+  | _ -> (
+    match cfg.algorithm with
+    | Nsf -> build_indexes_nsf ctx cfg ~table specs
+    | Sf -> build_indexes_sf ctx cfg ~table specs)
+
+let build_index ctx cfg ~table spec = build_indexes ctx cfg ~table [ spec ]
+
+(* The baseline the paper's introduction rails against: the table is locked
+   against all updates for the entire duration of the build ("current DBMSs
+   do not allow updates to a table while building an index on it", Â§1).
+   Readers (IS/S) still pass. Implemented as an SF build executed under an
+   S table lock held from before the descriptor until the index is Ready,
+   so the code path measured is identical except for availability. *)
+let build_index_offline ctx cfg ~table spec =
+  let owner = ib_owner spec.index_id + 250_000 in
+  (match LockM.lock ctx.Ctx.locks ~txn:owner (LockM.Table table) S with
+  | LockM.Granted -> ()
+  | LockM.Deadlock -> assert false (* this owner holds nothing else *));
+  Fun.protect
+    ~finally:(fun () -> LockM.unlock_all ctx.Ctx.locks ~txn:owner)
+    (fun () ->
+      build_indexes ctx { cfg with algorithm = Sf } ~table [ spec ])
+
+
+(* --- Â§6.2: secondary build over an index-organized table ---
+
+   The records are reached through a unique primary index and the scan
+   proceeds in primary-key order; "in place of Current-RID, we would use
+   the current-key as the scan position" (Â§6.2). Visibility compares an
+   operation's primary key against the scan's current-key (Catalog's
+   key_scan mode). Only SF applies (that is the section's context).
+   Restart after a crash in the scan stage falls back to the RID-order
+   rescan (same keys, different order â the sort absorbs it); later
+   stages resume exactly as in the heap-scan build. *)
+
+let build_secondary_via_primary ctx cfg ~table ~primary spec =
+  let tbl = Catalog.table ctx.Ctx.catalog table in
+  let pinfo = Catalog.index ctx.Ctx.catalog primary in
+  if pinfo.Catalog.table_id <> table then
+    invalid_arg "Ib.build_secondary_via_primary: primary on another table";
+  if not pinfo.Catalog.uniq then
+    invalid_arg "Ib.build_secondary_via_primary: primary index not unique";
+  (match pinfo.Catalog.phase with
+  | Catalog.Ready -> ()
+  | _ -> invalid_arg "Ib.build_secondary_via_primary: primary still building");
+  if spec.unique then
+    invalid_arg
+      "Ib.build_secondary_via_primary: unique secondary over an IOT is not \
+       supported (entries are <key value, primary key>)";
+  (* the paper's storage model: secondary entries are
+     <key value, primary key value> (Â§6.2) â realized by appending the
+     primary key columns to the secondary key, which gives every record
+     version an identity whose visibility matches its side-file routing *)
+  let key_cols = spec.key_cols @ pinfo.Catalog.key_cols in
+  let info =
+    Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
+      ~index_id:spec.index_id ~key_cols ~unique:false
+      ~phase:
+        (Catalog.Sf_building
+           {
+             sidefile = SF.create ~sidefile_id:spec.index_id;
+             current_rid = Rid.minus_infinity;
+             current_key = None;
+             key_scan = Some pinfo.Catalog.key_cols;
+             draining = false;
+           })
+  in
+  ignore
+    (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+       (LR.Build_start { index = spec.index_id; table }));
+  LM.flush_all ctx.Ctx.log;
+  set_progress ctx spec.index_id ~algorithm:Sf ~table
+    ~stage:(Scanning { current_rid = Rid.minus_infinity })
+    ~last_scan_page:(-1);
+  let sf = sf_state info in
+  (* a dedicated checkpoint id: scan positions here are leaf ordinals, not
+     page ids, so a restart must not resume the heap-scan sorter from them *)
+  let ksort_id = Printf.sprintf "ib/%d/ksort" spec.index_id in
+  let sorter =
+    Sort.start ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:ksort_id
+      ~memory_keys:cfg.memory_keys
+  in
+  let job = { spec; info; sorter } in
+  (* Scan rounds: copy the primary leaf chain (advancing current-key to
+     each leaf's upper copied bound under its latch), then fetch records
+     and feed the sort. Inserts with keys above the scan position arrive
+     in the primary index while we work, so chase until a round finds
+     nothing new; the final empty check and the flip to "scan complete"
+     happen without yielding. *)
+  let batch_no = ref (-1) in
+  let scan_round () =
+    let floor = sf.Catalog.current_key in
+    let above pk =
+      match floor with None -> true | Some ck -> String.compare pk ck > 0
+    in
+    let copied = ref [] in
+    Btree.iter_leaves pinfo.Catalog.tree (fun _pid leaf ->
+        let batch = ref [] in
+        for i = leaf.Oib_btree.Bt_node.n - 1 downto 0 do
+          let k, pseudo = leaf.Oib_btree.Bt_node.entries.(i) in
+          if (not pseudo) && above k.Ikey.kv then
+            batch := (k.Ikey.kv, k.Ikey.rid) :: !batch
+        done;
+        (match !batch with
+        | [] -> ()
+        | entries ->
+          let last_pk = fst (List.nth entries (List.length entries - 1)) in
+          sf.Catalog.current_key <- Some last_pk);
+        if !batch <> [] then copied := !batch :: !copied);
+    let batches = List.rev !copied in
+    List.iter
+      (fun batch ->
+        incr batch_no;
+        let keys = ref [] in
+        List.iter
+          (fun (pk, rid) ->
+            let page = Heap_file.latch_rid tbl.Catalog.heap rid S in
+            (match
+               Heap_page.get (Heap_page.of_payload page.Page.payload)
+                 rid.Rid.slot
+             with
+            | Some record
+              when String.equal (Record.key_value record pinfo.Catalog.key_cols) pk
+              ->
+              keys := Catalog.key_of info record ~rid :: !keys
+            | Some _ ->
+              (* the RID was reused by a record with another primary key:
+                 this copy is stale; the new record belongs to a later scan
+                 round or to the side-file *)
+              ()
+            | None -> () (* deleted meanwhile; the side-file covers it *));
+            Latch.release page.Page.latch S)
+          batch;
+        ctx.Ctx.metrics.sequential_reads <-
+          ctx.Ctx.metrics.sequential_reads + 1;
+        Sort.feed_page job.sorter ~scan_pos:!batch_no (List.rev !keys);
+        Sched.yield ctx.Ctx.sched)
+      batches;
+    batches <> []
+  in
+  let rec chase () = if scan_round () then chase () in
+  chase ();
+  (* scan complete *)
+  sf.Catalog.current_rid <- Rid.infinity;
+  let runs = Sort.finish job.sorter in
+  set_progress ctx spec.index_id ~algorithm:Sf ~table ~stage:(Merging { runs })
+    ~last_scan_page:(-1);
+  ignore (do_merge ctx job runs);
+  set_progress ctx spec.index_id ~algorithm:Sf ~table
+    ~stage:(Bulking { sorted = sorted_run_name spec.index_id; highest = None })
+    ~last_scan_page:(-1);
+  sf_bulk_phase ctx cfg job ~from_key:None;
+  sf_drain_phase ctx cfg job ~from_pos:0;
+  (* drop this variant\'s private sort runs *)
+  List.iter
+    (fun n ->
+      if
+        String.length n >= String.length ksort_id
+        && String.sub n 0 (String.length ksort_id) = ksort_id
+      then Runs.delete_run ctx.Ctx.runs n)
+    (Runs.run_names ctx.Ctx.runs);
+  Durable_kv.remove ctx.Ctx.kv ksort_id;
+  finish_build ctx job
+
+(* --- restart: phase restoration and resumption --- *)
+
+let interrupted_builds ctx =
+  List.filter_map
+    (fun key ->
+      match Durable_kv.get ctx.Ctx.kv key with
+      | Some (Ib_progress _) ->
+        (* key shape: ib/<id>/progress *)
+        (try Scanf.sscanf key "ib/%d/progress" (fun id -> Some id)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+      | _ -> None)
+    (Durable_kv.keys ctx.Ctx.kv)
+
+let restore_phase_after_restart ctx ~index_id =
+  match get_progress ctx index_id with
+  | None -> ()
+  | Some p -> (
+    match p.p_algorithm with
+    | Nsf ->
+      Catalog.set_phase ctx.Ctx.catalog index_id
+        (Catalog.Nsf_building { avail_below = None })
+    | Sf ->
+      let sidefile = SF.rebuild_from_log ctx.Ctx.log ~sidefile_id:index_id in
+      let current_rid =
+        match p.p_stage with
+        | Scanning _ -> (
+          (* the authoritative scan position is the sort checkpoint's: IB
+             will re-extract everything after it, so the index regresses to
+             invisible for those RIDs until the rescan passes them again *)
+          match
+            Sort.checkpointed_scan_pos ctx.Ctx.kv ~ckpt_id:(sort_key index_id)
+          with
+          | Some pos when pos >= 0 -> Rid.make ~page:pos ~slot:max_int
+          | _ -> Rid.minus_infinity)
+        | Merging _ | Inserting _ | Bulking _ | Draining _ -> Rid.infinity
+      in
+      Catalog.set_phase ctx.Ctx.catalog index_id
+        (Catalog.Sf_building
+           { sidefile; current_rid; current_key = None; key_scan = None;
+             draining = false }))
+
+let resume_one ctx cfg index_id =
+  match get_progress ctx index_id with
+  | None -> ()
+  | Some p ->
+    let info = Catalog.index ctx.Ctx.catalog index_id in
+    let spec =
+      { index_id; key_cols = info.key_cols; unique = info.uniq }
+    in
+    let tbl = Catalog.table ctx.Ctx.catalog p.p_table in
+    let cfg = { cfg with algorithm = p.p_algorithm } in
+    (match (p.p_algorithm, p.p_stage) with
+    | Nsf, Scanning _ | Sf, Scanning _ ->
+      let sorter = start_sorter ctx cfg index_id in
+      let job = { spec; info; sorter } in
+      (match p.p_algorithm with
+      | Sf ->
+        let sf = sf_state info in
+        (* visibility resumes from the sort checkpoint's position *)
+        sf.Catalog.current_rid <-
+          (if Sort.scan_pos sorter < 0 then Rid.minus_infinity
+           else Rid.make ~page:(Sort.scan_pos sorter) ~slot:max_int)
+      | Nsf -> ());
+      scan_and_sort ctx cfg tbl ~last_scan_page:p.p_last_scan_page
+        ~dynamic:(p.p_algorithm = Sf) [ job ]
+        ~set_current_rid:(fun rid ->
+          match info.phase with
+          | Catalog.Sf_building sf -> sf.Catalog.current_rid <- rid
+          | _ -> ());
+      (match info.phase with
+      | Catalog.Sf_building sf -> sf.Catalog.current_rid <- Rid.infinity
+      | _ -> ());
+      let runs = merge_sorted ctx cfg job in
+      ignore (do_merge ctx job runs);
+      (match p.p_algorithm with
+      | Nsf ->
+        nsf_insert_phase ctx cfg job ~from_key:None;
+        finish_build ctx job
+      | Sf ->
+        sf_bulk_phase ctx cfg job ~from_key:None;
+        sf_drain_phase ctx cfg job ~from_pos:0;
+        finish_build ctx job)
+    | _, Merging { runs } ->
+      let sorter = start_sorter ctx cfg index_id in
+      let job = { spec; info; sorter } in
+      ignore (do_merge ctx job runs);
+      (match p.p_algorithm with
+      | Nsf ->
+        nsf_insert_phase ctx cfg job ~from_key:None;
+        finish_build ctx job
+      | Sf ->
+        sf_bulk_phase ctx cfg job ~from_key:None;
+        sf_drain_phase ctx cfg job ~from_pos:0;
+        finish_build ctx job)
+    | Nsf, Inserting { highest; _ } ->
+      let sorter = start_sorter ctx cfg index_id in
+      let job = { spec; info; sorter } in
+      nsf_insert_phase ctx cfg job ~from_key:highest;
+      finish_build ctx job
+    | Sf, Bulking { highest; _ } ->
+      let sorter = start_sorter ctx cfg index_id in
+      let job = { spec; info; sorter } in
+      sf_bulk_phase ctx cfg job ~from_key:highest;
+      sf_drain_phase ctx cfg job ~from_pos:0;
+      finish_build ctx job
+    | Sf, Draining { pos } ->
+      let sorter = start_sorter ctx cfg index_id in
+      let job = { spec; info; sorter } in
+      sf_drain_phase ctx cfg job ~from_pos:pos;
+      finish_build ctx job
+    | Nsf, (Bulking _ | Draining _) | Sf, Inserting _ -> assert false)
+
+let resume_builds ctx cfg =
+  List.iter (fun id -> resume_one ctx cfg id) (interrupted_builds ctx)
+
+let cancel_build ctx ~index_id = cancel_build_internal ctx ~index_id
+
+(* --- pseudo-deleted key garbage collection (§2.2.4) --- *)
+
+(* Background garbage collection (§2.2.4: "garbage collection of the
+   pseudo-deleted keys in the index can be scheduled as a background
+   activity"). The daemon sweeps periodically until stopped. *)
+let rec spawn_gc_daemon ctx ~index_id ~every =
+  let stop = ref false in
+  let collected = ref 0 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched
+       ~name:(Printf.sprintf "gc-%d" index_id)
+       (fun () ->
+         while not !stop do
+           for _ = 1 to every do
+             if not !stop then Sched.yield ctx.Ctx.sched
+           done;
+           if not !stop then
+             match Catalog.index ctx.Ctx.catalog index_id with
+             | info when info.Catalog.phase = Catalog.Ready ->
+               collected := !collected + gc_once ctx ~index_id
+             | _ | (exception Invalid_argument _) -> ()
+         done));
+  ((fun () -> stop := true), collected)
+
+and gc_once ctx ~index_id =
+  let info = Catalog.index ctx.Ctx.catalog index_id in
+  let owner = ib_owner index_id + 500_000 in
+  (* Commit_LSN shortcut at system granularity: with no transaction active,
+     every pseudo-delete is committed and no lock calls are needed *)
+  let quiescent = Oib_txn.Txn_manager.active_count ctx.Ctx.txns = 0 in
+  let keep (key : Ikey.t) =
+    if quiescent then false
+    else if
+      LockM.try_instant_lock ctx.Ctx.locks ~txn:owner (LockM.Record key.rid) S
+    then false (* deleter finished: collect *)
+    else true (* probably uncommitted: skip (§2.2.4) *)
+  in
+  let log_removal key =
+    ignore
+      (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+         (LR.Index_key
+            {
+              redoable = true;
+              op =
+                { index = index_id; key; before = LR.Pseudo_deleted;
+                  after = LR.Absent };
+            }))
+  in
+  let removed =
+    Btree.gc_pseudo_deleted info.tree ~keep:(fun key ->
+        let k = keep key in
+        if not k then log_removal key;
+        k)
+  in
+  removed
+
+let gc_pseudo_deleted ctx ~index_id = gc_once ctx ~index_id

@@ -1,0 +1,98 @@
+(** The index builder (IB): the NSF and SF algorithms.
+
+    Both algorithms share the front half — a share-latch-only scan of the
+    data pages, extracting keys pipelined into a restartable sort (§5) —
+    and differ in how the tree is populated and how transactions interact:
+
+    - {b NSF} (§2): a short quiesce (S table lock) creates the descriptor;
+      from then on transactions maintain the index directly. IB inserts the
+      sorted keys through the normal tree interface (duplicates rejected,
+      pseudo-deleted tombstones respected), batching multiple keys per log
+      record, using a remembered-path cursor and the specialized split that
+      mimics a bottom-up build. Progress is checkpointed as the highest key
+      inserted.
+
+    - {b SF} (§3): no quiesce at all. Visibility is governed by the scan's
+      Current-RID; transactions append to the side-file once IB's scan has
+      passed their target. IB bulk-builds the tree bottom-up (no latching,
+      no logging, no traversals), checkpointing images with the highest
+      built key, then drains the side-file — logging those changes like a
+      transaction would — and finally flips the index to Ready.
+
+    Every stage records enough durable state (sort checkpoints, merge
+    counters, image checkpoints, drain position) that {!resume_builds}
+    continues an interrupted build after restart recovery instead of
+    starting over. Multiple indexes can be built in one scan of the data
+    (§6.2). *)
+
+type algorithm = Nsf | Sf
+
+type config = {
+  algorithm : algorithm;
+  memory_keys : int;  (** replacement-selection tournament capacity *)
+  batch_size : int;  (** NSF: keys per multi-key insert call / log record *)
+  ckpt_every_pages : int;  (** sort-phase checkpoint cadence *)
+  ckpt_every_keys : int;  (** insert/bulk/drain checkpoint cadence *)
+  specialized_split : bool;  (** NSF's IB split variant (§2.3.1) *)
+  sort_sidefile : bool;
+      (** SF: sort the side-file (stably) before applying it (§3.2.5) *)
+}
+
+val default_config : algorithm -> config
+
+exception Build_unique_violation of { index : int; kv : string }
+(** The table holds two committed records with the same key value: a
+    unique index cannot be built (§2.2.3). The build is cancelled before
+    this is raised. *)
+
+type spec = { index_id : int; key_cols : int list; unique : bool }
+
+val build_index : Ctx.t -> config -> table:int -> spec -> unit
+(** Run a complete build in the calling fiber. *)
+
+val build_indexes : Ctx.t -> config -> table:int -> spec list -> unit
+(** Build several indexes in one scan of the data (§6.2). *)
+
+val build_index_offline : Ctx.t -> config -> table:int -> spec -> unit
+(** The pre-paper baseline (§1: "current DBMSs do not allow updates to a
+    table while building an index on it"): hold an S table lock for the
+    whole build, stalling every updater. Readers still proceed. Used by
+    the availability experiment (E0). *)
+
+val build_secondary_via_primary :
+  Ctx.t -> config -> table:int -> primary:int -> spec -> unit
+(** §6.2's index-organized storage model: build a secondary index by
+    range-scanning a unique [Ready] primary index in key order; the SF
+    visibility rule uses the scan's *current key* in place of Current-RID.
+    Always a side-file build. A crash during the scan resumes as a fresh
+    RID-order rescan (the sort makes the two orders equivalent); crashes in
+    later stages resume from their checkpoints as usual. *)
+
+val resume_builds : Ctx.t -> config -> unit
+(** Continue every interrupted build found in durable state (call in a
+    fiber after [Engine.restart]). *)
+
+val cancel_build : Ctx.t -> index_id:int -> unit
+(** §2.3.2: quiesce updaters briefly, remove the descriptor and the
+    index. *)
+
+val gc_pseudo_deleted : Ctx.t -> index_id:int -> int
+(** §2.2.4: physically remove committed pseudo-deleted keys. Uses the
+    system-quiescent Commit_LSN shortcut when possible, else conditional
+    instant locks; removals are logged (redo-only) for recovery. Returns
+    the number collected. *)
+
+val spawn_gc_daemon :
+  Ctx.t -> index_id:int -> every:int -> (unit -> unit) * int ref
+(** Run garbage collection as a background fiber, sweeping once every
+    [every] of its scheduling turns while the index is [Ready] (§2.2.4
+    "scheduled as a background activity"). Returns a stop function and the
+    running total of collected tombstones. *)
+
+val restore_phase_after_restart : Ctx.t -> index_id:int -> unit
+(** Used by [Engine.restart]: downgrade a reopened index's phase from
+    [Ready] to its true in-progress state using the builder's durable
+    progress record (no-op when the index has no progress record). *)
+
+val interrupted_builds : Ctx.t -> int list
+(** Index ids with a durable in-progress build record. *)

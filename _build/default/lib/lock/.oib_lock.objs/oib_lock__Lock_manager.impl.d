@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Format Hashtbl List Oib_sim Oib_util Option Rid

@@ -1,0 +1,53 @@
+(** Transaction lock manager.
+
+    Data-only locking in the sense of ARIES/IM (paper §6.2): the lock
+    protecting an index key is the lock on the record the key came from, so
+    there are only record locks and table locks. Table intention modes let
+    the index builder's short quiesce (an S table lock, NSF §2.2.1) block
+    updaters, who hold IX on the table.
+
+    Requests can be *unconditional* (block until granted; a waits-for cycle
+    aborts the requester — the deadlock backstop), *conditional* (fail
+    instead of blocking, used e.g. by the pseudo-delete garbage collector,
+    §2.2.4), and of *instant* duration (wait until grantable but do not
+    hold, used for commit checks on keys, §2.2.3). *)
+
+open Oib_util
+
+type mode = S | X | IS | IX
+
+type name = Record of Rid.t | Table of int
+
+type t
+
+type outcome = Granted | Deadlock
+
+val create : Oib_sim.Sched.t -> Oib_sim.Metrics.t -> t
+
+val lock : t -> txn:int -> name -> mode -> outcome
+(** Unconditional manual-duration request. Re-entrant: a holder asking for
+    a weaker-or-equal mode is granted immediately; S -> X upgrades are
+    supported. [Deadlock] means the request would close a waits-for cycle;
+    the caller must abort the transaction. *)
+
+val try_lock : t -> txn:int -> name -> mode -> bool
+(** Conditional: grant now or fail, never blocks. *)
+
+val instant_lock : t -> txn:int -> name -> mode -> outcome
+(** Wait until the lock is grantable, then do not retain it. *)
+
+val try_instant_lock : t -> txn:int -> name -> mode -> bool
+
+val unlock_all : t -> txn:int -> unit
+(** Release every lock of [txn] (commit / abort time). *)
+
+val holds : t -> txn:int -> name -> mode -> bool
+(** Does [txn] hold [name] in a mode at least as strong as [mode]? *)
+
+val holders : t -> name -> (int * mode) list
+
+val waiter_count : t -> name -> int
+(** Number of transactions queued on [name]. *)
+
+val pp_mode : Format.formatter -> mode -> unit
+val pp_name : Format.formatter -> name -> unit

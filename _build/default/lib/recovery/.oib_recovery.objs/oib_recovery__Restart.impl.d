@@ -1,0 +1,1 @@
+lib/recovery/restart.ml: Buffer_pool Hashtbl Heap_page List Oib_btree Oib_storage Oib_util Oib_wal Page

@@ -1,0 +1,1 @@
+lib/recovery/restart.mli: Oib_btree Oib_storage Oib_wal

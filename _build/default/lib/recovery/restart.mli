@@ -1,0 +1,42 @@
+(** ARIES-style restart recovery passes.
+
+    - {!analyze} scans the durable log and classifies transactions
+      (winners / losers) and index builds (done / in progress).
+    - {!redo_heap} repeats history on the data pages: every redoable heap
+      action (including CLR actions) is reapplied unless the page's
+      page_LSN shows it already there. Pages that were never flushed are
+      recreated empty and rebuilt entirely from the log.
+    - {!replay_index} brings one index from its checkpoint image to the
+      durable end of the log by *logical redo*: index key operations are
+      logged as absolute state transitions and only performed actions are
+      logged, so setting each logged key to its [after] state in LSN order
+      reproduces the tree's logical content exactly (see DESIGN.md §2 for
+      why the no-steal index-page policy makes this sound).
+    - Loser undo is driven by the caller through {!Oib_txn.Txn_manager}
+      with the same undo executor used for normal rollback; {!adoptable}
+      lists what to adopt.
+
+    The whole restart sequence is orchestrated by the engine layer
+    ([Oib_core.Engine.restart]), which owns the catalog. *)
+
+module LR := Oib_wal.Log_record
+
+type analysis = {
+  losers : (int * Oib_wal.Lsn.t) list;
+      (** transaction id, LSN its undo must start from; oldest first *)
+  winners : int list;
+  builds_in_progress : (int * int) list; (** index id, table id *)
+  builds_done : int list;
+  max_lsn : Oib_wal.Lsn.t;
+  max_txn_id : int;
+}
+
+val analyze : Oib_wal.Log_manager.t -> analysis
+
+val redo_heap :
+  Oib_wal.Log_manager.t -> Oib_storage.Buffer_pool.t -> page_capacity:int ->
+  unit
+
+val replay_index : Oib_wal.Log_manager.t -> Oib_btree.Btree.t -> unit
+(** Replay operations for this index with LSN greater than the tree's image
+    LSN. *)

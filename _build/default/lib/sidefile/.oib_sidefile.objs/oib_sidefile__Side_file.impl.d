@@ -1,0 +1,1 @@
+lib/sidefile/side_file.ml: Array Format Ikey List Oib_util Oib_wal Rid

@@ -1,0 +1,1 @@
+lib/sidefile/side_file.mli: Format Ikey Oib_util Oib_wal

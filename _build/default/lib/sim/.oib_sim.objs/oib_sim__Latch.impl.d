@@ -1,0 +1,1 @@
+lib/sim/latch.ml: Metrics Sched

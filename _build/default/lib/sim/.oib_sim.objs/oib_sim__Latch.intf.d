@@ -1,0 +1,1 @@
+lib/sim/latch.mli: Metrics Sched

@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Effect Hashtbl List Oib_util Printf String

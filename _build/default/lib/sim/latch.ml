@@ -1,0 +1,81 @@
+type mode = S | X
+
+type t = {
+  sched : Sched.t;
+  metrics : Metrics.t;
+  name : string;
+  mutable s_holders : int;
+  mutable x_held : bool;
+  mutable waiters : (mode * (unit -> unit)) list; (* FIFO, head = oldest *)
+}
+
+let create ?(name = "latch") sched metrics =
+  { sched; metrics; name; s_holders = 0; x_held = false; waiters = [] }
+
+let compatible t mode =
+  match mode with
+  | S -> not t.x_held
+  | X -> (not t.x_held) && t.s_holders = 0
+
+let grant t mode =
+  match mode with
+  | S -> t.s_holders <- t.s_holders + 1
+  | X -> t.x_held <- true
+
+(* Wake the longest-waiting compatible requests: an X waiter alone, or a
+   maximal prefix run of S waiters. FIFO granting prevents starvation of
+   writers by a stream of readers. *)
+let wake t =
+  let rec go () =
+    match t.waiters with
+    | (mode, resume) :: rest when compatible t mode ->
+      t.waiters <- rest;
+      grant t mode;
+      resume ();
+      (* After granting an S, further queued S requests may also proceed;
+         after an X nothing else is compatible. *)
+      if mode = S then go ()
+    | _ -> ()
+  in
+  go ()
+
+let acquire t mode =
+  t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
+  if compatible t mode && t.waiters = [] then grant t mode
+  else begin
+    t.metrics.latch_waits <- t.metrics.latch_waits + 1;
+    Sched.suspend t.sched (fun resume ->
+        t.waiters <- t.waiters @ [ (mode, resume) ])
+  end
+
+let try_acquire t mode =
+  if compatible t mode && t.waiters = [] then begin
+    t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
+    grant t mode;
+    true
+  end
+  else false
+
+let release t mode =
+  (match mode with
+  | S ->
+    assert (t.s_holders > 0);
+    t.s_holders <- t.s_holders - 1
+  | X ->
+    assert t.x_held;
+    t.x_held <- false);
+  wake t
+
+let with_latch t mode f =
+  acquire t mode;
+  match f () with
+  | v ->
+    release t mode;
+    v
+  | exception e ->
+    release t mode;
+    raise e
+
+let holders t = t.s_holders + if t.x_held then 1 else 0
+
+let is_free t = (not t.x_held) && t.s_holders = 0

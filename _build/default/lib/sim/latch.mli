@@ -1,0 +1,33 @@
+(** Share / exclusive latches.
+
+    A latch provides physical consistency of a page while it is examined or
+    modified (paper §1.1, footnote 2): readers take S, updaters take X. It
+    is much cheaper than a lock — no deadlock detection, no owner table —
+    and is held only across short critical sections. Blocking integrates
+    with the cooperative scheduler; acquisition order is FIFO to avoid
+    starvation. *)
+
+type mode = S | X
+
+type t
+
+val create : ?name:string -> Sched.t -> Metrics.t -> t
+
+val acquire : t -> mode -> unit
+(** Block until the latch is available in [mode]. S is compatible with S;
+    X is compatible with nothing. *)
+
+val release : t -> mode -> unit
+(** Release a previously acquired latch. The [mode] must match what was
+    acquired. *)
+
+val try_acquire : t -> mode -> bool
+(** Non-blocking variant: true on success. *)
+
+val with_latch : t -> mode -> (unit -> 'a) -> 'a
+(** [with_latch t m f] acquires, runs [f], releases (also on exception). *)
+
+val holders : t -> int
+(** Number of current holders (0 or more S, or exactly 1 X). *)
+
+val is_free : t -> bool

@@ -1,0 +1,109 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable sequential_reads : int;
+  mutable log_records : int;
+  mutable log_bytes : int;
+  mutable log_flushes : int;
+  mutable latch_acquires : int;
+  mutable latch_waits : int;
+  mutable lock_calls : int;
+  mutable lock_waits : int;
+  mutable tree_traversals : int;
+  mutable fast_path_inserts : int;
+  mutable page_splits : int;
+  mutable keys_inserted : int;
+  mutable keys_rejected_duplicate : int;
+  mutable pseudo_deletes : int;
+  mutable sidefile_appends : int;
+  mutable txn_commits : int;
+  mutable txn_aborts : int;
+  mutable txn_stall_steps : int;
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    sequential_reads = 0;
+    log_records = 0;
+    log_bytes = 0;
+    log_flushes = 0;
+    latch_acquires = 0;
+    latch_waits = 0;
+    lock_calls = 0;
+    lock_waits = 0;
+    tree_traversals = 0;
+    fast_path_inserts = 0;
+    page_splits = 0;
+    keys_inserted = 0;
+    keys_rejected_duplicate = 0;
+    pseudo_deletes = 0;
+    sidefile_appends = 0;
+    txn_commits = 0;
+    txn_aborts = 0;
+    txn_stall_steps = 0;
+  }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.sequential_reads <- 0;
+  t.log_records <- 0;
+  t.log_bytes <- 0;
+  t.log_flushes <- 0;
+  t.latch_acquires <- 0;
+  t.latch_waits <- 0;
+  t.lock_calls <- 0;
+  t.lock_waits <- 0;
+  t.tree_traversals <- 0;
+  t.fast_path_inserts <- 0;
+  t.page_splits <- 0;
+  t.keys_inserted <- 0;
+  t.keys_rejected_duplicate <- 0;
+  t.pseudo_deletes <- 0;
+  t.sidefile_appends <- 0;
+  t.txn_commits <- 0;
+  t.txn_aborts <- 0;
+  t.txn_stall_steps <- 0
+
+let snapshot t = { t with page_reads = t.page_reads }
+
+let diff ~after ~before =
+  {
+    page_reads = after.page_reads - before.page_reads;
+    page_writes = after.page_writes - before.page_writes;
+    sequential_reads = after.sequential_reads - before.sequential_reads;
+    log_records = after.log_records - before.log_records;
+    log_bytes = after.log_bytes - before.log_bytes;
+    log_flushes = after.log_flushes - before.log_flushes;
+    latch_acquires = after.latch_acquires - before.latch_acquires;
+    latch_waits = after.latch_waits - before.latch_waits;
+    lock_calls = after.lock_calls - before.lock_calls;
+    lock_waits = after.lock_waits - before.lock_waits;
+    tree_traversals = after.tree_traversals - before.tree_traversals;
+    fast_path_inserts = after.fast_path_inserts - before.fast_path_inserts;
+    page_splits = after.page_splits - before.page_splits;
+    keys_inserted = after.keys_inserted - before.keys_inserted;
+    keys_rejected_duplicate =
+      after.keys_rejected_duplicate - before.keys_rejected_duplicate;
+    pseudo_deletes = after.pseudo_deletes - before.pseudo_deletes;
+    sidefile_appends = after.sidefile_appends - before.sidefile_appends;
+    txn_commits = after.txn_commits - before.txn_commits;
+    txn_aborts = after.txn_aborts - before.txn_aborts;
+    txn_stall_steps = after.txn_stall_steps - before.txn_stall_steps;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>page_reads=%d page_writes=%d seq_reads=%d@,\
+     log_records=%d log_bytes=%d log_flushes=%d@,\
+     latch_acquires=%d latch_waits=%d lock_calls=%d lock_waits=%d@,\
+     traversals=%d fast_path=%d splits=%d@,\
+     keys_inserted=%d dup_rejected=%d pseudo_deletes=%d sidefile=%d@,\
+     commits=%d aborts=%d stall=%d@]"
+    t.page_reads t.page_writes t.sequential_reads t.log_records t.log_bytes
+    t.log_flushes t.latch_acquires t.latch_waits t.lock_calls t.lock_waits
+    t.tree_traversals t.fast_path_inserts t.page_splits t.keys_inserted
+    t.keys_rejected_duplicate t.pseudo_deletes t.sidefile_appends
+    t.txn_commits t.txn_aborts t.txn_stall_steps

@@ -1,0 +1,39 @@
+(** Global event counters.
+
+    The paper's performance arguments are about counts — log records written,
+    tree traversals avoided, latch acquisitions, pages read and written,
+    lock calls saved. Each engine instance owns a [Metrics.t] and every
+    subsystem bumps the relevant counter; the benchmark harness reads them
+    to reproduce the Section 4 comparison quantitatively. *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable sequential_reads : int;  (** reads satisfied by sequential prefetch *)
+  mutable log_records : int;
+  mutable log_bytes : int;
+  mutable log_flushes : int;
+  mutable latch_acquires : int;
+  mutable latch_waits : int;
+  mutable lock_calls : int;
+  mutable lock_waits : int;
+  mutable tree_traversals : int;
+  mutable fast_path_inserts : int;
+      (** index inserts that skipped the root-to-leaf traversal (remembered
+          path or bottom-up build) *)
+  mutable page_splits : int;
+  mutable keys_inserted : int;
+  mutable keys_rejected_duplicate : int;
+  mutable pseudo_deletes : int;
+  mutable sidefile_appends : int;
+  mutable txn_commits : int;
+  mutable txn_aborts : int;
+  mutable txn_stall_steps : int;
+      (** scheduler steps transactions spent blocked on locks/latches *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> t
+val diff : after:t -> before:t -> t
+val pp : Format.formatter -> t -> unit

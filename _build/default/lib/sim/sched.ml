@@ -1,0 +1,172 @@
+open Effect
+open Effect.Deep
+
+type fiber_id = int
+
+exception Deadlock of string
+exception Crashed
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+type t = {
+  rng : Oib_util.Rng.t;
+  mutable runq : (fiber_id * (unit -> unit)) list;
+  names : (fiber_id, string) Hashtbl.t;
+  mutable next_id : int;
+  mutable live : int;
+  mutable steps : int;
+  mutable current : fiber_id option;
+  mutable crash_requested : bool;
+  mutable crash_trap : (int -> bool) option;
+}
+
+let create ?(seed = 42) () =
+  {
+    rng = Oib_util.Rng.create seed;
+    runq = [];
+    names = Hashtbl.create 16;
+    next_id = 0;
+    live = 0;
+    steps = 0;
+    current = None;
+    crash_requested = false;
+    crash_trap = None;
+  }
+
+let fiber_name t id =
+  match Hashtbl.find_opt t.names id with
+  | Some n -> n
+  | None -> Printf.sprintf "fiber-%d" id
+
+let current_fiber t = t.current
+
+let steps t = t.steps
+
+let live_fibers t = t.live
+
+let request_crash t = t.crash_requested <- true
+
+let set_crash_trap t f = t.crash_trap <- Some f
+
+let clear_crash_trap t = t.crash_trap <- None
+
+let enqueue t id thunk = t.runq <- (id, thunk) :: t.runq
+
+(* Run [f] as a fiber body under the effect handler. The handler re-enqueues
+   the continuation on Yield and hands a resume thunk to the registrar on
+   Suspend. *)
+let start_fiber t id f =
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun exn ->
+          t.live <- t.live - 1;
+          raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                enqueue t id (fun () -> continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun () -> enqueue t id (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn t ?name f =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (match name with Some n -> Hashtbl.replace t.names id n | None -> ());
+  t.live <- t.live + 1;
+  enqueue t id (fun () -> start_fiber t id f);
+  id
+
+let in_fiber t = t.current <> None
+
+let yield t = if in_fiber t then perform Yield
+
+let suspend t register =
+  if in_fiber t then perform (Suspend register)
+  else invalid_arg "Sched.suspend: not inside a fiber"
+
+(* Remove and return a uniformly random element of the run queue. Random
+   choice (rather than FIFO) is what makes the adversarial interleavings of
+   the paper reachable; the seed makes them reproducible. *)
+let take_random t =
+  match t.runq with
+  | [] -> None
+  | q ->
+    let n = List.length q in
+    let i = Oib_util.Rng.int t.rng n in
+    let rec split k acc = function
+      | [] -> assert false
+      | x :: rest ->
+        if k = i then (x, List.rev_append acc rest)
+        else split (k + 1) (x :: acc) rest
+    in
+    let chosen, rest = split 0 [] q in
+    t.runq <- rest;
+    Some chosen
+
+let check_crash t =
+  if t.crash_requested then raise Crashed;
+  match t.crash_trap with
+  | Some f when f t.steps ->
+    t.crash_requested <- true;
+    raise Crashed
+  | _ -> ()
+
+let run t =
+  let rec loop () =
+    check_crash t;
+    match take_random t with
+    | None ->
+      if t.live > 0 then begin
+        let stuck =
+          Hashtbl.fold (fun _ n acc -> n :: acc) t.names []
+          |> String.concat ", "
+        in
+        raise (Deadlock (Printf.sprintf "%d fibers blocked (%s)" t.live stuck))
+      end
+    | Some (id, thunk) ->
+      t.steps <- t.steps + 1;
+      t.current <- Some id;
+      let finally () = t.current <- None in
+      (try thunk ()
+       with e ->
+         finally ();
+         raise e);
+      finally ();
+      loop ()
+  in
+  loop ()
+
+module Cond = struct
+  type sched = t
+
+  type t = { sched : sched; mutable q : (unit -> unit) list }
+
+  let create sched = { sched; q = [] }
+
+  let wait c = suspend c.sched (fun resume -> c.q <- c.q @ [ resume ])
+
+  let signal c =
+    match c.q with
+    | [] -> ()
+    | resume :: rest ->
+      c.q <- rest;
+      resume ()
+
+  let broadcast c =
+    let waiters = c.q in
+    c.q <- [];
+    List.iter (fun resume -> resume ()) waiters
+
+  let waiters c = List.length c.q
+end

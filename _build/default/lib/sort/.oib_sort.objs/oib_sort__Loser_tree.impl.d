@@ -1,0 +1,1 @@
+lib/sort/loser_tree.ml: Array Ikey List Oib_util

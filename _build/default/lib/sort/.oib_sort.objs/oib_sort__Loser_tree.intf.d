@@ -1,0 +1,1 @@
+lib/sort/loser_tree.mli: Ikey Oib_util

@@ -1,0 +1,1 @@
+lib/sort/merge_phase.ml: Array Durable_kv List Loser_tree Oib_storage Printf Run_store

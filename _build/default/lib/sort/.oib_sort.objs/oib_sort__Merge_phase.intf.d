@@ -1,0 +1,1 @@
+lib/sort/merge_phase.mli: Durable_kv Oib_storage Run_store

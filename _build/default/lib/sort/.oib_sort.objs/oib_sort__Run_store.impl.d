@@ -1,0 +1,1 @@
+lib/sort/run_store.ml: Array Hashtbl Ikey List Oib_util Rid

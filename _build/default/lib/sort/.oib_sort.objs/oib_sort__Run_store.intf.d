@@ -1,0 +1,1 @@
+lib/sort/run_store.mli: Ikey Oib_util

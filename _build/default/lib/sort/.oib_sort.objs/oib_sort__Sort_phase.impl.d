@@ -1,0 +1,1 @@
+lib/sort/sort_phase.ml: Array Durable_kv Ikey List Oib_storage Oib_util Printf Rid Run_store String

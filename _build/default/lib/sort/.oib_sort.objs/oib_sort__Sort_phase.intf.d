@@ -1,0 +1,1 @@
+lib/sort/sort_phase.mli: Durable_kv Ikey Oib_storage Oib_util Run_store

@@ -1,0 +1,75 @@
+open Oib_util
+
+type t = {
+  streams : (unit -> Ikey.t option) array;
+  k2 : int; (* leaf slots, power of two *)
+  cur : Ikey.t option array; (* current head per leaf slot; None = +inf *)
+  losers : int array; (* internal node -> losing leaf slot *)
+  mutable win1 : int; (* overall winner slot *)
+}
+
+(* slot a beats slot b? None is +infinity; ties break to the lower slot,
+   which makes merging stable. *)
+let beats t a b =
+  match (t.cur.(a), t.cur.(b)) with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some x, Some y ->
+    let c = Ikey.compare x y in
+    c < 0 || (c = 0 && a < b)
+
+let make ~streams =
+  let k = Array.length streams in
+  if k = 0 then invalid_arg "Loser_tree.make: no streams";
+  let k2 = ref 1 in
+  while !k2 < k do
+    k2 := !k2 * 2
+  done;
+  let k2 = !k2 in
+  let cur = Array.make k2 None in
+  for i = 0 to k - 1 do
+    cur.(i) <- streams.(i) ()
+  done;
+  let t = { streams; k2; cur; losers = Array.make k2 0; win1 = 0 } in
+  (* build the initial tournament bottom-up *)
+  let win = Array.make (2 * k2) 0 in
+  for j = 0 to k2 - 1 do
+    win.(k2 + j) <- j
+  done;
+  for i = k2 - 1 downto 1 do
+    let a = win.(2 * i) and b = win.((2 * i) + 1) in
+    if beats t a b then begin
+      win.(i) <- a;
+      t.losers.(i) <- b
+    end
+    else begin
+      win.(i) <- b;
+      t.losers.(i) <- a
+    end
+  done;
+  t.win1 <- win.(1);
+  t
+
+let pop t =
+  let w = t.win1 in
+  match t.cur.(w) with
+  | None -> None
+  | Some key ->
+    (* refill the winner's leaf and replay its path to the root *)
+    t.cur.(w) <- (if w < Array.length t.streams then t.streams.(w) () else None);
+    let winner = ref w in
+    let i = ref ((t.k2 + w) / 2) in
+    while !i >= 1 do
+      let l = t.losers.(!i) in
+      if beats t l !winner then begin
+        t.losers.(!i) <- !winner;
+        winner := l
+      end;
+      i := !i / 2
+    done;
+    t.win1 <- !winner;
+    Some (key, w)
+
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

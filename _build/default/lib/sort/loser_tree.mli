@@ -1,0 +1,21 @@
+(** Tournament (loser) tree merger.
+
+    The merge phase of the sort (paper §5.2): N leaf nodes, each fed from
+    exactly one input stream; each pop reports which stream the winner came
+    from, so the caller can maintain the per-stream counter vector the
+    restartable merge checkpoints. Ties between streams break toward the
+    lower stream index, making merges of equal keys stable. *)
+
+open Oib_util
+
+type t
+
+val make : streams:(unit -> Ikey.t option) array -> t
+(** [make ~streams] builds the tree; [streams.(i) ()] yields the next key
+    of stream [i] ([None] = exhausted). Streams are pulled lazily: once to
+    prime each leaf, then once per key contributed. *)
+
+val pop : t -> (Ikey.t * int) option
+(** Smallest remaining key and the index of the stream it came from. *)
+
+val drain : t -> (Ikey.t * int) list

@@ -1,0 +1,34 @@
+(** Restartable merge phase (paper §5.2).
+
+    Merges N sorted runs through a loser tree into an output run. A vector
+    of per-input counters tracks, for each input stream, how many of its
+    keys have been *output* (not merely pulled into the tree). A checkpoint
+    forces the output run and records the counter vector, the input names,
+    and the output length; resuming truncates the output to the recorded
+    length and repositions every input at its counter — no key is lost, no
+    key is emitted twice.
+
+    [merge_all] runs multiple passes when the fan-in is bounded; each pass
+    has its own checkpoint identity, so a crash in pass k resumes pass k. *)
+
+open Oib_storage
+
+exception Injected_crash
+
+val merge :
+  ?stop_after:int ->
+  Durable_kv.t -> Run_store.t -> ckpt_id:string -> inputs:string list ->
+  output:string -> ckpt_every:int -> Run_store.run
+(** Single merge pass; checkpoints every [ckpt_every] output keys. If a
+    checkpoint for [ckpt_id] exists (crash mid-merge), continues from it.
+    The output run is forced and the checkpoint cleared on completion.
+    [stop_after] raises {!Injected_crash} after that many keys have been
+    output — the failure-injection hook used by tests and the restart
+    benchmarks. *)
+
+val merge_all :
+  Durable_kv.t -> Run_store.t -> ckpt_id:string -> inputs:string list ->
+  output:string -> fan_in:int -> ckpt_every:int -> Run_store.run
+(** Repeated passes with bounded fan-in until a single run remains, renamed
+    /copied to [output]. Restartable at pass granularity plus in-pass
+    checkpoints. *)

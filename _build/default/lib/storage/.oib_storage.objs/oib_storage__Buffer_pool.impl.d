@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Hashtbl List Oib_sim Oib_util Oib_wal Page Stable_store

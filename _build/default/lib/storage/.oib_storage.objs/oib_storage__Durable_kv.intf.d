@@ -1,0 +1,1 @@
+lib/storage/durable_kv.mli:

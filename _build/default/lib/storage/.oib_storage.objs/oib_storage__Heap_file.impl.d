@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer_pool Durable_kv Heap_page List Oib_sim Oib_util Oib_wal Page Printf Rid

@@ -1,0 +1,1 @@
+lib/storage/heap_file.mli: Buffer_pool Durable_kv Oib_sim Oib_util Page Record Rid

@@ -1,0 +1,1 @@
+lib/storage/heap_page.ml: Array Binc List Oib_util Page Printf Record

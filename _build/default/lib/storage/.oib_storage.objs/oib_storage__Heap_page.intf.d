@@ -1,0 +1,1 @@
+lib/storage/heap_page.mli: Oib_util Page Record

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Oib_sim Oib_wal Printf

@@ -1,0 +1,1 @@
+lib/storage/stable_store.mli: Oib_wal Page

@@ -1,0 +1,102 @@
+type t = {
+  sched : Oib_sim.Sched.t;
+  metrics : Oib_sim.Metrics.t;
+  log : Oib_wal.Log_manager.t;
+  store : Stable_store.t;
+  cache : (int, Page.t) Hashtbl.t;
+  mutable next_page_id : int;
+}
+
+let create ~sched ~metrics ~log ~store =
+  {
+    sched;
+    metrics;
+    log;
+    store;
+    cache = Hashtbl.create 256;
+    (* after a crash, page ids must not be reused *)
+    next_page_id = Stable_store.max_page_id store + 1;
+  }
+
+let sched t = t.sched
+let metrics t = t.metrics
+let log t = t.log
+let store t = t.store
+
+let new_page t ~payload ~copy_payload =
+  let id = t.next_page_id in
+  t.next_page_id <- id + 1;
+  let page =
+    Page.make ~id ~sched:t.sched ~metrics:t.metrics ~payload ~copy_payload
+  in
+  page.dirty <- true;
+  Hashtbl.replace t.cache id page;
+  page
+
+let get t id =
+  match Hashtbl.find_opt t.cache id with
+  | Some p -> p
+  | None -> begin
+    match Stable_store.read t.store id with
+    | None -> raise Not_found
+    | Some { payload; lsn; copy_payload } ->
+      t.metrics.page_reads <- t.metrics.page_reads + 1;
+      let page =
+        Page.make ~id ~sched:t.sched ~metrics:t.metrics
+          ~payload:(copy_payload payload) ~copy_payload
+      in
+      page.lsn <- lsn;
+      Hashtbl.replace t.cache id page;
+      page
+  end
+
+let mem t id = Hashtbl.mem t.cache id || Stable_store.mem t.store id
+
+let install t id ~payload ~copy_payload =
+  if mem t id then invalid_arg "Buffer_pool.install: page exists";
+  let page = Page.make ~id ~sched:t.sched ~metrics:t.metrics ~payload ~copy_payload in
+  page.dirty <- true;
+  Hashtbl.replace t.cache id page;
+  if id >= t.next_page_id then t.next_page_id <- id + 1;
+  page
+
+let flush_page t (page : Page.t) =
+  if page.dirty then begin
+    (* write-ahead rule *)
+    Oib_wal.Log_manager.flush t.log ~upto:page.lsn;
+    t.metrics.page_writes <- t.metrics.page_writes + 1;
+    Stable_store.write t.store page.id
+      {
+        Stable_store.payload = page.copy_payload page.payload;
+        lsn = page.lsn;
+        copy_payload = page.copy_payload;
+      };
+    page.dirty <- false
+  end
+
+let flush_all t =
+  let pages = Hashtbl.fold (fun _ p acc -> p :: acc) t.cache [] in
+  let pages = List.sort (fun (a : Page.t) b -> compare a.id b.id) pages in
+  (* no-steal pages (index pages between sharp image checkpoints) are only
+     written by their owner's explicit checkpoint *)
+  List.iter
+    (fun (p : Page.t) -> if not p.no_steal then flush_page t p)
+    pages
+
+let flush_some t rng p =
+  Hashtbl.iter
+    (fun _ page ->
+      if page.Page.dirty && (not page.Page.no_steal) && Oib_util.Rng.chance rng p
+      then flush_page t page)
+    t.cache
+
+let evict t id = Hashtbl.remove t.cache id
+
+let drop t id =
+  Hashtbl.remove t.cache id;
+  Stable_store.remove t.store id
+
+let dirty_count t =
+  Hashtbl.fold (fun _ p acc -> if p.Page.dirty then acc + 1 else acc) t.cache 0
+
+let cached_count t = Hashtbl.length t.cache

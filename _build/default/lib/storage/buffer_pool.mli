@@ -1,0 +1,64 @@
+(** Buffer pool with steal / no-force semantics.
+
+    Dirty pages may be written back before their transaction commits
+    (*steal*) and need not be written at commit (*no-force*); the
+    write-ahead rule — force the log up to a page's page_LSN before writing
+    the page — is enforced here. A simulated crash discards the pool; a new
+    pool over the same stable store and the survivor log is what restart
+    recovery starts from. *)
+
+type t
+
+val create :
+  sched:Oib_sim.Sched.t ->
+  metrics:Oib_sim.Metrics.t ->
+  log:Oib_wal.Log_manager.t ->
+  store:Stable_store.t ->
+  t
+
+val sched : t -> Oib_sim.Sched.t
+val metrics : t -> Oib_sim.Metrics.t
+val log : t -> Oib_wal.Log_manager.t
+val store : t -> Stable_store.t
+
+val new_page :
+  t -> payload:Page.payload -> copy_payload:(Page.payload -> Page.payload) ->
+  Page.t
+(** Allocate a fresh page (monotonically increasing id). *)
+
+val get : t -> int -> Page.t
+(** Fetch a page; reads from the stable store on a miss (counted as a page
+    read). Raises [Not_found] if the page exists nowhere. *)
+
+val install :
+  t -> int -> payload:Page.payload ->
+  copy_payload:(Page.payload -> Page.payload) -> Page.t
+(** Recreate a page under a *specific* id with fresh contents — used by
+    redo when a page named in the log was never written to stable storage
+    before the crash. Raises [Invalid_argument] if the page exists. *)
+
+val mem : t -> int -> bool
+
+val flush_page : t -> Page.t -> unit
+(** Write one page back (WAL rule enforced); clears its dirty bit. *)
+
+val flush_all : t -> unit
+(** Flush every dirty page except [no_steal] ones (a system checkpoint;
+    index pages are imaged by their tree's own sharp checkpoint). *)
+
+val flush_some : t -> Oib_util.Rng.t -> float -> unit
+(** Flush each dirty page with the given probability — simulates the
+    background writer having *stolen* an arbitrary subset of dirty pages
+    before a crash, which is what makes undo necessary. Pages marked
+    [no_steal] are skipped. *)
+
+val evict : t -> int -> unit
+(** Remove a page from the cache only; the stable copy (if any) remains.
+    Used when abandoning volatile page state (e.g. SF's reset of index
+    pages allocated after the last index checkpoint). *)
+
+val drop : t -> int -> unit
+(** Discard a page from pool and stable store (file deallocation). *)
+
+val dirty_count : t -> int
+val cached_count : t -> int

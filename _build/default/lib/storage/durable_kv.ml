@@ -1,0 +1,17 @@
+type value = ..
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let set t k v = Hashtbl.replace t.tbl k v
+
+let get t k = Hashtbl.find_opt t.tbl k
+
+let remove t k = Hashtbl.remove t.tbl k
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []
+
+let snapshot t = { tbl = Hashtbl.copy t.tbl }

@@ -1,0 +1,23 @@
+(** Forced durable metadata store.
+
+    Small metadata the algorithms require to be on stable storage at
+    specific points — a table's page list, the index builder's checkpoint
+    (highest key inserted, §2.2.3), the restartable sort's checkpoints (§5),
+    an index's checkpointed image descriptor — is kept here. Writes are
+    forced (immediately durable), modeling forced catalog updates; contents
+    survive a crash. Stored values must be immutable snapshots. *)
+
+type value = ..
+
+type t
+
+val create : unit -> t
+val set : t -> string -> value -> unit
+val get : t -> string -> value option
+val remove : t -> string -> unit
+val mem : t -> string -> bool
+val keys : t -> string list
+
+val snapshot : t -> t
+(** Copy for media-recovery backups (values are immutable snapshots, so a
+    shallow copy of the map suffices). *)

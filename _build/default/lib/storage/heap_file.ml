@@ -1,0 +1,163 @@
+open Oib_util
+
+type Durable_kv.value += Pages of int list (* newest first *)
+
+type t = {
+  pool : Buffer_pool.t;
+  kv : Durable_kv.t;
+  table_id : int;
+  page_capacity : int;
+  mutable pages_rev : int list; (* newest first *)
+  (* free-space inventory (approximate, like a real FSIP): page ids
+     believed to have room; revalidated under the page latch *)
+  mutable fsip : int list;
+}
+
+type Durable_kv.value += Capacity of int
+
+let meta_key id = Printf.sprintf "table/%d/pages" id
+let cap_key id = Printf.sprintf "table/%d/capacity" id
+
+let persist t =
+  Durable_kv.set t.kv (meta_key t.table_id) (Pages t.pages_rev)
+
+let create pool kv ~table_id ~page_capacity =
+  if Durable_kv.mem kv (meta_key table_id) then
+    invalid_arg "Heap_file.create: table already exists";
+  let t = { pool; kv; table_id; page_capacity; pages_rev = []; fsip = [] } in
+  Durable_kv.set kv (cap_key table_id) (Capacity page_capacity);
+  persist t;
+  t
+
+let open_existing pool kv ~table_id =
+  let pages_rev =
+    match Durable_kv.get kv (meta_key table_id) with
+    | Some (Pages l) -> l
+    | _ -> raise Not_found
+  in
+  let page_capacity =
+    match Durable_kv.get kv (cap_key table_id) with
+    | Some (Capacity c) -> c
+    | _ -> raise Not_found
+  in
+  { pool; kv; table_id; page_capacity; pages_rev; fsip = List.rev pages_rev }
+
+let table_id t = t.table_id
+
+let page_ids t = List.rev t.pages_rev
+
+let page_count t = List.length t.pages_rev
+
+let last_page_id t = match t.pages_rev with [] -> None | id :: _ -> Some id
+
+let page t id = Buffer_pool.get t.pool id
+
+let extend t =
+  let p =
+    Buffer_pool.new_page t.pool
+      ~payload:(Heap_page.Heap (Heap_page.create ~capacity:t.page_capacity))
+      ~copy_payload:Heap_page.copy_payload
+  in
+  t.pages_rev <- p.Page.id :: t.pages_rev;
+  persist t;
+  (* redo-only record: media recovery rebuilds the page inventory from the
+     log, since the forced metadata store may be part of the lost disk *)
+  ignore
+    (Oib_wal.Log_manager.append (Buffer_pool.log t.pool) ~txn:None
+       ~prev_lsn:Oib_wal.Lsn.nil
+       (Oib_wal.Log_record.Heap_extend { table = t.table_id; page = p.Page.id }));
+  p
+
+let ensure_page_registered t id =
+  if not (List.mem id t.pages_rev) then begin
+    (* keep allocation order: pages_rev is newest-first *)
+    t.pages_rev <- List.sort (fun a b -> compare b a) (id :: t.pages_rev);
+    persist t
+  end
+
+(* Placement consults the free-space inventory first, falling back to a
+   full first-fit scan (which rebuilds the inventory), and extends the
+   file as a last resort. Checking [fits] without the latch is a benign
+   race in this cooperative setting: the state cannot change between the
+   check and the X-latch acquisition unless we block, in which case we
+   re-check after acquiring. *)
+let try_page t id record =
+  let p = page t id in
+  if Heap_page.fits (Heap_page.of_payload p.Page.payload) record then begin
+    Oib_sim.Latch.acquire p.Page.latch X;
+    let hp = Heap_page.of_payload p.Page.payload in
+    if Heap_page.fits hp record then Some (p, Heap_page.reserve hp record)
+    else begin
+      Oib_sim.Latch.release p.Page.latch X;
+      None
+    end
+  end
+  else None
+
+let prepare_insert t record =
+  (* 1. inventory hits (dropping stale entries) *)
+  let rec from_fsip () =
+    match t.fsip with
+    | [] -> None
+    | id :: rest -> (
+      match try_page t id record with
+      | Some r -> Some r
+      | None ->
+        t.fsip <- rest;
+        from_fsip ())
+  in
+  match from_fsip () with
+  | Some r -> r
+  | None -> (
+    (* 2. full scan, rebuilding the inventory as a side effect *)
+    let rec search = function
+      | [] -> None
+      | id :: rest -> (
+        match try_page t id record with
+        | Some r ->
+          t.fsip <- id :: rest;
+          Some r
+        | None -> search rest)
+    in
+    match search (page_ids t) with
+    | Some r -> r
+    | None ->
+      (* 3. extend *)
+      let p = extend t in
+      Oib_sim.Latch.acquire p.Page.latch X;
+      let hp = Heap_page.of_payload p.Page.payload in
+      t.fsip <- [ p.Page.id ];
+      (p, Heap_page.reserve hp record))
+
+let note_free t id =
+  if not (List.mem id t.fsip) then t.fsip <- id :: t.fsip
+
+let latch_rid t rid mode =
+  let p = page t rid.Rid.page in
+  Oib_sim.Latch.acquire p.Page.latch mode;
+  p
+
+let read_record t rid =
+  let p = latch_rid t rid S in
+  let r = Heap_page.get (Heap_page.of_payload p.Page.payload) rid.Rid.slot in
+  Oib_sim.Latch.release p.Page.latch S;
+  r
+
+let scan_pages t ~upto f =
+  List.iter (fun id -> if id <= upto then f (page t id)) (page_ids t)
+
+let record_count t =
+  List.fold_left
+    (fun acc id ->
+      acc + Heap_page.record_count (Heap_page.of_payload (page t id).Page.payload))
+    0 (page_ids t)
+
+let all_records t =
+  let acc = ref [] in
+  List.iter
+    (fun id ->
+      let hp = Heap_page.of_payload (page t id).Page.payload in
+      Heap_page.iter hp (fun slot r ->
+          acc := (Rid.make ~page:id ~slot, r) :: !acc))
+    (page_ids t);
+  List.rev !acc

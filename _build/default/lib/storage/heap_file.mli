@@ -1,0 +1,64 @@
+(** Heap files: the data pages of one table.
+
+    Pages are appended in allocation order; the page list is forced to the
+    durable metadata store so the file can be reopened after a crash. The
+    index builder scans pages in this order, remembering the last page that
+    existed when the scan started (§2.3.1: records in later extensions are
+    indexed directly by the transactions that insert them).
+
+    Physical record operations here do no logging and no locking — the
+    transaction layer is responsible for both, holding the page X latch
+    returned by {!prepare_insert} / {!latch_rid} across modify + log +
+    set-page-LSN, per Figures 1 and 2 of the paper. *)
+
+open Oib_util
+
+type t
+
+val create : Buffer_pool.t -> Durable_kv.t -> table_id:int -> page_capacity:int -> t
+(** Create an empty file and register it durably. *)
+
+val open_existing : Buffer_pool.t -> Durable_kv.t -> table_id:int -> t
+(** Reopen after a crash from durable metadata. Raises [Not_found] if the
+    table was never created. *)
+
+val table_id : t -> int
+val page_ids : t -> int list
+(** Ascending allocation order. *)
+
+val page_count : t -> int
+val last_page_id : t -> int option
+
+val page : t -> int -> Page.t
+(** Fetch by page id (must belong to this file). *)
+
+val ensure_page_registered : t -> int -> unit
+(** Recovery: register a page id found in the log (a [Heap_extend] record)
+    that the (possibly restored) metadata does not know about. *)
+
+val prepare_insert : t -> Record.t -> Page.t * int
+(** Find a page with room (free-space inventory first, then first-fit,
+    else extend the file), X-latch it, reserve a slot. The caller completes
+    the insert with [Heap_page.put] + logging + [Page.set_lsn], then
+    releases the latch — or cancels with [Heap_page.unreserve]. *)
+
+val note_free : t -> int -> unit
+(** Hint that a page regained free space (a record was deleted) — keeps
+    the free-space inventory warm. Purely advisory. *)
+
+val latch_rid : t -> Rid.t -> Oib_sim.Latch.mode -> Page.t
+(** Latch the page holding [rid] in the given mode and return it. *)
+
+val read_record : t -> Rid.t -> Record.t option
+(** S-latched read of one record. *)
+
+val scan_pages : t -> upto:int -> (Page.t -> unit) -> unit
+(** Visit pages in allocation order up to page id [upto] inclusive.
+    Latching and read accounting are the visitor's business (IB S-latches
+    only during key extraction, and counts only pages it actually
+    extracts). *)
+
+val record_count : t -> int
+(** Total records currently in the file (test/oracle helper; latch-free). *)
+
+val all_records : t -> (Rid.t * Record.t) list

@@ -1,0 +1,58 @@
+(** Slotted data pages.
+
+    Records live in numbered slots; a RID is (page id, slot). Deleting a
+    record frees its slot for reuse — the paper's NSF example (§2.2.3)
+    depends on a new record landing at the *same RID* as a deleted one.
+    Free space is tracked byte-accurately against the page capacity. *)
+
+open Oib_util
+
+type t
+
+type Page.payload += Heap of t
+
+val create : capacity:int -> t
+val copy : t -> t
+
+val encode : t -> string
+(** Binary page image. *)
+
+val decode : string -> t
+(** Raises [Oib_util.Binc.Corrupt] on malformed bytes. *)
+
+val copy_payload : Page.payload -> Page.payload
+(** The stable store's deep copy — a full [encode]/[decode] round trip, so
+    every write-back exercises the on-disk format. *)
+
+val capacity : t -> int
+val free_bytes : t -> int
+val slot_count : t -> int
+val record_count : t -> int
+
+val fits : t -> Record.t -> bool
+(** Could [r] be inserted (reusing a free slot or opening a new one)? *)
+
+val reserve : t -> Record.t -> int
+(** Pick and reserve a slot for [r] (lowest free slot first, else a new
+    slot). Raises [Invalid_argument] if it does not fit. The slot is marked
+    occupied-pending; complete with {!put}. *)
+
+val unreserve : t -> int -> unit
+(** Cancel a reservation (e.g. the conditional lock on the chosen RID was
+    denied and the inserter moves elsewhere). *)
+
+val put : t -> int -> Record.t -> unit
+(** Store [r] at [slot] (insert into a reserved/free slot, or overwrite). *)
+
+val get : t -> int -> Record.t option
+
+val remove : t -> int -> unit
+(** Free the slot. No-op if already free. *)
+
+val iter : t -> (int -> Record.t -> unit) -> unit
+(** Visit occupied slots in ascending slot order. *)
+
+val records : t -> (int * Record.t) list
+
+val of_payload : Page.payload -> t
+(** Raises [Invalid_argument] on a non-heap payload. *)

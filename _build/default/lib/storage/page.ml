@@ -1,0 +1,28 @@
+type payload = ..
+
+type t = {
+  id : int;
+  latch : Oib_sim.Latch.t;
+  mutable lsn : Oib_wal.Lsn.t;
+  mutable payload : payload;
+  copy_payload : payload -> payload;
+  mutable dirty : bool;
+  mutable no_steal : bool;
+}
+
+let make ~id ~sched ~metrics ~payload ~copy_payload =
+  {
+    id;
+    latch = Oib_sim.Latch.create ~name:(Printf.sprintf "page-%d" id) sched metrics;
+    lsn = Oib_wal.Lsn.nil;
+    payload;
+    copy_payload;
+    dirty = false;
+    no_steal = false;
+  }
+
+let set_lsn t lsn =
+  t.lsn <- lsn;
+  t.dirty <- true
+
+let mark_dirty t = t.dirty <- true

@@ -1,0 +1,25 @@
+(** Simulated disk for pages.
+
+    Holds deep copies of page payloads as of their last write-back, keyed by
+    page id. Contents survive a simulated crash; everything else (buffer
+    pool, latches) does not. *)
+
+type entry = {
+  payload : Page.payload;
+  lsn : Oib_wal.Lsn.t;
+  copy_payload : Page.payload -> Page.payload;
+}
+
+type t
+
+val create : unit -> t
+val write : t -> int -> entry -> unit
+val read : t -> int -> entry option
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+val snapshot : t -> t
+(** Deep copy (an image copy of the whole disk) — the basis of media
+    recovery backups. *)
+
+val page_count : t -> int
+val max_page_id : t -> int

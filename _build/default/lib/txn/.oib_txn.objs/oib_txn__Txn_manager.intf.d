@@ -1,0 +1,1 @@
+lib/txn/txn_manager.mli: Oib_lock Oib_sim Oib_wal

@@ -1,0 +1,108 @@
+module LR = Oib_wal.Log_record
+module Lsn = Oib_wal.Lsn
+module LM = Oib_wal.Log_manager
+
+type status = Active | Committed | Aborted
+
+type txn = {
+  txn_id : int;
+  begin_lsn : Lsn.t;
+  mutable last : Lsn.t;
+  mutable st : status;
+}
+
+type t = {
+  log : LM.t;
+  locks : Oib_lock.Lock_manager.t;
+  metrics : Oib_sim.Metrics.t;
+  mutable next_id : int;
+  active : (int, txn) Hashtbl.t;
+}
+
+let create log locks metrics =
+  { log; locks; metrics; next_id = 1; active = Hashtbl.create 32 }
+
+let log t = t.log
+let locks t = t.locks
+
+let begin_txn t =
+  let txn_id = t.next_id in
+  t.next_id <- txn_id + 1;
+  let begin_lsn = LM.append t.log ~txn:(Some txn_id) ~prev_lsn:Lsn.nil LR.Begin in
+  let txn = { txn_id; begin_lsn; last = begin_lsn; st = Active } in
+  Hashtbl.replace t.active txn_id txn;
+  txn
+
+let id txn = txn.txn_id
+let status txn = txn.st
+let last_lsn txn = txn.last
+
+let log_op t txn body =
+  assert (txn.st = Active);
+  let lsn = LM.append t.log ~txn:(Some txn.txn_id) ~prev_lsn:txn.last body in
+  txn.last <- lsn;
+  lsn
+
+let finish t txn st =
+  txn.st <- st;
+  Hashtbl.remove t.active txn.txn_id;
+  Oib_lock.Lock_manager.unlock_all t.locks ~txn:txn.txn_id
+
+let commit t txn =
+  assert (txn.st = Active);
+  let lsn = log_op t txn LR.Commit in
+  LM.flush t.log ~upto:lsn;
+  ignore (log_op t txn LR.End);
+  finish t txn Committed;
+  t.metrics.txn_commits <- t.metrics.txn_commits + 1
+
+let rollback t txn ~undo =
+  assert (txn.st = Active);
+  (* Walk newest-to-oldest. A CLR's undo_next skips the records that were
+     already compensated if rollback itself was interrupted (restart). *)
+  let rec walk lsn =
+    if Lsn.( > ) lsn Lsn.nil then
+      match LM.record_at t.log lsn with
+      | None -> () (* chain older than durable log: nothing active remains *)
+      | Some r -> (
+        match r.LR.body with
+        | LR.Clr { undo_next; _ } -> walk undo_next
+        | body when LR.is_undoable body ->
+          let clr action =
+            log_op t txn (LR.Clr { action; undo_next = r.LR.prev_lsn })
+          in
+          undo body ~clr;
+          walk r.LR.prev_lsn
+        | _ -> walk r.LR.prev_lsn)
+  in
+  walk txn.last;
+  ignore (log_op t txn LR.Abort);
+  ignore (log_op t txn LR.End);
+  (* an abort need not force the log *)
+  finish t txn Aborted;
+  t.metrics.txn_aborts <- t.metrics.txn_aborts + 1
+
+let adopt t ~txn_id ~last =
+  let txn = { txn_id; begin_lsn = last; last; st = Active } in
+  Hashtbl.replace t.active txn_id txn;
+  if txn_id >= t.next_id then t.next_id <- txn_id + 1;
+  txn
+
+let ensure_next_id t n = if n > t.next_id then t.next_id <- n
+
+let commit_lsn t =
+  let oldest =
+    Hashtbl.fold
+      (fun _ txn acc ->
+        match acc with
+        | None -> Some txn.begin_lsn
+        | Some b -> Some (if Lsn.( < ) txn.begin_lsn b then txn.begin_lsn else b))
+      t.active None
+  in
+  match oldest with
+  | Some b -> b
+  | None -> LM.last_lsn t.log
+
+let active_count t = Hashtbl.length t.active
+
+let active_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.active []

@@ -1,0 +1,1 @@
+lib/util/binc.ml: Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/util/ikey.ml: Format Rid String

@@ -1,0 +1,1 @@
+lib/util/record.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/util/rid.ml: Format Int

@@ -1,0 +1,1 @@
+lib/util/rid.mli: Format

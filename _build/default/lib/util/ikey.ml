@@ -1,0 +1,19 @@
+type t = { kv : string; rid : Rid.t }
+
+let make kv rid = { kv; rid }
+
+let compare a b =
+  match String.compare a.kv b.kv with
+  | 0 -> Rid.compare a.rid b.rid
+  | c -> c
+
+let compare_kv a b = String.compare a.kv b.kv
+
+let equal a b = compare a b = 0
+
+(* key bytes + 8-byte RID + 2-byte slot directory entry + 1 flag byte *)
+let encoded_size t = String.length t.kv + 11
+
+let pp ppf t = Format.fprintf ppf "<%S,%a>" t.kv Rid.pp t.rid
+
+let to_string t = Format.asprintf "%a" pp t

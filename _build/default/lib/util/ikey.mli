@@ -1,0 +1,26 @@
+(** Index keys.
+
+    An index entry is the pair [<key value, RID>] (paper §1.1). The key
+    value is the concatenation of the indexed columns' values; entries are
+    ordered by key value, then RID, ascending. A *nonunique* index may hold
+    many entries with equal key value (distinguished by RID); a *unique*
+    index admits at most one non-pseudo-deleted entry per key value. *)
+
+type t = { kv : string; rid : Rid.t }
+
+val make : string -> Rid.t -> t
+
+val compare : t -> t -> int
+(** Full order: key value, then RID. Duplicate rejection in nonunique
+    indexes matches on this full order (paper §2.2.3: "for a nonunique
+    index, the key must match completely (<key value, RID>)"). *)
+
+val compare_kv : t -> t -> int
+(** Key-value order only — what unique-violation detection compares. *)
+
+val equal : t -> t -> bool
+val encoded_size : t -> int
+(** Bytes this entry charges against a page's free space. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

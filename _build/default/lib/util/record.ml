@@ -1,0 +1,23 @@
+type t = { cols : string array }
+
+let make cols = { cols }
+
+let equal a b = a.cols = b.cols
+
+(* per-column length prefix (2 bytes) + record header (8 bytes) *)
+let encoded_size t =
+  Array.fold_left (fun acc c -> acc + String.length c + 2) 8 t.cols
+
+let key_value t cols =
+  let part i =
+    if i < 0 || i >= Array.length t.cols then
+      invalid_arg "Record.key_value: column out of range"
+    else t.cols.(i)
+  in
+  String.concat "\x1f" (List.map part cols)
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%S") t.cols)))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,20 @@
+(** Table records.
+
+    A record is a tuple of column values (all rendered as strings; the
+    algorithms under study are agnostic to column types). An index key value
+    is the concatenation of the indexed columns, separated by a unit
+    separator so that concatenation is order-preserving per column. *)
+
+type t = { cols : string array }
+
+val make : string array -> t
+val equal : t -> t -> bool
+val encoded_size : t -> int
+
+val key_value : t -> int list -> string
+(** [key_value r cols] builds the index key value for [r] over the given
+    column positions. Raises [Invalid_argument] if a position is out of
+    range. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

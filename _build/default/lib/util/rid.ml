@@ -1,0 +1,25 @@
+type t = { page : int; slot : int }
+
+let make ~page ~slot = { page; slot }
+
+let compare a b =
+  match Int.compare a.page b.page with
+  | 0 -> Int.compare a.slot b.slot
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash t = (t.page * 1000003) lxor t.slot
+
+let minus_infinity = { page = min_int; slot = 0 }
+
+let infinity = { page = max_int; slot = max_int }
+
+let is_infinity t = equal t infinity
+
+let pp ppf t =
+  if is_infinity t then Format.pp_print_string ppf "+inf"
+  else if equal t minus_infinity then Format.pp_print_string ppf "-inf"
+  else Format.fprintf ppf "(%d,%d)" t.page t.slot
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,24 @@
+(** Record identifiers.
+
+    A RID names a record by (data page number, slot within page). RIDs are
+    totally ordered by page then slot; the SF algorithm's visibility rule
+    compares a transaction's Target-RID against the index builder's
+    Current-RID under this order (paper §3.1). *)
+
+type t = { page : int; slot : int }
+
+val make : page:int -> slot:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val minus_infinity : t
+(** Sorts before every real RID; IB's scan position before it starts. *)
+
+val infinity : t
+(** Sorts after every real RID; IB sets Current-RID to infinity when it has
+    finished scanning the last data page (paper §3.2.2). *)
+
+val is_infinity : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

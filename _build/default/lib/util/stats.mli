@@ -1,0 +1,23 @@
+(** Small statistics toolkit for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample list. Raises [Invalid_argument] on []. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,1\]]; array must be sorted. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit

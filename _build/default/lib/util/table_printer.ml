@@ -1,0 +1,49 @@
+type row = Cells of string list | Sep
+
+type t = { columns : string list; mutable rows : row list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table_printer.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render ?title t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  let measure = function
+    | Sep -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit cells =
+    List.iteri (fun i c -> Buffer.add_string buf ("| " ^ pad i c ^ " ")) cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match title with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" s)
+  | None -> ());
+  line '-';
+  emit t.columns;
+  line '=';
+  List.iter (function Sep -> line '-' | Cells cells -> emit cells) rows;
+  line '-';
+  Buffer.contents buf
+
+let print ?title t = print_string (render ?title t)

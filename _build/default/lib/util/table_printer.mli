@@ -1,0 +1,18 @@
+(** Aligned ASCII tables, used by the benchmark harness to print
+    paper-style result tables. *)
+
+type t
+
+val create : columns:string list -> t
+(** [create ~columns] starts a table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout. *)
+
+val render : ?title:string -> t -> string

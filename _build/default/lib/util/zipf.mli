@@ -1,0 +1,15 @@
+(** Zipfian key-popularity sampler.
+
+    Used by the workload generators to produce skewed update patterns, which
+    stress the hot-page races between the index builder and transactions. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [\[0, n)] with skew
+    [theta] (0.0 = uniform; 0.99 = classic YCSB hot skew). *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank; rank 0 is the most popular. *)
+
+val n : t -> int

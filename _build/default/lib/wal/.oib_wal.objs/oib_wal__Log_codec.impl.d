@@ -1,0 +1,1 @@
+lib/wal/log_codec.ml: Array Buffer Char Ikey Int64 List Log_record Lsn Oib_util Printf Record Rid String

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Buffer Hashtbl List Log_codec Log_record Lsn Oib_sim String

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Format Ikey List Lsn Oib_util Record Rid String

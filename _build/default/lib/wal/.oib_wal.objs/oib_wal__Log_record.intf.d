@@ -1,0 +1,1 @@
+lib/wal/log_record.mli: Format Ikey Lsn Oib_util Record Rid

@@ -1,0 +1,275 @@
+open Oib_util
+open Log_record
+
+(* --- primitive writers --- *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let w_str buf s =
+  w_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_bool buf b = w_u8 buf (if b then 1 else 0)
+
+let w_rid buf (r : Rid.t) =
+  w_i64 buf r.page;
+  w_i64 buf r.slot
+
+let w_key buf (k : Ikey.t) =
+  w_str buf k.kv;
+  w_rid buf k.rid
+
+let w_record buf (r : Record.t) =
+  w_i64 buf (Array.length r.cols);
+  Array.iter (w_str buf) r.cols
+
+let w_state buf = function
+  | Absent -> w_u8 buf 0
+  | Present -> w_u8 buf 1
+  | Pseudo_deleted -> w_u8 buf 2
+
+let w_heap_op buf = function
+  | Heap_insert { rid; record } ->
+    w_u8 buf 1;
+    w_rid buf rid;
+    w_record buf record
+  | Heap_delete { rid; record } ->
+    w_u8 buf 2;
+    w_rid buf rid;
+    w_record buf record
+  | Heap_update { rid; old_record; new_record } ->
+    w_u8 buf 3;
+    w_rid buf rid;
+    w_record buf old_record;
+    w_record buf new_record
+
+let rec w_body buf = function
+  | Begin -> w_u8 buf 1
+  | Commit -> w_u8 buf 2
+  | Abort -> w_u8 buf 3
+  | End -> w_u8 buf 4
+  | Heap { page; visible_indexes; sidefiled; op } ->
+    w_u8 buf 5;
+    w_i64 buf page;
+    w_i64 buf visible_indexes;
+    w_i64 buf (List.length sidefiled);
+    List.iter (w_i64 buf) sidefiled;
+    w_heap_op buf op
+  | Index_key { redoable; op } ->
+    w_u8 buf 6;
+    w_bool buf redoable;
+    w_i64 buf op.index;
+    w_key buf op.key;
+    w_state buf op.before;
+    w_state buf op.after
+  | Index_bulk_insert { index; keys } ->
+    w_u8 buf 7;
+    w_i64 buf index;
+    w_i64 buf (List.length keys);
+    List.iter (w_key buf) keys
+  | Sidefile_append { sidefile; insert; key } ->
+    w_u8 buf 8;
+    w_i64 buf sidefile;
+    w_bool buf insert;
+    w_key buf key
+  | Clr { action; undo_next } ->
+    w_u8 buf 9;
+    w_i64 buf (Lsn.to_int undo_next);
+    w_body buf action
+  | Build_start { index; table } ->
+    w_u8 buf 10;
+    w_i64 buf index;
+    w_i64 buf table
+  | Build_done { index } ->
+    w_u8 buf 11;
+    w_i64 buf index
+  | Heap_extend { table; page } ->
+    w_u8 buf 12;
+    w_i64 buf table;
+    w_i64 buf page
+  | Create_table { table } ->
+    w_u8 buf 13;
+    w_i64 buf table
+  | Create_index { index; table; key_cols; uniq } ->
+    w_u8 buf 14;
+    w_i64 buf index;
+    w_i64 buf table;
+    w_bool buf uniq;
+    w_i64 buf (List.length key_cols);
+    List.iter (w_i64 buf) key_cols
+  | Drop_index { index } ->
+    w_u8 buf 15;
+    w_i64 buf index
+
+let encode (t : Log_record.t) =
+  let payload = Buffer.create 64 in
+  w_i64 payload (Lsn.to_int t.lsn);
+  (match t.txn with
+  | None -> w_u8 payload 0
+  | Some id ->
+    w_u8 payload 1;
+    w_i64 payload id);
+  w_i64 payload (Lsn.to_int t.prev_lsn);
+  w_body payload t.body;
+  let frame = Buffer.create (Buffer.length payload + 8) in
+  w_i64 frame (Buffer.length payload);
+  Buffer.add_buffer frame payload;
+  Buffer.contents frame
+
+(* --- primitive readers --- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail msg = failwith ("Log_codec: corrupt log: " ^ msg)
+
+let r_u8 c =
+  if c.pos >= String.length c.s then fail "eof in u8";
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_i64 c =
+  if c.pos + 8 > String.length c.s then fail "eof in i64";
+  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c =
+  let n = r_i64 c in
+  if n < 0 || c.pos + n > String.length c.s then fail "bad string length";
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let r_bool c = r_u8 c <> 0
+
+let r_rid c =
+  let page = r_i64 c in
+  let slot = r_i64 c in
+  Rid.make ~page ~slot
+
+let r_key c =
+  let kv = r_str c in
+  let rid = r_rid c in
+  Ikey.make kv rid
+
+let r_record c =
+  let n = r_i64 c in
+  if n < 0 || n > 1_000_000 then fail "bad record arity";
+  Record.make (Array.init n (fun _ -> r_str c))
+
+let r_state c =
+  match r_u8 c with
+  | 0 -> Absent
+  | 1 -> Present
+  | 2 -> Pseudo_deleted
+  | n -> fail (Printf.sprintf "bad key state %d" n)
+
+let r_heap_op c =
+  match r_u8 c with
+  | 1 ->
+    let rid = r_rid c in
+    let record = r_record c in
+    Heap_insert { rid; record }
+  | 2 ->
+    let rid = r_rid c in
+    let record = r_record c in
+    Heap_delete { rid; record }
+  | 3 ->
+    let rid = r_rid c in
+    let old_record = r_record c in
+    let new_record = r_record c in
+    Heap_update { rid; old_record; new_record }
+  | n -> fail (Printf.sprintf "bad heap op tag %d" n)
+
+let rec r_body c =
+  match r_u8 c with
+  | 1 -> Begin
+  | 2 -> Commit
+  | 3 -> Abort
+  | 4 -> End
+  | 5 ->
+    let page = r_i64 c in
+    let visible_indexes = r_i64 c in
+    let nsf = r_i64 c in
+    if nsf < 0 || nsf > 1000 then fail "bad sidefiled arity";
+    let sidefiled = List.init nsf (fun _ -> r_i64 c) in
+    let op = r_heap_op c in
+    Heap { page; visible_indexes; sidefiled; op }
+  | 6 ->
+    let redoable = r_bool c in
+    let index = r_i64 c in
+    let key = r_key c in
+    let before = r_state c in
+    let after = r_state c in
+    Index_key { redoable; op = { index; key; before; after } }
+  | 7 ->
+    let index = r_i64 c in
+    let n = r_i64 c in
+    if n < 0 || n > 10_000_000 then fail "bad bulk arity";
+    let keys = List.init n (fun _ -> r_key c) in
+    Index_bulk_insert { index; keys }
+  | 8 ->
+    let sidefile = r_i64 c in
+    let insert = r_bool c in
+    let key = r_key c in
+    Sidefile_append { sidefile; insert; key }
+  | 9 ->
+    let undo_next = Lsn.of_int (r_i64 c) in
+    let action = r_body c in
+    Clr { action; undo_next }
+  | 10 ->
+    let index = r_i64 c in
+    let table = r_i64 c in
+    Build_start { index; table }
+  | 11 ->
+    let index = r_i64 c in
+    Build_done { index }
+  | 12 ->
+    let table = r_i64 c in
+    let page = r_i64 c in
+    Heap_extend { table; page }
+  | 13 ->
+    let table = r_i64 c in
+    Create_table { table }
+  | 14 ->
+    let index = r_i64 c in
+    let table = r_i64 c in
+    let uniq = r_bool c in
+    let n = r_i64 c in
+    if n < 0 || n > 1000 then fail "bad key_cols arity";
+    let key_cols = List.init n (fun _ -> r_i64 c) in
+    Create_index { index; table; key_cols; uniq }
+  | 15 ->
+    let index = r_i64 c in
+    Drop_index { index }
+  | n -> fail (Printf.sprintf "bad body tag %d" n)
+
+let decode s ~pos =
+  let len = String.length s in
+  if pos >= len then None
+  else if pos + 8 > len then None
+  else begin
+    let frame_len = Int64.to_int (String.get_int64_le s pos) in
+    if frame_len < 0 then fail "negative frame length";
+    if pos + 8 + frame_len > len then None
+    else begin
+      let c = { s; pos = pos + 8 } in
+      let lsn = Lsn.of_int (r_i64 c) in
+      let txn = match r_u8 c with 0 -> None | _ -> Some (r_i64 c) in
+      let prev_lsn = Lsn.of_int (r_i64 c) in
+      let body = r_body c in
+      if c.pos <> pos + 8 + frame_len then fail "frame length mismatch";
+      Some ({ lsn; txn; prev_lsn; body }, c.pos)
+    end
+  end
+
+let decode_stream s =
+  let rec go pos acc =
+    match decode s ~pos with
+    | None -> List.rev acc
+    | Some (r, next) -> go next (r :: acc)
+  in
+  go 0 []

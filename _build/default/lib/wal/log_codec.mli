@@ -1,0 +1,16 @@
+(** Binary serialization of log records.
+
+    The durable log is a byte stream; records are length-prefixed frames.
+    [decode (encode r) = r] is property-tested. A truncated final frame
+    (torn write at crash) is detected and dropped by {!decode_stream}. *)
+
+val encode : Log_record.t -> string
+(** Framed encoding (length prefix included). *)
+
+val decode : string -> pos:int -> (Log_record.t * int) option
+(** [decode buf ~pos] decodes the frame starting at [pos]; returns the
+    record and the position just past it, or [None] if the frame is
+    incomplete or [pos] is at the end. Raises [Failure] on corrupt bytes. *)
+
+val decode_stream : string -> Log_record.t list
+(** All complete frames, in order; an incomplete tail is ignored. *)

@@ -1,0 +1,112 @@
+type t = {
+  metrics : Oib_sim.Metrics.t;
+  mutable next_lsn : Lsn.t;
+  mutable durable : Buffer.t;
+  mutable durable_lsn : Lsn.t;
+  mutable start : Lsn.t;
+  mutable volatile : (Log_record.t * string) list; (* newest first *)
+  by_lsn : (int, Log_record.t) Hashtbl.t;
+}
+
+let create metrics =
+  {
+    metrics;
+    next_lsn = Lsn.next Lsn.nil;
+    durable = Buffer.create 4096;
+    durable_lsn = Lsn.nil;
+    start = Lsn.nil;
+    volatile = [];
+    by_lsn = Hashtbl.create 1024;
+  }
+
+let append t ~txn ~prev_lsn body =
+  let lsn = t.next_lsn in
+  t.next_lsn <- Lsn.next lsn;
+  let record = { Log_record.lsn; txn; prev_lsn; body } in
+  let bytes = Log_codec.encode record in
+  t.volatile <- (record, bytes) :: t.volatile;
+  Hashtbl.replace t.by_lsn (Lsn.to_int lsn) record;
+  t.metrics.log_records <- t.metrics.log_records + 1;
+  t.metrics.log_bytes <- t.metrics.log_bytes + String.length bytes;
+  lsn
+
+let flush t ~upto =
+  if Lsn.( > ) upto t.durable_lsn then begin
+    t.metrics.log_flushes <- t.metrics.log_flushes + 1;
+    (* volatile is newest-first; move the prefix with lsn <= upto to the
+       durable buffer, oldest first. *)
+    let to_keep, to_flush =
+      List.partition
+        (fun ((r : Log_record.t), _) -> Lsn.( > ) r.lsn upto)
+        t.volatile
+    in
+    List.iter
+      (fun ((r : Log_record.t), bytes) ->
+        Buffer.add_string t.durable bytes;
+        if Lsn.( > ) r.lsn t.durable_lsn then t.durable_lsn <- r.lsn)
+      (List.rev to_flush);
+    t.volatile <- to_keep
+  end
+
+let flush_all t =
+  match t.volatile with
+  | [] -> ()
+  | ((newest, _) :: _) -> flush t ~upto:newest.Log_record.lsn
+
+let flushed_lsn t = t.durable_lsn
+
+let last_lsn t = Lsn.of_int (Lsn.to_int t.next_lsn - 1)
+
+let durable_records t = Log_codec.decode_stream (Buffer.contents t.durable)
+
+let crash t =
+  let survivor =
+    {
+      metrics = t.metrics;
+      next_lsn = Lsn.next t.durable_lsn;
+      durable = Buffer.create (Buffer.length t.durable);
+      durable_lsn = t.durable_lsn;
+      start = t.start;
+      volatile = [];
+      by_lsn = Hashtbl.create 1024;
+    }
+  in
+  Buffer.add_buffer survivor.durable t.durable;
+  List.iter
+    (fun (r : Log_record.t) ->
+      Hashtbl.replace survivor.by_lsn (Lsn.to_int r.lsn) r)
+    (durable_records survivor);
+  survivor
+
+let all_records t =
+  durable_records t @ List.rev_map (fun (r, _) -> r) t.volatile
+
+let record_at t lsn = Hashtbl.find_opt t.by_lsn (Lsn.to_int lsn)
+
+let durable_bytes t = Buffer.length t.durable
+
+let truncate t ~below =
+  let before = Buffer.length t.durable in
+  let keep =
+    List.filter
+      (fun (r : Log_record.t) -> Lsn.( >= ) r.lsn below)
+      (durable_records t)
+  in
+  let fresh = Buffer.create (max 4096 before) in
+  List.iter
+    (fun (r : Log_record.t) ->
+      Buffer.add_string fresh (Log_codec.encode r);
+      Hashtbl.remove t.by_lsn (Lsn.to_int r.lsn))
+    keep;
+  (* re-register kept records; drop everything below the new start *)
+  Hashtbl.iter
+    (fun lsn _ -> if lsn < Lsn.to_int below then Hashtbl.remove t.by_lsn lsn)
+    (Hashtbl.copy t.by_lsn);
+  List.iter
+    (fun (r : Log_record.t) -> Hashtbl.replace t.by_lsn (Lsn.to_int r.lsn) r)
+    keep;
+  t.durable <- fresh;
+  if Lsn.( > ) below t.start then t.start <- below;
+  before - Buffer.length fresh
+
+let start_lsn t = t.start

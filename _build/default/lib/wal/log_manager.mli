@@ -1,0 +1,48 @@
+(** The write-ahead log.
+
+    Appends are buffered in volatile memory; [flush] makes a prefix durable
+    (serialized bytes). A simulated crash discards the volatile tail — the
+    survivor log is re-decoded from the durable bytes, exactly as a real
+    restart reads the log from disk. Transactions force the log at commit;
+    the buffer pool forces it up to a page's page_LSN before writing that
+    page (the write-ahead rule). *)
+
+type t
+
+val create : Oib_sim.Metrics.t -> t
+
+val append :
+  t -> txn:Log_record.txn_id option -> prev_lsn:Lsn.t -> Log_record.body ->
+  Lsn.t
+(** Assign the next LSN, buffer the record, return its LSN. *)
+
+val flush : t -> upto:Lsn.t -> unit
+(** Make all records with LSN <= [upto] durable. No-op if already done. *)
+
+val flush_all : t -> unit
+
+val flushed_lsn : t -> Lsn.t
+val last_lsn : t -> Lsn.t
+
+val crash : t -> t
+(** Volatile tail is lost; the result contains only what was flushed. *)
+
+val durable_records : t -> Log_record.t list
+(** Decode the durable log, in LSN order (what restart recovery sees). *)
+
+val all_records : t -> Log_record.t list
+(** Durable + volatile records — for tests and debugging only. *)
+
+val record_at : t -> Lsn.t -> Log_record.t option
+(** Random access for rollback's undo-chain walk. *)
+
+val durable_bytes : t -> int
+
+val truncate : t -> below:Lsn.t -> int
+(** Discard durable records with LSN < [below] (paper footnote 8: log can
+    be discarded once image copies make it unnecessary for restart, undo
+    and media recovery — the *caller* must have established that). Returns
+    the bytes reclaimed. Volatile records are never truncated. *)
+
+val start_lsn : t -> Lsn.t
+(** LSN of the earliest retained record ([Lsn.nil] when never truncated). *)

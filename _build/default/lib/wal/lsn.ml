@@ -1,0 +1,14 @@
+type t = int
+
+let nil = 0
+let of_int i = i
+let to_int t = t
+let next t = t + 1
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = Stdlib.max a b
+let pp ppf t = Format.fprintf ppf "lsn:%d" t

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Catalog Ctx Engine Hashtbl List Oib_core Oib_sim Oib_storage Oib_util Printf Record Rid Rng Table_ops Zipf

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Ctx Oib_core Oib_util Rid Rng

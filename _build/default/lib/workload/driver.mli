@@ -1,0 +1,48 @@
+(** Workload driver: populate tables and run concurrent transaction mixes
+    against them — the traffic the index builder must survive.
+
+    Workers run as fibers; each transaction performs a few operations
+    (inserts, deletes, updates of random live records, with optional
+    deliberate aborts) and commits. A shared registry tracks committed
+    RIDs so deletes and updates target real records; registry changes are
+    applied only on commit so rollbacks leave it accurate. *)
+
+open Oib_util
+open Oib_core
+
+type config = {
+  seed : int;
+  txns_per_worker : int;
+  workers : int;
+  ops_per_txn : int;
+  insert_w : int;  (** relative weight *)
+  delete_w : int;
+  update_w : int;
+  abort_pct : float;  (** fraction of transactions deliberately rolled back *)
+  theta : float;  (** Zipf skew for choosing victim records *)
+  key_space : int;  (** distinct key values for the indexed column *)
+}
+
+val default : config
+
+type stats = {
+  committed : int;
+  aborted : int;
+  deadlocks : int;
+  unique_violations : int;
+}
+
+val populate : Ctx.t -> table:int -> rows:int -> seed:int -> Rid.t array
+(** Load [rows] committed records (cols: indexed value, payload). *)
+
+val spawn_workers : Ctx.t -> config -> table:int -> stats ref
+(** Spawn the worker fibers on the engine's scheduler (run them with
+    [Sched.run], typically alongside an index-builder fiber). The returned
+    cell is filled in as workers finish. *)
+
+val value_for : config -> Rng.t -> string
+(** A key-column value drawn from the configured distribution. *)
+
+val live_rids : Ctx.t -> table:int -> Rid.t list
+(** Committed records currently in the table (latch-free; call when
+    quiescent). *)

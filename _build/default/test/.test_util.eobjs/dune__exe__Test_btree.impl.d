@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bt_check Btree Hashtbl Ikey List Oib_btree Oib_sim Oib_testsupport Oib_util Oib_wal Option Printf QCheck QCheck_alcotest Rid Rng String Tenv

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_storage Oib_txn Oib_util Oib_wal Oib_workload Printf QCheck QCheck_alcotest Record Rid Rng String Table_ops

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Catalog Ctx Engine Ib List Oib_btree Oib_core Oib_sim Oib_storage Oib_txn Oib_util Oib_wal Oib_workload Option Printf QCheck QCheck_alcotest Record Table_ops

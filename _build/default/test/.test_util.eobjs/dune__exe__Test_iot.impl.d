@@ -1,0 +1,1 @@
+test/test_iot.ml: Alcotest Array Catalog Ctx Engine Ib List Oib_btree Oib_core Oib_sim Oib_txn Oib_util Printf QCheck QCheck_alcotest Record Rng Table_ops

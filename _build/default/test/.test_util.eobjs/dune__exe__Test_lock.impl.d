@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array List Oib_lock Oib_sim Oib_util QCheck QCheck_alcotest Rid Rng

@@ -1,0 +1,1 @@
+test/test_nsf.ml: Alcotest Catalog Ctx Engine Ib List Oib_btree Oib_core Oib_sim Oib_storage Oib_txn Oib_util Oib_wal Oib_workload Printf QCheck QCheck_alcotest Table_ops

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Ikey List Oib_btree Oib_recovery Oib_storage Oib_testsupport Oib_util Oib_wal Printf QCheck QCheck_alcotest Record Rid Rng Tenv

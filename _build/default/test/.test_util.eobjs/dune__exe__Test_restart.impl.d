@@ -1,0 +1,1 @@
+test/test_restart.ml: Alcotest Catalog Ctx Engine Ib List Oib_core Oib_sim Oib_storage Oib_util Oib_workload Printf QCheck QCheck_alcotest

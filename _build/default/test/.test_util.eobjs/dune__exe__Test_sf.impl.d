@@ -1,0 +1,1 @@
+test/test_sf.ml: Alcotest Array Catalog Ctx Engine Ib List Oib_btree Oib_core Oib_sim Oib_txn Oib_util Oib_workload Printf QCheck QCheck_alcotest Table_ops

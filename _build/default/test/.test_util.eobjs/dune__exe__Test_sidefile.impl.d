@@ -1,0 +1,1 @@
+test/test_sidefile.ml: Alcotest Fun Ikey List Oib_sidefile Oib_sim Oib_util Oib_wal Printf QCheck QCheck_alcotest Rid

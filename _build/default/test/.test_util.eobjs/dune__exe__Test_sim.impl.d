@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Oib_sim QCheck QCheck_alcotest

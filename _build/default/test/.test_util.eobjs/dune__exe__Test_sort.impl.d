@@ -1,0 +1,1 @@
+test/test_sort.ml: Alcotest Array Durable_kv Fun Ikey List Loser_tree Merge_phase Oib_sort Oib_storage Oib_util Printf QCheck QCheck_alcotest Rid Rng Run_store Sort_phase

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer_pool Heap_file Heap_page List Oib_sim Oib_storage Oib_testsupport Oib_util Oib_wal Option Page Printf Record Rid Rng Stable_store String Tenv

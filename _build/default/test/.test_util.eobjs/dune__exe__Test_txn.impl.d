@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Oib_lock Oib_sim Oib_txn Oib_util Oib_wal

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Ikey List Oib_util QCheck QCheck_alcotest Record Rid Rng Stats String Table_printer Zipf

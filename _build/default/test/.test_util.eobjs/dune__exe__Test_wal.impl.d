@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Format Ikey List Oib_sim Oib_util Oib_wal QCheck QCheck_alcotest Record Rid String

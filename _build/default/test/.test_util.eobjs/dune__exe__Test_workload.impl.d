@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog Ctx Engine Hashtbl Ib Ikey List Oib_btree Oib_core Oib_sim Oib_storage Oib_util Oib_wal Oib_workload Option Printf Record Rid Rng String Table_ops

@@ -1,0 +1,1 @@
+test/support/tenv.ml: Oib_sim Oib_storage Oib_util Oib_wal Printf

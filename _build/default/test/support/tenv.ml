@@ -1,0 +1,42 @@
+(* Shared scaffolding for tests: a complete simulated system (scheduler,
+   metrics, log, stable store, buffer pool, durable metadata) and a crash /
+   rebirth helper. *)
+
+type t = {
+  sched : Oib_sim.Sched.t;
+  metrics : Oib_sim.Metrics.t;
+  log : Oib_wal.Log_manager.t;
+  store : Oib_storage.Stable_store.t;
+  kv : Oib_storage.Durable_kv.t;
+  pool : Oib_storage.Buffer_pool.t;
+}
+
+let make ?(seed = 42) () =
+  let sched = Oib_sim.Sched.create ~seed () in
+  let metrics = Oib_sim.Metrics.create () in
+  let log = Oib_wal.Log_manager.create metrics in
+  let store = Oib_storage.Stable_store.create () in
+  let kv = Oib_storage.Durable_kv.create () in
+  let pool = Oib_storage.Buffer_pool.create ~sched ~metrics ~log ~store in
+  { sched; metrics; log; store; kv; pool }
+
+(* Simulate a system failure: volatile state (buffer pool, unflushed log
+   tail, scheduler fibers) is lost; the stable store, the durable log
+   prefix, and forced metadata survive. *)
+let crash ?(seed = 43) t =
+  let sched = Oib_sim.Sched.create ~seed () in
+  let log = Oib_wal.Log_manager.crash t.log in
+  let pool =
+    Oib_storage.Buffer_pool.create ~sched ~metrics:t.metrics ~log
+      ~store:t.store
+  in
+  { t with sched; log; pool }
+
+(* Run one fiber to completion on a fresh scheduler pass. *)
+let run1 t f =
+  ignore (Oib_sim.Sched.spawn t.sched f);
+  Oib_sim.Sched.run t.sched
+
+let key s i = Oib_util.Ikey.make s (Oib_util.Rid.make ~page:i ~slot:0)
+
+let keyn i = key (Printf.sprintf "k%06d" i) i

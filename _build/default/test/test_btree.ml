@@ -1,0 +1,390 @@
+open Oib_util
+open Oib_btree
+open Oib_testsupport
+module LR = Oib_wal.Log_record
+
+let mk_tree ?(capacity = 256) ?(unique = false) env ~id =
+  Btree.create env.Tenv.pool env.Tenv.kv ~index_id:id ~page_capacity:capacity
+    ~unique
+
+let check_healthy t =
+  match Bt_check.check t with
+  | [] -> ()
+  | errs -> Alcotest.failf "tree invariants violated: %s" (String.concat "; " errs)
+
+let state = Alcotest.testable
+    (fun ppf s -> LR.pp_key_state ppf s)
+    (fun a b -> a = b)
+
+(* --- basic operations --- *)
+
+let test_insert_ascending () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  for i = 0 to 499 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  check_healthy t;
+  Alcotest.(check int) "count" 500 (Btree.entry_count t);
+  Alcotest.(check bool) "sorted" true (Bt_check.entries_sorted t);
+  Alcotest.(check state) "probe" LR.Present (Btree.read_state t (Tenv.keyn 250));
+  Alcotest.(check state) "missing" LR.Absent (Btree.read_state t (Tenv.keyn 1000))
+
+let test_insert_descending () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  for i = 499 downto 0 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  check_healthy t;
+  Alcotest.(check int) "count" 500 (Btree.entry_count t)
+
+let test_set_state_transitions () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let k = Tenv.keyn 7 in
+  Alcotest.(check state) "absent->present" LR.Absent
+    (Btree.set_state t k LR.Present);
+  Alcotest.(check state) "present->pseudo" LR.Present
+    (Btree.set_state t k LR.Pseudo_deleted);
+  Alcotest.(check state) "probe pseudo" LR.Pseudo_deleted (Btree.read_state t k);
+  Alcotest.(check state) "pseudo->present (reactivate)" LR.Pseudo_deleted
+    (Btree.set_state t k LR.Present);
+  Alcotest.(check state) "present->absent" LR.Present
+    (Btree.set_state t k LR.Absent);
+  Alcotest.(check state) "gone" LR.Absent (Btree.read_state t k);
+  Alcotest.(check state) "absent->pseudo (tombstone insert)" LR.Absent
+    (Btree.set_state t k LR.Pseudo_deleted);
+  Alcotest.(check int) "one entry" 1 (Btree.entry_count t);
+  Alcotest.(check int) "zero present" 0 (Btree.present_count t);
+  check_healthy t
+
+let test_insert_if_absent () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let k = Tenv.keyn 1 in
+  (match Btree.insert_if_absent t k with
+  | `Inserted -> ()
+  | `Rejected _ -> Alcotest.fail "fresh insert rejected");
+  (match Btree.insert_if_absent t k with
+  | `Rejected LR.Present -> ()
+  | _ -> Alcotest.fail "duplicate not rejected");
+  ignore (Btree.set_state t k LR.Pseudo_deleted);
+  (match Btree.insert_if_absent t k with
+  | `Rejected LR.Pseudo_deleted -> ()
+  | _ -> Alcotest.fail "tombstone did not reject IB insert");
+  check_healthy t
+
+let test_find_kv_duplicates () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  (* nonunique index: same key value, many RIDs, spanning page splits *)
+  for i = 0 to 99 do
+    ignore
+      (Btree.set_state t (Ikey.make "dup" (Rid.make ~page:i ~slot:0)) LR.Present)
+  done;
+  for i = 0 to 49 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  let found = Btree.find_kv t "dup" in
+  Alcotest.(check int) "all duplicates found" 100 (List.length found);
+  Alcotest.(check int) "none for missing kv" 0
+    (List.length (Btree.find_kv t "nope"));
+  check_healthy t
+
+(* --- randomized model check --- *)
+
+let random_ops_agree seed =
+  let env = Tenv.make ~seed () in
+  let t = mk_tree ~capacity:200 env ~id:1 in
+  let rng = Rng.create seed in
+  let model : (string * int, LR.key_state) Hashtbl.t = Hashtbl.create 64 in
+  let keys =
+    Array.init 120 (fun i ->
+        Ikey.make (Printf.sprintf "key%03d" (i mod 60)) (Rid.make ~page:(i / 60) ~slot:0))
+  in
+  for _ = 1 to 2000 do
+    let k = Rng.pick rng keys in
+    let mk = (k.Ikey.kv, k.Ikey.rid.Rid.page) in
+    let target =
+      match Rng.int rng 3 with
+      | 0 -> LR.Present
+      | 1 -> LR.Pseudo_deleted
+      | _ -> LR.Absent
+    in
+    let before = Btree.set_state t k target in
+    let model_before =
+      Option.value ~default:LR.Absent (Hashtbl.find_opt model mk)
+    in
+    if before <> model_before then failwith "model divergence on before-state";
+    if target = LR.Absent then Hashtbl.remove model mk
+    else Hashtbl.replace model mk target
+  done;
+  (match Bt_check.check t with [] -> () | e -> failwith (String.concat ";" e));
+  let tree_entries = Bt_check.collect_entries t in
+  List.length tree_entries = Hashtbl.length model
+  && List.for_all
+       (fun (k, pseudo) ->
+         let st = if pseudo then LR.Pseudo_deleted else LR.Present in
+         Hashtbl.find_opt model (k.Ikey.kv, k.Ikey.rid.Rid.page) = Some st)
+       tree_entries
+
+let prop_random_model =
+  QCheck.Test.make ~name:"random set_state agrees with model" ~count:25
+    QCheck.small_nat random_ops_agree
+
+(* --- bulk build --- *)
+
+let test_bulk_build () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let b = Btree.Bulk.start t in
+  for i = 0 to 999 do
+    Btree.Bulk.add b (Tenv.keyn i)
+  done;
+  Btree.Bulk.finish b;
+  check_healthy t;
+  Alcotest.(check int) "count" 1000 (Btree.entry_count t);
+  Alcotest.(check bool) "sorted" true (Bt_check.entries_sorted t);
+  Alcotest.(check (float 0.0001)) "perfectly clustered" 1.0 (Bt_check.clustering t)
+
+let test_bulk_rejects_unsorted () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let b = Btree.Bulk.start t in
+  Btree.Bulk.add b (Tenv.keyn 10);
+  Alcotest.check_raises "descending add rejected"
+    (Invalid_argument "Btree.Bulk.add: keys must be ascending") (fun () ->
+      Btree.Bulk.add b (Tenv.keyn 5))
+
+let test_bulk_no_latching () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let before = env.Tenv.metrics.latch_acquires in
+  let b = Btree.Bulk.start t in
+  for i = 0 to 499 do
+    Btree.Bulk.add b (Tenv.keyn i)
+  done;
+  Alcotest.(check int) "bulk build acquires no latches" before
+    env.Tenv.metrics.latch_acquires
+
+(* --- truncation --- *)
+
+let test_truncate_above () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let b = Btree.Bulk.start t in
+  for i = 0 to 999 do
+    Btree.Bulk.add b (Tenv.keyn i)
+  done;
+  Btree.truncate_above t (Some (Tenv.keyn 399));
+  check_healthy t;
+  Alcotest.(check int) "count after truncate" 400 (Btree.entry_count t);
+  Alcotest.(check state) "399 stays" LR.Present (Btree.read_state t (Tenv.keyn 399));
+  Alcotest.(check state) "400 gone" LR.Absent (Btree.read_state t (Tenv.keyn 400));
+  (* the tree must remain usable for further bottom-up additions via normal
+     inserts *)
+  ignore (Btree.set_state t (Tenv.keyn 400) LR.Present);
+  check_healthy t
+
+let test_truncate_to_empty () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  for i = 0 to 99 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  Btree.truncate_above t None;
+  check_healthy t;
+  Alcotest.(check int) "empty" 0 (Btree.entry_count t)
+
+(* --- cursor fast path --- *)
+
+let test_cursor_fast_path () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let c = Btree.new_cursor t in
+  for i = 0 to 499 do
+    match Btree.insert_if_absent t ~cursor:c (Tenv.keyn i) with
+    | `Inserted -> ()
+    | `Rejected _ -> Alcotest.fail "unexpected rejection"
+  done;
+  check_healthy t;
+  Alcotest.(check int) "count" 500 (Btree.entry_count t);
+  Alcotest.(check bool) "fast path used" true
+    (env.Tenv.metrics.fast_path_inserts > 100);
+  Alcotest.(check bool) "traversals avoided" true
+    (env.Tenv.metrics.tree_traversals < 400)
+
+(* --- specialized IB split --- *)
+
+let test_ib_split_specialized () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  (* transactions inserted scattered high keys first *)
+  List.iter
+    (fun i -> ignore (Btree.set_state t (Tenv.keyn i) LR.Present))
+    [ 990; 991; 995; 999 ];
+  (* IB inserts the sorted base load with the specialized split *)
+  let c = Btree.new_cursor t in
+  for i = 0 to 899 do
+    ignore (Btree.insert_if_absent t ~ib_split:true ~cursor:c (Tenv.keyn i))
+  done;
+  check_healthy t;
+  Alcotest.(check int) "count" 904 (Btree.entry_count t);
+  Alcotest.(check bool) "sorted" true (Bt_check.entries_sorted t)
+
+let test_ib_split_denser_tree () =
+  (* same insertion pattern with and without the specialized split: by
+     moving only the transaction-inserted higher keys at each split, the
+     specialized split mimics a bottom-up build and leaves fuller pages
+     (§2.3.1), hence fewer leaves. *)
+  let build ~ib_split =
+    let env = Tenv.make () in
+    let t = mk_tree env ~id:1 in
+    List.iter
+      (fun i -> ignore (Btree.set_state t (Tenv.keyn i) LR.Present))
+      [ 950; 960; 970; 980; 990 ];
+    let c = Btree.new_cursor t in
+    for i = 0 to 899 do
+      ignore (Btree.insert_if_absent t ~ib_split ~cursor:c (Tenv.keyn i))
+    done;
+    check_healthy t;
+    (Btree.leaf_count t, Bt_check.avg_leaf_fill t)
+  in
+  let special_leaves, special_fill = build ~ib_split:true in
+  let normal_leaves, normal_fill = build ~ib_split:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "specialized %d leaves (fill %.2f) <= normal %d (fill %.2f)"
+       special_leaves special_fill normal_leaves normal_fill)
+    true
+    (special_leaves <= normal_leaves && special_fill >= normal_fill)
+
+(* --- garbage collection --- *)
+
+let test_gc_pseudo_deleted () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  for i = 0 to 199 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  for i = 0 to 99 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Pseudo_deleted)
+  done;
+  (* keep tombstones on odd keys (as if their deleters were uncommitted) *)
+  let removed =
+    Btree.gc_pseudo_deleted t ~keep:(fun k -> k.Ikey.rid.Rid.page mod 2 = 1)
+  in
+  Alcotest.(check int) "even tombstones collected" 50 removed;
+  Alcotest.(check int) "entries left" 150 (Btree.entry_count t);
+  Alcotest.(check int) "pseudo left" 50 (Btree.pseudo_count t);
+  check_healthy t
+
+(* --- checkpoint image / reopen --- *)
+
+let test_image_survives_crash () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:9 in
+  for i = 0 to 299 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  Btree.checkpoint_image t ~lsn:(Oib_wal.Lsn.of_int 77);
+  (* post-checkpoint changes are volatile *)
+  for i = 300 to 399 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  let env' = Tenv.crash env in
+  let t' = Btree.open_from_image env'.Tenv.pool env'.Tenv.kv ~index_id:9 in
+  check_healthy t';
+  Alcotest.(check int) "image content only" 300 (Btree.entry_count t');
+  Alcotest.(check int) "image lsn" 77 (Oib_wal.Lsn.to_int (Btree.image_lsn t'))
+
+let test_empty_tree_recoverable_at_create () =
+  let env = Tenv.make () in
+  let _t = mk_tree env ~id:4 in
+  let env' = Tenv.crash env in
+  let t' = Btree.open_from_image env'.Tenv.pool env'.Tenv.kv ~index_id:4 in
+  Alcotest.(check int) "empty" 0 (Btree.entry_count t');
+  check_healthy t'
+
+(* --- concurrent fibers --- *)
+
+let test_concurrent_inserters () =
+  let env = Tenv.make ~seed:7 () in
+  let t = mk_tree ~capacity:256 env ~id:1 in
+  for f = 0 to 3 do
+    ignore
+      (Oib_sim.Sched.spawn env.Tenv.sched ~name:(Printf.sprintf "ins-%d" f)
+         (fun () ->
+           for i = 0 to 249 do
+             ignore (Btree.set_state t (Tenv.keyn ((i * 4) + f)) LR.Present);
+             Oib_sim.Sched.yield env.Tenv.sched
+           done))
+  done;
+  Oib_sim.Sched.run env.Tenv.sched;
+  check_healthy t;
+  Alcotest.(check int) "all inserted" 1000 (Btree.entry_count t);
+  Alcotest.(check bool) "sorted" true (Bt_check.entries_sorted t)
+
+let prop_concurrent_seeds =
+  QCheck.Test.make ~name:"concurrent inserts healthy across seeds" ~count:20
+    QCheck.small_nat (fun seed ->
+      let env = Tenv.make ~seed () in
+      let t = mk_tree ~capacity:200 env ~id:1 in
+      for f = 0 to 2 do
+        ignore
+          (Oib_sim.Sched.spawn env.Tenv.sched (fun () ->
+               for i = 0 to 99 do
+                 ignore (Btree.set_state t (Tenv.keyn ((i * 3) + f)) LR.Present);
+                 Oib_sim.Sched.yield env.Tenv.sched
+               done))
+      done;
+      Oib_sim.Sched.run env.Tenv.sched;
+      Bt_check.check t = [] && Btree.entry_count t = 300)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "insert ascending" `Quick test_insert_ascending;
+          Alcotest.test_case "insert descending" `Quick test_insert_descending;
+          Alcotest.test_case "set_state transitions" `Quick
+            test_set_state_transitions;
+          Alcotest.test_case "insert_if_absent" `Quick test_insert_if_absent;
+          Alcotest.test_case "find_kv duplicates" `Quick test_find_kv_duplicates;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "bottom-up build" `Quick test_bulk_build;
+          Alcotest.test_case "rejects unsorted" `Quick test_bulk_rejects_unsorted;
+          Alcotest.test_case "no latching" `Quick test_bulk_no_latching;
+        ] );
+      ( "truncate",
+        [
+          Alcotest.test_case "truncate above key" `Quick test_truncate_above;
+          Alcotest.test_case "truncate to empty" `Quick test_truncate_to_empty;
+        ] );
+      ( "cursor",
+        [ Alcotest.test_case "fast path" `Quick test_cursor_fast_path ] );
+      ( "ib-split",
+        [
+          Alcotest.test_case "specialized split" `Quick test_ib_split_specialized;
+          Alcotest.test_case "denser tree" `Quick
+            test_ib_split_denser_tree;
+        ] );
+      ("gc", [ Alcotest.test_case "pseudo-delete gc" `Quick test_gc_pseudo_deleted ]);
+      ( "image",
+        [
+          Alcotest.test_case "image survives crash" `Quick
+            test_image_survives_crash;
+          Alcotest.test_case "empty tree recoverable" `Quick
+            test_empty_tree_recoverable_at_create;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "four inserters" `Quick test_concurrent_inserters;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_model; prop_concurrent_seeds ] );
+    ]

@@ -1,0 +1,521 @@
+(* Edge cases across the substrates: boundary conditions the main suites
+   don't reach — oversized keys, duplicate key values spanning leaves, deep
+   trees, empty sorts, multi-pass merges, lock conversions under
+   contention, fiber exceptions. *)
+
+open Oib_util
+open Oib_btree
+open Oib_testsupport
+module LR = Oib_wal.Log_record
+module Sched = Oib_sim.Sched
+module LockM = Oib_lock.Lock_manager
+
+let mk_tree ?(capacity = 256) ?(unique = false) env ~id =
+  Btree.create env.Tenv.pool env.Tenv.kv ~index_id:id ~page_capacity:capacity
+    ~unique
+
+let healthy t =
+  match Bt_check.check t with
+  | [] -> ()
+  | errs -> Alcotest.failf "invariants: %s" (String.concat "; " errs)
+
+(* --- btree --- *)
+
+let test_oversized_key_rejected () =
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:128 env ~id:1 in
+  let big = Ikey.make (String.make 200 'x') (Rid.make ~page:0 ~slot:0) in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Btree: key larger than max entry size") (fun () ->
+      ignore (Btree.set_state t big LR.Present))
+
+let test_duplicate_kv_across_leaves () =
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:128 env ~id:1 in
+  (* hundreds of entries with one key value, forcing many leaf splits *)
+  for i = 0 to 299 do
+    ignore (Btree.set_state t (Ikey.make "same" (Rid.make ~page:i ~slot:0)) LR.Present)
+  done;
+  healthy t;
+  Alcotest.(check int) "find_kv sees them all" 300
+    (List.length (Btree.find_kv t "same"));
+  Alcotest.(check int) "range sees them all" 300
+    (List.length (Btree.range t ~lo:"same" ~hi:"same" ()));
+  Alcotest.(check bool) "several leaves" true (Btree.leaf_count t > 3)
+
+let test_empty_all_leaves_then_reuse () =
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:160 env ~id:1 in
+  for i = 0 to 199 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  for i = 0 to 199 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Absent)
+  done;
+  healthy t;
+  Alcotest.(check int) "empty" 0 (Btree.entry_count t);
+  (* the hollowed-out structure keeps working *)
+  for i = 0 to 199 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  healthy t;
+  Alcotest.(check int) "refilled" 200 (Btree.entry_count t)
+
+let test_deep_tree () =
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:96 env ~id:1 in
+  for i = 0 to 999 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  healthy t;
+  Alcotest.(check bool) "at least three levels" true (Btree.depth t >= 3);
+  Alcotest.(check int) "probe works at depth" 0
+    (compare (Btree.read_state t (Tenv.keyn 500)) LR.Present);
+  Alcotest.(check int) "range across the deep tree" 100
+    (List.length (Btree.range t ~lo:"k000400" ~hi:"k000499" ()))
+
+let test_range_degenerate_bounds () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  for i = 0 to 49 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  Alcotest.(check int) "lo > hi is empty" 0
+    (List.length (Btree.range t ~lo:"k000030" ~hi:"k000010" ()));
+  Alcotest.(check int) "lo = hi is a point" 1
+    (List.length (Btree.range t ~lo:"k000030" ~hi:"k000030" ()));
+  Alcotest.(check int) "bounds beyond content" 0
+    (List.length (Btree.range t ~lo:"z" ()))
+
+let test_cursor_random_jumps_fall_back () =
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:160 env ~id:1 in
+  let c = Btree.new_cursor t in
+  let rng = Rng.create 3 in
+  (* wildly non-local inserts through the cursor must stay correct *)
+  let n = 400 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10_000 in
+    Hashtbl.replace seen i ();
+    ignore (Btree.set_state t ~cursor:c (Tenv.keyn i) LR.Present)
+  done;
+  healthy t;
+  Alcotest.(check int) "count matches distinct keys" (Hashtbl.length seen)
+    (Btree.entry_count t)
+
+let test_truncate_below_everything () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:1 in
+  let b = Btree.Bulk.start t in
+  for i = 10 to 500 do
+    Btree.Bulk.add b (Tenv.keyn i)
+  done;
+  Btree.truncate_above t (Some (Tenv.keyn 0));
+  healthy t;
+  Alcotest.(check int) "nothing survives" 0 (Btree.entry_count t);
+  ignore (Btree.set_state t (Tenv.keyn 1) LR.Present);
+  healthy t
+
+let test_open_missing_image () =
+  let env = Tenv.make () in
+  match Btree.open_from_image env.Tenv.pool env.Tenv.kv ~index_id:404 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "phantom image"
+
+let test_double_checkpoint_then_crash () =
+  let env = Tenv.make () in
+  let t = mk_tree env ~id:6 in
+  for i = 0 to 99 do
+    ignore (Btree.set_state t (Tenv.keyn i) LR.Present)
+  done;
+  Btree.checkpoint_image t ~lsn:(Oib_wal.Lsn.of_int 5);
+  Btree.checkpoint_image t ~lsn:(Oib_wal.Lsn.of_int 6);
+  let env' = Tenv.crash env in
+  let t' = Btree.open_from_image env'.Tenv.pool env'.Tenv.kv ~index_id:6 in
+  healthy t';
+  Alcotest.(check int) "content stable across repeated images" 100
+    (Btree.entry_count t')
+
+let prop_interleaved_gc_and_ops =
+  QCheck.Test.make ~name:"ops interleaved with gc keep invariants" ~count:20
+    QCheck.small_nat (fun seed ->
+      let env = Tenv.make ~seed () in
+      let t = mk_tree ~capacity:200 env ~id:1 in
+      let rng = Rng.create seed in
+      for step = 1 to 600 do
+        let k = Tenv.keyn (Rng.int rng 150) in
+        (match Rng.int rng 3 with
+        | 0 -> ignore (Btree.set_state t k LR.Present)
+        | 1 -> ignore (Btree.set_state t k LR.Pseudo_deleted)
+        | _ -> ignore (Btree.set_state t k LR.Absent));
+        if step mod 97 = 0 then
+          ignore (Btree.gc_pseudo_deleted t ~keep:(fun _ -> false))
+      done;
+      Bt_check.check t = [] && Btree.pseudo_count t >= 0)
+
+let test_separator_truncation () =
+  let k kv = Ikey.make kv (Rid.make ~page:0 ~slot:0) in
+  let sep = Bt_node.separator ~before:(k "apple") ~first:(k "banana") in
+  Alcotest.(check string) "one char suffices" "b" sep.Ikey.kv;
+  let sep = Bt_node.separator ~before:(k "abcX") ~first:(k "abcdef") in
+  Alcotest.(check string) "shared prefix extended" "abcd" sep.Ikey.kv;
+  (* duplicates across the split: only the full entry discriminates *)
+  let a = Ikey.make "same" (Rid.make ~page:1 ~slot:0) in
+  let b = Ikey.make "same" (Rid.make ~page:2 ~slot:0) in
+  Alcotest.(check bool) "equal kvs keep full key" true
+    (Ikey.equal (Bt_node.separator ~before:a ~first:b) b);
+  (* the ordering contract in general *)
+  let check_contract before first =
+    let s = Bt_node.separator ~before ~first in
+    Alcotest.(check bool) "before < sep" true (Ikey.compare before s < 0);
+    Alcotest.(check bool) "sep <= first" true (Ikey.compare s first <= 0)
+  in
+  check_contract (k "a") (k "a\x01");
+  check_contract (k "") (k "z");
+  check_contract (k "prefix") (k "prefixed")
+
+let test_truncated_separators_shrink_internals () =
+  (* long keys with a long shared prefix: internal nodes must not pay for
+     the whole keys *)
+  let env = Tenv.make () in
+  let t = mk_tree ~capacity:512 env ~id:1 in
+  for i = 0 to 499 do
+    ignore
+      (Btree.set_state t
+         (Ikey.make
+            (Printf.sprintf "tenant-0042/user-%06d/order" i)
+            (Rid.make ~page:i ~slot:0))
+         LR.Present)
+  done;
+  healthy t;
+  let max_sep_len = ref 0 in
+  let rec walk id =
+    match Btree.node_at t id with
+    | Bt_node.Leaf _ -> ()
+    | Bt_node.Internal n ->
+      for i = 0 to n.nc - 2 do
+        max_sep_len := max !max_sep_len (String.length n.seps.(i).Ikey.kv)
+      done;
+      for i = 0 to n.nc - 1 do
+        walk n.children.(i)
+      done
+  in
+  walk (Btree.root_page_id t);
+  Alcotest.(check bool)
+    (Printf.sprintf "separators truncated (max %d < 27)" !max_sep_len)
+    true
+    (!max_sep_len < 27)
+
+(* --- sort --- *)
+
+let test_sort_empty_input () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  let s = Oib_sort.Sort_phase.start kv store ~ckpt_id:"e" ~memory_keys:8 in
+  let runs = Oib_sort.Sort_phase.finish s in
+  Alcotest.(check int) "one (empty) run" 1 (List.length runs);
+  let out =
+    Oib_sort.Merge_phase.merge kv store ~ckpt_id:"em" ~inputs:runs
+      ~output:"eo" ~ckpt_every:10
+  in
+  Alcotest.(check int) "empty merge" 0 (Oib_sort.Run_store.length out)
+
+let test_sort_single_key () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  let s = Oib_sort.Sort_phase.start kv store ~ckpt_id:"s" ~memory_keys:8 in
+  Oib_sort.Sort_phase.feed_page s ~scan_pos:0 [ Tenv.keyn 1 ];
+  let runs = Oib_sort.Sort_phase.finish s in
+  let out =
+    Oib_sort.Merge_phase.merge kv store ~ckpt_id:"sm" ~inputs:runs
+      ~output:"so" ~ckpt_every:10
+  in
+  Alcotest.(check int) "one key through" 1 (Oib_sort.Run_store.length out)
+
+let test_multipass_merge () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  (* tiny memory => many runs; fan-in 2 => several passes *)
+  let s = Oib_sort.Sort_phase.start kv store ~ckpt_id:"m" ~memory_keys:8 in
+  let rng = Rng.create 7 in
+  let a = Array.init 600 Tenv.keyn in
+  Rng.shuffle rng a;
+  Array.iteri
+    (fun i k -> Oib_sort.Sort_phase.feed_page s ~scan_pos:i [ k ])
+    a;
+  let runs = Oib_sort.Sort_phase.finish s in
+  Alcotest.(check bool)
+    (Printf.sprintf "many runs (%d)" (List.length runs))
+    true
+    (List.length runs > 4);
+  let out =
+    Oib_sort.Merge_phase.merge_all kv store ~ckpt_id:"mm" ~inputs:runs
+      ~output:"mo" ~fan_in:2 ~ckpt_every:1000
+  in
+  Alcotest.(check int) "all keys" 600 (Oib_sort.Run_store.length out);
+  Alcotest.(check bool) "sorted" true (Oib_sort.Run_store.is_sorted out)
+
+let test_feed_page_monotone_positions () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  let s = Oib_sort.Sort_phase.start kv store ~ckpt_id:"p" ~memory_keys:8 in
+  Oib_sort.Sort_phase.feed_page s ~scan_pos:5 [ Tenv.keyn 1 ];
+  (match Oib_sort.Sort_phase.feed_page s ~scan_pos:5 [ Tenv.keyn 2 ] with
+  | exception Assert_failure _ -> ()
+  | () -> Alcotest.fail "non-monotone scan position accepted")
+
+let test_resume_without_checkpoint () =
+  let kv = Oib_storage.Durable_kv.create () in
+  let store = Oib_sort.Run_store.create () in
+  Alcotest.(check bool) "no checkpoint, no sorter" true
+    (Oib_sort.Sort_phase.resume kv store ~ckpt_id:"nope" ~memory_keys:8 = None)
+
+(* --- locks --- *)
+
+let mk_locks ?(seed = 1) () =
+  let sched = Sched.create ~seed () in
+  (sched, LockM.create sched (Oib_sim.Metrics.create ()))
+
+let rid i = LockM.Record (Rid.make ~page:i ~slot:0)
+
+let test_upgrade_deadlock_between_readers () =
+  (* two S holders both upgrading to X: a conversion deadlock; at least one
+     must be chosen as victim *)
+  let sched, lm = mk_locks () in
+  ignore (LockM.lock lm ~txn:1 (rid 1) S);
+  ignore (LockM.lock lm ~txn:2 (rid 1) S);
+  let victims = ref 0 in
+  for t = 1 to 2 do
+    ignore
+      (Sched.spawn sched (fun () ->
+           (match LockM.lock lm ~txn:t (rid 1) X with
+           | LockM.Deadlock ->
+             incr victims;
+             LockM.unlock_all lm ~txn:t
+           | LockM.Granted -> LockM.unlock_all lm ~txn:t)))
+  done;
+  Sched.run sched;
+  Alcotest.(check bool) "a victim was picked" true (!victims >= 1)
+
+let test_is_blocked_by_x () =
+  let _, lm = mk_locks () in
+  ignore (LockM.lock lm ~txn:1 (LockM.Table 9) X);
+  Alcotest.(check bool) "IS vs X" false (LockM.try_lock lm ~txn:2 (LockM.Table 9) IS)
+
+let test_instant_on_own_lock () =
+  let _, lm = mk_locks () in
+  ignore (LockM.lock lm ~txn:1 (rid 1) X);
+  Alcotest.(check bool) "instant on own lock trivially grants" true
+    (LockM.try_instant_lock lm ~txn:1 (rid 1) S);
+  Alcotest.(check bool) "still held in X" true (LockM.holds lm ~txn:1 (rid 1) X)
+
+let test_unlock_all_idempotent () =
+  let _, lm = mk_locks () in
+  ignore (LockM.lock lm ~txn:1 (rid 1) X);
+  LockM.unlock_all lm ~txn:1;
+  LockM.unlock_all lm ~txn:1;
+  Alcotest.(check (list (pair int (of_pp LockM.pp_mode)))) "clean" []
+    (LockM.holders lm (rid 1))
+
+(* --- scheduler --- *)
+
+let test_fiber_exception_propagates () =
+  let s = Sched.create () in
+  ignore (Sched.spawn s (fun () -> failwith "boom"));
+  (match Sched.run s with
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | () -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "fiber accounted dead" 0 (Sched.live_fibers s)
+
+let test_spawn_from_within_fiber () =
+  let s = Sched.create () in
+  let hits = ref 0 in
+  ignore
+    (Sched.spawn s (fun () ->
+         incr hits;
+         ignore (Sched.spawn s (fun () -> incr hits))));
+  Sched.run s;
+  Alcotest.(check int) "nested fiber ran" 2 !hits
+
+let test_crash_trap_cleared () =
+  let s = Sched.create () in
+  Sched.set_crash_trap s (fun _ -> true);
+  Sched.clear_crash_trap s;
+  ignore (Sched.spawn s (fun () -> ()));
+  Sched.run s (* must not raise *)
+
+(* --- heap free-space inventory --- *)
+
+let test_fsip_reuses_freed_space () =
+  let env = Tenv.make () in
+  let hf =
+    Oib_storage.Heap_file.create env.Tenv.pool env.Tenv.kv ~table_id:1
+      ~page_capacity:128
+  in
+  let r = Record.make [| "payload-xxxx" |] in
+  let insert () =
+    let page, slot = Oib_storage.Heap_file.prepare_insert hf r in
+    Oib_storage.Heap_page.put
+      (Oib_storage.Heap_page.of_payload page.Oib_storage.Page.payload)
+      slot r;
+    Oib_sim.Latch.release page.Oib_storage.Page.latch X;
+    Rid.make ~page:page.Oib_storage.Page.id ~slot
+  in
+  let rids = List.init 40 (fun _ -> insert ()) in
+  let pages_before = Oib_storage.Heap_file.page_count hf in
+  (* free a record on the first page and advertise it *)
+  let victim = List.hd rids in
+  let p = Oib_storage.Heap_file.page hf victim.Rid.page in
+  Oib_storage.Heap_page.remove
+    (Oib_storage.Heap_page.of_payload p.Oib_storage.Page.payload)
+    victim.Rid.slot;
+  Oib_storage.Heap_file.note_free hf victim.Rid.page;
+  let back = insert () in
+  Alcotest.(check int) "lands on the freed page" victim.Rid.page back.Rid.page;
+  Alcotest.(check int) "no growth" pages_before
+    (Oib_storage.Heap_file.page_count hf)
+
+(* --- page / node binary codecs --- *)
+
+let gen_record =
+  QCheck.Gen.(
+    map Record.make (array_size (int_range 1 4) (string_size (int_range 0 12))))
+
+let prop_heap_page_codec_roundtrip =
+  QCheck.Test.make ~name:"heap page codec roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) (make gen_record))
+    (fun records ->
+      let hp = Oib_storage.Heap_page.create ~capacity:100_000 in
+      List.iteri
+        (fun i r ->
+          let s = Oib_storage.Heap_page.reserve hp r in
+          Oib_storage.Heap_page.put hp s r;
+          (* punch some holes *)
+          if i mod 3 = 0 then Oib_storage.Heap_page.remove hp s)
+        records;
+      let hp' = Oib_storage.Heap_page.decode (Oib_storage.Heap_page.encode hp) in
+      Oib_storage.Heap_page.records hp' = Oib_storage.Heap_page.records hp
+      && Oib_storage.Heap_page.free_bytes hp' = Oib_storage.Heap_page.free_bytes hp)
+
+let gen_ikey =
+  QCheck.Gen.(
+    let* kv = string_size (int_range 0 16) in
+    let* page = int_bound 1000 in
+    let* slot = int_bound 50 in
+    return (Ikey.make kv (Rid.make ~page ~slot)))
+
+let prop_leaf_codec_roundtrip =
+  QCheck.Test.make ~name:"leaf node codec roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) (make gen_ikey))
+    (fun keys ->
+      let keys = List.sort_uniq Ikey.compare keys in
+      let l = Bt_node.new_leaf () in
+      List.iteri (fun i k -> Bt_node.leaf_insert l k ~pseudo:(i mod 2 = 0)) keys;
+      l.Bt_node.next <- 42;
+      l.Bt_node.high <- (match keys with [] -> None | k :: _ -> Some k);
+      match Bt_node.decode_node (Bt_node.encode_node (Bt_node.Leaf l)) with
+      | Bt_node.Leaf l' ->
+        l'.Bt_node.n = l.Bt_node.n
+        && l'.Bt_node.bytes = l.Bt_node.bytes
+        && l'.Bt_node.next = 42
+        && l'.Bt_node.high = l.Bt_node.high
+        && Array.sub l'.Bt_node.entries 0 l'.Bt_node.n
+           = Array.sub l.Bt_node.entries 0 l.Bt_node.n
+      | Bt_node.Internal _ -> false)
+
+let prop_internal_codec_roundtrip =
+  QCheck.Test.make ~name:"internal node codec roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 20) (make gen_ikey))
+    (fun keys ->
+      let seps =
+        Array.of_list (List.tl (List.sort_uniq Ikey.compare keys))
+      in
+      QCheck.assume (Array.length seps >= 1);
+      let children = Array.init (Array.length seps + 1) (fun i -> 100 + i) in
+      let n = Bt_node.new_internal ~children ~seps in
+      match Bt_node.decode_node (Bt_node.encode_node (Bt_node.Internal n)) with
+      | Bt_node.Internal n' ->
+        n'.Bt_node.nc = n.Bt_node.nc
+        && n'.Bt_node.ibytes = n.Bt_node.ibytes
+        && Array.sub n'.Bt_node.children 0 n'.Bt_node.nc
+           = Array.sub n.Bt_node.children 0 n.Bt_node.nc
+        && Array.sub n'.Bt_node.seps 0 (n'.Bt_node.nc - 1)
+           = Array.sub n.Bt_node.seps 0 (n.Bt_node.nc - 1)
+      | Bt_node.Leaf _ -> false)
+
+let test_codec_rejects_garbage () =
+  (match Oib_storage.Heap_page.decode "garbage" with
+  | exception Binc.Corrupt _ -> ()
+  | _ -> Alcotest.fail "heap codec accepted garbage");
+  match Bt_node.decode_node "\xffgarbage" with
+  | exception Binc.Corrupt _ -> ()
+  | _ -> Alcotest.fail "node codec accepted garbage"
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "oversized key" `Quick test_oversized_key_rejected;
+          Alcotest.test_case "duplicate kv across leaves" `Quick
+            test_duplicate_kv_across_leaves;
+          Alcotest.test_case "empty and refill" `Quick
+            test_empty_all_leaves_then_reuse;
+          Alcotest.test_case "deep tree" `Quick test_deep_tree;
+          Alcotest.test_case "degenerate range bounds" `Quick
+            test_range_degenerate_bounds;
+          Alcotest.test_case "cursor random jumps" `Quick
+            test_cursor_random_jumps_fall_back;
+          Alcotest.test_case "truncate below everything" `Quick
+            test_truncate_below_everything;
+          Alcotest.test_case "open missing image" `Quick test_open_missing_image;
+          Alcotest.test_case "double checkpoint" `Quick
+            test_double_checkpoint_then_crash;
+          Alcotest.test_case "separator truncation" `Quick
+            test_separator_truncation;
+          Alcotest.test_case "truncated separators shrink internals" `Quick
+            test_truncated_separators_shrink_internals;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "empty input" `Quick test_sort_empty_input;
+          Alcotest.test_case "single key" `Quick test_sort_single_key;
+          Alcotest.test_case "multi-pass merge" `Quick test_multipass_merge;
+          Alcotest.test_case "monotone scan positions" `Quick
+            test_feed_page_monotone_positions;
+          Alcotest.test_case "resume without checkpoint" `Quick
+            test_resume_without_checkpoint;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "upgrade deadlock" `Quick
+            test_upgrade_deadlock_between_readers;
+          Alcotest.test_case "IS blocked by X" `Quick test_is_blocked_by_x;
+          Alcotest.test_case "instant on own lock" `Quick test_instant_on_own_lock;
+          Alcotest.test_case "unlock_all idempotent" `Quick
+            test_unlock_all_idempotent;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "exception propagates" `Quick
+            test_fiber_exception_propagates;
+          Alcotest.test_case "spawn within fiber" `Quick
+            test_spawn_from_within_fiber;
+          Alcotest.test_case "crash trap cleared" `Quick test_crash_trap_cleared;
+        ] );
+      ( "heap-fsip",
+        [ Alcotest.test_case "reuses freed space" `Quick test_fsip_reuses_freed_space ]
+      );
+      ( "codecs",
+        [ Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_interleaved_gc_and_ops;
+            prop_heap_page_codec_roundtrip;
+            prop_leaf_codec_roundtrip;
+            prop_internal_codec_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,218 @@
+open Oib_util
+module LM = Oib_lock.Lock_manager
+module Sched = Oib_sim.Sched
+
+let mk ?(seed = 1) () =
+  let sched = Sched.create ~seed () in
+  let metrics = Oib_sim.Metrics.create () in
+  (sched, LM.create sched metrics)
+
+let rid i = LM.Record (Rid.make ~page:i ~slot:0)
+
+let test_grant_and_reentry () =
+  let _, lm = mk () in
+  Alcotest.(check bool) "grant" true (LM.lock lm ~txn:1 (rid 1) X = LM.Granted);
+  Alcotest.(check bool) "reentrant" true (LM.lock lm ~txn:1 (rid 1) S = LM.Granted);
+  Alcotest.(check bool) "holds X" true (LM.holds lm ~txn:1 (rid 1) X)
+
+let test_share_compatible () =
+  let _, lm = mk () in
+  ignore (LM.lock lm ~txn:1 (rid 1) S);
+  Alcotest.(check bool) "second S ok" true (LM.try_lock lm ~txn:2 (rid 1) S);
+  Alcotest.(check bool) "X refused" false (LM.try_lock lm ~txn:3 (rid 1) X)
+
+let test_intention_modes () =
+  let _, lm = mk () in
+  ignore (LM.lock lm ~txn:1 (LM.Table 1) IX);
+  Alcotest.(check bool) "IX+IX ok" true (LM.try_lock lm ~txn:2 (LM.Table 1) IX);
+  Alcotest.(check bool) "IS ok" true (LM.try_lock lm ~txn:3 (LM.Table 1) IS);
+  (* the index builder's quiesce: S table lock must wait for IX updaters *)
+  Alcotest.(check bool) "S blocked by IX" false
+    (LM.try_lock lm ~txn:4 (LM.Table 1) S)
+
+let test_quiesce_then_proceed () =
+  let sched, lm = mk () in
+  let order = ref [] in
+  (* the updater already holds IX when the IB arrives *)
+  ignore (LM.lock lm ~txn:1 (LM.Table 1) IX);
+  ignore
+    (Sched.spawn sched ~name:"updater" (fun () ->
+         Sched.yield sched;
+         order := "updater-done" :: !order;
+         LM.unlock_all lm ~txn:1));
+  ignore
+    (Sched.spawn sched ~name:"ib" (fun () ->
+         (* blocks until the updater commits *)
+         ignore (LM.lock lm ~txn:99 (LM.Table 1) S);
+         order := "ib-quiesced" :: !order;
+         LM.unlock_all lm ~txn:99));
+  Sched.run sched;
+  Alcotest.(check (list string)) "updater first, then IB"
+    [ "updater-done"; "ib-quiesced" ] (List.rev !order)
+
+let test_upgrade () =
+  let _, lm = mk () in
+  ignore (LM.lock lm ~txn:1 (rid 1) S);
+  Alcotest.(check bool) "sole holder upgrades" true
+    (LM.lock lm ~txn:1 (rid 1) X = LM.Granted);
+  Alcotest.(check bool) "now X" true (LM.holds lm ~txn:1 (rid 1) X)
+
+let test_unlock_all_wakes () =
+  let sched, lm = mk () in
+  let got = ref false in
+  ignore (LM.lock lm ~txn:1 (rid 1) X);
+  ignore
+    (Sched.spawn sched ~name:"holder" (fun () ->
+         Sched.yield sched;
+         LM.unlock_all lm ~txn:1));
+  ignore
+    (Sched.spawn sched ~name:"waiter" (fun () ->
+         ignore (LM.lock lm ~txn:2 (rid 1) X);
+         got := true;
+         LM.unlock_all lm ~txn:2));
+  Sched.run sched;
+  Alcotest.(check bool) "waiter eventually granted" true !got
+
+let test_deadlock_detected () =
+  let sched, lm = mk () in
+  let deadlocked = ref 0 in
+  ignore (LM.lock lm ~txn:1 (rid 1) X);
+  ignore (LM.lock lm ~txn:2 (rid 2) X);
+  ignore
+    (Sched.spawn sched ~name:"t1" (fun () ->
+         (match LM.lock lm ~txn:1 (rid 2) X with
+         | LM.Deadlock -> incr deadlocked
+         | LM.Granted -> ());
+         LM.unlock_all lm ~txn:1));
+  ignore
+    (Sched.spawn sched ~name:"t2" (fun () ->
+         (match LM.lock lm ~txn:2 (rid 1) X with
+         | LM.Deadlock -> incr deadlocked
+         | LM.Granted -> ());
+         LM.unlock_all lm ~txn:2));
+  Sched.run sched;
+  Alcotest.(check bool) "at least one victim" true (!deadlocked >= 1)
+
+let test_instant_lock_not_retained () =
+  let _, lm = mk () in
+  Alcotest.(check bool) "instant granted" true
+    (LM.try_instant_lock lm ~txn:1 (rid 1) S);
+  Alcotest.(check bool) "not held afterwards" false (LM.holds lm ~txn:1 (rid 1) S);
+  Alcotest.(check bool) "X by other ok" true (LM.try_lock lm ~txn:2 (rid 1) X)
+
+let test_instant_lock_waits () =
+  let sched, lm = mk () in
+  let order = ref [] in
+  ignore (LM.lock lm ~txn:1 (rid 1) X);
+  ignore
+    (Sched.spawn sched ~name:"holder" (fun () ->
+         Sched.yield sched;
+         order := "release" :: !order;
+         LM.unlock_all lm ~txn:1));
+  ignore
+    (Sched.spawn sched ~name:"checker" (fun () ->
+         (match LM.instant_lock lm ~txn:2 (rid 1) S with
+         | LM.Granted -> order := "instant" :: !order
+         | LM.Deadlock -> Alcotest.fail "unexpected deadlock");
+         LM.unlock_all lm ~txn:2));
+  Sched.run sched;
+  Alcotest.(check (list string)) "waited for holder" [ "release"; "instant" ]
+    (List.rev !order);
+  Alcotest.(check (list (pair int (of_pp LM.pp_mode)))) "nothing held" []
+    (LM.holders lm (rid 1))
+
+let test_conditional_never_blocks () =
+  let _, lm = mk () in
+  ignore (LM.lock lm ~txn:1 (rid 1) X);
+  (* a conditional request in a non-fiber context must return, not block *)
+  Alcotest.(check bool) "refused" false (LM.try_lock lm ~txn:2 (rid 1) S);
+  Alcotest.(check bool) "instant refused" false
+    (LM.try_instant_lock lm ~txn:2 (rid 1) S)
+
+let test_fifo_fairness () =
+  let sched, lm = mk () in
+  let order = ref [] in
+  ignore (LM.lock lm ~txn:1 (rid 1) X);
+  ignore
+    (Sched.spawn sched ~name:"holder" (fun () ->
+         (* hold until both competitors are queued *)
+         while LM.waiter_count lm (rid 1) < 2 do
+           Sched.yield sched
+         done;
+         LM.unlock_all lm ~txn:1));
+  ignore
+    (Sched.spawn sched ~name:"first" (fun () ->
+         ignore (LM.lock lm ~txn:2 (rid 1) X);
+         order := 2 :: !order;
+         Sched.yield sched;
+         LM.unlock_all lm ~txn:2));
+  ignore
+    (Sched.spawn sched ~name:"second" (fun () ->
+         while LM.waiter_count lm (rid 1) < 1 do
+           Sched.yield sched
+         done;
+         ignore (LM.lock lm ~txn:3 (rid 1) X);
+         order := 3 :: !order;
+         LM.unlock_all lm ~txn:3));
+  Sched.run sched;
+  Alcotest.(check (list int)) "fifo" [ 2; 3 ] (List.rev !order)
+
+let prop_no_incompatible_coholders =
+  QCheck.Test.make ~name:"no incompatible co-holders under random traffic"
+    ~count:30 QCheck.small_nat (fun seed ->
+      let sched, lm = mk ~seed () in
+      let ok = ref true in
+      let names = Array.init 5 rid in
+      for txn = 1 to 6 do
+        ignore
+          (Sched.spawn sched (fun () ->
+               let rng = Rng.create (seed + txn) in
+               for _ = 1 to 20 do
+                 let name = names.(Rng.int rng 5) in
+                 let mode = if Rng.bool rng then LM.S else LM.X in
+                 (match LM.lock lm ~txn name mode with
+                 | LM.Granted ->
+                   (* X must be exclusive *)
+                   let hs = LM.holders lm name in
+                   if
+                     List.exists (fun (_, m) -> m = LM.X) hs
+                     && List.length hs > 1
+                   then ok := false;
+                   Sched.yield sched
+                 | LM.Deadlock -> LM.unlock_all lm ~txn);
+                 ()
+               done;
+               LM.unlock_all lm ~txn))
+      done;
+      Sched.run sched;
+      !ok)
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "grant and reentry" `Quick test_grant_and_reentry;
+          Alcotest.test_case "share compatible" `Quick test_share_compatible;
+          Alcotest.test_case "intention modes" `Quick test_intention_modes;
+          Alcotest.test_case "upgrade" `Quick test_upgrade;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "quiesce then proceed" `Quick test_quiesce_then_proceed;
+          Alcotest.test_case "unlock_all wakes" `Quick test_unlock_all_wakes;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "fifo fairness" `Quick test_fifo_fairness;
+        ] );
+      ( "durations",
+        [
+          Alcotest.test_case "instant not retained" `Quick
+            test_instant_lock_not_retained;
+          Alcotest.test_case "instant waits" `Quick test_instant_lock_waits;
+          Alcotest.test_case "conditional never blocks" `Quick
+            test_conditional_never_blocks;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_no_incompatible_coholders ]
+      );
+    ]

@@ -1,0 +1,211 @@
+(* Crash injection during online index builds: at any scheduler step, the
+   system may die; after restart recovery, the interrupted build must be
+   resumable from its checkpoints and the final index must be exactly
+   consistent with the table. *)
+
+open Oib_core
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+
+let test_cfg alg =
+  {
+    (Ib.default_config alg) with
+    ckpt_every_pages = 8;
+    ckpt_every_keys = 64;
+    memory_keys = 64;
+  }
+
+let setup ~seed =
+  let ctx = Engine.create ~seed ~page_capacity:512 () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  ctx
+
+(* One full scenario: populate, run workload + build, crash at [crash_step],
+   recover, resume the build (or start it if it never began), run more
+   workload, verify. Returns the oracle errors and whether the index is
+   Ready. *)
+let crash_scenario ~alg ~seed ~crash_step =
+  let ctx = setup ~seed in
+  let _ = Driver.populate ctx ~table:1 ~rows:150 ~seed in
+  let wcfg = { Driver.default with seed; workers = 3; txns_per_worker = 40 } in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (test_cfg alg) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.set_crash_trap ctx.Ctx.sched (fun steps -> steps >= crash_step);
+  let crashed =
+    match Sched.run ctx.Ctx.sched with
+    | () -> false
+    | exception Sched.Crashed -> true
+  in
+  (* random steal before the lights go out *)
+  Oib_storage.Buffer_pool.flush_some ctx.Ctx.pool
+    (Oib_util.Rng.create (seed + 7))
+    0.5;
+  let ctx' = Engine.crash ~seed:(seed + 1) ctx in
+  (* second life *)
+  ignore
+    (Sched.spawn ctx'.Ctx.sched ~name:"ib-resume" (fun () ->
+         Ib.resume_builds ctx' (test_cfg alg);
+         (* if the crash predated the descriptor, build from scratch *)
+         match Catalog.index ctx'.Ctx.catalog 10 with
+         | _ -> ()
+         | exception Invalid_argument _ ->
+           Ib.build_index ctx' (test_cfg alg) ~table:1
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  let wcfg' = { wcfg with seed = seed + 50; txns_per_worker = 15 } in
+  let _ = Driver.spawn_workers ctx' wcfg' ~table:1 in
+  Sched.run ctx'.Ctx.sched;
+  let ready = (Catalog.index ctx'.Ctx.catalog 10).phase = Catalog.Ready in
+  (Engine.consistency_errors ctx', ready, crashed)
+
+let check_scenario ~alg ~seed ~crash_step =
+  let errs, ready, _ = crash_scenario ~alg ~seed ~crash_step in
+  Alcotest.(check (list string))
+    (Printf.sprintf "oracle clean (alg=%s seed=%d step=%d)"
+       (match alg with Ib.Nsf -> "nsf" | Ib.Sf -> "sf")
+       seed crash_step)
+    [] errs;
+  Alcotest.(check bool) "index ready" true ready
+
+(* measure how many steps a full run takes, to aim crash points at every
+   stage *)
+let full_run_steps alg =
+  let ctx = setup ~seed:2 in
+  let _ = Driver.populate ctx ~table:1 ~rows:150 ~seed:2 in
+  let wcfg = { Driver.default with seed = 2; workers = 3; txns_per_worker = 40 } in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (test_cfg alg) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  Sched.steps ctx.Ctx.sched
+
+let test_nsf_early_crash () = check_scenario ~alg:Ib.Nsf ~seed:2 ~crash_step:50
+
+let test_nsf_mid_crash () =
+  let steps = full_run_steps Ib.Nsf in
+  check_scenario ~alg:Ib.Nsf ~seed:2 ~crash_step:(steps / 2)
+
+let test_nsf_late_crash () =
+  let steps = full_run_steps Ib.Nsf in
+  check_scenario ~alg:Ib.Nsf ~seed:2 ~crash_step:(9 * steps / 10)
+
+let test_sf_early_crash () = check_scenario ~alg:Ib.Sf ~seed:2 ~crash_step:50
+
+let test_sf_mid_crash () =
+  let steps = full_run_steps Ib.Sf in
+  check_scenario ~alg:Ib.Sf ~seed:2 ~crash_step:(steps / 2)
+
+let test_sf_late_crash () =
+  let steps = full_run_steps Ib.Sf in
+  check_scenario ~alg:Ib.Sf ~seed:2 ~crash_step:(19 * steps / 20)
+
+let test_double_crash () =
+  (* crash, recover, crash again immediately, recover, then finish *)
+  let ctx = setup ~seed:5 in
+  let _ = Driver.populate ctx ~table:1 ~rows:120 ~seed:5 in
+  let wcfg = { Driver.default with seed = 5; workers = 2; txns_per_worker = 30 } in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (test_cfg Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.set_crash_trap ctx.Ctx.sched (fun steps -> steps >= 2000);
+  (try Sched.run ctx.Ctx.sched with Sched.Crashed -> ());
+  let ctx' = Engine.crash ctx in
+  (* second life crashes very quickly too *)
+  ignore
+    (Sched.spawn ctx'.Ctx.sched ~name:"ib-resume" (fun () ->
+         Ib.resume_builds ctx' (test_cfg Ib.Sf)));
+  Sched.set_crash_trap ctx'.Ctx.sched (fun steps -> steps >= 300);
+  (try Sched.run ctx'.Ctx.sched with Sched.Crashed -> ());
+  let ctx'' = Engine.crash ctx' in
+  ignore
+    (Sched.spawn ctx''.Ctx.sched ~name:"ib-resume2" (fun () ->
+         Ib.resume_builds ctx'' (test_cfg Ib.Sf);
+         match Catalog.index ctx''.Ctx.catalog 10 with
+         | _ -> ()
+         | exception Invalid_argument _ ->
+           Ib.build_index ctx'' (test_cfg Ib.Sf) ~table:1
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx''.Ctx.sched;
+  Alcotest.(check (list string)) "oracle clean after two crashes" []
+    (Engine.consistency_errors ctx'');
+  Alcotest.(check bool) "ready" true
+    ((Catalog.index ctx''.Ctx.catalog 10).phase = Catalog.Ready)
+
+let test_resume_does_not_rescan_everything () =
+  (* the point of the restartable sort: after a crash late in the scan, the
+     resumed build rescans only the tail *)
+  let ctx = setup ~seed:3 in
+  let _ = Driver.populate ctx ~table:1 ~rows:400 ~seed:3 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (test_cfg Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  (* let it scan a while: each page costs ~1 step (one yield per page) *)
+  Sched.set_crash_trap ctx.Ctx.sched (fun steps -> steps >= 60);
+  (try Sched.run ctx.Ctx.sched with Sched.Crashed -> ());
+  let before = ctx.Ctx.metrics.sequential_reads in
+  let ctx' = Engine.crash ctx in
+  ignore
+    (Sched.spawn ctx'.Ctx.sched ~name:"ib-resume" (fun () ->
+         Ib.resume_builds ctx' (test_cfg Ib.Sf)));
+  Sched.run ctx'.Ctx.sched;
+  let rescan = ctx'.Ctx.metrics.sequential_reads - before in
+  let total_pages =
+    Oib_storage.Heap_file.page_count (Catalog.table ctx'.Ctx.catalog 1).heap
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rescanned %d of %d pages" rescan total_pages)
+    true
+    (rescan < total_pages);
+  Alcotest.(check (list string)) "oracle clean" []
+    (Engine.consistency_errors ctx')
+
+let prop_crash_anywhere_nsf =
+  QCheck.Test.make ~name:"NSF: crash anywhere, recover, finish" ~count:14
+    QCheck.(pair small_nat (int_bound 99))
+    (fun (seed, pct) ->
+      let steps = 14000 in
+      let crash_step = max 30 (steps * pct / 100) in
+      let errs, ready, _ = crash_scenario ~alg:Ib.Nsf ~seed ~crash_step in
+      errs = [] && ready)
+
+let prop_crash_anywhere_sf =
+  QCheck.Test.make ~name:"SF: crash anywhere, recover, finish" ~count:14
+    QCheck.(pair small_nat (int_bound 99))
+    (fun (seed, pct) ->
+      let steps = 14000 in
+      let crash_step = max 30 (steps * pct / 100) in
+      let errs, ready, _ = crash_scenario ~alg:Ib.Sf ~seed ~crash_step in
+      errs = [] && ready)
+
+let () =
+  Alcotest.run "restart"
+    [
+      ( "nsf",
+        [
+          Alcotest.test_case "early crash" `Quick test_nsf_early_crash;
+          Alcotest.test_case "mid crash" `Quick test_nsf_mid_crash;
+          Alcotest.test_case "late crash" `Quick test_nsf_late_crash;
+        ] );
+      ( "sf",
+        [
+          Alcotest.test_case "early crash" `Quick test_sf_early_crash;
+          Alcotest.test_case "mid crash" `Quick test_sf_mid_crash;
+          Alcotest.test_case "late crash" `Quick test_sf_late_crash;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "double crash" `Quick test_double_crash;
+          Alcotest.test_case "bounded rescan" `Quick
+            test_resume_does_not_rescan_everything;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_crash_anywhere_nsf; prop_crash_anywhere_sf ] );
+    ]

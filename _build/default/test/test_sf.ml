@@ -1,0 +1,323 @@
+open Oib_core
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+
+let setup ?(seed = 3) () =
+  let ctx = Engine.create ~seed ~page_capacity:512 () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  ctx
+
+let online_build ?(seed = 3) ?(rows = 300) ?(workers = 4) ?(txns = 25)
+    ?(cfg = Ib.default_config Ib.Sf) () =
+  let ctx = setup ~seed () in
+  let _ = Driver.populate ctx ~table:1 ~rows ~seed in
+  let wcfg = { Driver.default with seed; workers; txns_per_worker = txns } in
+  let stats = Driver.spawn_workers ctx wcfg ~table:1 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx cfg ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  (ctx, stats)
+
+let check_clean ctx =
+  Alcotest.(check (list string)) "oracle clean" [] (Engine.consistency_errors ctx)
+
+let test_build_quiet_table () =
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:500 ~seed:9 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx;
+  let info = Catalog.index ctx.Ctx.catalog 10 in
+  Alcotest.(check bool) "ready" true (info.phase = Catalog.Ready);
+  Alcotest.(check int) "all keys" 500 (Oib_btree.Btree.present_count info.tree);
+  (* bottom-up build on a quiet table: perfectly clustered *)
+  Alcotest.(check (float 0.001)) "clustered" 1.0
+    (Oib_btree.Bt_check.clustering info.tree)
+
+let test_build_under_fire () =
+  let ctx, stats = online_build () in
+  Alcotest.(check bool) "transactions ran during build" true
+    ((!stats).committed > 30);
+  check_clean ctx;
+  Alcotest.(check bool) "side-file was used" true
+    (ctx.Ctx.metrics.sidefile_appends > 0);
+  Alcotest.(check bool) "ready" true
+    ((Catalog.index ctx.Ctx.catalog 10).phase = Catalog.Ready)
+
+let test_no_quiesce () =
+  (* SF never takes the table S lock: a long-running updater cannot delay
+     the build's start *)
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:100 ~seed:1 in
+  let order = ref [] in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"updater" (fun () ->
+         let txn = Oib_txn.Txn_manager.begin_txn ctx.Ctx.txns in
+         ignore
+           (Table_ops.insert ctx txn ~table:1 (Oib_util.Record.make [| "x"; "y" |]));
+         for _ = 1 to 200 do
+           Sched.yield ctx.Ctx.sched
+         done;
+         order := "updater-commit" :: !order;
+         Oib_txn.Txn_manager.commit ctx.Ctx.txns txn));
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Sched.yield ctx.Ctx.sched;
+         Sched.yield ctx.Ctx.sched;
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false };
+         order := "build-done" :: !order));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx;
+  Alcotest.(check (list string)) "build finishes under the open transaction"
+    [ "build-done"; "updater-commit" ] (List.rev !order)
+
+let test_visibility_rule () =
+  (* a transaction behind the scan appends to the side-file; ahead of the
+     scan it does nothing *)
+  let ctx = setup () in
+  let rows = Driver.populate ctx ~table:1 ~rows:50 ~seed:1 in
+  ignore rows;
+  let info_ref = ref None in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx
+           { (Ib.default_config Ib.Sf) with ckpt_every_pages = 1000 }
+           ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"probe" (fun () ->
+         (* wait until the build is in progress with a live scan position *)
+         let rec wait () =
+           match Catalog.index ctx.Ctx.catalog 10 with
+           | info -> info_ref := Some info
+           | exception Invalid_argument _ ->
+             Sched.yield ctx.Ctx.sched;
+             wait ()
+         in
+         wait ()));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx;
+  match !info_ref with
+  | Some _ -> () (* descriptor appeared while the build ran: no quiesce *)
+  | None -> Alcotest.fail "descriptor never observed"
+
+let test_sidefile_rollback_compensation () =
+  (* a transaction whose ops straddle the scan position and then rolls
+     back: Figure 2's compensation path *)
+  let ctx = setup () in
+  let rids = Driver.populate ctx ~table:1 ~rows:200 ~seed:7 in
+  let aborted = ref false in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"straddler" (fun () ->
+         let txn = Oib_txn.Txn_manager.begin_txn ctx.Ctx.txns in
+         (* touch the first and last rows, then roll back mid-build *)
+         Table_ops.update ctx txn ~table:1 rids.(0)
+           (Oib_util.Record.make [| "early"; "e" |]);
+         Table_ops.update ctx txn ~table:1
+           rids.(Array.length rids - 1)
+           (Oib_util.Record.make [| "late"; "l" |]);
+         for _ = 1 to 30 do
+           Sched.yield ctx.Ctx.sched
+         done;
+         Table_ops.rollback ctx txn;
+         aborted := true));
+  Sched.run ctx.Ctx.sched;
+  Alcotest.(check bool) "rollback happened" true !aborted;
+  check_clean ctx
+
+let test_file_extension_after_scan () =
+  (* records inserted into pages created after the scan noted its last page
+     must reach the index via the side-file (Current-RID = infinity) *)
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:100 ~seed:3 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"extender" (fun () ->
+         for i = 0 to 80 do
+           (match
+              Engine.run_txn ctx (fun txn ->
+                  ignore
+                    (Table_ops.insert ctx txn ~table:1
+                       (Oib_util.Record.make
+                          [| Printf.sprintf "ext%03d" i; "p" |])))
+            with
+           | Ok () -> ()
+           | Error _ -> ());
+           Sched.yield ctx.Ctx.sched
+         done));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx
+
+let test_sorted_sidefile_application () =
+  let cfg = { (Ib.default_config Ib.Sf) with sort_sidefile = true } in
+  let ctx, _ = online_build ~cfg () in
+  check_clean ctx
+
+let test_sf_vs_nsf_efficiency () =
+  (* §4: SF writes no log records for the base load and avoids traversals *)
+  let run alg =
+    let ctx = setup ~seed:11 () in
+    let _ = Driver.populate ctx ~table:1 ~rows:400 ~seed:11 in
+    let before = Oib_sim.Metrics.snapshot ctx.Ctx.metrics in
+    ignore
+      (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+           Ib.build_index ctx (Ib.default_config alg) ~table:1
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+    Sched.run ctx.Ctx.sched;
+    check_clean ctx;
+    Oib_sim.Metrics.diff ~after:(Oib_sim.Metrics.snapshot ctx.Ctx.metrics) ~before
+  in
+  let sf = run Ib.Sf and nsf = run Ib.Nsf in
+  Alcotest.(check bool)
+    (Printf.sprintf "SF logs less during build (sf=%d nsf=%d)" sf.log_bytes
+       nsf.log_bytes)
+    true
+    (sf.log_bytes < nsf.log_bytes);
+  Alcotest.(check bool)
+    (Printf.sprintf "SF latches less (sf=%d nsf=%d)" sf.latch_acquires
+       nsf.latch_acquires)
+    true
+    (sf.latch_acquires < nsf.latch_acquires)
+
+let test_unique_build_violation_cancels () =
+  let ctx = setup () in
+  (match
+     Engine.run_txn ctx (fun txn ->
+         ignore (Table_ops.insert ctx txn ~table:1 (Oib_util.Record.make [| "dup"; "1" |]));
+         ignore (Table_ops.insert ctx txn ~table:1 (Oib_util.Record.make [| "dup"; "2" |])))
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "populate failed");
+  let got = ref false in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         match
+           Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = true }
+         with
+        | () -> ()
+        | exception Ib.Build_unique_violation _ -> got := true));
+  Sched.run ctx.Ctx.sched;
+  Alcotest.(check bool) "violation detected" true !got
+
+let test_unique_build_success_under_fire () =
+  let ctx = setup ~seed:13 () in
+  (* unique column: use the payload column with distinct values *)
+  (match
+     Engine.run_txn ctx (fun txn ->
+         for i = 0 to 149 do
+           ignore
+             (Table_ops.insert ctx txn ~table:1
+                (Oib_util.Record.make [| "v"; Printf.sprintf "u%05d" i |]))
+         done)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "populate failed");
+  (* concurrent inserters with fresh unique values *)
+  let ctr = ref 1000 in
+  for w = 0 to 2 do
+    ignore
+      (Sched.spawn ctx.Ctx.sched ~name:(Printf.sprintf "w%d" w) (fun () ->
+           for _ = 1 to 20 do
+             incr ctr;
+             let v = Printf.sprintf "u%05d" !ctr in
+             (match
+                Engine.run_txn ctx (fun txn ->
+                    ignore
+                      (Table_ops.insert ctx txn ~table:1
+                         (Oib_util.Record.make [| "v"; v |])))
+              with
+             | Ok () -> ()
+             | Error _ -> ());
+             Sched.yield ctx.Ctx.sched
+           done))
+  done;
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 1 ]; unique = true }));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx;
+  Alcotest.(check bool) "ready" true
+    ((Catalog.index ctx.Ctx.catalog 10).phase = Catalog.Ready)
+
+let test_multi_index_one_scan () =
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:200 ~seed:2 in
+  let wcfg = { Driver.default with workers = 2; txns_per_worker = 15 } in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_indexes ctx (Ib.default_config Ib.Sf) ~table:1
+           [
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = false };
+             { Ib.index_id = 11; key_cols = [ 1 ]; unique = false };
+           ]));
+  Sched.run ctx.Ctx.sched;
+  check_clean ctx;
+  Alcotest.(check bool) "both ready" true
+    ((Catalog.index ctx.Ctx.catalog 10).phase = Catalog.Ready
+    && (Catalog.index ctx.Ctx.catalog 11).phase = Catalog.Ready)
+
+let prop_sf_seeds =
+  QCheck.Test.make ~name:"SF online build consistent across seeds" ~count:12
+    QCheck.small_nat (fun seed ->
+      let ctx, _ = online_build ~seed ~rows:120 ~workers:3 ~txns:12 () in
+      Engine.consistency_errors ctx = []
+      && (Catalog.index ctx.Ctx.catalog 10).phase = Catalog.Ready)
+
+let prop_sf_sorted_sidefile_seeds =
+  QCheck.Test.make ~name:"SF with sorted side-file consistent" ~count:8
+    QCheck.small_nat (fun seed ->
+      let cfg = { (Ib.default_config Ib.Sf) with sort_sidefile = true } in
+      let ctx, _ = online_build ~seed ~rows:100 ~workers:3 ~txns:10 ~cfg () in
+      Engine.consistency_errors ctx = [])
+
+let () =
+  Alcotest.run "sf"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "quiet table" `Quick test_build_quiet_table;
+          Alcotest.test_case "under concurrent updates" `Quick
+            test_build_under_fire;
+          Alcotest.test_case "no quiesce" `Quick test_no_quiesce;
+          Alcotest.test_case "descriptor visible during build" `Quick
+            test_visibility_rule;
+          Alcotest.test_case "rollback compensation" `Quick
+            test_sidefile_rollback_compensation;
+          Alcotest.test_case "file extension after scan" `Quick
+            test_file_extension_after_scan;
+          Alcotest.test_case "sorted side-file application" `Quick
+            test_sorted_sidefile_application;
+        ] );
+      ( "comparison",
+        [ Alcotest.test_case "SF cheaper than NSF" `Quick test_sf_vs_nsf_efficiency ]
+      );
+      ( "unique",
+        [
+          Alcotest.test_case "violation cancels" `Quick
+            test_unique_build_violation_cancels;
+          Alcotest.test_case "success under fire" `Quick
+            test_unique_build_success_under_fire;
+        ] );
+      ( "extensions",
+        [ Alcotest.test_case "multi-index one scan" `Quick test_multi_index_one_scan ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sf_seeds; prop_sf_sorted_sidefile_seeds ] );
+    ]

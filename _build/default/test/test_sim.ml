@@ -1,0 +1,257 @@
+module Sched = Oib_sim.Sched
+module Latch = Oib_sim.Latch
+module Metrics = Oib_sim.Metrics
+
+let test_fibers_complete () =
+  let s = Sched.create ~seed:1 () in
+  let done_count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sched.spawn s (fun () ->
+           Sched.yield s;
+           incr done_count))
+  done;
+  Sched.run s;
+  Alcotest.(check int) "all ran" 10 !done_count;
+  Alcotest.(check int) "no live fibers" 0 (Sched.live_fibers s)
+
+let test_interleaving_deterministic () =
+  let trace seed =
+    let s = Sched.create ~seed () in
+    let log = ref [] in
+    for f = 0 to 2 do
+      ignore
+        (Sched.spawn s (fun () ->
+             for i = 0 to 4 do
+               log := (f, i) :: !log;
+               Sched.yield s
+             done))
+    done;
+    Sched.run s;
+    List.rev !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 5 = trace 5);
+  Alcotest.(check bool) "different seed, different trace" true
+    (trace 5 <> trace 6)
+
+let test_yield_outside_fiber_noop () =
+  let s = Sched.create () in
+  Sched.yield s (* must not raise *)
+
+let test_deadlock_detected () =
+  let s = Sched.create () in
+  let m = Metrics.create () in
+  let a = Latch.create ~name:"a" s m and b = Latch.create ~name:"b" s m in
+  ignore
+    (Sched.spawn s ~name:"f1" (fun () ->
+         Latch.acquire a X;
+         Sched.yield s;
+         Latch.acquire b X;
+         Latch.release b X;
+         Latch.release a X));
+  ignore
+    (Sched.spawn s ~name:"f2" (fun () ->
+         Latch.acquire b X;
+         Sched.yield s;
+         Latch.acquire a X;
+         Latch.release a X;
+         Latch.release b X));
+  (match Sched.run s with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sched.Deadlock _ -> ())
+
+let test_crash_trap () =
+  let s = Sched.create () in
+  let progress = ref 0 in
+  ignore
+    (Sched.spawn s (fun () ->
+         for _ = 1 to 100 do
+           incr progress;
+           Sched.yield s
+         done));
+  Sched.set_crash_trap s (fun steps -> steps >= 10);
+  (match Sched.run s with
+  | () -> Alcotest.fail "expected Crashed"
+  | exception Sched.Crashed -> ());
+  Alcotest.(check bool) "partial progress" true (!progress > 0 && !progress < 100)
+
+let test_request_crash () =
+  let s = Sched.create () in
+  ignore (Sched.spawn s (fun () -> Sched.request_crash s));
+  ignore (Sched.spawn s (fun () -> ()));
+  match Sched.run s with
+  | () -> Alcotest.fail "expected Crashed"
+  | exception Sched.Crashed -> ()
+
+let test_cond_signal () =
+  let s = Sched.create () in
+  let c = Sched.Cond.create s in
+  let woke = ref false in
+  ignore
+    (Sched.spawn s ~name:"waiter" (fun () ->
+         Sched.Cond.wait c;
+         woke := true));
+  ignore
+    (Sched.spawn s ~name:"signaller" (fun () ->
+         while Sched.Cond.waiters c < 1 do
+           Sched.yield s
+         done;
+         Sched.Cond.signal c));
+  Sched.run s;
+  Alcotest.(check bool) "woken" true !woke
+
+let test_cond_broadcast () =
+  let s = Sched.create () in
+  let c = Sched.Cond.create s in
+  let woke = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Sched.spawn s (fun () ->
+           Sched.Cond.wait c;
+           incr woke))
+  done;
+  ignore
+    (Sched.spawn s (fun () ->
+         while Sched.Cond.waiters c < 5 do
+           Sched.yield s
+         done;
+         Sched.Cond.broadcast c));
+  Sched.run s;
+  Alcotest.(check int) "all woken" 5 !woke
+
+(* --- latches --- *)
+
+let test_latch_shared_readers () =
+  let s = Sched.create () in
+  let m = Metrics.create () in
+  let l = Latch.create s m in
+  Latch.acquire l S;
+  Latch.acquire l S;
+  Alcotest.(check int) "two S holders" 2 (Latch.holders l);
+  Alcotest.(check bool) "X refused" false (Latch.try_acquire l X);
+  Latch.release l S;
+  Latch.release l S;
+  Alcotest.(check bool) "X after release" true (Latch.try_acquire l X);
+  Latch.release l X
+
+let test_latch_blocks_writer_until_readers_leave () =
+  let s = Sched.create () in
+  let m = Metrics.create () in
+  let l = Latch.create s m in
+  let order = ref [] in
+  ignore
+    (Sched.spawn s ~name:"reader" (fun () ->
+         Latch.acquire l S;
+         order := "r-in" :: !order;
+         Sched.yield s;
+         Sched.yield s;
+         order := "r-out" :: !order;
+         Latch.release l S));
+  ignore
+    (Sched.spawn s ~name:"writer" (fun () ->
+         Sched.yield s;
+         Latch.acquire l X;
+         order := "w-in" :: !order;
+         Latch.release l X));
+  Sched.run s;
+  let order = List.rev !order in
+  Alcotest.(check (list string)) "writer waits for reader"
+    [ "r-in"; "r-out"; "w-in" ] order
+
+let test_latch_fifo_no_starvation () =
+  (* With an X waiter queued, later S requests must not jump the queue. *)
+  let s = Sched.create ~seed:3 () in
+  let m = Metrics.create () in
+  let l = Latch.create s m in
+  let order = ref [] in
+  ignore
+    (Sched.spawn s ~name:"holder" (fun () ->
+         Latch.acquire l S;
+         Sched.yield s;
+         Sched.yield s;
+         Sched.yield s;
+         Latch.release l S));
+  ignore
+    (Sched.spawn s ~name:"writer" (fun () ->
+         Sched.yield s;
+         Latch.acquire l X;
+         order := "w" :: !order;
+         Latch.release l X));
+  ignore
+    (Sched.spawn s ~name:"late-reader" (fun () ->
+         Sched.yield s;
+         Sched.yield s;
+         Latch.acquire l S;
+         order := "r" :: !order;
+         Latch.release l S));
+  Sched.run s;
+  Alcotest.(check (list string)) "writer first" [ "w"; "r" ] (List.rev !order)
+
+let test_with_latch_releases_on_exception () =
+  let s = Sched.create () in
+  let m = Metrics.create () in
+  let l = Latch.create s m in
+  (try Latch.with_latch l X (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "released" true (Latch.is_free l)
+
+let test_metrics_diff () =
+  let m = Metrics.create () in
+  m.page_reads <- 5;
+  let before = Metrics.snapshot m in
+  m.page_reads <- 9;
+  m.log_records <- 3;
+  let d = Metrics.diff ~after:(Metrics.snapshot m) ~before in
+  Alcotest.(check int) "page_reads delta" 4 d.page_reads;
+  Alcotest.(check int) "log_records delta" 3 d.log_records
+
+let prop_scheduler_deterministic =
+  QCheck.Test.make ~name:"trace depends only on seed" ~count:30 QCheck.small_nat
+    (fun seed ->
+      let run () =
+        let s = Sched.create ~seed () in
+        let log = ref [] in
+        for f = 0 to 3 do
+          ignore
+            (Sched.spawn s (fun () ->
+                 for i = 0 to 3 do
+                   log := ((f * 10) + i) :: !log;
+                   Sched.yield s
+                 done))
+        done;
+        Sched.run s;
+        !log
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "fibers complete" `Quick test_fibers_complete;
+          Alcotest.test_case "deterministic interleaving" `Quick
+            test_interleaving_deterministic;
+          Alcotest.test_case "yield outside fiber" `Quick
+            test_yield_outside_fiber_noop;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "crash trap" `Quick test_crash_trap;
+          Alcotest.test_case "request crash" `Quick test_request_crash;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "signal" `Quick test_cond_signal;
+          Alcotest.test_case "broadcast" `Quick test_cond_broadcast;
+        ] );
+      ( "latch",
+        [
+          Alcotest.test_case "shared readers" `Quick test_latch_shared_readers;
+          Alcotest.test_case "writer waits" `Quick
+            test_latch_blocks_writer_until_readers_leave;
+          Alcotest.test_case "fifo fairness" `Quick test_latch_fifo_no_starvation;
+          Alcotest.test_case "with_latch exception safe" `Quick
+            test_with_latch_releases_on_exception;
+        ] );
+      ("metrics", [ Alcotest.test_case "diff" `Quick test_metrics_diff ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_scheduler_deterministic ] );
+    ]

@@ -1,0 +1,146 @@
+module Txn = Oib_txn.Txn_manager
+module LR = Oib_wal.Log_record
+module Lsn = Oib_wal.Lsn
+module LM = Oib_wal.Log_manager
+
+let mk () =
+  let sched = Oib_sim.Sched.create () in
+  let metrics = Oib_sim.Metrics.create () in
+  let log = LM.create metrics in
+  let locks = Oib_lock.Lock_manager.create sched metrics in
+  (log, locks, Txn.create log locks metrics)
+
+let heap_body page =
+  LR.Heap
+    {
+      page;
+      visible_indexes = 0;
+      sidefiled = [];
+      op =
+        LR.Heap_insert
+          {
+            rid = Oib_util.Rid.make ~page ~slot:0;
+            record = Oib_util.Record.make [| "x" |];
+          };
+    }
+
+let test_commit_forces_log () =
+  let log, _, tm = mk () in
+  let txn = Txn.begin_txn tm in
+  let lsn = Txn.log_op tm txn (heap_body 1) in
+  Alcotest.(check bool) "not yet durable" true (Lsn.( < ) (LM.flushed_lsn log) lsn);
+  Txn.commit tm txn;
+  Alcotest.(check bool) "durable after commit" true
+    (Lsn.( >= ) (LM.flushed_lsn log) lsn);
+  Alcotest.(check bool) "status" true (Txn.status txn = Txn.Committed)
+
+let test_commit_releases_locks () =
+  let _, locks, tm = mk () in
+  let txn = Txn.begin_txn tm in
+  let name = Oib_lock.Lock_manager.Table 1 in
+  ignore (Oib_lock.Lock_manager.lock locks ~txn:(Txn.id txn) name X);
+  Txn.commit tm txn;
+  Alcotest.(check bool) "released" true
+    (Oib_lock.Lock_manager.try_lock locks ~txn:999 name X)
+
+let test_rollback_undoes_in_reverse () =
+  let _, _, tm = mk () in
+  let txn = Txn.begin_txn tm in
+  ignore (Txn.log_op tm txn (heap_body 1));
+  ignore (Txn.log_op tm txn (heap_body 2));
+  ignore (Txn.log_op tm txn (heap_body 3));
+  let undone = ref [] in
+  Txn.rollback tm txn ~undo:(fun body ~clr ->
+      (match body with
+      | LR.Heap { page; _ } -> undone := page :: !undone
+      | _ -> ());
+      ignore (clr body));
+  Alcotest.(check (list int)) "reverse order" [ 3; 2; 1 ] (List.rev !undone);
+  Alcotest.(check bool) "status" true (Txn.status txn = Txn.Aborted)
+
+let test_clr_chain_skips_on_restart () =
+  (* interrupting a rollback and restarting it must not undo anything
+     twice: the CLR's undo_next pointers skip compensated records *)
+  let log, _, tm = mk () in
+  let txn = Txn.begin_txn tm in
+  ignore (Txn.log_op tm txn (heap_body 1));
+  ignore (Txn.log_op tm txn (heap_body 2));
+  (* partial rollback: undo only the newest record, then "crash" *)
+  let steps = ref 0 in
+  (try
+     Txn.rollback tm txn ~undo:(fun body ~clr ->
+         incr steps;
+         ignore (clr body);
+         if !steps = 1 then failwith "crash")
+   with Failure _ -> ());
+  LM.flush_all log;
+  (* restart: adopt at the last CLR and finish the rollback *)
+  let survivor = LM.crash log in
+  let metrics = Oib_sim.Metrics.create () in
+  let locks = Oib_lock.Lock_manager.create (Oib_sim.Sched.create ()) metrics in
+  let tm' = Txn.create survivor locks metrics in
+  let last =
+    List.fold_left
+      (fun acc (r : LR.t) -> if r.txn = Some 1 then r.lsn else acc)
+      Lsn.nil (LM.durable_records survivor)
+  in
+  let txn' = Txn.adopt tm' ~txn_id:1 ~last in
+  let undone = ref [] in
+  Txn.rollback tm' txn' ~undo:(fun body ~clr ->
+      (match body with
+      | LR.Heap { page; _ } -> undone := page :: !undone
+      | _ -> ());
+      ignore (clr body));
+  Alcotest.(check (list int)) "only the uncompensated record" [ 1 ] !undone
+
+let test_commit_lsn_tracks_oldest () =
+  let log, _, tm = mk () in
+  let t1 = Txn.begin_txn tm in
+  let t2 = Txn.begin_txn tm in
+  ignore (Txn.log_op tm t2 (heap_body 1));
+  Alcotest.(check int) "oldest active begin"
+    (Lsn.to_int (Txn.last_lsn t1))
+    (Lsn.to_int (Txn.commit_lsn tm));
+  Txn.commit tm t1;
+  Txn.commit tm t2;
+  Alcotest.(check int) "none active: log end"
+    (Lsn.to_int (LM.last_lsn log))
+    (Lsn.to_int (Txn.commit_lsn tm))
+
+let test_active_tracking () =
+  let _, _, tm = mk () in
+  let t1 = Txn.begin_txn tm in
+  let t2 = Txn.begin_txn tm in
+  Alcotest.(check int) "two active" 2 (Txn.active_count tm);
+  Txn.commit tm t1;
+  Txn.rollback tm t2 ~undo:(fun _ ~clr:_ -> ());
+  Alcotest.(check int) "none active" 0 (Txn.active_count tm)
+
+let test_adopt_prevents_id_reuse () =
+  let _, _, tm = mk () in
+  let _ = Txn.adopt tm ~txn_id:41 ~last:Lsn.nil in
+  let t = Txn.begin_txn tm in
+  Alcotest.(check bool) "fresh id above adopted" true (Txn.id t > 41)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "commit forces log" `Quick test_commit_forces_log;
+          Alcotest.test_case "commit releases locks" `Quick
+            test_commit_releases_locks;
+          Alcotest.test_case "active tracking" `Quick test_active_tracking;
+          Alcotest.test_case "adopt prevents id reuse" `Quick
+            test_adopt_prevents_id_reuse;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "reverse order" `Quick test_rollback_undoes_in_reverse;
+          Alcotest.test_case "CLR chain skips compensated" `Quick
+            test_clr_chain_skips_on_restart;
+        ] );
+      ( "commit-lsn",
+        [ Alcotest.test_case "tracks oldest active" `Quick test_commit_lsn_tracks_oldest ]
+      );
+    ]

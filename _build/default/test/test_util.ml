@@ -1,0 +1,155 @@
+open Oib_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range rng ~lo:5 ~hi:7 in
+    Alcotest.(check bool) "inclusive range" true (v >= 5 && v <= 7)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_zipf_skew () =
+  let rng = Rng.create 11 in
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (r >= 0 && r < 1000);
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* rank 0 must be much hotter than the median rank *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 10 * max 1 counts.(500))
+
+let test_zipf_uniform_when_theta_zero () =
+  let rng = Rng.create 11 in
+  let z = Zipf.create ~n:100 ~theta:0.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    counts.(Zipf.sample z rng) <- counts.(Zipf.sample z rng) + 1
+  done;
+  let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+  Alcotest.(check bool) "roughly uniform" true (float_of_int mx /. float_of_int mn < 2.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.p50;
+  Alcotest.(check int) "count" 5 s.count
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_percentile_interpolates () =
+  let a = [| 0.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "p50 interpolated" 5.0 (Stats.percentile a 0.5)
+
+let test_rid_order () =
+  let a = Rid.make ~page:1 ~slot:5 and b = Rid.make ~page:2 ~slot:0 in
+  Alcotest.(check bool) "page dominates" true (Rid.compare a b < 0);
+  Alcotest.(check bool) "infinity greatest" true
+    (Rid.compare b Rid.infinity < 0);
+  Alcotest.(check bool) "minus_infinity least" true
+    (Rid.compare Rid.minus_infinity a < 0)
+
+let test_ikey_order () =
+  let r0 = Rid.make ~page:0 ~slot:0 and r1 = Rid.make ~page:0 ~slot:1 in
+  Alcotest.(check bool) "kv dominates" true
+    (Ikey.compare (Ikey.make "a" r1) (Ikey.make "b" r0) < 0);
+  Alcotest.(check bool) "rid breaks ties" true
+    (Ikey.compare (Ikey.make "a" r0) (Ikey.make "a" r1) < 0);
+  Alcotest.(check int) "kv-only comparison ignores rid" 0
+    (Ikey.compare_kv (Ikey.make "a" r0) (Ikey.make "a" r1))
+
+let test_record_key_value () =
+  let r = Record.make [| "alice"; "smith"; "42" |] in
+  Alcotest.(check string) "concatenated" "smith\x1f42" (Record.key_value r [ 1; 2 ]);
+  Alcotest.check_raises "bad column"
+    (Invalid_argument "Record.key_value: column out of range") (fun () ->
+      ignore (Record.key_value r [ 5 ]))
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_printer () =
+  let t = Table_printer.create ~columns:[ "a"; "bee" ] in
+  Table_printer.add_row t [ "1"; "2" ];
+  Table_printer.add_sep t;
+  Table_printer.add_row t [ "333"; "4" ];
+  let s = Table_printer.render ~title:"T" t in
+  Alcotest.(check bool) "contains header" true (contains s "bee");
+  Alcotest.(check bool) "contains title" true (contains s "== T ==");
+  Alcotest.(check bool) "contains cell" true (contains s "333");
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table_printer.add_row: wrong arity") (fun () ->
+      Table_printer.add_row t [ "only-one" ])
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let s = Stats.summarize xs in
+      s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform at theta=0" `Quick
+            test_zipf_uniform_when_theta_zero;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_percentile_interpolates;
+        ] );
+      ( "types",
+        [
+          Alcotest.test_case "rid order" `Quick test_rid_order;
+          Alcotest.test_case "ikey order" `Quick test_ikey_order;
+          Alcotest.test_case "record key_value" `Quick test_record_key_value;
+        ] );
+      ("printer", [ Alcotest.test_case "render" `Quick test_table_printer ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_percentile_monotone ] );
+    ]

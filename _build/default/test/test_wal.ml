@@ -1,0 +1,220 @@
+open Oib_util
+module LR = Oib_wal.Log_record
+module Lsn = Oib_wal.Lsn
+module Codec = Oib_wal.Log_codec
+module LM = Oib_wal.Log_manager
+
+(* --- generators for log records --- *)
+
+let gen_rid =
+  QCheck.Gen.(
+    map2 (fun p s -> Rid.make ~page:p ~slot:s) (int_bound 1000) (int_bound 100))
+
+let gen_key =
+  QCheck.Gen.(
+    map2 (fun s rid -> Ikey.make s rid) (string_size (int_range 0 20)) gen_rid)
+
+let gen_record =
+  QCheck.Gen.(
+    map Record.make (array_size (int_range 1 4) (string_size (int_range 0 10))))
+
+let gen_state = QCheck.Gen.oneofl [ LR.Absent; LR.Present; LR.Pseudo_deleted ]
+
+let gen_heap_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun rid record -> LR.Heap_insert { rid; record }) gen_rid gen_record;
+        map2 (fun rid record -> LR.Heap_delete { rid; record }) gen_rid gen_record;
+        map3
+          (fun rid old_record new_record ->
+            LR.Heap_update { rid; old_record; new_record })
+          gen_rid gen_record gen_record;
+      ])
+
+let gen_body_base =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ LR.Begin; LR.Commit; LR.Abort; LR.End ];
+        (let* page = int_bound 500
+         and* visible_indexes = int_bound 5
+         and* sidefiled = list_size (int_range 0 3) (int_bound 10)
+         and* op = gen_heap_op in
+         return (LR.Heap { page; visible_indexes; sidefiled; op }));
+        (let* redoable = bool
+         and* index = int_bound 10
+         and* key = gen_key
+         and* before = gen_state
+         and* after = gen_state in
+         return (LR.Index_key { redoable; op = { index; key; before; after } }));
+        map2
+          (fun index keys -> LR.Index_bulk_insert { index; keys })
+          (int_bound 10)
+          (list_size (int_range 0 20) gen_key);
+        map3
+          (fun sidefile insert key -> LR.Sidefile_append { sidefile; insert; key })
+          (int_bound 10) bool gen_key;
+        map2 (fun index table -> LR.Build_start { index; table }) (int_bound 10)
+          (int_bound 10);
+        map (fun index -> LR.Build_done { index }) (int_bound 10);
+        map2 (fun table page -> LR.Heap_extend { table; page }) (int_bound 10)
+          (int_bound 500);
+        map (fun table -> LR.Create_table { table }) (int_bound 10);
+        (let* index = int_bound 10
+         and* table = int_bound 10
+         and* key_cols = list_size (int_range 0 3) (int_bound 5)
+         and* uniq = bool in
+         return (LR.Create_index { index; table; key_cols; uniq }));
+        map (fun index -> LR.Drop_index { index }) (int_bound 10);
+      ])
+
+let gen_body =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_body_base;
+        map2
+          (fun action undo_next ->
+            LR.Clr { action; undo_next = Lsn.of_int undo_next })
+          gen_body_base (int_bound 10_000);
+      ])
+
+let gen_log_record =
+  QCheck.Gen.(
+    let* lsn = int_range 1 1_000_000
+    and* txn = opt (int_bound 1000)
+    and* prev = int_bound 1_000_000
+    and* body = gen_body in
+    return { LR.lsn = Lsn.of_int lsn; txn; prev_lsn = Lsn.of_int prev; body })
+
+let arb_log_record =
+  QCheck.make ~print:(Format.asprintf "%a" LR.pp) gen_log_record
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip" ~count:500 arb_log_record (fun r ->
+      match Codec.decode (Codec.encode r) ~pos:0 with
+      | Some (r', _) -> r = r'
+      | None -> false)
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"stream roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) arb_log_record)
+    (fun rs ->
+      let bytes = String.concat "" (List.map Codec.encode rs) in
+      Codec.decode_stream bytes = rs)
+
+let prop_truncated_tail_dropped =
+  QCheck.Test.make ~name:"torn tail ignored" ~count:200 arb_log_record (fun r ->
+      let bytes = Codec.encode r in
+      let torn = String.sub bytes 0 (String.length bytes - 1) in
+      Codec.decode_stream torn = [])
+
+let test_corrupt_raises () =
+  let r =
+    { LR.lsn = Lsn.of_int 1; txn = None; prev_lsn = Lsn.nil; body = LR.Begin }
+  in
+  let bytes = Bytes.of_string (Codec.encode r) in
+  (* stomp the body tag with garbage *)
+  Bytes.set bytes (Bytes.length bytes - 1) '\xee';
+  match Codec.decode_stream (Bytes.to_string bytes) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "corrupt tag accepted"
+
+(* --- log manager --- *)
+
+let mk () = LM.create (Oib_sim.Metrics.create ())
+
+let test_lsn_monotonic () =
+  let lm = mk () in
+  let l1 = LM.append lm ~txn:(Some 1) ~prev_lsn:Lsn.nil LR.Begin in
+  let l2 = LM.append lm ~txn:(Some 1) ~prev_lsn:l1 LR.Commit in
+  Alcotest.(check bool) "increasing" true (Lsn.( < ) l1 l2);
+  Alcotest.(check int) "last" (Lsn.to_int l2) (Lsn.to_int (LM.last_lsn lm))
+
+let test_flush_and_crash () =
+  let lm = mk () in
+  let l1 = LM.append lm ~txn:(Some 1) ~prev_lsn:Lsn.nil LR.Begin in
+  let _l2 = LM.append lm ~txn:(Some 1) ~prev_lsn:l1 LR.Commit in
+  let l3 = LM.append lm ~txn:(Some 2) ~prev_lsn:Lsn.nil LR.Begin in
+  LM.flush lm ~upto:l1;
+  let survivor = LM.crash lm in
+  let records = LM.durable_records survivor in
+  Alcotest.(check int) "only flushed survive" 1 (List.length records);
+  Alcotest.(check bool) "it is l1" true
+    (match records with [ r ] -> Lsn.equal r.LR.lsn l1 | _ -> false);
+  (* LSNs must not be reused after restart *)
+  let l4 = LM.append survivor ~txn:(Some 3) ~prev_lsn:Lsn.nil LR.Begin in
+  Alcotest.(check bool) "no reuse" true (Lsn.( > ) l4 l1);
+  ignore l3
+
+let test_flush_is_prefix () =
+  let lm = mk () in
+  let lsns =
+    List.init 10 (fun i ->
+        LM.append lm ~txn:(Some i) ~prev_lsn:Lsn.nil LR.Begin)
+  in
+  LM.flush lm ~upto:(List.nth lsns 4);
+  let survivor = LM.crash lm in
+  let got = List.map (fun r -> r.LR.lsn) (LM.durable_records survivor) in
+  Alcotest.(check (list int))
+    "first five, in order"
+    (List.map Lsn.to_int (List.filteri (fun i _ -> i < 5) lsns))
+    (List.map Lsn.to_int got)
+
+let test_flush_all_and_record_at () =
+  let lm = mk () in
+  let l1 = LM.append lm ~txn:(Some 1) ~prev_lsn:Lsn.nil LR.Begin in
+  LM.flush_all lm;
+  Alcotest.(check int) "flushed to last" (Lsn.to_int l1)
+    (Lsn.to_int (LM.flushed_lsn lm));
+  (match LM.record_at lm l1 with
+  | Some r -> Alcotest.(check bool) "body" true (r.LR.body = LR.Begin)
+  | None -> Alcotest.fail "record_at miss");
+  Alcotest.(check bool) "missing lsn" true (LM.record_at lm (Lsn.of_int 999) = None)
+
+let test_record_at_after_crash () =
+  let lm = mk () in
+  let l1 = LM.append lm ~txn:(Some 1) ~prev_lsn:Lsn.nil LR.Begin in
+  LM.flush_all lm;
+  let survivor = LM.crash lm in
+  match LM.record_at survivor l1 with
+  | Some r -> Alcotest.(check bool) "rebuilt index" true (r.LR.body = LR.Begin)
+  | None -> Alcotest.fail "record_at lost after crash"
+
+let test_is_redoable_undoable () =
+  let key = Ikey.make "k" (Rid.make ~page:0 ~slot:0) in
+  let ixop r =
+    LR.Index_key
+      { redoable = r; op = { index = 0; key; before = LR.Absent; after = LR.Present } }
+  in
+  Alcotest.(check bool) "undo-only not redoable" false (LR.is_redoable (ixop false));
+  Alcotest.(check bool) "normal index op redoable" true (LR.is_redoable (ixop true));
+  Alcotest.(check bool) "undo-only is undoable" true (LR.is_undoable (ixop false));
+  Alcotest.(check bool) "clr not undoable" false
+    (LR.is_undoable (LR.Clr { action = ixop true; undo_next = Lsn.nil }));
+  Alcotest.(check bool) "sidefile append not undoable" false
+    (LR.is_undoable (LR.Sidefile_append { sidefile = 0; insert = true; key }))
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        Alcotest.test_case "corrupt raises" `Quick test_corrupt_raises
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_roundtrip; prop_stream_roundtrip; prop_truncated_tail_dropped ]
+      );
+      ( "manager",
+        [
+          Alcotest.test_case "lsn monotonic" `Quick test_lsn_monotonic;
+          Alcotest.test_case "flush and crash" `Quick test_flush_and_crash;
+          Alcotest.test_case "flush is prefix" `Quick test_flush_is_prefix;
+          Alcotest.test_case "flush_all / record_at" `Quick
+            test_flush_all_and_record_at;
+          Alcotest.test_case "record_at after crash" `Quick
+            test_record_at_after_crash;
+        ] );
+      ( "classification",
+        [ Alcotest.test_case "redoable/undoable" `Quick test_is_redoable_undoable ]
+      );
+    ]
