@@ -17,8 +17,14 @@ let run_experiment name =
       (String.concat ", " (List.map fst Experiments.all));
     false
 
-let main exps micro_only =
-  if micro_only then begin
+let main exps micro_only smoke =
+  if smoke then begin
+    (* tiny instrumented config: exercises the whole observability path
+       (trace, progress, histograms, BENCH_obs.json) in a few seconds *)
+    Obs_report.run ~rows:200 ~workers:2 ~txns:10 ();
+    0
+  end
+  else if micro_only then begin
     Micro.run ();
     0
   end
@@ -29,6 +35,7 @@ let main exps micro_only =
         "OIB benchmark suite — reproduction of Mohan & Narang, SIGMOD 1992";
       List.iter (fun (_, f) -> f ()) Experiments.all;
       Micro.run ();
+      Obs_report.run ();
       0
     | names -> if List.for_all run_experiment names then 0 else 1
   end
@@ -45,8 +52,14 @@ let exps =
 let micro =
   Arg.(value & flag & info [ "micro" ] ~doc:"Run only the micro-benchmarks.")
 
+let smoke =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"Run a tiny instrumented build and emit BENCH_obs.json only.")
+
 let cmd =
   let doc = "Regenerate the evaluation of the online index build paper" in
-  Cmd.v (Cmd.info "oib-bench" ~doc) Term.(const main $ exps $ micro)
+  Cmd.v (Cmd.info "oib-bench" ~doc) Term.(const main $ exps $ micro $ smoke)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,119 @@
+(* Instrumented NSF + SF builds: per-phase virtual-time timings from the
+   build-progress API and latency histogram summaries from the trace hub,
+   written as machine-readable JSON (BENCH_obs.json) next to the printed
+   report. *)
+
+open Oib_core
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+module Trace = Oib_obs.Trace
+module Hist = Oib_obs.Hist
+module BS = Build_status
+
+type run_result = {
+  algorithm : string;
+  seed : int;
+  total_steps : int;
+  status : BS.t;
+  trace : Trace.t;
+}
+
+let one_build alg ~rows ~workers ~txns ~seed =
+  let trace = Trace.create () in
+  ignore (Trace.attach_recorder trace ~capacity:1024);
+  Trace.set_on_dump trace prerr_endline;
+  let ctx = Engine.create ~seed ~page_capacity:1024 ~trace () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  let _ = Driver.populate ctx ~table:1 ~rows ~seed in
+  let _ =
+    if workers > 0 then
+      Driver.spawn_workers ctx
+        { Driver.default with seed; workers; txns_per_worker = txns }
+        ~table:1
+    else
+      ref
+        { Driver.committed = 0; aborted = 0; deadlocks = 0; unique_violations = 0 }
+  in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config alg) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  (match Engine.consistency_errors ctx with
+  | [] -> ()
+  | errs ->
+    List.iter prerr_endline errs;
+    failwith "obs_report: consistency oracle failed");
+  match Engine.build_progress ctx with
+  | [ status ] ->
+    {
+      algorithm = (match alg with Ib.Nsf -> "nsf" | Ib.Sf -> "sf");
+      seed;
+      total_steps = Sched.steps ctx.Ctx.sched;
+      status;
+      trace;
+    }
+  | l -> failwith (Printf.sprintf "obs_report: %d statuses" (List.length l))
+
+(* (phase, enter, duration) from the status history; the last phase runs
+   to the end of the schedule *)
+let phase_spans r =
+  let rec spans = function
+    | (p, s0) :: ((_, s1) :: _ as rest) -> (p, s0, s1 - s0) :: spans rest
+    | [ (p, s0) ] -> [ (p, s0, r.total_steps - s0) ]
+    | [] -> []
+  in
+  spans (BS.history r.status)
+
+let json_of_run r =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  Printf.bprintf b "\"algorithm\":%S,\"seed\":%d,\"total_steps\":%d,"
+    r.algorithm r.seed r.total_steps;
+  Printf.bprintf b "\"keys_processed\":%d,\"checkpoints\":%d,"
+    r.status.BS.keys_processed r.status.BS.checkpoints;
+  Buffer.add_string b "\"phases\":[";
+  List.iteri
+    (fun i (p, enter, steps) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"phase\":%S,\"enter_step\":%d,\"steps\":%d}"
+        (BS.phase_name p) enter steps)
+    (phase_spans r);
+  Buffer.add_string b "],\"histograms\":{";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S:%s" name (Hist.to_json h))
+    (Trace.hists r.trace);
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let print_run r =
+  Printf.printf "\n-- %s build (seed %d, %d steps) --\n" r.algorithm r.seed
+    r.total_steps;
+  List.iter
+    (fun (p, enter, steps) ->
+      Printf.printf "  %-8s enter=%-7d steps=%d\n" (BS.phase_name p) enter steps)
+    (phase_spans r);
+  Printf.printf "  keys=%d checkpoints=%d\n" r.status.BS.keys_processed
+    r.status.BS.checkpoints;
+  Format.printf "%a@." Trace.pp_hists r.trace
+
+let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
+    ?(out = "BENCH_obs.json") () =
+  print_endline "== observability report (per-phase timings, latency hists) ==";
+  let runs =
+    [
+      one_build Ib.Nsf ~rows ~workers ~txns ~seed;
+      one_build Ib.Sf ~rows ~workers ~txns ~seed;
+    ]
+  in
+  List.iter print_run runs;
+  let oc = open_out out in
+  output_string oc
+    ("{"
+    ^ String.concat ","
+        (List.map (fun r -> Printf.sprintf "%S:%s" r.algorithm (json_of_run r)) runs)
+    ^ "}\n");
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out

@@ -9,17 +9,30 @@ open Oib_core
 module Sched = Oib_sim.Sched
 module Driver = Oib_workload.Driver
 module Metrics = Oib_sim.Metrics
+module Trace = Oib_obs.Trace
+module BS = Build_status
 
 let alg_of_string = function
   | "nsf" -> Ib.Nsf
   | "sf" -> Ib.Sf
   | s -> failwith (Printf.sprintf "unknown algorithm %S (use nsf|sf)" s)
 
-let fresh ~seed ~rows =
-  let ctx = Engine.create ~seed ~page_capacity:1024 () in
+let fresh ?trace ~seed ~rows () =
+  let ctx = Engine.create ~seed ~page_capacity:1024 ?trace () in
   let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
   let _ = Driver.populate ctx ~table:1 ~rows ~seed in
   ctx
+
+let print_progress ctx =
+  List.iter
+    (fun (st : BS.t) ->
+      Format.printf "%a@." BS.pp st;
+      print_string "  phase timeline:";
+      List.iter
+        (fun (p, step) -> Printf.printf " %s@%d" (BS.phase_name p) step)
+        (BS.history st);
+      print_newline ())
+    (Engine.build_progress ctx)
 
 let report ctx (stats : Driver.stats ref) (d : Metrics.t) steps =
   Printf.printf "build steps            %8d\n" steps;
@@ -43,9 +56,16 @@ let report ctx (stats : Driver.stats ref) (d : Metrics.t) steps =
     List.iter print_endline errs;
     exit 1
 
-let cmd_build alg rows workers txns unique seed =
+let cmd_build alg rows workers txns unique seed jsonl =
   let alg = alg_of_string alg in
-  let ctx = fresh ~seed ~rows in
+  let trace = Trace.create () in
+  ignore (Trace.attach_recorder trace ~capacity:2048);
+  let close_jsonl =
+    match jsonl with
+    | Some path -> Trace.add_jsonl_file_sink trace ~path
+    | None -> fun () -> ()
+  in
+  let ctx = fresh ~trace ~seed ~rows () in
   let stats =
     if workers > 0 then
       Driver.spawn_workers ctx
@@ -64,14 +84,21 @@ let cmd_build alg rows workers txns unique seed =
          steps := Sched.steps ctx.Ctx.sched - t0;
          d := Metrics.diff ~after:(Metrics.snapshot ctx.Ctx.metrics) ~before));
   Sched.run ctx.Ctx.sched;
-  report ctx stats !d !steps
+  print_progress ctx;
+  print_endline "latency histograms (steps):";
+  Format.printf "%a@." Trace.pp_hists trace;
+  report ctx stats !d !steps;
+  close_jsonl ();
+  match jsonl with
+  | Some path -> Printf.printf "event trace written to %s\n" path
+  | None -> ()
 
 let cmd_crash alg rows at seed =
   let alg = alg_of_string alg in
   let cfg =
     { (Ib.default_config alg) with ckpt_every_pages = 16; ckpt_every_keys = 256 }
   in
-  let ctx = fresh ~seed ~rows in
+  let ctx = fresh ~seed ~rows () in
   let _ =
     Driver.spawn_workers ctx
       { Driver.default with seed; workers = 4; txns_per_worker = 100 }
@@ -109,7 +136,7 @@ let cmd_soak seeds alg =
   let alg = alg_of_string alg in
   let failures = ref 0 in
   for seed = 1 to seeds do
-    let ctx = fresh ~seed ~rows:300 in
+    let ctx = fresh ~seed ~rows:300 () in
     let _ =
       Driver.spawn_workers ctx
         { Driver.default with seed; workers = 3; txns_per_worker = 20 }
@@ -177,9 +204,18 @@ let build_cmd =
   let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W") in
   let txns = Arg.(value & opt int 50 & info [ "txns" ] ~docv:"T" ~doc:"Per worker") in
   let unique = Arg.(value & flag & info [ "unique" ]) in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Also write every trace event to $(docv) as JSON lines.")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index online under a transaction mix")
-    Term.(const cmd_build $ alg_arg $ rows_arg $ workers $ txns $ unique $ seed_arg)
+    Term.(
+      const cmd_build $ alg_arg $ rows_arg $ workers $ txns $ unique $ seed_arg
+      $ jsonl)
 
 let crash_cmd =
   let at = Arg.(value & opt int 2000 & info [ "at" ] ~docv:"STEP" ~doc:"Crash step") in

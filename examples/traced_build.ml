@@ -1,0 +1,69 @@
+(* A trace-enabled online build: what the flight recorder sees.
+
+   The same SF build as quickstart, but with the observability layer
+   switched on. A live sink prints the build's phase transitions and
+   checkpoints as they happen; afterwards we print the phase timeline
+   from the build-progress API, the latency histograms the trace
+   collected, and the tail of the flight recorder — the lines you would
+   get dumped on a deadlock or crash.
+
+   Run with: dune exec examples/traced_build.exe *)
+
+open Oib_core
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
+module FR = Oib_obs.Flight_recorder
+module BS = Build_status
+
+let () =
+  let trace = Trace.create () in
+  let recorder = Trace.attach_recorder trace ~capacity:64 in
+  (* a sink is just a callback on stamped events; this one narrates the
+     build's milestones and ignores the firehose of latch/lock/IO events *)
+  Trace.add_sink trace ~name:"narrate" (fun s ->
+      match s.Event.event with
+      | Event.Ib_phase _ | Event.Ib_checkpoint _ | Event.Sidefile_drained _ ->
+        print_endline ("  " ^ Event.to_line s)
+      | _ -> ());
+  let ctx = Engine.create ~seed:42 ~page_capacity:1024 ~trace () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  let _ = Driver.populate ctx ~table:1 ~rows:1500 ~seed:42 in
+  let _ =
+    Driver.spawn_workers ctx
+      { Driver.default with seed = 42; workers = 4; txns_per_worker = 40 }
+      ~table:1
+  in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Sf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  print_endline "build milestones as the trace sees them:";
+  Sched.run ctx.Ctx.sched;
+  (match Engine.consistency_errors ctx with
+  | [] -> ()
+  | errs ->
+    List.iter prerr_endline errs;
+    failwith "consistency violated");
+  print_endline "\nbuild progress (queryable at any point during the build):";
+  List.iter
+    (fun (st : BS.t) ->
+      Format.printf "  %a@." BS.pp st;
+      print_string "  timeline:";
+      List.iter
+        (fun (p, step) -> Printf.printf " %s@%d" (BS.phase_name p) step)
+        (BS.history st);
+      print_newline ())
+    (Engine.build_progress ctx);
+  print_endline "\nlatency histograms (virtual-time steps):";
+  Format.printf "%a@." Trace.pp_hists trace;
+  Printf.printf
+    "flight recorder holds the last %d of %d events; on Deadlock, Crashed\n\
+     or an oracle failure this ring is dumped automatically. Its tail:\n"
+    (FR.size recorder) (FR.total recorder);
+  let contents = FR.contents recorder in
+  let n = List.length contents in
+  List.iteri
+    (fun i s -> if i >= n - 8 then print_endline ("  " ^ Event.to_line s))
+    contents

@@ -30,6 +30,12 @@ let meta_key id = Printf.sprintf "index/%d/meta" id
 
 let metrics t = Buffer_pool.metrics t.pool
 
+let trace t = Oib_sim.Sched.trace (Buffer_pool.sched t.pool)
+
+(* Pages visited root-to-leaf; the per-operation traversal cost of §4. *)
+let observe_traversal t depth =
+  Oib_obs.Trace.observe (trace t) "traversal_cost" depth
+
 let max_entry t = t.capacity / 4
 
 let node_of (p : Page.t) = Bt_node.of_payload p.payload
@@ -135,6 +141,7 @@ let node_safe t p =
 let descend_write t key =
   let m = metrics t in
   m.tree_traversals <- m.tree_traversals + 1;
+  let depth = ref 1 in
   let release_held held =
     List.iter (fun (p, _, _) -> Latch.release p.Page.latch X) held
   in
@@ -145,6 +152,7 @@ let descend_write t key =
       let i = child_for n key in
       let child = page t n.children.(i) in
       Latch.acquire child.Page.latch X;
+      incr depth;
       if node_safe t child then begin
         release_held held;
         Latch.release p.Page.latch X;
@@ -159,12 +167,14 @@ let descend_write t key =
   | Internal _ -> go root [])
   |> fun (p, l, held) ->
   ignore l;
+  observe_traversal t !depth;
   (p, held)
 
 (* Read descent: S-latch crabbing; returns the S-latched leaf page. *)
 let descend_read t key =
   let m = metrics t in
   m.tree_traversals <- m.tree_traversals + 1;
+  let depth = ref 1 in
   let rec go p =
     match node_of p with
     | Leaf _ -> p
@@ -173,11 +183,14 @@ let descend_read t key =
       let child = page t n.children.(i) in
       Latch.acquire child.Page.latch S;
       Latch.release p.Page.latch S;
+      incr depth;
       go child
   in
   let root = page t t.root in
   Latch.acquire root.Page.latch S;
-  go root
+  let leaf = go root in
+  observe_traversal t !depth;
+  leaf
 
 (* Leftmost leaf, S-latched. *)
 let leftmost_leaf t =

@@ -1,0 +1,82 @@
+(* Live progress of one online index build, published by [Ib] and queried
+   through [Engine.build_progress]. One value per index build; it survives
+   for as long as the engine instance (a crash+restart creates a fresh one
+   during [resume_builds]). *)
+
+type phase = Init | Quiesce | Scan | Merge | Insert | Bulk | Drain | Ready
+
+(* Monotonic progress order. Insert (NSF) and Bulk (SF) are alternatives
+   at the same stage of the pipeline, so they share a rank. *)
+let rank = function
+  | Init -> 0
+  | Quiesce -> 1
+  | Scan -> 2
+  | Merge -> 3
+  | Insert | Bulk -> 4
+  | Drain -> 5
+  | Ready -> 6
+
+let phase_name = function
+  | Init -> "init"
+  | Quiesce -> "quiesce"
+  | Scan -> "scan"
+  | Merge -> "merge"
+  | Insert -> "insert"
+  | Bulk -> "bulk"
+  | Drain -> "drain"
+  | Ready -> "ready"
+
+type t = {
+  index_id : int;
+  algorithm : string; (* "nsf" | "sf" | "via-primary" *)
+  mutable phase : phase;
+  mutable scan_rid : string; (* Current-RID of the scan, "" before scanning *)
+  mutable keys_processed : int;
+  mutable backlog : int; (* side-file entries appended but not yet drained *)
+  mutable checkpoints : int;
+  mutable history : (phase * int) list; (* (phase, step), newest first *)
+}
+
+let create ~index_id ~algorithm =
+  {
+    index_id;
+    algorithm;
+    phase = Init;
+    scan_rid = "";
+    keys_processed = 0;
+    backlog = 0;
+    checkpoints = 0;
+    history = [ (Init, 0) ];
+  }
+
+let set_phase t ~step phase =
+  if phase <> t.phase then begin
+    t.phase <- phase;
+    t.history <- (phase, step) :: t.history
+  end
+
+let history t = List.rev t.history
+
+let pp ppf t =
+  Format.fprintf ppf "index %d [%s] %s: keys=%d backlog=%d ckpts=%d%s"
+    t.index_id t.algorithm (phase_name t.phase) t.keys_processed t.backlog
+    t.checkpoints
+    (if t.scan_rid = "" then "" else " rid=" ^ t.scan_rid)
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"index\":%d,\"algorithm\":\"%s\",\"phase\":\"%s\",\
+        \"keys_processed\":%d,\"backlog\":%d,\"checkpoints\":%d,\
+        \"history\":["
+       t.index_id t.algorithm (phase_name t.phase) t.keys_processed t.backlog
+       t.checkpoints);
+  List.iteri
+    (fun i (ph, step) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"phase\":\"%s\",\"step\":%d}" (phase_name ph) step))
+    (history t);
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,39 @@
+(** Live progress of one online index build.
+
+    The index builder publishes its current phase, scan position
+    (Current-RID), keys processed, side-file backlog and checkpoint count
+    here; {!Engine.build_progress} exposes the set of statuses so a demo,
+    bench or monitoring loop can watch a build advance without touching
+    builder internals. *)
+
+type phase = Init | Quiesce | Scan | Merge | Insert | Bulk | Drain | Ready
+
+val rank : phase -> int
+(** Monotonic progress order; a build's phase rank never decreases within
+    one engine incarnation. [Insert] (NSF) and [Bulk] (SF) share a rank —
+    they are the two algorithms' alternatives for the same stage. *)
+
+val phase_name : phase -> string
+
+type t = {
+  index_id : int;
+  algorithm : string;  (** ["nsf"], ["sf"] or ["via-primary"] *)
+  mutable phase : phase;
+  mutable scan_rid : string;  (** Current-RID of the scan; [""] before it *)
+  mutable keys_processed : int;
+  mutable backlog : int;  (** side-file entries appended, not yet drained *)
+  mutable checkpoints : int;
+  mutable history : (phase * int) list;  (** newest first; use {!history} *)
+}
+
+val create : index_id:int -> algorithm:string -> t
+
+val set_phase : t -> step:int -> phase -> unit
+(** Record a transition (no-op if [phase] is already current). [step] is
+    the scheduler's step clock, giving the virtual time of the change. *)
+
+val history : t -> (phase * int) list
+(** Transitions oldest-first: [(Init, 0)] then each [set_phase]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

@@ -5,6 +5,7 @@
 type t = {
   sched : Oib_sim.Sched.t;
   metrics : Oib_sim.Metrics.t;
+  trace : Oib_obs.Trace.t;
   log : Oib_wal.Log_manager.t;
   store : Oib_storage.Stable_store.t;
   kv : Oib_storage.Durable_kv.t;
@@ -13,4 +14,5 @@ type t = {
   txns : Oib_txn.Txn_manager.t;
   catalog : Catalog.t;
   runs : Oib_sort.Run_store.t;
+  builds : (int, Build_status.t) Hashtbl.t; (* index_id -> live progress *)
 }

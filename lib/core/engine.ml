@@ -6,28 +6,33 @@ module Btree = Oib_btree.Btree
 
 type t = Ctx.t
 
-let create ?(seed = 42) ?(page_capacity = 1024) () =
-  let sched = Oib_sim.Sched.create ~seed () in
+let create ?(seed = 42) ?(page_capacity = 1024)
+    ?(trace = Oib_obs.Trace.null) () =
+  let sched = Oib_sim.Sched.create ~seed ~trace () in
   let metrics = Oib_sim.Metrics.create () in
-  let log = LM.create metrics in
+  let log = LM.create ~trace metrics in
   let store = Stable_store.create () in
   let kv = Durable_kv.create () in
   let pool = Buffer_pool.create ~sched ~metrics ~log ~store in
   let locks = Oib_lock.Lock_manager.create sched metrics in
-  let txns = Txn.create log locks metrics in
+  let txns = Txn.create ~trace log locks metrics in
   let catalog = Catalog.create kv ~page_capacity in
   let runs = Oib_sort.Run_store.create () in
-  { Ctx.sched; metrics; log; store; kv; pool; locks; txns; catalog; runs }
+  { Ctx.sched; metrics; trace; log; store; kv; pool; locks; txns; catalog;
+    runs; builds = Hashtbl.create 8 }
 
 (* Rebuild a live system over [store]/[kv]/[runs] and the survivor log,
    then run restart recovery: analysis, heap redo, logical index replay,
    build-phase restoration, loser rollback. *)
 let recover_over ~seed (old : t) ~store ~kv ~runs =
-  let sched = Oib_sim.Sched.create ~seed () in
+  (* the trace hub survives restart: the same sinks/recorder/histograms
+     observe the new incarnation, whose scheduler re-registers its clock *)
+  let trace = old.Ctx.trace in
+  let sched = Oib_sim.Sched.create ~seed ~trace () in
   let log = LM.crash old.Ctx.log in
   let pool = Buffer_pool.create ~sched ~metrics:old.Ctx.metrics ~log ~store in
   let locks = Oib_lock.Lock_manager.create sched old.Ctx.metrics in
-  let txns = Txn.create log locks old.Ctx.metrics in
+  let txns = Txn.create ~trace log locks old.Ctx.metrics in
   (* a fresh catalog over the (possibly restored) durable metadata *)
   let catalog =
     Catalog.create kv ~page_capacity:(Catalog.page_capacity old.Ctx.catalog)
@@ -36,6 +41,7 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
     {
       Ctx.sched;
       metrics = old.Ctx.metrics;
+      trace;
       log;
       store;
       kv;
@@ -44,10 +50,19 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
       txns;
       catalog;
       runs;
+      builds = Hashtbl.create 8;
     }
+  in
+  let recovery_step step detail =
+    if Oib_obs.Trace.tracing trace then
+      Oib_obs.Trace.emit trace (Oib_obs.Event.Recovery_step { step; detail })
   in
   (* ---- restart recovery ---- *)
   let analysis = Restart.analyze log in
+  recovery_step "analysis"
+    (Printf.sprintf "losers=%d builds_in_progress=%d"
+       (List.length analysis.losers)
+       (List.length analysis.builds_in_progress));
   Txn.ensure_next_id txns (analysis.max_txn_id + 1);
   (* catalog objects over the surviving store *)
   Catalog.reopen ctx.Ctx.catalog pool;
@@ -84,9 +99,11 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
       | _ -> ())
     (LM.durable_records log);
   (* repeat history on the data pages *)
+  recovery_step "redo_heap" "";
   Restart.redo_heap log pool
     ~page_capacity:(Catalog.page_capacity ctx.Ctx.catalog);
   (* bring every index from its image to the end of the durable log *)
+  recovery_step "replay_indexes" "";
   List.iter
     (fun (tbl : Catalog.table_info) ->
       List.iter
@@ -96,15 +113,18 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
   (* in-progress builds: phase down from Ready, rebuild side-files *)
   List.iter
     (fun (index_id, _table) ->
+      recovery_step "restore_build" (Printf.sprintf "index=%d" index_id);
       Ib.restore_phase_after_restart ctx ~index_id)
     analysis.builds_in_progress;
   (* roll back losers with the live-abort executor *)
   List.iter
     (fun (txn_id, last) ->
+      recovery_step "rollback_loser" (Printf.sprintf "txn=%d" txn_id);
       let txn = Txn.adopt txns ~txn_id ~last in
       Table_ops.rollback ctx txn)
     analysis.losers;
   LM.flush_all log;
+  recovery_step "done" "";
   ctx
 
 let crash ?(seed = 4242) (old : t) =
@@ -168,6 +188,9 @@ let run_txn (ctx : t) f =
     raise e
 
 let checkpoint (ctx : t) =
+  if Oib_obs.Trace.tracing ctx.Ctx.trace then
+    Oib_obs.Trace.emit ctx.Ctx.trace
+      (Oib_obs.Event.Checkpoint { scope = "system" });
   LM.flush_all ctx.Ctx.log;
   Buffer_pool.flush_all ctx.Ctx.pool
 
@@ -209,6 +232,10 @@ let truncate_log (ctx : t) =
       | _ -> ())
     (LM.durable_records ctx.Ctx.log);
   LM.truncate ctx.Ctx.log ~below:!safe
+
+let build_progress (ctx : t) =
+  Hashtbl.fold (fun _ st acc -> st :: acc) ctx.Ctx.builds []
+  |> List.sort (fun (a : Build_status.t) b -> compare a.index_id b.index_id)
 
 (* --- the consistency oracle --- *)
 
@@ -266,4 +293,12 @@ let consistency_errors (ctx : t) =
             end)
         tbl.indexes)
     (Catalog.tables ctx.Ctx.catalog);
-  List.rev !errs
+  let errors = List.rev !errs in
+  (* an inconsistency is a failure worth a flight-recorder dump: the last
+     events before the oracle ran are exactly what caused it *)
+  if errors <> [] then
+    Oib_obs.Trace.failure ctx.Ctx.trace
+      ~reason:
+        (Printf.sprintf "consistency oracle: %d error(s); first: %s"
+           (List.length errors) (List.hd errors));
+  errors

@@ -14,7 +14,14 @@
 
 type t = Ctx.t
 
-val create : ?seed:int -> ?page_capacity:int -> unit -> t
+val create :
+  ?seed:int -> ?page_capacity:int -> ?trace:Oib_obs.Trace.t -> unit -> t
+(** [trace] (default {!Oib_obs.Trace.null}) is wired through every
+    subsystem: the scheduler stamps events with its step clock and fiber,
+    the WAL / lock manager / buffer pool / transaction manager / builders
+    emit events into it, and its flight recorder is dumped on deadlock,
+    crash, or a consistency-oracle failure. It survives {!crash} and
+    {!media_restore}. *)
 
 val crash : ?seed:int -> t -> t
 (** Survivor engine, recovery completed. *)
@@ -51,6 +58,10 @@ val truncate_log : t -> int
     transaction's begin and any in-progress build's start onward. Returns
     bytes reclaimed. Media recovery to a backup older than the new start
     is forfeited — take a fresh {!backup} first. *)
+
+val build_progress : t -> Build_status.t list
+(** Live status of every index build this engine incarnation has run or
+    resumed, ordered by index id. *)
 
 val consistency_errors : t -> string list
 (** The oracle: for every table, every [Ready] index must contain exactly

@@ -67,6 +67,37 @@ let sorted_run_name index_id = Printf.sprintf "ib/%d/merged-output" index_id
 (* a lock-owner id for IB's own lock calls, distinct from transaction ids *)
 let ib_owner index_id = 1_000_000 + index_id
 
+(* --- published build progress (Build_status + trace events) --- *)
+
+module BS = Build_status
+
+let status ctx ~index_id ~algorithm =
+  match Hashtbl.find_opt ctx.Ctx.builds index_id with
+  | Some st -> st
+  | None ->
+    let st = BS.create ~index_id ~algorithm in
+    Hashtbl.replace ctx.Ctx.builds index_id st;
+    st
+
+let algorithm_name = function Nsf -> "nsf" | Sf -> "sf"
+
+let note_phase ctx (st : BS.t) phase =
+  if phase <> st.BS.phase then begin
+    BS.set_phase st ~step:(Sched.steps ctx.Ctx.sched) phase;
+    let tr = Sched.trace ctx.Ctx.sched in
+    if Oib_obs.Trace.tracing tr then
+      Oib_obs.Trace.emit tr
+        (Oib_obs.Event.Ib_phase
+           { index = st.BS.index_id; phase = BS.phase_name phase })
+  end
+
+let note_checkpoint ctx (st : BS.t) ~stage =
+  st.BS.checkpoints <- st.BS.checkpoints + 1;
+  let tr = Sched.trace ctx.Ctx.sched in
+  if Oib_obs.Trace.tracing tr then
+    Oib_obs.Trace.emit tr
+      (Oib_obs.Event.Ib_checkpoint { index = st.BS.index_id; stage })
+
 let set_progress ctx index_id ~algorithm ~table ~stage ~last_scan_page =
   Durable_kv.set ctx.Ctx.kv (progress_key index_id)
     (Ib_progress
@@ -122,6 +153,16 @@ type job = {
   sorter : Sort.t;
 }
 
+(* the status a later stage attaches to: normally created by the
+   orchestration entry point, so the algorithm label is already right *)
+let job_status ctx (job : job) =
+  let algorithm =
+    match job.info.Catalog.phase with
+    | Catalog.Nsf_building _ -> "nsf"
+    | _ -> "sf"
+  in
+  status ctx ~index_id:job.spec.index_id ~algorithm
+
 (* [dynamic] (SF): the scan chases the end of the file so that pages added
    by concurrent extensions are still scanned — only extensions after the
    scan has drained the file go through the Current-RID = infinity rule
@@ -153,8 +194,12 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
       Latch.release page.Page.latch S;
       List.iter
         (fun (j, acc) ->
-          if pid > Sort.scan_pos j.sorter then
-            Sort.feed_page j.sorter ~scan_pos:pid (List.rev !acc))
+          if pid > Sort.scan_pos j.sorter then begin
+            Sort.feed_page j.sorter ~scan_pos:pid (List.rev !acc);
+            let st = job_status ctx j in
+            st.BS.keys_processed <-
+              st.BS.keys_processed + List.length !acc
+          end)
         per_job;
       incr pages_done;
       if !pages_done mod cfg.ckpt_every_pages = 0 then
@@ -188,6 +233,7 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
   end
 
 let merge_sorted ctx _cfg job =
+  note_phase ctx (job_status ctx job) BS.Merge;
   let runs = Sort.finish job.sorter in
   set_progress ctx job.spec.index_id
     ~algorithm:
@@ -280,9 +326,12 @@ let nsf_checkpoint ctx job ~highest =
   set_progress ctx job.spec.index_id ~algorithm:Nsf ~table:job.info.table_id
     ~stage:
       (Inserting { sorted = sorted_run_name job.spec.index_id; highest })
-    ~last_scan_page:(-1)
+    ~last_scan_page:(-1);
+  note_checkpoint ctx (job_status ctx job) ~stage:"insert"
 
 let nsf_insert_phase ctx cfg job ~from_key =
+  let st = job_status ctx job in
+  note_phase ctx st BS.Insert;
   let run = Runs.find_run ctx.Ctx.runs (sorted_run_name job.spec.index_id) in
   let cursor = Btree.new_cursor job.info.tree in
   let n = Runs.length run in
@@ -325,6 +374,7 @@ let nsf_insert_phase ctx cfg job ~from_key =
       if !batch_n >= cfg.batch_size then flush_batch ()
     | `Rejected _ -> () (* a transaction or a tombstone won the race *));
     highest := Some key;
+    st.BS.keys_processed <- st.BS.keys_processed + 1;
     incr since_ckpt;
     if !since_ckpt >= cfg.ckpt_every_keys then begin
       flush_batch ();
@@ -353,9 +403,12 @@ let sf_checkpoint_bulk ctx job ~highest =
   Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
   set_progress ctx job.spec.index_id ~algorithm:Sf ~table:job.info.table_id
     ~stage:(Bulking { sorted = sorted_run_name job.spec.index_id; highest })
-    ~last_scan_page:(-1)
+    ~last_scan_page:(-1);
+  note_checkpoint ctx (job_status ctx job) ~stage:"bulk"
 
 let sf_bulk_phase ctx cfg job ~from_key =
+  let st = job_status ctx job in
+  note_phase ctx st BS.Bulk;
   let run = Runs.find_run ctx.Ctx.runs (sorted_run_name job.spec.index_id) in
   let b =
     match from_key with
@@ -392,6 +445,7 @@ let sf_bulk_phase ctx cfg job ~from_key =
     end;
     Btree.Bulk.add b key;
     prev := Some key;
+    st.BS.keys_processed <- st.BS.keys_processed + 1;
     incr since_ckpt;
     if !since_ckpt >= cfg.ckpt_every_keys then begin
       sf_checkpoint_bulk ctx job ~highest:(Some key);
@@ -450,19 +504,27 @@ let sf_apply_entry ?cursor ctx job (e : SF.entry) =
   end
 
 let sf_drain_phase ctx cfg job ~from_pos =
+  let st = job_status ctx job in
+  note_phase ctx st BS.Drain;
   let sf = sf_state job.info in
   sf.Catalog.draining <- true;
   let pos = ref from_pos in
+  let update_backlog () =
+    st.BS.backlog <- max 0 (SF.length sf.Catalog.sidefile - !pos)
+  in
+  update_backlog ();
   let since_ckpt = ref 0 in
   let checkpoint () =
     LM.flush_all ctx.Ctx.log;
     Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
     set_progress ctx job.spec.index_id ~algorithm:Sf ~table:job.info.table_id
       ~stage:(Draining { pos = !pos })
-      ~last_scan_page:(-1)
+      ~last_scan_page:(-1);
+    note_checkpoint ctx st ~stage:"drain"
   in
   checkpoint ();
   let apply_upto upto ~sorted =
+    let from_pos = !pos in
     let entries =
       if sorted then SF.sorted_slice sf.Catalog.sidefile ~from:!pos ~upto
       else SF.slice sf.Catalog.sidefile ~from:!pos ~upto
@@ -475,12 +537,14 @@ let sf_drain_phase ctx cfg job ~from_pos =
     List.iter
       (fun e ->
         sf_apply_entry ?cursor ctx job e;
+        st.BS.keys_processed <- st.BS.keys_processed + 1;
         incr since_ckpt;
         if !since_ckpt >= cfg.ckpt_every_keys then begin
           (* position moves wholesale after the batch when sorting; only
              checkpoint inside a batch when applying sequentially *)
           if not sorted then begin
             pos := !pos + !since_ckpt;
+            update_backlog ();
             checkpoint ()
           end;
           since_ckpt := 0
@@ -488,6 +552,12 @@ let sf_drain_phase ctx cfg job ~from_pos =
       entries;
     pos := upto;
     since_ckpt := 0;
+    update_backlog ();
+    (let tr = Sched.trace ctx.Ctx.sched in
+     if Oib_obs.Trace.tracing tr then
+       Oib_obs.Trace.emit tr
+         (Oib_obs.Event.Sidefile_drained
+            { sidefile = job.spec.index_id; from_pos; upto }));
     Sched.yield ctx.Ctx.sched
   in
   (* the bulk of the side-file may be applied sorted (§3.2.5); the chase
@@ -505,6 +575,7 @@ let sf_drain_phase ctx cfg job ~from_pos =
   chase ();
   (* caught up: no yield between the check above and the flip below, so no
      transaction can append in between *)
+  st.BS.backlog <- 0;
   job.info.phase <- Catalog.Ready
 
 (* --- build orchestration --- *)
@@ -517,7 +588,8 @@ let finish_build ctx job =
   Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
   clear_progress ctx job.spec.index_id;
   Runs.delete_run ctx.Ctx.runs (sorted_run_name job.spec.index_id);
-  job.info.phase <- Catalog.Ready
+  job.info.phase <- Catalog.Ready;
+  note_phase ctx (job_status ctx job) BS.Ready
 
 let start_sorter ctx cfg index_id =
   match
@@ -531,6 +603,12 @@ let start_sorter ctx cfg index_id =
 
 let build_indexes_nsf ctx cfg ~table specs =
   let tbl = Catalog.table ctx.Ctx.catalog table in
+  let stats =
+    List.map
+      (fun spec -> status ctx ~index_id:spec.index_id ~algorithm:"nsf")
+      specs
+  in
+  List.iter (fun st -> note_phase ctx st BS.Quiesce) stats;
   (* short quiesce: create all descriptors under an S table lock (§2.2.1) *)
   let owner = ib_owner (List.hd specs).index_id in
   (match LockM.lock ctx.Ctx.locks ~txn:owner (LockM.Table table) S with
@@ -564,8 +642,12 @@ let build_indexes_nsf ctx cfg ~table specs =
     jobs;
   LockM.unlock_all ctx.Ctx.locks ~txn:owner;
   (* quiesce over; updaters run against the new descriptors from here on *)
+  List.iter (fun st -> note_phase ctx st BS.Scan) stats;
   scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic:false jobs
-    ~set_current_rid:(fun _ -> ());
+    ~set_current_rid:(fun rid ->
+      List.iter
+        (fun (st : BS.t) -> st.BS.scan_rid <- Rid.to_string rid)
+        stats);
   parallel_jobs ctx jobs (fun job ->
       let runs = merge_sorted ctx cfg job in
       ignore (do_merge ctx job runs);
@@ -578,6 +660,11 @@ let build_indexes_nsf ctx cfg ~table specs =
 
 let build_indexes_sf ctx cfg ~table specs =
   let tbl = Catalog.table ctx.Ctx.catalog table in
+  let stats =
+    List.map
+      (fun spec -> status ctx ~index_id:spec.index_id ~algorithm:"sf")
+      specs
+  in
   (* no quiesce: descriptors appear while updaters run (§3.2.1) *)
   let jobs =
     List.map
@@ -614,9 +701,13 @@ let build_indexes_sf ctx cfg ~table specs =
         ~last_scan_page)
     jobs;
   let states = List.map (fun job -> sf_state job.info) jobs in
+  List.iter (fun st -> note_phase ctx st BS.Scan) stats;
   scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic:true jobs
     ~set_current_rid:(fun rid ->
-      List.iter (fun sf -> sf.Catalog.current_rid <- rid) states);
+      List.iter (fun sf -> sf.Catalog.current_rid <- rid) states;
+      List.iter
+        (fun (st : BS.t) -> st.BS.scan_rid <- Rid.to_string rid)
+        stats);
   (* scan complete: later file extensions go to the side-file (§3.2.2) *)
   List.iter (fun sf -> sf.Catalog.current_rid <- Rid.infinity) states;
   parallel_jobs ctx jobs (fun job ->
@@ -707,6 +798,8 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
   set_progress ctx spec.index_id ~algorithm:Sf ~table
     ~stage:(Scanning { current_rid = Rid.minus_infinity })
     ~last_scan_page:(-1);
+  let bst = status ctx ~index_id:spec.index_id ~algorithm:"via-primary" in
+  note_phase ctx bst BS.Scan;
   let sf = sf_state info in
   (* a dedicated checkpoint id: scan positions here are leaf ordinals, not
      page ids, so a restart must not resume the heap-scan sorter from them *)
@@ -740,7 +833,8 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
         | [] -> ()
         | entries ->
           let last_pk = fst (List.nth entries (List.length entries - 1)) in
-          sf.Catalog.current_key <- Some last_pk);
+          sf.Catalog.current_key <- Some last_pk;
+          bst.BS.scan_rid <- "key:" ^ last_pk);
         if !batch <> [] then copied := !batch :: !copied);
     let batches = List.rev !copied in
     List.iter
@@ -769,6 +863,7 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
         ctx.Ctx.metrics.sequential_reads <-
           ctx.Ctx.metrics.sequential_reads + 1;
         Sort.feed_page job.sorter ~scan_pos:!batch_no (List.rev !keys);
+        bst.BS.keys_processed <- bst.BS.keys_processed + List.length !keys;
         Sched.yield ctx.Ctx.sched)
       batches;
     batches <> []
@@ -777,6 +872,7 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
   chase ();
   (* scan complete *)
   sf.Catalog.current_rid <- Rid.infinity;
+  note_phase ctx bst BS.Merge;
   let runs = Sort.finish job.sorter in
   set_progress ctx spec.index_id ~algorithm:Sf ~table ~stage:(Merging { runs })
     ~last_scan_page:(-1);
@@ -848,8 +944,12 @@ let resume_one ctx cfg index_id =
     in
     let tbl = Catalog.table ctx.Ctx.catalog p.p_table in
     let cfg = { cfg with algorithm = p.p_algorithm } in
+    let st =
+      status ctx ~index_id ~algorithm:(algorithm_name p.p_algorithm)
+    in
     (match (p.p_algorithm, p.p_stage) with
     | Nsf, Scanning _ | Sf, Scanning _ ->
+      note_phase ctx st BS.Scan;
       let sorter = start_sorter ctx cfg index_id in
       let job = { spec; info; sorter } in
       (match p.p_algorithm with
@@ -863,6 +963,7 @@ let resume_one ctx cfg index_id =
       scan_and_sort ctx cfg tbl ~last_scan_page:p.p_last_scan_page
         ~dynamic:(p.p_algorithm = Sf) [ job ]
         ~set_current_rid:(fun rid ->
+          st.BS.scan_rid <- Rid.to_string rid;
           match info.phase with
           | Catalog.Sf_building sf -> sf.Catalog.current_rid <- rid
           | _ -> ());
@@ -880,6 +981,7 @@ let resume_one ctx cfg index_id =
         sf_drain_phase ctx cfg job ~from_pos:0;
         finish_build ctx job)
     | _, Merging { runs } ->
+      note_phase ctx st BS.Merge;
       let sorter = start_sorter ctx cfg index_id in
       let job = { spec; info; sorter } in
       ignore (do_merge ctx job runs);

@@ -131,14 +131,26 @@ let sf_state info =
   | Catalog.Ready | Catalog.Nsf_building _ ->
     invalid_arg "Table_ops: not an SF build"
 
+(* count the append, grow the published backlog, emit the trace event *)
+let note_sidefile_append ctx (info : Catalog.index_info) ~insert pos =
+  ctx.Ctx.metrics.sidefile_appends <- ctx.Ctx.metrics.sidefile_appends + 1;
+  (match Hashtbl.find_opt ctx.Ctx.builds info.Catalog.index_id with
+  | Some st -> st.Build_status.backlog <- st.Build_status.backlog + 1
+  | None -> ());
+  let tr = Oib_sim.Sched.trace ctx.Ctx.sched in
+  if Oib_obs.Trace.tracing tr then
+    Oib_obs.Trace.emit tr
+      (Oib_obs.Event.Sidefile_append
+         { sidefile = info.Catalog.index_id; insert; pos })
+
 let sidefile_entry ctx txn info ~insert key =
   let sf = sf_state info in
   ignore
     (Txn.log_op ctx.Ctx.txns txn
        (LR.Sidefile_append
           { sidefile = info.Catalog.index_id; insert; key }));
-  ignore (SF.apply_append sf.Catalog.sidefile ~insert key);
-  ctx.Ctx.metrics.sidefile_appends <- ctx.Ctx.metrics.sidefile_appends + 1
+  let pos = SF.apply_append sf.Catalog.sidefile ~insert key in
+  note_sidefile_append ctx info ~insert pos
 
 let directly_maintained (info : Catalog.index_info) =
   match info.phase with
@@ -389,8 +401,8 @@ let sidefile_undo ctx info ~clr (dels, inss) =
         (clr
            (LR.Sidefile_append
               { sidefile = info.Catalog.index_id; insert = false; key }));
-      ignore (SF.apply_append sf.Catalog.sidefile ~insert:false key);
-      ctx.Ctx.metrics.sidefile_appends <- ctx.Ctx.metrics.sidefile_appends + 1)
+      let pos = SF.apply_append sf.Catalog.sidefile ~insert:false key in
+      note_sidefile_append ctx info ~insert:false pos)
     dels;
   List.iter
     (fun key ->
@@ -398,8 +410,8 @@ let sidefile_undo ctx info ~clr (dels, inss) =
         (clr
            (LR.Sidefile_append
               { sidefile = info.Catalog.index_id; insert = true; key }));
-      ignore (SF.apply_append sf.Catalog.sidefile ~insert:true key);
-      ctx.Ctx.metrics.sidefile_appends <- ctx.Ctx.metrics.sidefile_appends + 1)
+      let pos = SF.apply_append sf.Catalog.sidefile ~insert:true key in
+      note_sidefile_append ctx info ~insert:true pos)
     inss
 
 let undo_heap ctx _txn ~clr ~page ~old_count ~old_sf op =

@@ -1,8 +1,16 @@
 open Oib_util
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
 
 type mode = S | X | IS | IX
 
 type name = Record of Rid.t | Table of int
+
+let mode_string = function S -> "S" | X -> "X" | IS -> "IS" | IX -> "IX"
+
+let name_string = function
+  | Record rid -> Format.asprintf "rec%a" Rid.pp rid
+  | Table id -> Printf.sprintf "table:%d" id
 
 type outcome = Granted | Deadlock
 
@@ -178,16 +186,32 @@ let lock_aux t ~txn name mode ~conditional ~instant =
         | None, _ -> ()
       end
     in
+    let tr = Oib_sim.Sched.trace t.sched in
+    let denied () =
+      if Trace.tracing tr then
+        Trace.emit tr
+          (Event.Lock_denied
+             { owner = txn; target = name_string name;
+               mode = mode_string target });
+      Deadlock
+    in
     if grantable e ~txn ~mode:target ~conversion then begin
       grant t name e ~txn ~mode:target;
       settle_instant ();
+      Trace.observe tr "lock_wait" 0;
       Granted
     end
-    else if conditional then Deadlock
-    else if would_deadlock t ~txn name ~mode:target then Deadlock
+    else if conditional then denied ()
+    else if would_deadlock t ~txn name ~mode:target then denied ()
     else begin
       t.metrics.lock_waits <- t.metrics.lock_waits + 1;
       Hashtbl.replace t.waiting_on txn name;
+      let t0 = Oib_sim.Sched.steps t.sched in
+      if Trace.tracing tr then
+        Trace.emit tr
+          (Event.Lock_wait
+             { owner = txn; target = name_string name;
+               mode = mode_string target });
       Oib_sim.Sched.suspend t.sched (fun resume ->
           let w =
             {
@@ -201,6 +225,13 @@ let lock_aux t ~txn name mode ~conditional ~instant =
           else e.waiters <- e.waiters @ [ w ]);
       (* granted by [pump] before we were resumed *)
       settle_instant ();
+      let waited = Oib_sim.Sched.steps t.sched - t0 in
+      Trace.observe tr "lock_wait" waited;
+      if Trace.tracing tr then
+        Trace.emit tr
+          (Event.Lock_acquired
+             { owner = txn; target = name_string name;
+               mode = mode_string target; waited });
       Granted
     end
 
@@ -223,6 +254,9 @@ let try_instant_lock t ~txn name mode =
 let unlock_all t ~txn =
   let names = Option.value ~default:[] (Hashtbl.find_opt t.held txn) in
   Hashtbl.remove t.held txn;
+  (let tr = Oib_sim.Sched.trace t.sched in
+   if Trace.tracing tr && names <> [] then
+     Trace.emit tr (Event.Lock_released_all { owner = txn }));
   List.iter
     (fun name ->
       let e = entry t name in
@@ -248,10 +282,6 @@ let waiter_count t name =
   | None -> 0
   | Some e -> List.length e.waiters
 
-let pp_mode ppf m =
-  Format.pp_print_string ppf
-    (match m with S -> "S" | X -> "X" | IS -> "IS" | IX -> "IX")
+let pp_mode ppf m = Format.pp_print_string ppf (mode_string m)
 
-let pp_name ppf = function
-  | Record rid -> Format.fprintf ppf "rec%a" Rid.pp rid
-  | Table id -> Format.fprintf ppf "table:%d" id
+let pp_name ppf n = Format.pp_print_string ppf (name_string n)

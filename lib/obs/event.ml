@@ -1,0 +1,178 @@
+(* The event taxonomy of the engine. Every constructor is one observable
+   thing that happens during a run: a latch or lock transition, a page
+   I/O, a log append/flush, a transaction lifecycle step, an index-builder
+   phase transition, side-file traffic, a checkpoint, or a crash/recovery
+   step. Events carry only primitive payloads (ints, strings) so this
+   library sits below every subsystem in the dependency order. *)
+
+type t =
+  | Fiber_spawn of { fiber : int; name : string }
+  | Latch_wait of { latch : string; mode : string }
+  | Latch_acquired of { latch : string; mode : string; waited : int }
+  | Latch_released of { latch : string; mode : string }
+  | Lock_wait of { owner : int; target : string; mode : string }
+  | Lock_acquired of { owner : int; target : string; mode : string; waited : int }
+  | Lock_denied of { owner : int; target : string; mode : string }
+      (** the request would deadlock; the caller becomes a victim *)
+  | Lock_released_all of { owner : int }
+  | Page_read of { page : int }
+  | Page_write of { page : int }
+  | Log_append of { lsn : int; kind : string; bytes : int }
+  | Log_flush of { upto : int }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int; latency : int }
+  | Txn_abort of { txn : int; latency : int }
+  | Txn_rollback_step of { txn : int; lsn : int }
+  | Ib_phase of { index : int; phase : string }
+  | Ib_checkpoint of { index : int; stage : string }
+  | Sidefile_append of { sidefile : int; insert : bool; pos : int }
+  | Sidefile_drained of { sidefile : int; from_pos : int; upto : int }
+  | Checkpoint of { scope : string }
+  | Recovery_step of { step : string; detail : string }
+  | Crash of { reason : string }
+
+(* An event stamped with the scheduler's step clock and the fiber that
+   produced it ([fiber] = -1, ["main"] outside any fiber). *)
+type stamped = { step : int; fiber : int; fiber_name : string; event : t }
+
+let kind = function
+  | Fiber_spawn _ -> "fiber.spawn"
+  | Latch_wait _ -> "latch.wait"
+  | Latch_acquired _ -> "latch.acquired"
+  | Latch_released _ -> "latch.released"
+  | Lock_wait _ -> "lock.wait"
+  | Lock_acquired _ -> "lock.acquired"
+  | Lock_denied _ -> "lock.denied"
+  | Lock_released_all _ -> "lock.released_all"
+  | Page_read _ -> "page.read"
+  | Page_write _ -> "page.write"
+  | Log_append _ -> "log.append"
+  | Log_flush _ -> "log.flush"
+  | Txn_begin _ -> "txn.begin"
+  | Txn_commit _ -> "txn.commit"
+  | Txn_abort _ -> "txn.abort"
+  | Txn_rollback_step _ -> "txn.rollback_step"
+  | Ib_phase _ -> "ib.phase"
+  | Ib_checkpoint _ -> "ib.checkpoint"
+  | Sidefile_append _ -> "sidefile.append"
+  | Sidefile_drained _ -> "sidefile.drained"
+  | Checkpoint _ -> "checkpoint"
+  | Recovery_step _ -> "recovery.step"
+  | Crash _ -> "crash"
+
+(* key=value detail string, shared by the textual dump and pp *)
+let detail = function
+  | Fiber_spawn { fiber; name } -> Printf.sprintf "fiber=%d name=%s" fiber name
+  | Latch_wait { latch; mode } -> Printf.sprintf "latch=%s mode=%s" latch mode
+  | Latch_acquired { latch; mode; waited } ->
+    Printf.sprintf "latch=%s mode=%s waited=%d" latch mode waited
+  | Latch_released { latch; mode } ->
+    Printf.sprintf "latch=%s mode=%s" latch mode
+  | Lock_wait { owner; target; mode } ->
+    Printf.sprintf "owner=%d target=%s mode=%s" owner target mode
+  | Lock_acquired { owner; target; mode; waited } ->
+    Printf.sprintf "owner=%d target=%s mode=%s waited=%d" owner target mode
+      waited
+  | Lock_denied { owner; target; mode } ->
+    Printf.sprintf "owner=%d target=%s mode=%s" owner target mode
+  | Lock_released_all { owner } -> Printf.sprintf "owner=%d" owner
+  | Page_read { page } -> Printf.sprintf "page=%d" page
+  | Page_write { page } -> Printf.sprintf "page=%d" page
+  | Log_append { lsn; kind; bytes } ->
+    Printf.sprintf "lsn=%d kind=%s bytes=%d" lsn kind bytes
+  | Log_flush { upto } -> Printf.sprintf "upto=%d" upto
+  | Txn_begin { txn } -> Printf.sprintf "txn=%d" txn
+  | Txn_commit { txn; latency } ->
+    Printf.sprintf "txn=%d latency=%d" txn latency
+  | Txn_abort { txn; latency } -> Printf.sprintf "txn=%d latency=%d" txn latency
+  | Txn_rollback_step { txn; lsn } -> Printf.sprintf "txn=%d lsn=%d" txn lsn
+  | Ib_phase { index; phase } -> Printf.sprintf "index=%d phase=%s" index phase
+  | Ib_checkpoint { index; stage } ->
+    Printf.sprintf "index=%d stage=%s" index stage
+  | Sidefile_append { sidefile; insert; pos } ->
+    Printf.sprintf "sidefile=%d op=%s pos=%d" sidefile
+      (if insert then "ins" else "del")
+      pos
+  | Sidefile_drained { sidefile; from_pos; upto } ->
+    Printf.sprintf "sidefile=%d from=%d upto=%d" sidefile from_pos upto
+  | Checkpoint { scope } -> Printf.sprintf "scope=%s" scope
+  | Recovery_step { step; detail } -> Printf.sprintf "step=%s %s" step detail
+  | Crash { reason } -> Printf.sprintf "reason=%s" reason
+
+let pp ppf e = Format.fprintf ppf "%-18s %s" (kind e) (detail e)
+
+let pp_stamped ppf s =
+  Format.fprintf ppf "step=%-7d %-14s %a" s.step s.fiber_name pp s.event
+
+let to_line s = Format.asprintf "%a" pp_stamped s
+
+(* --- machine-readable JSON (no external dependency) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fields = function
+  | Fiber_spawn { fiber; name } ->
+    [ ("fiber", `I fiber); ("name", `S name) ]
+  | Latch_wait { latch; mode } -> [ ("latch", `S latch); ("mode", `S mode) ]
+  | Latch_acquired { latch; mode; waited } ->
+    [ ("latch", `S latch); ("mode", `S mode); ("waited", `I waited) ]
+  | Latch_released { latch; mode } ->
+    [ ("latch", `S latch); ("mode", `S mode) ]
+  | Lock_wait { owner; target; mode } ->
+    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode) ]
+  | Lock_acquired { owner; target; mode; waited } ->
+    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode);
+      ("waited", `I waited) ]
+  | Lock_denied { owner; target; mode } ->
+    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode) ]
+  | Lock_released_all { owner } -> [ ("owner", `I owner) ]
+  | Page_read { page } -> [ ("page", `I page) ]
+  | Page_write { page } -> [ ("page", `I page) ]
+  | Log_append { lsn; kind; bytes } ->
+    [ ("lsn", `I lsn); ("kind", `S kind); ("bytes", `I bytes) ]
+  | Log_flush { upto } -> [ ("upto", `I upto) ]
+  | Txn_begin { txn } -> [ ("txn", `I txn) ]
+  | Txn_commit { txn; latency } -> [ ("txn", `I txn); ("latency", `I latency) ]
+  | Txn_abort { txn; latency } -> [ ("txn", `I txn); ("latency", `I latency) ]
+  | Txn_rollback_step { txn; lsn } -> [ ("txn", `I txn); ("lsn", `I lsn) ]
+  | Ib_phase { index; phase } -> [ ("index", `I index); ("phase", `S phase) ]
+  | Ib_checkpoint { index; stage } ->
+    [ ("index", `I index); ("stage", `S stage) ]
+  | Sidefile_append { sidefile; insert; pos } ->
+    [ ("sidefile", `I sidefile); ("insert", `B insert); ("pos", `I pos) ]
+  | Sidefile_drained { sidefile; from_pos; upto } ->
+    [ ("sidefile", `I sidefile); ("from", `I from_pos); ("upto", `I upto) ]
+  | Checkpoint { scope } -> [ ("scope", `S scope) ]
+  | Recovery_step { step; detail } ->
+    [ ("step", `S step); ("detail", `S detail) ]
+  | Crash { reason } -> [ ("reason", `S reason) ]
+
+let to_json s =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"step\":%d,\"fiber\":%d,\"fiber_name\":\"%s\",\"type\":\"%s\""
+       s.step s.fiber (json_escape s.fiber_name) (kind s.event));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (match v with
+        | `I i -> Printf.sprintf ",\"%s\":%d" k i
+        | `S x -> Printf.sprintf ",\"%s\":\"%s\"" k (json_escape x)
+        | `B x -> Printf.sprintf ",\"%s\":%b" k x))
+    (fields s.event);
+  Buffer.add_char b '}';
+  Buffer.contents b

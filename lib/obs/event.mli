@@ -1,0 +1,49 @@
+(** Typed trace events.
+
+    One constructor per observable engine action. Payloads are primitives
+    only (ints / strings) so that [oib_obs] can sit below every other
+    library: subsystems render their own types (lock names, modes, RIDs)
+    to strings at the emission site. *)
+
+type t =
+  | Fiber_spawn of { fiber : int; name : string }
+  | Latch_wait of { latch : string; mode : string }
+  | Latch_acquired of { latch : string; mode : string; waited : int }
+  | Latch_released of { latch : string; mode : string }
+  | Lock_wait of { owner : int; target : string; mode : string }
+  | Lock_acquired of { owner : int; target : string; mode : string; waited : int }
+  | Lock_denied of { owner : int; target : string; mode : string }
+  | Lock_released_all of { owner : int }
+  | Page_read of { page : int }
+  | Page_write of { page : int }
+  | Log_append of { lsn : int; kind : string; bytes : int }
+  | Log_flush of { upto : int }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int; latency : int }
+  | Txn_abort of { txn : int; latency : int }
+  | Txn_rollback_step of { txn : int; lsn : int }
+  | Ib_phase of { index : int; phase : string }
+  | Ib_checkpoint of { index : int; stage : string }
+  | Sidefile_append of { sidefile : int; insert : bool; pos : int }
+  | Sidefile_drained of { sidefile : int; from_pos : int; upto : int }
+  | Checkpoint of { scope : string }
+  | Recovery_step of { step : string; detail : string }
+  | Crash of { reason : string }
+
+type stamped = { step : int; fiber : int; fiber_name : string; event : t }
+(** An event stamped with the scheduler's virtual step clock and the
+    emitting fiber ([fiber] = -1 / ["main"] outside any fiber). *)
+
+val kind : t -> string
+(** Stable dotted tag, e.g. ["latch.wait"], ["ib.phase"]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_stamped : Format.formatter -> stamped -> unit
+
+val to_line : stamped -> string
+(** One human-readable line (what the flight-recorder dump prints). *)
+
+val to_json : stamped -> string
+(** One JSON object (one JSONL line), no trailing newline. *)
+
+val json_escape : string -> string

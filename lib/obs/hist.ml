@@ -1,0 +1,140 @@
+(* Fixed-bucket histograms over virtual time (scheduler steps).
+
+   Bucket [i] counts observations v with bounds.(i-1) < v <= bounds.(i)
+   (bucket 0: v <= bounds.(0)); one overflow bucket collects everything
+   above the last bound. Percentiles use the same interpolated-rank rule
+   as [Oib_util.Stats.percentile], computed over the conceptual expanded
+   array in which each bucket contributes [count] copies of its
+   representative value (the bucket's upper bound; the max observed value
+   for the overflow bucket) — so with bucket width 1 the two agree
+   exactly on integer samples. *)
+
+type t = {
+  bounds : int array; (* strictly increasing upper bounds *)
+  counts : int array; (* length bounds + 1; last = overflow *)
+  mutable n : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+(* Roughly geometric (ratio ~1.5) bounds from 0 to 96k virtual steps:
+   enough resolution at the short-wait end where latch and lock waits
+   live, without hundreds of buckets. *)
+let default_bounds =
+  [| 0; 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128; 192; 256; 384;
+     512; 768; 1024; 1536; 2048; 3072; 4096; 6144; 8192; 12288; 16384;
+     24576; 32768; 49152; 65536; 98304 |]
+
+let create ?(bounds = default_bounds) () =
+  if Array.length bounds = 0 then invalid_arg "Hist.create: no bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Hist.create: bounds not strictly increasing")
+    bounds;
+  {
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    n = 0;
+    sum = 0;
+    vmin = max_int;
+    vmax = min_int;
+  }
+
+let linear_bounds ~limit = Array.init (limit + 1) (fun i -> i)
+
+(* first bucket whose bound >= v, or the overflow bucket *)
+let bucket_of t v =
+  let nb = Array.length t.bounds in
+  if v > t.bounds.(nb - 1) then nb
+  else begin
+    let lo = ref 0 and hi = ref (nb - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t v =
+  let v = max 0 v in
+  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let total t = t.sum
+let min_value t = if t.n = 0 then 0 else t.vmin
+let max_value t = if t.n = 0 then 0 else t.vmax
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let representative t i =
+  if i < Array.length t.bounds then float_of_int t.bounds.(i)
+  else float_of_int t.vmax
+
+(* representative value of the k-th element (0-based) of the expanded
+   sorted array *)
+let value_at t k =
+  let rec go i seen =
+    if i >= Array.length t.counts then representative t (i - 1)
+    else if seen + t.counts.(i) > k then representative t i
+    else go (i + 1) (seen + t.counts.(i))
+  in
+  go 0 0
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let rank = p *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (value_at t lo *. (1.0 -. frac)) +. (value_at t hi *. frac)
+  end
+
+let buckets t =
+  List.filter_map
+    (fun i ->
+      if t.counts.(i) = 0 then None
+      else
+        Some
+          ( (if i < Array.length t.bounds then t.bounds.(i) else max_int),
+            t.counts.(i) ))
+    (List.init (Array.length t.counts) Fun.id)
+
+let merge_into ~into t =
+  if into.bounds <> t.bounds then invalid_arg "Hist.merge_into: bounds differ";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.n <- into.n + t.n;
+  into.sum <- into.sum + t.sum;
+  if t.n > 0 then begin
+    if t.vmin < into.vmin then into.vmin <- t.vmin;
+    if t.vmax > into.vmax then into.vmax <- t.vmax
+  end
+
+let to_json t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f,\"p50\":%.2f,\"p95\":%.2f,\"p99\":%.2f,\"buckets\":["
+       t.n t.sum (min_value t) (max_value t) (mean t) (percentile t 0.5)
+       (percentile t 0.95) (percentile t 0.99));
+  List.iteri
+    (fun i (bound, c) ->
+      if i > 0 then Buffer.add_char b ',';
+      if bound = max_int then
+        Buffer.add_string b (Printf.sprintf "[\"inf\",%d]" c)
+      else Buffer.add_string b (Printf.sprintf "[%d,%d]" bound c))
+    (buckets t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f min=%d p50=%.1f p95=%.1f p99=%.1f max=%d"
+      t.n (mean t) (min_value t) (percentile t 0.5) (percentile t 0.95)
+      (percentile t 0.99) (max_value t)

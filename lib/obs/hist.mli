@@ -1,0 +1,39 @@
+(** Fixed-bucket virtual-time histograms.
+
+    Latency distributions (lock/latch wait, transaction latency, traversal
+    cost) measured in scheduler steps. Cheap to record (binary search over
+    a small bound array), mergeable, and summarizable as p50/p95/p99 that
+    match {!Oib_util.Stats.percentile}'s interpolated-rank rule when the
+    bucket resolution is exact (width-1 bounds over integer samples). *)
+
+type t
+
+val default_bounds : int array
+(** Roughly geometric bounds, 0 .. ~96k steps. *)
+
+val linear_bounds : limit:int -> int array
+(** Width-1 bounds [0..limit] — exact percentiles for samples <= limit. *)
+
+val create : ?bounds:int array -> unit -> t
+(** Bounds must be strictly increasing; an overflow bucket is implicit. *)
+
+val observe : t -> int -> unit
+(** Record one observation (negative values clamp to 0). *)
+
+val count : t -> int
+val total : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p], [p] in [0,1]. 0.0 on an empty histogram. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as (upper bound, count); [max_int] = overflow. *)
+
+val merge_into : into:t -> t -> unit
+(** Add [t]'s counts into [into]; bounds must be identical. *)
+
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

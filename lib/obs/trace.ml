@@ -1,0 +1,135 @@
+(* The per-engine observability hub.
+
+   A trace owns: the clock/fiber callbacks (wired to the scheduler at
+   engine assembly), the list of event sinks, an optional flight
+   recorder, and a registry of named histograms. Emission sites guard
+   with [tracing] before allocating an event, so a [null] trace (the
+   default everywhere) costs one pointer compare per instrumented
+   operation. *)
+
+type sink = { sink_name : string; push : Event.stamped -> unit }
+
+type t = {
+  live : bool; (* false only for [null] *)
+  mutable clock : unit -> int;
+  mutable fiber : unit -> (int * string) option;
+  mutable sinks : sink list;
+  mutable recorder : Flight_recorder.t option;
+  mutable on_dump : string -> unit;
+  mutable last_dump : string option;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let make ~live =
+  {
+    live;
+    clock = (fun () -> 0);
+    fiber = (fun () -> None);
+    sinks = [];
+    recorder = None;
+    on_dump = prerr_endline;
+    last_dump = None;
+    hists = Hashtbl.create 8;
+  }
+
+let null = make ~live:false
+
+let create () = make ~live:true
+
+let is_null t = not t.live
+
+let set_clock t f = if t.live then t.clock <- f
+let set_fiber t f = if t.live then t.fiber <- f
+let now t = t.clock ()
+
+let tracing t = t.live && (t.sinks <> [] || t.recorder <> None)
+
+let stamp t event =
+  let fiber, fiber_name =
+    match t.fiber () with Some (id, n) -> (id, n) | None -> (-1, "main")
+  in
+  { Event.step = t.clock (); fiber; fiber_name; event }
+
+let emit t event =
+  if tracing t then begin
+    let s = stamp t event in
+    (match t.recorder with Some r -> Flight_recorder.record r s | None -> ());
+    List.iter (fun sink -> sink.push s) t.sinks
+  end
+
+let add_sink t ~name push =
+  if not t.live then invalid_arg "Trace.add_sink: null trace";
+  t.sinks <- t.sinks @ [ { sink_name = name; push } ]
+
+let remove_sink t ~name =
+  t.sinks <- List.filter (fun s -> s.sink_name <> name) t.sinks
+
+let attach_recorder t ~capacity =
+  if not t.live then invalid_arg "Trace.attach_recorder: null trace";
+  let r = Flight_recorder.create ~capacity in
+  t.recorder <- Some r;
+  r
+
+let recorder t = t.recorder
+
+let set_on_dump t f = if t.live then t.on_dump <- f
+
+let last_dump t = t.last_dump
+
+(* Called at the failure boundaries (scheduler deadlock, injected crash,
+   consistency-oracle failure): emit a terminal Crash event, render the
+   flight-recorder tail, remember it, hand it to the dump consumer. *)
+let failure t ~reason =
+  if t.live then begin
+    emit t (Event.Crash { reason });
+    match t.recorder with
+    | None -> ()
+    | Some r ->
+      let d = Flight_recorder.dump ~reason r in
+      t.last_dump <- Some d;
+      t.on_dump d
+  end
+
+(* --- histograms --- *)
+
+let hist ?bounds t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Hist.create ?bounds () in
+    if t.live then Hashtbl.replace t.hists name h;
+    h
+
+let observe t name v =
+  if t.live then Hist.observe (hist t name) v
+
+let find_hist t name = Hashtbl.find_opt t.hists name
+
+let hists t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- stock sinks --- *)
+
+let buffer_jsonl_sink buf =
+  fun s ->
+    Buffer.add_string buf (Event.to_json s);
+    Buffer.add_char buf '\n'
+
+let add_jsonl_buffer_sink t ~name buf = add_sink t ~name (buffer_jsonl_sink buf)
+
+let add_jsonl_file_sink t ~path =
+  let oc = open_out path in
+  add_sink t ~name:("jsonl:" ^ path) (fun s ->
+      output_string oc (Event.to_json s);
+      output_char oc '\n');
+  fun () ->
+    remove_sink t ~name:("jsonl:" ^ path);
+    close_out oc
+
+let pp_hists ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, h) -> Format.fprintf ppf "%-16s %a@," name Hist.pp h)
+    (hists t);
+  Format.fprintf ppf "@]"

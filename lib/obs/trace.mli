@@ -1,0 +1,70 @@
+(** Per-engine observability hub: event dispatch, flight recorder,
+    histogram registry.
+
+    Every subsystem reaches its engine's trace (usually via the scheduler)
+    and emits {!Event.t}s guarded by {!tracing}; the default {!null} trace
+    makes all of it a no-op. The engine wires {!set_clock}/{!set_fiber} to
+    the scheduler so every event is stamped with the virtual step clock
+    and the emitting fiber. *)
+
+type t
+
+val null : t
+(** The inert trace: emission, observation and dump are no-ops. Default
+    everywhere so untraced runs pay (almost) nothing. *)
+
+val create : unit -> t
+
+val is_null : t -> bool
+
+val set_clock : t -> (unit -> int) -> unit
+val set_fiber : t -> (unit -> (int * string) option) -> unit
+
+val now : t -> int
+(** Current virtual time (0 until a clock is wired). *)
+
+val tracing : t -> bool
+(** True when at least one sink or a flight recorder is attached — check
+    this before allocating an event at a hot emission site. *)
+
+val emit : t -> Event.t -> unit
+(** Stamp and dispatch to the flight recorder and every sink. *)
+
+val add_sink : t -> name:string -> (Event.stamped -> unit) -> unit
+val remove_sink : t -> name:string -> unit
+
+val attach_recorder : t -> capacity:int -> Flight_recorder.t
+(** Install a ring-buffer flight recorder (replaces any previous one). *)
+
+val recorder : t -> Flight_recorder.t option
+
+val failure : t -> reason:string -> unit
+(** Failure boundary (deadlock / crash / oracle violation): emits a
+    [Crash] event, renders the flight-recorder dump, stores it (see
+    {!last_dump}) and passes it to the dump consumer (default: stderr). *)
+
+val set_on_dump : t -> (string -> unit) -> unit
+val last_dump : t -> string option
+
+(** {2 Histograms} *)
+
+val hist : ?bounds:int array -> t -> string -> Hist.t
+(** Find or create the named histogram ([bounds] applies on creation). *)
+
+val observe : t -> string -> int -> unit
+(** Record into the named histogram (created with default bounds). *)
+
+val find_hist : t -> string -> Hist.t option
+
+val hists : t -> (string * Hist.t) list
+(** All histograms, sorted by name. *)
+
+val pp_hists : Format.formatter -> t -> unit
+
+(** {2 Stock sinks} *)
+
+val add_jsonl_buffer_sink : t -> name:string -> Buffer.t -> unit
+
+val add_jsonl_file_sink : t -> path:string -> unit -> unit
+(** Open [path], stream every event as a JSONL line; returns the closer
+    (also detaches the sink). *)

@@ -1,4 +1,9 @@
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
+
 type mode = S | X
+
+let mode_name = function S -> "S" | X -> "X"
 
 type t = {
   sched : Sched.t;
@@ -41,22 +46,40 @@ let wake t =
 
 let acquire t mode =
   t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
-  if compatible t mode && t.waiters = [] then grant t mode
+  let tr = Sched.trace t.sched in
+  if compatible t mode && t.waiters = [] then begin
+    grant t mode;
+    Trace.observe tr "latch_wait" 0
+  end
   else begin
     t.metrics.latch_waits <- t.metrics.latch_waits + 1;
+    let t0 = Sched.steps t.sched in
+    if Trace.tracing tr then
+      Trace.emit tr
+        (Event.Latch_wait { latch = t.name; mode = mode_name mode });
     Sched.suspend t.sched (fun resume ->
-        t.waiters <- t.waiters @ [ (mode, resume) ])
+        t.waiters <- t.waiters @ [ (mode, resume) ]);
+    let waited = Sched.steps t.sched - t0 in
+    Trace.observe tr "latch_wait" waited;
+    if Trace.tracing tr then
+      Trace.emit tr
+        (Event.Latch_acquired { latch = t.name; mode = mode_name mode; waited })
   end
 
 let try_acquire t mode =
   if compatible t mode && t.waiters = [] then begin
     t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
     grant t mode;
+    Trace.observe (Sched.trace t.sched) "latch_wait" 0;
     true
   end
   else false
 
 let release t mode =
+  let tr = Sched.trace t.sched in
+  if Trace.tracing tr then
+    Trace.emit tr
+      (Event.Latch_released { latch = t.name; mode = mode_name mode });
   (match mode with
   | S ->
     assert (t.s_holders > 0);

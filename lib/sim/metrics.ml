@@ -45,65 +45,117 @@ let create () =
     txn_stall_steps = 0;
   }
 
-let reset t =
-  t.page_reads <- 0;
-  t.page_writes <- 0;
-  t.sequential_reads <- 0;
-  t.log_records <- 0;
-  t.log_bytes <- 0;
-  t.log_flushes <- 0;
-  t.latch_acquires <- 0;
-  t.latch_waits <- 0;
-  t.lock_calls <- 0;
-  t.lock_waits <- 0;
-  t.tree_traversals <- 0;
-  t.fast_path_inserts <- 0;
-  t.page_splits <- 0;
-  t.keys_inserted <- 0;
-  t.keys_rejected_duplicate <- 0;
-  t.pseudo_deletes <- 0;
-  t.sidefile_appends <- 0;
-  t.txn_commits <- 0;
-  t.txn_aborts <- 0;
-  t.txn_stall_steps <- 0
+(* The single source of truth for every derived operation. Adding a
+   counter = add the record field (and its zero in [create]) plus one
+   line here; [reset], [snapshot], [diff], [pp], [to_assoc] and
+   [to_json] all follow. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("page_reads", (fun t -> t.page_reads), fun t v -> t.page_reads <- v);
+    ("page_writes", (fun t -> t.page_writes), fun t v -> t.page_writes <- v);
+    ( "sequential_reads",
+      (fun t -> t.sequential_reads),
+      fun t v -> t.sequential_reads <- v );
+    ("log_records", (fun t -> t.log_records), fun t v -> t.log_records <- v);
+    ("log_bytes", (fun t -> t.log_bytes), fun t v -> t.log_bytes <- v);
+    ("log_flushes", (fun t -> t.log_flushes), fun t v -> t.log_flushes <- v);
+    ( "latch_acquires",
+      (fun t -> t.latch_acquires),
+      fun t v -> t.latch_acquires <- v );
+    ("latch_waits", (fun t -> t.latch_waits), fun t v -> t.latch_waits <- v);
+    ("lock_calls", (fun t -> t.lock_calls), fun t v -> t.lock_calls <- v);
+    ("lock_waits", (fun t -> t.lock_waits), fun t v -> t.lock_waits <- v);
+    ( "tree_traversals",
+      (fun t -> t.tree_traversals),
+      fun t v -> t.tree_traversals <- v );
+    ( "fast_path_inserts",
+      (fun t -> t.fast_path_inserts),
+      fun t v -> t.fast_path_inserts <- v );
+    ("page_splits", (fun t -> t.page_splits), fun t v -> t.page_splits <- v);
+    ( "keys_inserted",
+      (fun t -> t.keys_inserted),
+      fun t v -> t.keys_inserted <- v );
+    ( "keys_rejected_duplicate",
+      (fun t -> t.keys_rejected_duplicate),
+      fun t v -> t.keys_rejected_duplicate <- v );
+    ( "pseudo_deletes",
+      (fun t -> t.pseudo_deletes),
+      fun t v -> t.pseudo_deletes <- v );
+    ( "sidefile_appends",
+      (fun t -> t.sidefile_appends),
+      fun t v -> t.sidefile_appends <- v );
+    ("txn_commits", (fun t -> t.txn_commits), fun t v -> t.txn_commits <- v);
+    ("txn_aborts", (fun t -> t.txn_aborts), fun t v -> t.txn_aborts <- v);
+    ( "txn_stall_steps",
+      (fun t -> t.txn_stall_steps),
+      fun t v -> t.txn_stall_steps <- v );
+  ]
 
-let snapshot t = { t with page_reads = t.page_reads }
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
+
+(* An explicit field-by-field copy. All fields are mutable ints, so
+   copying through [fields] is complete by construction — unlike the old
+   [{ t with page_reads = t.page_reads }] idiom, which would silently
+   alias any future non-listed field. *)
+let snapshot t =
+  let s = create () in
+  List.iter (fun (_, get, set) -> set s (get t)) fields;
+  s
 
 let diff ~after ~before =
-  {
-    page_reads = after.page_reads - before.page_reads;
-    page_writes = after.page_writes - before.page_writes;
-    sequential_reads = after.sequential_reads - before.sequential_reads;
-    log_records = after.log_records - before.log_records;
-    log_bytes = after.log_bytes - before.log_bytes;
-    log_flushes = after.log_flushes - before.log_flushes;
-    latch_acquires = after.latch_acquires - before.latch_acquires;
-    latch_waits = after.latch_waits - before.latch_waits;
-    lock_calls = after.lock_calls - before.lock_calls;
-    lock_waits = after.lock_waits - before.lock_waits;
-    tree_traversals = after.tree_traversals - before.tree_traversals;
-    fast_path_inserts = after.fast_path_inserts - before.fast_path_inserts;
-    page_splits = after.page_splits - before.page_splits;
-    keys_inserted = after.keys_inserted - before.keys_inserted;
-    keys_rejected_duplicate =
-      after.keys_rejected_duplicate - before.keys_rejected_duplicate;
-    pseudo_deletes = after.pseudo_deletes - before.pseudo_deletes;
-    sidefile_appends = after.sidefile_appends - before.sidefile_appends;
-    txn_commits = after.txn_commits - before.txn_commits;
-    txn_aborts = after.txn_aborts - before.txn_aborts;
-    txn_stall_steps = after.txn_stall_steps - before.txn_stall_steps;
-  }
+  let d = create () in
+  List.iter (fun (_, get, set) -> set d (get after - get before)) fields;
+  d
+
+(* Layout kept close to the historical hand-written pp: grouped lines,
+   short labels. *)
+let pp_labels =
+  [
+    ("page_reads", "page_reads");
+    ("page_writes", "page_writes");
+    ("sequential_reads", "seq_reads");
+    ("log_records", "log_records");
+    ("log_bytes", "log_bytes");
+    ("log_flushes", "log_flushes");
+    ("latch_acquires", "latch_acquires");
+    ("latch_waits", "latch_waits");
+    ("lock_calls", "lock_calls");
+    ("lock_waits", "lock_waits");
+    ("tree_traversals", "traversals");
+    ("fast_path_inserts", "fast_path");
+    ("page_splits", "splits");
+    ("keys_inserted", "keys_inserted");
+    ("keys_rejected_duplicate", "dup_rejected");
+    ("pseudo_deletes", "pseudo_deletes");
+    ("sidefile_appends", "sidefile");
+    ("txn_commits", "commits");
+    ("txn_aborts", "aborts");
+    ("txn_stall_steps", "stall");
+  ]
+
+let line_breaks = [ "log_records"; "latch_acquires"; "tree_traversals";
+                    "keys_inserted"; "txn_commits" ]
 
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<v>page_reads=%d page_writes=%d seq_reads=%d@,\
-     log_records=%d log_bytes=%d log_flushes=%d@,\
-     latch_acquires=%d latch_waits=%d lock_calls=%d lock_waits=%d@,\
-     traversals=%d fast_path=%d splits=%d@,\
-     keys_inserted=%d dup_rejected=%d pseudo_deletes=%d sidefile=%d@,\
-     commits=%d aborts=%d stall=%d@]"
-    t.page_reads t.page_writes t.sequential_reads t.log_records t.log_bytes
-    t.log_flushes t.latch_acquires t.latch_waits t.lock_calls t.lock_waits
-    t.tree_traversals t.fast_path_inserts t.page_splits t.keys_inserted
-    t.keys_rejected_duplicate t.pseudo_deletes t.sidefile_appends
-    t.txn_commits t.txn_aborts t.txn_stall_steps
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then
+        if List.mem name line_breaks then Format.fprintf ppf "@,"
+        else Format.fprintf ppf " ";
+      Format.fprintf ppf "%s=%d" (List.assoc name pp_labels) v)
+    (to_assoc t);
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (to_assoc t);
+  Buffer.add_char b '}';
+  Buffer.contents b

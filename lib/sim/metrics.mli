@@ -33,7 +33,22 @@ type t = {
 }
 
 val create : unit -> t
+
+val to_assoc : t -> (string * int) list
+(** Every counter as [(name, value)], in declaration order. [reset],
+    [snapshot], [diff], [pp] and [to_json] are all derived from the same
+    field list, so adding a counter is a one-line change. *)
+
 val reset : t -> unit
+
 val snapshot : t -> t
+(** A deep copy: an independent [t] whose counters no longer alias [t]'s.
+    (All fields are mutable, so a [{ t with ... }] functional update would
+    still share nothing — but only by accident; the copy here is explicit
+    and complete by construction over the field list.) *)
+
 val diff : after:t -> before:t -> t
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One flat JSON object of counter name -> value. *)

@@ -12,6 +12,7 @@ type _ Effect.t +=
 
 type t = {
   rng : Oib_util.Rng.t;
+  trace : Oib_obs.Trace.t;
   mutable runq : (fiber_id * (unit -> unit)) list;
   names : (fiber_id, string) Hashtbl.t;
   mutable next_id : int;
@@ -22,23 +23,35 @@ type t = {
   mutable crash_trap : (int -> bool) option;
 }
 
-let create ?(seed = 42) () =
-  {
-    rng = Oib_util.Rng.create seed;
-    runq = [];
-    names = Hashtbl.create 16;
-    next_id = 0;
-    live = 0;
-    steps = 0;
-    current = None;
-    crash_requested = false;
-    crash_trap = None;
-  }
-
 let fiber_name t id =
   match Hashtbl.find_opt t.names id with
   | Some n -> n
   | None -> Printf.sprintf "fiber-%d" id
+
+let create ?(seed = 42) ?(trace = Oib_obs.Trace.null) () =
+  let t =
+    {
+      rng = Oib_util.Rng.create seed;
+      trace;
+      runq = [];
+      names = Hashtbl.create 16;
+      next_id = 0;
+      live = 0;
+      steps = 0;
+      current = None;
+      crash_requested = false;
+      crash_trap = None;
+    }
+  in
+  (* stamp every event with this scheduler's step clock and fiber *)
+  if not (Oib_obs.Trace.is_null trace) then begin
+    Oib_obs.Trace.set_clock trace (fun () -> t.steps);
+    Oib_obs.Trace.set_fiber trace (fun () ->
+        Option.map (fun id -> (id, fiber_name t id)) t.current)
+  end;
+  t
+
+let trace t = t.trace
 
 let current_fiber t = t.current
 
@@ -84,6 +97,9 @@ let spawn t ?name f =
   t.next_id <- id + 1;
   (match name with Some n -> Hashtbl.replace t.names id n | None -> ());
   t.live <- t.live + 1;
+  if Oib_obs.Trace.tracing t.trace then
+    Oib_obs.Trace.emit t.trace
+      (Oib_obs.Event.Fiber_spawn { fiber = id; name = fiber_name t id });
   enqueue t id (fun () -> start_fiber t id f);
   id
 
@@ -114,12 +130,17 @@ let take_random t =
     t.runq <- rest;
     Some chosen
 
+let crash_now t =
+  Oib_obs.Trace.failure t.trace
+    ~reason:(Printf.sprintf "crash at step %d" t.steps);
+  raise Crashed
+
 let check_crash t =
-  if t.crash_requested then raise Crashed;
+  if t.crash_requested then crash_now t;
   match t.crash_trap with
   | Some f when f t.steps ->
     t.crash_requested <- true;
-    raise Crashed
+    crash_now t
   | _ -> ()
 
 let run t =
@@ -132,7 +153,9 @@ let run t =
           Hashtbl.fold (fun _ n acc -> n :: acc) t.names []
           |> String.concat ", "
         in
-        raise (Deadlock (Printf.sprintf "%d fibers blocked (%s)" t.live stuck))
+        let msg = Printf.sprintf "%d fibers blocked (%s)" t.live stuck in
+        Oib_obs.Trace.failure t.trace ~reason:("deadlock: " ^ msg);
+        raise (Deadlock msg)
       end
     | Some (id, thunk) ->
       t.steps <- t.steps + 1;

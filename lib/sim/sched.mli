@@ -23,7 +23,14 @@ exception Crashed
 (** Raised by {!run} when a crash was requested (by {!request_crash} or a
     step trap installed with {!set_crash_trap}). *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?trace:Oib_obs.Trace.t -> unit -> t
+(** [trace] (default {!Oib_obs.Trace.null}) becomes the engine's
+    observability hub: the scheduler wires its step clock and current
+    fiber into it, emits fiber/crash events, and dumps the flight
+    recorder on {!Deadlock} or {!Crashed}. Subsystems reach it through
+    {!trace}. *)
+
+val trace : t -> Oib_obs.Trace.t
 
 val spawn : t -> ?name:string -> (unit -> unit) -> fiber_id
 (** Register a new fiber. It does not start executing until {!run}. *)

@@ -41,6 +41,9 @@ let get t id =
     | None -> raise Not_found
     | Some { payload; lsn; copy_payload } ->
       t.metrics.page_reads <- t.metrics.page_reads + 1;
+      (let tr = Oib_sim.Sched.trace t.sched in
+       if Oib_obs.Trace.tracing tr then
+         Oib_obs.Trace.emit tr (Oib_obs.Event.Page_read { page = id }));
       let page =
         Page.make ~id ~sched:t.sched ~metrics:t.metrics
           ~payload:(copy_payload payload) ~copy_payload
@@ -65,6 +68,9 @@ let flush_page t (page : Page.t) =
     (* write-ahead rule *)
     Oib_wal.Log_manager.flush t.log ~upto:page.lsn;
     t.metrics.page_writes <- t.metrics.page_writes + 1;
+    (let tr = Oib_sim.Sched.trace t.sched in
+     if Oib_obs.Trace.tracing tr then
+       Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id }));
     Stable_store.write t.store page.id
       {
         Stable_store.payload = page.copy_payload page.payload;

@@ -1,12 +1,15 @@
 module LR = Oib_wal.Log_record
 module Lsn = Oib_wal.Lsn
 module LM = Oib_wal.Log_manager
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
 
 type status = Active | Committed | Aborted
 
 type txn = {
   txn_id : int;
   begin_lsn : Lsn.t;
+  begin_step : int; (* scheduler step at begin, for latency histograms *)
   mutable last : Lsn.t;
   mutable st : status;
 }
@@ -15,12 +18,13 @@ type t = {
   log : LM.t;
   locks : Oib_lock.Lock_manager.t;
   metrics : Oib_sim.Metrics.t;
+  trace : Trace.t;
   mutable next_id : int;
   active : (int, txn) Hashtbl.t;
 }
 
-let create log locks metrics =
-  { log; locks; metrics; next_id = 1; active = Hashtbl.create 32 }
+let create ?(trace = Trace.null) log locks metrics =
+  { log; locks; metrics; trace; next_id = 1; active = Hashtbl.create 32 }
 
 let log t = t.log
 let locks t = t.locks
@@ -29,8 +33,13 @@ let begin_txn t =
   let txn_id = t.next_id in
   t.next_id <- txn_id + 1;
   let begin_lsn = LM.append t.log ~txn:(Some txn_id) ~prev_lsn:Lsn.nil LR.Begin in
-  let txn = { txn_id; begin_lsn; last = begin_lsn; st = Active } in
+  let txn =
+    { txn_id; begin_lsn; begin_step = Trace.now t.trace; last = begin_lsn;
+      st = Active }
+  in
   Hashtbl.replace t.active txn_id txn;
+  if Trace.tracing t.trace then
+    Trace.emit t.trace (Event.Txn_begin { txn = txn_id });
   txn
 
 let id txn = txn.txn_id
@@ -48,13 +57,19 @@ let finish t txn st =
   Hashtbl.remove t.active txn.txn_id;
   Oib_lock.Lock_manager.unlock_all t.locks ~txn:txn.txn_id
 
+let txn_latency t txn = max 0 (Trace.now t.trace - txn.begin_step)
+
 let commit t txn =
   assert (txn.st = Active);
   let lsn = log_op t txn LR.Commit in
   LM.flush t.log ~upto:lsn;
   ignore (log_op t txn LR.End);
   finish t txn Committed;
-  t.metrics.txn_commits <- t.metrics.txn_commits + 1
+  t.metrics.txn_commits <- t.metrics.txn_commits + 1;
+  let latency = txn_latency t txn in
+  Trace.observe t.trace "txn_latency" latency;
+  if Trace.tracing t.trace then
+    Trace.emit t.trace (Event.Txn_commit { txn = txn.txn_id; latency })
 
 let rollback t txn ~undo =
   assert (txn.st = Active);
@@ -68,6 +83,10 @@ let rollback t txn ~undo =
         match r.LR.body with
         | LR.Clr { undo_next; _ } -> walk undo_next
         | body when LR.is_undoable body ->
+          if Trace.tracing t.trace then
+            Trace.emit t.trace
+              (Event.Txn_rollback_step
+                 { txn = txn.txn_id; lsn = Lsn.to_int lsn });
           let clr action =
             log_op t txn (LR.Clr { action; undo_next = r.LR.prev_lsn })
           in
@@ -80,10 +99,17 @@ let rollback t txn ~undo =
   ignore (log_op t txn LR.End);
   (* an abort need not force the log *)
   finish t txn Aborted;
-  t.metrics.txn_aborts <- t.metrics.txn_aborts + 1
+  t.metrics.txn_aborts <- t.metrics.txn_aborts + 1;
+  let latency = txn_latency t txn in
+  Trace.observe t.trace "txn_latency" latency;
+  if Trace.tracing t.trace then
+    Trace.emit t.trace (Event.Txn_abort { txn = txn.txn_id; latency })
 
 let adopt t ~txn_id ~last =
-  let txn = { txn_id; begin_lsn = last; last; st = Active } in
+  let txn =
+    { txn_id; begin_lsn = last; begin_step = Trace.now t.trace; last;
+      st = Active }
+  in
   Hashtbl.replace t.active txn_id txn;
   if txn_id >= t.next_id then t.next_id <- txn_id + 1;
   txn

@@ -21,7 +21,11 @@ type txn
 type status = Active | Committed | Aborted
 
 val create :
+  ?trace:Oib_obs.Trace.t ->
   Oib_wal.Log_manager.t -> Oib_lock.Lock_manager.t -> Oib_sim.Metrics.t -> t
+(** [trace] (default {!Oib_obs.Trace.null}) receives txn begin / commit /
+    abort / rollback-step events and a ["txn_latency"] histogram of
+    virtual-time latencies (commit/abort step minus begin step). *)
 
 val log : t -> Oib_wal.Log_manager.t
 val locks : t -> Oib_lock.Lock_manager.t

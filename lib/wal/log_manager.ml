@@ -1,5 +1,9 @@
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
+
 type t = {
   metrics : Oib_sim.Metrics.t;
+  trace : Trace.t;
   mutable next_lsn : Lsn.t;
   mutable durable : Buffer.t;
   mutable durable_lsn : Lsn.t;
@@ -8,9 +12,10 @@ type t = {
   by_lsn : (int, Log_record.t) Hashtbl.t;
 }
 
-let create metrics =
+let create ?(trace = Trace.null) metrics =
   {
     metrics;
+    trace;
     next_lsn = Lsn.next Lsn.nil;
     durable = Buffer.create 4096;
     durable_lsn = Lsn.nil;
@@ -18,6 +23,24 @@ let create metrics =
     volatile = [];
     by_lsn = Hashtbl.create 1024;
   }
+
+(* A short tag for trace events: which family of record was appended. *)
+let kind_of_body : Log_record.body -> string = function
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | End -> "end"
+  | Heap _ -> "heap"
+  | Index_key _ -> "index_key"
+  | Index_bulk_insert _ -> "index_bulk_insert"
+  | Sidefile_append _ -> "sidefile_append"
+  | Clr _ -> "clr"
+  | Build_start _ -> "build_start"
+  | Build_done _ -> "build_done"
+  | Heap_extend _ -> "heap_extend"
+  | Create_table _ -> "create_table"
+  | Create_index _ -> "create_index"
+  | Drop_index _ -> "drop_index"
 
 let append t ~txn ~prev_lsn body =
   let lsn = t.next_lsn in
@@ -28,11 +51,18 @@ let append t ~txn ~prev_lsn body =
   Hashtbl.replace t.by_lsn (Lsn.to_int lsn) record;
   t.metrics.log_records <- t.metrics.log_records + 1;
   t.metrics.log_bytes <- t.metrics.log_bytes + String.length bytes;
+  if Trace.tracing t.trace then
+    Trace.emit t.trace
+      (Event.Log_append
+         { lsn = Lsn.to_int lsn; kind = kind_of_body body;
+           bytes = String.length bytes });
   lsn
 
 let flush t ~upto =
   if Lsn.( > ) upto t.durable_lsn then begin
     t.metrics.log_flushes <- t.metrics.log_flushes + 1;
+    if Trace.tracing t.trace then
+      Trace.emit t.trace (Event.Log_flush { upto = Lsn.to_int upto });
     (* volatile is newest-first; move the prefix with lsn <= upto to the
        durable buffer, oldest first. *)
     let to_keep, to_flush =
@@ -63,6 +93,7 @@ let crash t =
   let survivor =
     {
       metrics = t.metrics;
+      trace = t.trace;
       next_lsn = Lsn.next t.durable_lsn;
       durable = Buffer.create (Buffer.length t.durable);
       durable_lsn = t.durable_lsn;

@@ -9,7 +9,9 @@
 
 type t
 
-val create : Oib_sim.Metrics.t -> t
+val create : ?trace:Oib_obs.Trace.t -> Oib_sim.Metrics.t -> t
+(** [trace] (default {!Oib_obs.Trace.null}) receives [log.append] /
+    [log.flush] events; it survives {!crash}. *)
 
 val append :
   t -> txn:Log_record.txn_id option -> prev_lsn:Lsn.t -> Log_record.body ->
