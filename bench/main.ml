@@ -21,7 +21,7 @@ let main exps micro_only smoke =
   if smoke then begin
     (* tiny instrumented config: exercises the whole observability path
        (trace, progress, histograms, BENCH_obs.json) in a few seconds *)
-    Obs_report.run ~rows:200 ~workers:2 ~txns:10 ();
+    Obs_report.run ~rows:200 ~workers:2 ~txns:10 ~sample_every:20 ();
     0
   end
   else if micro_only then begin

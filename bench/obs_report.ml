@@ -16,15 +16,24 @@ type run_result = {
   total_steps : int;
   status : BS.t;
   trace : Trace.t;
+  samples : (int * string * int) list; (* (step, key, value), time order *)
 }
 
-let one_build alg ~rows ~workers ~txns ~seed =
+let one_build alg ~rows ~workers ~txns ~seed ~sample_every =
   let trace = Trace.create () in
   ignore (Trace.attach_recorder trace ~capacity:1024);
   Trace.set_on_dump trace prerr_endline;
+  (* collect the sampler's time series straight off the event stream *)
+  let samples = ref [] in
+  Trace.add_sink trace ~name:"series" (fun (s : Oib_obs.Event.stamped) ->
+      match s.event with
+      | Oib_obs.Event.Sample { key; value } ->
+        samples := (s.step, key, value) :: !samples
+      | _ -> ());
   let ctx = Engine.create ~seed ~page_capacity:1024 ~trace () in
   let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
   let _ = Driver.populate ctx ~table:1 ~rows ~seed in
+  Obs_sampler.install ctx ~every:sample_every;
   let _ =
     if workers > 0 then
       Driver.spawn_workers ctx
@@ -52,6 +61,7 @@ let one_build alg ~rows ~workers ~txns ~seed =
       total_steps = Sched.steps ctx.Ctx.sched;
       status;
       trace;
+      samples = List.rev !samples;
     }
   | l -> failwith (Printf.sprintf "obs_report: %d statuses" (List.length l))
 
@@ -85,6 +95,29 @@ let json_of_run r =
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b "%S:%s" name (Hist.to_json h))
     (Trace.hists r.trace);
+  (* the sampler's time series: key -> [[step, value], ...], so build
+     progress can be plotted against updater throughput *)
+  Buffer.add_string b "},\"series\":{";
+  let keys = ref [] in
+  let by_key = Hashtbl.create 32 in
+  List.iter
+    (fun (step, key, value) ->
+      if not (Hashtbl.mem by_key key) then keys := key :: !keys;
+      Hashtbl.replace by_key key
+        ((step, value)
+        :: Option.value (Hashtbl.find_opt by_key key) ~default:[]))
+    r.samples;
+  List.iteri
+    (fun i key ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S:[" key;
+      List.iteri
+        (fun j (step, value) ->
+          if j > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "[%d,%d]" step value)
+        (List.rev (Hashtbl.find by_key key));
+      Buffer.add_char b ']')
+    (List.rev !keys);
   Buffer.add_string b "}}";
   Buffer.contents b
 
@@ -100,12 +133,12 @@ let print_run r =
   Format.printf "%a@." Trace.pp_hists r.trace
 
 let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
-    ?(out = "BENCH_obs.json") () =
+    ?(sample_every = 250) ?(out = "BENCH_obs.json") () =
   print_endline "== observability report (per-phase timings, latency hists) ==";
   let runs =
     [
-      one_build Ib.Nsf ~rows ~workers ~txns ~seed;
-      one_build Ib.Sf ~rows ~workers ~txns ~seed;
+      one_build Ib.Nsf ~rows ~workers ~txns ~seed ~sample_every;
+      one_build Ib.Sf ~rows ~workers ~txns ~seed ~sample_every;
     ]
   in
   List.iter print_run runs;

@@ -17,11 +17,32 @@ let alg_of_string = function
   | "sf" -> Ib.Sf
   | s -> failwith (Printf.sprintf "unknown algorithm %S (use nsf|sf)" s)
 
-let fresh ?trace ~seed ~rows () =
+let fresh ?trace ?epoch_label ~seed ~rows () =
   let ctx = Engine.create ~seed ~page_capacity:1024 ?trace () in
+  (* the marker must be stamped by THIS engine's clock (step 0), before
+     populate, so multi-engine captures split into labelled epochs *)
+  (match (trace, epoch_label) with
+  | Some tr, Some label ->
+    if Trace.tracing tr then
+      Trace.emit tr (Oib_obs.Event.Epoch { label })
+  | _ -> ());
   let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
   let _ = Driver.populate ctx ~table:1 ~rows ~seed in
   ctx
+
+(* Shared --trace-jsonl plumbing: a trace with a flight recorder and a
+   JSONL file sink. The closer must run before any [exit]. *)
+let trace_setup jsonl =
+  match jsonl with
+  | None -> (None, fun () -> ())
+  | Some path ->
+    let trace = Trace.create () in
+    ignore (Trace.attach_recorder trace ~capacity:2048);
+    let close = Trace.add_jsonl_file_sink trace ~path in
+    ( Some trace,
+      fun () ->
+        close ();
+        Printf.printf "event trace written to %s\n" path )
 
 let print_progress ctx =
   List.iter
@@ -66,6 +87,9 @@ let cmd_build alg rows workers txns unique seed jsonl =
     | None -> fun () -> ()
   in
   let ctx = fresh ~trace ~seed ~rows () in
+  (* sample metrics + build progress into the dump (not the recorder-only
+     case: samples would crowd real events out of the ring) *)
+  if jsonl <> None then Obs_sampler.install ctx ~every:200;
   let stats =
     if workers > 0 then
       Driver.spawn_workers ctx
@@ -93,12 +117,13 @@ let cmd_build alg rows workers txns unique seed jsonl =
   | Some path -> Printf.printf "event trace written to %s\n" path
   | None -> ()
 
-let cmd_crash alg rows at seed =
+let cmd_crash alg rows at seed jsonl =
   let alg = alg_of_string alg in
   let cfg =
     { (Ib.default_config alg) with ckpt_every_pages = 16; ckpt_every_keys = 256 }
   in
-  let ctx = fresh ~seed ~rows () in
+  let trace, finish_jsonl = trace_setup jsonl in
+  let ctx = fresh ?trace ~epoch_label:"crash-run" ~seed ~rows () in
   let _ =
     Driver.spawn_workers ctx
       { Driver.default with seed; workers = 4; txns_per_worker = 100 }
@@ -126,17 +151,24 @@ let cmd_crash alg rows at seed =
   (match (Catalog.index ctx.Ctx.catalog 10).phase with
   | Catalog.Ready -> print_endline "index READY after resume"
   | _ -> print_endline "index not ready?!");
-  match Engine.consistency_errors ctx with
+  (match Engine.consistency_errors ctx with
   | [] -> print_endline "consistency            OK"
   | errs ->
     List.iter print_endline errs;
-    exit 1
+    finish_jsonl ();
+    exit 1);
+  finish_jsonl ()
 
-let cmd_soak seeds alg =
+let cmd_soak seeds alg jsonl =
   let alg = alg_of_string alg in
+  let trace, finish_jsonl = trace_setup jsonl in
   let failures = ref 0 in
   for seed = 1 to seeds do
-    let ctx = fresh ~seed ~rows:300 () in
+    let ctx =
+      fresh ?trace
+        ~epoch_label:(Printf.sprintf "seed-%d" seed)
+        ~seed ~rows:300 ()
+    in
     let _ =
       Driver.spawn_workers ctx
         { Driver.default with seed; workers = 3; txns_per_worker = 20 }
@@ -154,10 +186,12 @@ let cmd_soak seeds alg =
       Printf.printf "seed %3d: %d ERRORS\n%!" seed (List.length errs)
   done;
   Printf.printf "%d/%d seeds clean\n" (seeds - !failures) seeds;
+  finish_jsonl ();
   if !failures > 0 then exit 1
 
-let cmd_iot rows seed =
-  let ctx = Engine.create ~seed ~page_capacity:1024 () in
+let cmd_iot rows seed jsonl =
+  let trace, finish_jsonl = trace_setup jsonl in
+  let ctx = Engine.create ~seed ~page_capacity:1024 ?trace () in
   let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
   (match
      Engine.run_txn ctx (fun txn ->
@@ -183,11 +217,13 @@ let cmd_iot rows seed =
            { Ib.index_id = 2; key_cols = [ 1 ]; unique = false }));
   Sched.run ctx.Ctx.sched;
   print_endline "secondary built via key-order scan of the primary (§6.2)";
-  match Engine.consistency_errors ctx with
+  (match Engine.consistency_errors ctx with
   | [] -> print_endline "consistency            OK"
   | errs ->
     List.iter print_endline errs;
-    exit 1
+    finish_jsonl ();
+    exit 1);
+  finish_jsonl ()
 
 open Cmdliner
 
@@ -200,39 +236,39 @@ let rows_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed")
 
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Also write every trace event to $(docv) as JSON lines.")
+
 let build_cmd =
   let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W") in
   let txns = Arg.(value & opt int 50 & info [ "txns" ] ~docv:"T" ~doc:"Per worker") in
   let unique = Arg.(value & flag & info [ "unique" ]) in
-  let jsonl =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-jsonl" ] ~docv:"FILE"
-          ~doc:"Also write every trace event to $(docv) as JSON lines.")
-  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index online under a transaction mix")
     Term.(
       const cmd_build $ alg_arg $ rows_arg $ workers $ txns $ unique $ seed_arg
-      $ jsonl)
+      $ jsonl_arg)
 
 let crash_cmd =
   let at = Arg.(value & opt int 2000 & info [ "at" ] ~docv:"STEP" ~doc:"Crash step") in
   Cmd.v
     (Cmd.info "crash" ~doc:"Crash mid-build, recover, resume, verify")
-    Term.(const cmd_crash $ alg_arg $ rows_arg $ at $ seed_arg)
+    Term.(const cmd_crash $ alg_arg $ rows_arg $ at $ seed_arg $ jsonl_arg)
 
 let soak_cmd =
   let seeds = Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N") in
   Cmd.v
     (Cmd.info "soak" ~doc:"Run the oracle across many seeds")
-    Term.(const cmd_soak $ seeds $ alg_arg)
+    Term.(const cmd_soak $ seeds $ alg_arg $ jsonl_arg)
 
 let iot_cmd =
   Cmd.v
     (Cmd.info "iot" ~doc:"Secondary index via a primary-key-order scan (§6.2)")
-    Term.(const cmd_iot $ rows_arg $ seed_arg)
+    Term.(const cmd_iot $ rows_arg $ seed_arg $ jsonl_arg)
 
 let () =
   exit

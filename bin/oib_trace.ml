@@ -1,0 +1,79 @@
+(* oib-trace: offline analyzer for JSONL trace dumps.
+
+   oib-demo build --trace-jsonl build.jsonl
+   oib-trace summary    build.jsonl
+   oib-trace spans      build.jsonl
+   oib-trace contention build.jsonl
+   oib-trace timeline   build.jsonl
+   oib-trace check      build.jsonl   # exit 1 on any invariant violation *)
+
+module TR = Oib_obs_analysis.Trace_reader
+module Check = Oib_obs_analysis.Check
+module Report = Oib_obs_analysis.Report
+
+let load path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "oib-trace: no such file: %s\n" path;
+    exit 2
+  end;
+  let events, errors = TR.of_file path in
+  List.iter
+    (fun (e : TR.error) ->
+      Printf.eprintf "oib-trace: %s:%d: %s\n" path e.line_no e.msg)
+    errors;
+  (events, errors)
+
+let run_report render path =
+  let events, _errors = load path in
+  print_string (render events)
+
+let cmd_summary path = run_report Report.summary path
+let cmd_spans path = run_report Report.spans path
+let cmd_contention path = run_report Report.contention path
+let cmd_timeline path = run_report Report.timeline path
+
+let cmd_check path =
+  let events, errors = load path in
+  let violations = Check.run events in
+  List.iter
+    (fun v -> Format.printf "%a@." Check.pp_violation v)
+    violations;
+  let epochs = List.length (TR.epochs events) in
+  Printf.printf "%d events, %d epochs, %d undecodable lines, %d violations\n"
+    (List.length events) epochs (List.length errors)
+    (List.length violations);
+  if violations <> [] || errors <> [] then exit 1
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace dump (from --trace-jsonl)")
+
+let make name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ file_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "oib-trace" ~version:"1.0"
+             ~doc:"Analyze JSONL trace dumps from the online index build engine")
+          [
+            make "summary" "Event counts and transaction outcomes per epoch"
+              cmd_summary;
+            make "spans"
+              "Span totals by category and per-transaction critical-path \
+               breakdowns"
+              cmd_spans;
+            make "contention"
+              "Per-target wait totals and blocker attribution (IB vs updater)"
+              cmd_contention;
+            make "timeline"
+              "Chronological waits, build phases, crashes and recovery steps"
+              cmd_timeline;
+            make "check" "Validate trace invariants; exit 1 on any violation"
+              cmd_check;
+          ]))

@@ -35,6 +35,7 @@ type t = {
   mutable backlog : int; (* side-file entries appended but not yet drained *)
   mutable checkpoints : int;
   mutable history : (phase * int) list; (* (phase, step), newest first *)
+  mutable phase_span : int; (* open trace span of the current phase (0 none) *)
 }
 
 let create ~index_id ~algorithm =
@@ -47,6 +48,7 @@ let create ~index_id ~algorithm =
     backlog = 0;
     checkpoints = 0;
     history = [ (Init, 0) ];
+    phase_span = 0;
   }
 
 let set_phase t ~step phase =

@@ -24,6 +24,8 @@ type t = {
   mutable backlog : int;  (** side-file entries appended, not yet drained *)
   mutable checkpoints : int;
   mutable history : (phase * int) list;  (** newest first; use {!history} *)
+  mutable phase_span : int;
+      (** open trace span of the current phase; [0] when untraced *)
 }
 
 val create : index_id:int -> algorithm:string -> t

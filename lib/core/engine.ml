@@ -29,6 +29,10 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
      observe the new incarnation, whose scheduler re-registers its clock *)
   let trace = old.Ctx.trace in
   let sched = Oib_sim.Sched.create ~seed ~trace () in
+  (* announce the incarnation boundary: the step clock just restarted, and
+     an offline reader needs the marker to split the capture into epochs *)
+  if Oib_obs.Trace.tracing trace then
+    Oib_obs.Trace.emit trace (Oib_obs.Event.Epoch { label = "restart" });
   let log = LM.crash old.Ctx.log in
   let pool = Buffer_pool.create ~sched ~metrics:old.Ctx.metrics ~log ~store in
   let locks = Oib_lock.Lock_manager.create sched old.Ctx.metrics in

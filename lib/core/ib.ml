@@ -88,7 +88,18 @@ let note_phase ctx (st : BS.t) phase =
     if Oib_obs.Trace.tracing tr then
       Oib_obs.Trace.emit tr
         (Oib_obs.Event.Ib_phase
-           { index = st.BS.index_id; phase = BS.phase_name phase })
+           { index = st.BS.index_id; phase = BS.phase_name phase });
+    (* one span per phase: close the previous one (may happen on a
+       different fiber than the begin — pipeline children end phases) and
+       open the next, except for the terminal Ready. *)
+    Oib_obs.Trace.span_end tr st.BS.phase_span;
+    st.BS.phase_span <-
+      (if phase = BS.Ready then 0
+       else
+         Oib_obs.Trace.span_begin tr ~cat:"ib"
+           ~name:
+             (Printf.sprintf "index-%d/%s" st.BS.index_id
+                (BS.phase_name phase)))
   end
 
 let note_checkpoint ctx (st : BS.t) ~stage =

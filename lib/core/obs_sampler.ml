@@ -1,0 +1,41 @@
+(* Periodic time-series sampler: every N virtual steps, snapshot the
+   engine's counters and every live build's progress into the trace as
+   [Sample] events. The scheduler's tick hook drives it (no fiber: a
+   sampling fiber would keep the scheduler alive forever), so samples are
+   stamped as "main" at exact multiples of the period and an offline
+   reader can reassemble them into aligned series. *)
+
+module Sched = Oib_sim.Sched
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
+module Metrics = Oib_sim.Metrics
+module BS = Build_status
+
+let sample (ctx : Ctx.t) =
+  let tr = ctx.Ctx.trace in
+  if Trace.tracing tr then begin
+    List.iter
+      (fun (name, v) ->
+        Trace.emit tr (Event.Sample { key = "metrics." ^ name; value = v }))
+      (Metrics.to_assoc ctx.Ctx.metrics);
+    Hashtbl.fold (fun _ st acc -> st :: acc) ctx.Ctx.builds []
+    |> List.sort (fun (a : BS.t) b -> compare a.BS.index_id b.BS.index_id)
+    |> List.iter (fun (st : BS.t) ->
+           let emit suffix value =
+             Trace.emit tr
+               (Event.Sample
+                  {
+                    key =
+                      Printf.sprintf "build.%d.%s" st.BS.index_id suffix;
+                    value;
+                  })
+           in
+           emit "keys_processed" st.BS.keys_processed;
+           emit "backlog" st.BS.backlog;
+           emit "phase" (BS.rank st.BS.phase))
+  end
+
+let install (ctx : Ctx.t) ~every =
+  Sched.set_tick ctx.Ctx.sched ~every (fun _ -> sample ctx)
+
+let uninstall (ctx : Ctx.t) = Sched.clear_tick ctx.Ctx.sched

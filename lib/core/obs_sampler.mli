@@ -1,0 +1,17 @@
+(** Periodic metrics/build-progress sampler.
+
+    [install ctx ~every] hooks the scheduler's tick so that every [every]
+    virtual steps, one [Sample] event per {!Oib_sim.Metrics} counter
+    (keys ["metrics.<name>"]) and three per live build
+    (["build.<id>.keys_processed"], ["build.<id>.backlog"],
+    ["build.<id>.phase"] — the phase as its {!Build_status.rank}) are
+    emitted into the engine's trace. The analyzer and bench reassemble
+    them into time series. No-op while nothing is tracing. *)
+
+val install : Ctx.t -> every:int -> unit
+(** Claims the scheduler's single tick hook. [every] must be positive. *)
+
+val uninstall : Ctx.t -> unit
+
+val sample : Ctx.t -> unit
+(** Emit one snapshot immediately (what the tick hook calls). *)

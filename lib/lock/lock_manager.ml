@@ -163,6 +163,26 @@ let would_deadlock t ~txn name ~mode =
   in
   List.exists (reaches txn) (blockers_of name ~txn ~mode)
 
+(* Who stands between [txn] and this grant right now: incompatible holders
+   plus every queued waiter (fresh requests queue FIFO behind them).
+   Rendered at emission time as "id,id,..." because the immediate-grant
+   fast path emits nothing, so lock state cannot be reconstructed offline. *)
+let blockers_string e ~txn ~mode =
+  let holders =
+    List.filter_map
+      (fun r ->
+        if r.txn <> txn && not (compatible r.mode mode) then Some r.txn
+        else None)
+      e.granted
+  in
+  let queued =
+    List.filter_map
+      (fun w -> if w.w_txn <> txn then Some w.w_txn else None)
+      e.waiters
+  in
+  List.sort_uniq compare (holders @ queued)
+  |> List.map string_of_int |> String.concat ","
+
 let lock_aux t ~txn name mode ~conditional ~instant =
   t.metrics.lock_calls <- t.metrics.lock_calls + 1;
   let e = entry t name in
@@ -192,7 +212,8 @@ let lock_aux t ~txn name mode ~conditional ~instant =
         Trace.emit tr
           (Event.Lock_denied
              { owner = txn; target = name_string name;
-               mode = mode_string target });
+               mode = mode_string target;
+               blockers = blockers_string e ~txn ~mode:target });
       Deadlock
     in
     if grantable e ~txn ~mode:target ~conversion then begin
@@ -211,7 +232,9 @@ let lock_aux t ~txn name mode ~conditional ~instant =
         Trace.emit tr
           (Event.Lock_wait
              { owner = txn; target = name_string name;
-               mode = mode_string target });
+               mode = mode_string target;
+               blockers = blockers_string e ~txn ~mode:target });
+      let span = Trace.span_begin tr ~cat:"lock" ~name:(name_string name) in
       Oib_sim.Sched.suspend t.sched (fun resume ->
           let w =
             {
@@ -232,6 +255,7 @@ let lock_aux t ~txn name mode ~conditional ~instant =
           (Event.Lock_acquired
              { owner = txn; target = name_string name;
                mode = mode_string target; waited });
+      Trace.span_end tr span;
       Granted
     end
 

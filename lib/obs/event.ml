@@ -10,9 +10,9 @@ type t =
   | Latch_wait of { latch : string; mode : string }
   | Latch_acquired of { latch : string; mode : string; waited : int }
   | Latch_released of { latch : string; mode : string }
-  | Lock_wait of { owner : int; target : string; mode : string }
+  | Lock_wait of { owner : int; target : string; mode : string; blockers : string }
   | Lock_acquired of { owner : int; target : string; mode : string; waited : int }
-  | Lock_denied of { owner : int; target : string; mode : string }
+  | Lock_denied of { owner : int; target : string; mode : string; blockers : string }
       (** the request would deadlock; the caller becomes a victim *)
   | Lock_released_all of { owner : int }
   | Page_read of { page : int }
@@ -30,6 +30,12 @@ type t =
   | Checkpoint of { scope : string }
   | Recovery_step of { step : string; detail : string }
   | Crash of { reason : string }
+  | Span_begin of { span : int; parent : int; cat : string; name : string }
+  | Span_end of { span : int }
+  | Sample of { key : string; value : int }
+  | Epoch of { label : string }
+      (** engine-incarnation boundary in a multi-run trace; the step clock
+          restarts at the next event *)
 
 (* An event stamped with the scheduler's step clock and the fiber that
    produced it ([fiber] = -1, ["main"] outside any fiber). *)
@@ -59,6 +65,10 @@ let kind = function
   | Checkpoint _ -> "checkpoint"
   | Recovery_step _ -> "recovery.step"
   | Crash _ -> "crash"
+  | Span_begin _ -> "span.begin"
+  | Span_end _ -> "span.end"
+  | Sample _ -> "sample"
+  | Epoch _ -> "epoch"
 
 (* key=value detail string, shared by the textual dump and pp *)
 let detail = function
@@ -68,13 +78,15 @@ let detail = function
     Printf.sprintf "latch=%s mode=%s waited=%d" latch mode waited
   | Latch_released { latch; mode } ->
     Printf.sprintf "latch=%s mode=%s" latch mode
-  | Lock_wait { owner; target; mode } ->
-    Printf.sprintf "owner=%d target=%s mode=%s" owner target mode
+  | Lock_wait { owner; target; mode; blockers } ->
+    Printf.sprintf "owner=%d target=%s mode=%s blockers=%s" owner target mode
+      blockers
   | Lock_acquired { owner; target; mode; waited } ->
     Printf.sprintf "owner=%d target=%s mode=%s waited=%d" owner target mode
       waited
-  | Lock_denied { owner; target; mode } ->
-    Printf.sprintf "owner=%d target=%s mode=%s" owner target mode
+  | Lock_denied { owner; target; mode; blockers } ->
+    Printf.sprintf "owner=%d target=%s mode=%s blockers=%s" owner target mode
+      blockers
   | Lock_released_all { owner } -> Printf.sprintf "owner=%d" owner
   | Page_read { page } -> Printf.sprintf "page=%d" page
   | Page_write { page } -> Printf.sprintf "page=%d" page
@@ -98,6 +110,11 @@ let detail = function
   | Checkpoint { scope } -> Printf.sprintf "scope=%s" scope
   | Recovery_step { step; detail } -> Printf.sprintf "step=%s %s" step detail
   | Crash { reason } -> Printf.sprintf "reason=%s" reason
+  | Span_begin { span; parent; cat; name } ->
+    Printf.sprintf "span=%d parent=%d cat=%s name=%s" span parent cat name
+  | Span_end { span } -> Printf.sprintf "span=%d" span
+  | Sample { key; value } -> Printf.sprintf "key=%s value=%d" key value
+  | Epoch { label } -> Printf.sprintf "label=%s" label
 
 let pp ppf e = Format.fprintf ppf "%-18s %s" (kind e) (detail e)
 
@@ -118,6 +135,8 @@ let json_escape s =
       | '\n' -> Buffer.add_string b "\\n"
       | '\t' -> Buffer.add_string b "\\t"
       | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
       | c when Char.code c < 0x20 ->
         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
@@ -125,20 +144,24 @@ let json_escape s =
   Buffer.contents b
 
 let fields = function
+  (* "id", not "fiber": the stamp already writes a "fiber" key into the
+     same JSON object (like Recovery_step's "what" below) *)
   | Fiber_spawn { fiber; name } ->
-    [ ("fiber", `I fiber); ("name", `S name) ]
+    [ ("id", `I fiber); ("name", `S name) ]
   | Latch_wait { latch; mode } -> [ ("latch", `S latch); ("mode", `S mode) ]
   | Latch_acquired { latch; mode; waited } ->
     [ ("latch", `S latch); ("mode", `S mode); ("waited", `I waited) ]
   | Latch_released { latch; mode } ->
     [ ("latch", `S latch); ("mode", `S mode) ]
-  | Lock_wait { owner; target; mode } ->
-    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode) ]
+  | Lock_wait { owner; target; mode; blockers } ->
+    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode);
+      ("blockers", `S blockers) ]
   | Lock_acquired { owner; target; mode; waited } ->
     [ ("owner", `I owner); ("target", `S target); ("mode", `S mode);
       ("waited", `I waited) ]
-  | Lock_denied { owner; target; mode } ->
-    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode) ]
+  | Lock_denied { owner; target; mode; blockers } ->
+    [ ("owner", `I owner); ("target", `S target); ("mode", `S mode);
+      ("blockers", `S blockers) ]
   | Lock_released_all { owner } -> [ ("owner", `I owner) ]
   | Page_read { page } -> [ ("page", `I page) ]
   | Page_write { page } -> [ ("page", `I page) ]
@@ -157,9 +180,17 @@ let fields = function
   | Sidefile_drained { sidefile; from_pos; upto } ->
     [ ("sidefile", `I sidefile); ("from", `I from_pos); ("upto", `I upto) ]
   | Checkpoint { scope } -> [ ("scope", `S scope) ]
+  (* the payload key is "what", not "step": the stamp already has an
+     integer "step" and a JSON object must not repeat a key *)
   | Recovery_step { step; detail } ->
-    [ ("step", `S step); ("detail", `S detail) ]
+    [ ("what", `S step); ("detail", `S detail) ]
   | Crash { reason } -> [ ("reason", `S reason) ]
+  | Span_begin { span; parent; cat; name } ->
+    [ ("span", `I span); ("parent", `I parent); ("cat", `S cat);
+      ("name", `S name) ]
+  | Span_end { span } -> [ ("span", `I span) ]
+  | Sample { key; value } -> [ ("key", `S key); ("value", `I value) ]
+  | Epoch { label } -> [ ("label", `S label) ]
 
 let to_json s =
   let b = Buffer.create 128 in

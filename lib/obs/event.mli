@@ -10,9 +10,9 @@ type t =
   | Latch_wait of { latch : string; mode : string }
   | Latch_acquired of { latch : string; mode : string; waited : int }
   | Latch_released of { latch : string; mode : string }
-  | Lock_wait of { owner : int; target : string; mode : string }
+  | Lock_wait of { owner : int; target : string; mode : string; blockers : string }
   | Lock_acquired of { owner : int; target : string; mode : string; waited : int }
-  | Lock_denied of { owner : int; target : string; mode : string }
+  | Lock_denied of { owner : int; target : string; mode : string; blockers : string }
   | Lock_released_all of { owner : int }
   | Page_read of { page : int }
   | Page_write of { page : int }
@@ -29,6 +29,10 @@ type t =
   | Checkpoint of { scope : string }
   | Recovery_step of { step : string; detail : string }
   | Crash of { reason : string }
+  | Span_begin of { span : int; parent : int; cat : string; name : string }
+  | Span_end of { span : int }
+  | Sample of { key : string; value : int }
+  | Epoch of { label : string }
 
 type stamped = { step : int; fiber : int; fiber_name : string; event : t }
 (** An event stamped with the scheduler's virtual step clock and the

@@ -105,6 +105,8 @@ let buckets t =
             t.counts.(i) ))
     (List.init (Array.length t.counts) Fun.id)
 
+let bounds t = t.bounds
+
 let merge_into ~into t =
   if into.bounds <> t.bounds then invalid_arg "Hist.merge_into: bounds differ";
   Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
@@ -114,6 +116,13 @@ let merge_into ~into t =
     if t.vmin < into.vmin then into.vmin <- t.vmin;
     if t.vmax > into.vmax then into.vmax <- t.vmax
   end
+
+let merge a b =
+  if a.bounds <> b.bounds then invalid_arg "Hist.merge: bounds differ";
+  let m = create ~bounds:a.bounds () in
+  merge_into ~into:m a;
+  merge_into ~into:m b;
+  m
 
 let to_json t =
   let b = Buffer.create 128 in

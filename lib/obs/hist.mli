@@ -35,5 +35,12 @@ val buckets : t -> (int * int) list
 val merge_into : into:t -> t -> unit
 (** Add [t]'s counts into [into]; bounds must be identical. *)
 
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' observations; bounds must be
+    identical ([Invalid_argument] otherwise). Inputs are not modified. *)
+
+val bounds : t -> int array
+(** The bound array this histogram was created with (not a copy). *)
+
 val to_json : t -> string
 val pp : Format.formatter -> t -> unit

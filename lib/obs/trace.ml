@@ -18,6 +18,8 @@ type t = {
   mutable on_dump : string -> unit;
   mutable last_dump : string option;
   hists : (string, Hist.t) Hashtbl.t;
+  mutable next_span : int; (* ids are unique across engine incarnations *)
+  spans : (int, int list) Hashtbl.t; (* fiber id -> open-span stack *)
 }
 
 let make ~live =
@@ -30,6 +32,8 @@ let make ~live =
     on_dump = prerr_endline;
     last_dump = None;
     hists = Hashtbl.create 8;
+    next_span = 1;
+    spans = Hashtbl.create 8;
   }
 
 let null = make ~live:false
@@ -39,7 +43,15 @@ let create () = make ~live:true
 let is_null t = not t.live
 
 let set_clock t f = if t.live then t.clock <- f
-let set_fiber t f = if t.live then t.fiber <- f
+
+(* A new fiber callback means a new scheduler (engine incarnation): any
+   span handles still held by old-incarnation code are stale, so the open
+   stacks are wiped — [span_end] on a stale handle becomes a no-op. *)
+let set_fiber t f =
+  if t.live then begin
+    t.fiber <- f;
+    Hashtbl.reset t.spans
+  end
 let now t = t.clock ()
 
 let tracing t = t.live && (t.sinks <> [] || t.recorder <> None)
@@ -88,7 +100,52 @@ let failure t ~reason =
       let d = Flight_recorder.dump ~reason r in
       t.last_dump <- Some d;
       t.on_dump d
+  end;
+  (* whatever was in flight at the crash never ends; drop the stacks so
+     post-recovery spans don't inherit pre-crash parents *)
+  if t.live then Hashtbl.reset t.spans
+
+(* --- spans --- *)
+
+let span_begin t ~cat ~name =
+  if not (tracing t) then 0
+  else begin
+    let fid = match t.fiber () with Some (id, _) -> id | None -> -1 in
+    let id = t.next_span in
+    t.next_span <- t.next_span + 1;
+    let stack = Option.value (Hashtbl.find_opt t.spans fid) ~default:[] in
+    let parent = match stack with p :: _ -> p | [] -> 0 in
+    emit t (Event.Span_begin { span = id; parent; cat; name });
+    Hashtbl.replace t.spans fid (id :: stack);
+    id
   end
+
+(* Ends may arrive on a different fiber than the begin (IB phase spans
+   cross into pipeline children) and out of LIFO order (two concurrent
+   builds interleave phases on the ib fiber), so: search every stack and
+   remove exactly [id], leaving its neighbours open. *)
+let span_end t id =
+  if id <> 0 && tracing t then begin
+    let found =
+      Hashtbl.fold
+        (fun fid stack acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if List.mem id stack then Some (fid, stack) else None)
+        t.spans None
+    in
+    match found with
+    | None -> () (* stale handle from before a crash/restart *)
+    | Some (fid, stack) ->
+      emit t (Event.Span_end { span = id });
+      (match List.filter (fun x -> x <> id) stack with
+      | [] -> Hashtbl.remove t.spans fid
+      | rest -> Hashtbl.replace t.spans fid rest)
+  end
+
+let with_span t ~cat ~name f =
+  let id = span_begin t ~cat ~name in
+  Fun.protect ~finally:(fun () -> span_end t id) f
 
 (* --- histograms --- *)
 

@@ -46,6 +46,22 @@ val failure : t -> reason:string -> unit
 val set_on_dump : t -> (string -> unit) -> unit
 val last_dump : t -> string option
 
+(** {2 Spans}
+
+    A span is a nested virtual-time interval: [span_begin] emits
+    [Span_begin] with the innermost open span of the current fiber as its
+    parent and returns a handle; [span_end] emits the matching [Span_end].
+    Handles are plain ints; [0] (returned when not tracing) is inert.
+    Ends may arrive on a different fiber than the begin and out of LIFO
+    order — both are legal. Open stacks are wiped on {!failure} and when
+    a new scheduler is wired, so stale handles end as no-ops. *)
+
+val span_begin : t -> cat:string -> name:string -> int
+val span_end : t -> int -> unit
+
+val with_span : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
+(** Bracket [f] in a span; the end is emitted even if [f] raises. *)
+
 (** {2 Histograms} *)
 
 val hist : ?bounds:int array -> t -> string -> Hist.t

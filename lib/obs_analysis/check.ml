@@ -1,0 +1,181 @@
+(* Trace invariant validation (`oib-trace check`).
+
+   The checker splits the capture into epochs (engine incarnations) and
+   validates, per epoch:
+     - every lock/latch wait resolves into an acquire whose [waited]
+       field equals the step delta, unless the epoch died in a crash;
+     - acquires never appear without a preceding wait (immediate grants
+       emit no event at all);
+     - IB phase ranks never regress per index;
+     - span nesting is well-formed: fresh ids, parents open at begin,
+       ends match open spans, nothing left open unless the epoch crashed;
+     - transactions begin and terminate at most once, latencies are
+       non-negative, side-file drains are sane.
+   Across epochs: a step-clock reset is only legal after a crash or at an
+   explicit [Epoch] marker. *)
+
+module Event = Oib_obs.Event
+
+type violation = { v_epoch : int; v_step : int; v_what : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "epoch %d step %-7d %s" v.v_epoch v.v_step v.v_what
+
+let phase_rank = function
+  | "init" -> Some 0
+  | "quiesce" -> Some 1
+  | "scan" -> Some 2
+  | "merge" -> Some 3
+  | "insert" | "bulk" -> Some 4
+  | "drain" -> Some 5
+  | "ready" -> Some 6
+  | _ -> None
+
+let ends_in_crash epoch =
+  match List.rev epoch with
+  | { Event.event = Event.Crash _; _ } :: _ -> true
+  | _ -> false
+
+let check_epoch ~epoch_no epoch =
+  let out = ref [] in
+  let bad step fmt =
+    Printf.ksprintf
+      (fun what ->
+        out := { v_epoch = epoch_no; v_step = step; v_what = what } :: !out)
+      fmt
+  in
+  let crashed = ends_in_crash epoch in
+  (* pending waits *)
+  let lock_waits = Hashtbl.create 16 in
+  let latch_waits = Hashtbl.create 16 in
+  (* ib phase ranks per index *)
+  let phases = Hashtbl.create 4 in
+  (* spans: id -> still_open; seen ids to catch reuse *)
+  let open_spans = Hashtbl.create 64 in
+  let seen_spans = Hashtbl.create 64 in
+  (* txn lifecycle *)
+  let txn_begun = Hashtbl.create 32 in
+  let txn_done = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Event.stamped) ->
+      let step = s.step in
+      match s.event with
+      | Event.Lock_wait { owner; target; _ } ->
+        if Hashtbl.mem lock_waits (owner, target) then
+          bad step "owner %d waits twice on %s without an acquire" owner
+            target;
+        Hashtbl.replace lock_waits (owner, target) step
+      | Event.Lock_acquired { owner; target; waited; _ } -> (
+        match Hashtbl.find_opt lock_waits (owner, target) with
+        | None ->
+          bad step "lock acquire without wait: owner %d on %s" owner target
+        | Some t0 ->
+          Hashtbl.remove lock_waits (owner, target);
+          if waited <> step - t0 then
+            bad step
+              "lock wait mismatch: owner %d on %s waited=%d but steps say %d"
+              owner target waited (step - t0))
+      | Event.Latch_wait { latch; mode } ->
+        if Hashtbl.mem latch_waits (s.fiber, latch, mode) then
+          bad step "fiber %d waits twice on latch %s without an acquire"
+            s.fiber latch;
+        Hashtbl.replace latch_waits (s.fiber, latch, mode) step
+      | Event.Latch_acquired { latch; mode; waited } -> (
+        match Hashtbl.find_opt latch_waits (s.fiber, latch, mode) with
+        | None ->
+          bad step "latch acquire without wait: fiber %d on %s" s.fiber latch
+        | Some t0 ->
+          Hashtbl.remove latch_waits (s.fiber, latch, mode);
+          if waited <> step - t0 then
+            bad step
+              "latch wait mismatch: fiber %d on %s waited=%d but steps say %d"
+              s.fiber latch waited (step - t0))
+      | Event.Ib_phase { index; phase } -> (
+        match phase_rank phase with
+        | None -> bad step "unknown ib phase %S (index %d)" phase index
+        | Some r ->
+          (match Hashtbl.find_opt phases index with
+          | Some (prev_phase, prev_r) when r < prev_r ->
+            bad step "ib phase regression: index %d %s -> %s" index
+              prev_phase phase
+          | _ -> ());
+          Hashtbl.replace phases index (phase, r))
+      | Event.Span_begin { span; parent; _ } ->
+        if Hashtbl.mem seen_spans span then
+          bad step "span %d begun twice" span
+        else begin
+          Hashtbl.replace seen_spans span ();
+          if parent <> 0 && not (Hashtbl.mem open_spans parent) then
+            bad step "span %d begins under parent %d which is not open" span
+              parent;
+          Hashtbl.replace open_spans span ()
+        end
+      | Event.Span_end { span } ->
+        if Hashtbl.mem open_spans span then Hashtbl.remove open_spans span
+        else bad step "span %d ends but is not open" span
+      | Event.Txn_begin { txn } ->
+        if Hashtbl.mem txn_begun txn then
+          bad step "txn %d begins twice" txn;
+        Hashtbl.replace txn_begun txn ()
+      | Event.Txn_commit { txn; latency } | Event.Txn_abort { txn; latency }
+        ->
+        if latency < 0 then bad step "txn %d negative latency %d" txn latency;
+        if Hashtbl.mem txn_done txn then
+          bad step "txn %d terminates twice" txn;
+        Hashtbl.replace txn_done txn ()
+      | Event.Sidefile_drained { sidefile; from_pos; upto } ->
+        if from_pos > upto then
+          bad step "sidefile %d drained backwards: from %d > upto %d"
+            sidefile from_pos upto
+      | _ -> ())
+    epoch;
+  if not crashed then begin
+    let tail = Trace_reader.last_step epoch in
+    Hashtbl.iter
+      (fun (owner, target) t0 ->
+        ignore t0;
+        bad tail "lock wait never granted: owner %d on %s" owner target)
+      lock_waits;
+    Hashtbl.iter
+      (fun (fiber, latch, _) t0 ->
+        ignore t0;
+        bad tail "latch wait never granted: fiber %d on %s" fiber latch)
+      latch_waits;
+    Hashtbl.iter
+      (fun span () -> bad tail "span %d still open at end of epoch" span)
+      open_spans
+  end;
+  List.rev !out
+
+let run events =
+  let epochs = Trace_reader.epochs events in
+  let out = ref [] in
+  List.iteri
+    (fun i epoch ->
+      (* a later epoch must announce itself: either the previous one died
+         in a crash, or this one starts at an explicit marker *)
+      (if i > 0 then
+         let starts_with_marker =
+           match epoch with
+           | { Event.event = Event.Epoch _; _ } :: _ -> true
+           | _ -> false
+         in
+         let prev_crashed =
+           ends_in_crash (List.nth epochs (i - 1))
+         in
+         if not (starts_with_marker || prev_crashed) then
+           let step =
+             match epoch with e :: _ -> e.Event.step | [] -> 0
+           in
+           out :=
+             {
+               v_epoch = i;
+               v_step = step;
+               v_what =
+                 "step clock reset without a preceding crash or an epoch \
+                  marker";
+             }
+             :: !out);
+      out := List.rev_append (check_epoch ~epoch_no:i epoch) !out)
+    epochs;
+  List.rev !out

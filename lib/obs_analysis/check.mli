@@ -1,0 +1,15 @@
+(** Trace invariant validation (what `oib-trace check` runs).
+
+    Takes the raw decoded event list (all epochs) and returns every
+    violation found: unmatched or miscounted waits, acquires without
+    waits, IB phase regressions, malformed span nesting, double
+    transaction terminations, backward side-file drains, and step-clock
+    resets not announced by a crash or an [Epoch] marker. An epoch that
+    ends in a [Crash] is allowed to leave waits and spans unresolved. *)
+
+type violation = { v_epoch : int; v_step : int; v_what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run : Oib_obs.Event.stamped list -> violation list
+(** Empty list = trace is internally consistent. *)

@@ -1,0 +1,165 @@
+(* The contention profiler: fold lock/latch wait events (from ONE epoch)
+   into per-target wait totals and a blocker-attribution table.
+
+   Lock waits carry a "blockers" field recorded at emission time — the
+   incompatible holders plus queued waiters ahead of the request — because
+   immediate grants emit no event, so the grant state cannot be
+   reconstructed offline. Each blocker listed on a wait is co-charged the
+   full wait duration (they all had to clear before the grant). *)
+
+module Event = Oib_obs.Event
+
+(* Index-builder lock-owner id space (see Ib.ib_owner): online build is
+   1_000_000 + index, build-via-primary adds 250_000, GC adds 500_000. *)
+let is_ib_owner o = o >= 1_000_000
+
+let owner_label o =
+  if o >= 1_500_000 then Printf.sprintf "ib-gc:%d" (o - 1_500_000)
+  else if o >= 1_250_000 then Printf.sprintf "ib-offline:%d" (o - 1_250_000)
+  else if o >= 1_000_000 then Printf.sprintf "ib:%d" (o - 1_000_000)
+  else Printf.sprintf "txn:%d" o
+
+let parse_blockers s =
+  if s = "" then []
+  else String.split_on_char ',' s |> List.filter_map int_of_string_opt
+
+type wkind = Lock | Latch
+
+type wait = {
+  w_kind : wkind;
+  w_fiber : int;
+  w_fiber_name : string;
+  w_owner : int; (* lock owner; -1 for latch waits *)
+  w_target : string; (* lock target, or "latch:<name>" *)
+  w_mode : string;
+  w_blockers : int list; (* locks only; latch holders are not recorded *)
+  w_t0 : int;
+  mutable w_t1 : int option; (* acquire step; None = never granted *)
+}
+
+let waits events =
+  let acc = ref [] in
+  let pending_locks = Hashtbl.create 16 (* (owner, target) -> wait *) in
+  let pending_latches = Hashtbl.create 16 (* (fiber, latch, mode) -> wait *) in
+  List.iter
+    (fun (s : Event.stamped) ->
+      match s.event with
+      | Event.Lock_wait { owner; target; mode; blockers } ->
+        let w =
+          {
+            w_kind = Lock;
+            w_fiber = s.fiber;
+            w_fiber_name = s.fiber_name;
+            w_owner = owner;
+            w_target = target;
+            w_mode = mode;
+            w_blockers = parse_blockers blockers;
+            w_t0 = s.step;
+            w_t1 = None;
+          }
+        in
+        acc := w :: !acc;
+        Hashtbl.replace pending_locks (owner, target) w
+      | Event.Lock_acquired { owner; target; _ } -> (
+        match Hashtbl.find_opt pending_locks (owner, target) with
+        | Some w ->
+          w.w_t1 <- Some s.step;
+          Hashtbl.remove pending_locks (owner, target)
+        | None -> ())
+      | Event.Latch_wait { latch; mode } ->
+        let w =
+          {
+            w_kind = Latch;
+            w_fiber = s.fiber;
+            w_fiber_name = s.fiber_name;
+            w_owner = -1;
+            w_target = "latch:" ^ latch;
+            w_mode = mode;
+            w_blockers = [];
+            w_t0 = s.step;
+            w_t1 = None;
+          }
+        in
+        acc := w :: !acc;
+        Hashtbl.replace pending_latches (s.fiber, latch, mode) w
+      | Event.Latch_acquired { latch; mode; _ } -> (
+        match Hashtbl.find_opt pending_latches (s.fiber, latch, mode) with
+        | Some w ->
+          w.w_t1 <- Some s.step;
+          Hashtbl.remove pending_latches (s.fiber, latch, mode)
+        | None -> ())
+      | _ -> ())
+    events;
+  List.rev !acc
+
+(* Duration of a wait; one that never resolved (crash cut it off) is
+   charged up to [end_step]. *)
+let wait_steps ~end_step w =
+  max 0 (Option.value w.w_t1 ~default:end_step - w.w_t0)
+
+type target_row = {
+  t_target : string;
+  t_waits : int;
+  t_steps : int;
+  t_max : int;
+}
+
+let by_target ~end_step ws =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let d = wait_steps ~end_step w in
+      let row =
+        Option.value
+          (Hashtbl.find_opt tbl w.w_target)
+          ~default:{ t_target = w.w_target; t_waits = 0; t_steps = 0; t_max = 0 }
+      in
+      Hashtbl.replace tbl w.w_target
+        {
+          row with
+          t_waits = row.t_waits + 1;
+          t_steps = row.t_steps + d;
+          t_max = max row.t_max d;
+        })
+    ws;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b ->
+         compare (b.t_steps, b.t_waits) (a.t_steps, a.t_waits))
+
+type blocker_row = {
+  b_owner : int;
+  b_is_ib : bool;
+  b_victims : int; (* distinct blocked owners *)
+  b_waits : int;
+  b_steps : int; (* co-charged wait steps *)
+}
+
+let blockers ~end_step ws =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      if w.w_kind = Lock then
+        let d = wait_steps ~end_step w in
+        List.iter
+          (fun b ->
+            let victims, waits, steps =
+              Option.value (Hashtbl.find_opt tbl b)
+                ~default:(Hashtbl.create 4, 0, 0)
+            in
+            Hashtbl.replace victims w.w_owner ();
+            Hashtbl.replace tbl b (victims, waits + 1, steps + d))
+          w.w_blockers)
+    ws;
+  Hashtbl.fold
+    (fun b (victims, waits, steps) acc ->
+      {
+        b_owner = b;
+        b_is_ib = is_ib_owner b;
+        b_victims = Hashtbl.length victims;
+        b_waits = waits;
+        b_steps = steps;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         compare (b.b_steps, b.b_waits) (a.b_steps, a.b_waits))

@@ -1,0 +1,59 @@
+(** Contention profiling over one epoch's events.
+
+    Pairs [Lock_wait]/[Lock_acquired] (by owner and target) and
+    [Latch_wait]/[Latch_acquired] (by fiber, latch, mode) into wait
+    intervals, then aggregates per target and per blocker. Blocker
+    identities come from the wait event's emission-time ["blockers"]
+    field; each listed blocker is co-charged the full wait. *)
+
+val is_ib_owner : int -> bool
+(** Lock-owner ids at or above 1,000,000 belong to the index builder
+    (online, via-primary, or GC — see [Ib.ib_owner]). *)
+
+val owner_label : int -> string
+(** ["txn:17"], ["ib:10"], ["ib-offline:2"], ["ib-gc:10"]. *)
+
+val parse_blockers : string -> int list
+(** Decode the comma-separated ["blockers"] field. *)
+
+type wkind = Lock | Latch
+
+type wait = {
+  w_kind : wkind;
+  w_fiber : int;
+  w_fiber_name : string;
+  w_owner : int;  (** lock owner; [-1] for latch waits *)
+  w_target : string;  (** lock target, or ["latch:<name>"] *)
+  w_mode : string;
+  w_blockers : int list;
+  w_t0 : int;
+  mutable w_t1 : int option;  (** acquire step; [None] = never granted *)
+}
+
+val waits : Oib_obs.Event.stamped list -> wait list
+(** All wait intervals, in start order. *)
+
+val wait_steps : end_step:int -> wait -> int
+(** Duration; an unresolved wait is charged up to [end_step]. *)
+
+type target_row = {
+  t_target : string;
+  t_waits : int;
+  t_steps : int;
+  t_max : int;
+}
+
+val by_target : end_step:int -> wait list -> target_row list
+(** Per-key/per-page wait totals, heaviest first. *)
+
+type blocker_row = {
+  b_owner : int;
+  b_is_ib : bool;
+  b_victims : int;
+  b_waits : int;
+  b_steps : int;
+}
+
+val blockers : end_step:int -> wait list -> blocker_row list
+(** Who blocked whom: per blocking owner, distinct victims, wait count
+    and co-charged steps, heaviest first. Lock waits only. *)

@@ -1,0 +1,23 @@
+(** Dependency-free JSON parser for reading trace dumps back.
+
+    Handles exactly the dialect the engine writes (flat objects, string
+    escapes including [\uXXXX], ints, bools) plus enough generality
+    (arrays, floats, null) to read [BENCH_obs.json]-style documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+val to_string : t -> string option
+val to_bool : t -> bool option

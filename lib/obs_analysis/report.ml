@@ -1,0 +1,204 @@
+(* Text rendering for the oib-trace subcommands. Everything returns a
+   string so the CLI owns all printing (and tests can snapshot). *)
+
+module Event = Oib_obs.Event
+module TP = Oib_util.Table_printer
+
+let with_buf f =
+  let b = Buffer.create 1024 in
+  f b;
+  Buffer.contents b
+
+let epoch_header b i epoch =
+  let label =
+    match epoch with
+    | { Event.event = Event.Epoch { label }; _ } :: _ -> " [" ^ label ^ "]"
+    | _ -> ""
+  in
+  Buffer.add_string b
+    (Printf.sprintf "=== epoch %d%s: %d events, steps 0..%d ===\n" i label
+       (List.length epoch)
+       (Trace_reader.last_step epoch))
+
+let summary events =
+  with_buf (fun b ->
+      let epochs = Trace_reader.epochs events in
+      List.iteri
+        (fun i epoch ->
+          epoch_header b i epoch;
+          let kinds = Hashtbl.create 16 in
+          List.iter
+            (fun (s : Event.stamped) ->
+              let k = Event.kind s.event in
+              Hashtbl.replace kinds k
+                (1 + Option.value (Hashtbl.find_opt kinds k) ~default:0))
+            epoch;
+          let t = TP.create ~columns:[ "event"; "count" ] in
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+          |> List.iter (fun (k, n) -> TP.add_row t [ k; string_of_int n ]);
+          Buffer.add_string b (TP.render t);
+          let commits =
+            List.length
+              (List.filter
+                 (fun (s : Event.stamped) ->
+                   match s.event with Event.Txn_commit _ -> true | _ -> false)
+                 epoch)
+          and aborts =
+            List.length
+              (List.filter
+                 (fun (s : Event.stamped) ->
+                   match s.event with Event.Txn_abort _ -> true | _ -> false)
+                 epoch)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "txns: %d committed, %d aborted\n\n" commits
+               aborts))
+        epochs)
+
+let spans events =
+  with_buf (fun b ->
+      let epochs = Trace_reader.epochs events in
+      List.iteri
+        (fun i epoch ->
+          epoch_header b i epoch;
+          let st = Span_tree.build epoch in
+          let t = TP.create ~columns:[ "cat"; "spans"; "steps" ] in
+          List.iter
+            (fun (cat, n, d) ->
+              TP.add_row t [ cat; string_of_int n; string_of_int d ])
+            (Span_tree.by_cat st);
+          Buffer.add_string b (TP.render ~title:"spans by category" t);
+          let bds = Span_tree.txn_breakdowns st in
+          if bds <> [] then begin
+            let cats =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun (bd : Span_tree.breakdown) -> List.map fst bd.parts)
+                   bds)
+            in
+            let t =
+              TP.create ~columns:(("txn" :: "total" :: cats) @ [ "compute" ])
+            in
+            List.iter
+              (fun (bd : Span_tree.breakdown) ->
+                TP.add_row t
+                  (bd.b_span.Span_tree.name
+                   :: string_of_int bd.total
+                   :: List.map
+                        (fun c ->
+                          string_of_int
+                            (Option.value (List.assoc_opt c bd.parts)
+                               ~default:0))
+                        cats
+                  @ [ string_of_int bd.compute ]))
+              bds;
+            Buffer.add_string b
+              (TP.render ~title:"per-transaction critical path (steps)" t)
+          end;
+          Buffer.add_char b '\n')
+        epochs)
+
+let contention events =
+  with_buf (fun b ->
+      let epochs = Trace_reader.epochs events in
+      List.iteri
+        (fun i epoch ->
+          epoch_header b i epoch;
+          let end_step = Trace_reader.last_step epoch in
+          let ws = Contention.waits epoch in
+          if ws = [] then Buffer.add_string b "no lock or latch waits\n\n"
+          else begin
+            let t =
+              TP.create ~columns:[ "target"; "waits"; "steps"; "max" ]
+            in
+            List.iter
+              (fun (r : Contention.target_row) ->
+                TP.add_row t
+                  [
+                    r.t_target;
+                    string_of_int r.t_waits;
+                    string_of_int r.t_steps;
+                    string_of_int r.t_max;
+                  ])
+              (Contention.by_target ~end_step ws);
+            Buffer.add_string b (TP.render ~title:"wait totals by target" t);
+            let rows = Contention.blockers ~end_step ws in
+            if rows <> [] then begin
+              let t =
+                TP.create
+                  ~columns:[ "blocker"; "kind"; "victims"; "waits"; "steps" ]
+              in
+              List.iter
+                (fun (r : Contention.blocker_row) ->
+                  TP.add_row t
+                    [
+                      Contention.owner_label r.b_owner;
+                      (if r.b_is_ib then "ib" else "updater");
+                      string_of_int r.b_victims;
+                      string_of_int r.b_waits;
+                      string_of_int r.b_steps;
+                    ])
+                rows;
+              Buffer.add_string b
+                (TP.render ~title:"blocker attribution (who blocked whom)" t)
+            end;
+            Buffer.add_char b '\n'
+          end)
+        epochs)
+
+let timeline events =
+  with_buf (fun b ->
+      let epochs = Trace_reader.epochs events in
+      List.iteri
+        (fun i epoch ->
+          epoch_header b i epoch;
+          let end_step = Trace_reader.last_step epoch in
+          let ws = Contention.waits epoch in
+          let wait_lines =
+            List.map
+              (fun (w : Contention.wait) ->
+                ( w.w_t0,
+                  Printf.sprintf "%-7d %-14s wait %s %s (%s) %d steps%s"
+                    w.w_t0 w.w_fiber_name
+                    (match w.w_kind with
+                    | Contention.Lock -> "lock"
+                    | Contention.Latch -> "latch")
+                    w.w_target w.w_mode
+                    (Contention.wait_steps ~end_step w)
+                    (match (w.w_kind, w.w_blockers) with
+                    | Contention.Lock, (_ :: _ as bs) ->
+                      " blocked by "
+                      ^ String.concat ","
+                          (List.map Contention.owner_label bs)
+                    | _ -> "") ))
+              ws
+          in
+          let other_lines =
+            List.filter_map
+              (fun (s : Event.stamped) ->
+                let line txt =
+                  Some
+                    (s.step, Printf.sprintf "%-7d %-14s %s" s.step
+                               s.fiber_name txt)
+                in
+                match s.event with
+                | Event.Ib_phase { index; phase } ->
+                  line (Printf.sprintf "ib phase: index %d -> %s" index phase)
+                | Event.Ib_checkpoint { index; stage } ->
+                  line (Printf.sprintf "ib checkpoint: index %d (%s)" index
+                          stage)
+                | Event.Crash { reason } -> line ("CRASH: " ^ reason)
+                | Event.Epoch { label } -> line ("epoch: " ^ label)
+                | Event.Recovery_step { step; detail } ->
+                  line (Printf.sprintf "recovery: %s %s" step detail)
+                | _ -> None)
+              epoch
+          in
+          List.stable_sort (fun (a, _) (b, _) -> compare a b)
+            (wait_lines @ other_lines)
+          |> List.iter (fun (_, l) ->
+                 Buffer.add_string b l;
+                 Buffer.add_char b '\n');
+          Buffer.add_char b '\n')
+        epochs)

@@ -1,0 +1,8 @@
+(** Renderers behind the oib-trace subcommands. Each takes the full
+    decoded event list, handles epoch splitting itself, and returns the
+    complete report as a string. *)
+
+val summary : Oib_obs.Event.stamped list -> string
+val spans : Oib_obs.Event.stamped list -> string
+val contention : Oib_obs.Event.stamped list -> string
+val timeline : Oib_obs.Event.stamped list -> string

@@ -1,0 +1,115 @@
+(* Reassemble Span_begin/Span_end events (from ONE epoch) into interval
+   records and derive per-transaction critical-path breakdowns.
+
+   The breakdown charges a transaction's wall (virtual) time to the
+   categories of its *direct* child spans — lock waits, latch waits, page
+   I/O, log flushes — and calls the remainder "compute". Only direct
+   children count: a log flush forced inside a page write is already
+   inside the "io" time, so nesting never double-charges. Direct children
+   of a span live on the same fiber and are sequential there, so the sum
+   of their durations never exceeds the parent's. *)
+
+module Event = Oib_obs.Event
+
+type span = {
+  id : int;
+  parent : int; (* 0 = root *)
+  cat : string;
+  name : string;
+  fiber : int;
+  fiber_name : string;
+  t0 : int;
+  mutable t1 : int option; (* None = never ended in this epoch *)
+}
+
+type t = { tbl : (int, span) Hashtbl.t; mutable order_rev : int list }
+
+let build events =
+  let t = { tbl = Hashtbl.create 64; order_rev = [] } in
+  List.iter
+    (fun (s : Event.stamped) ->
+      match s.event with
+      | Event.Span_begin { span; parent; cat; name } ->
+        if not (Hashtbl.mem t.tbl span) then begin
+          Hashtbl.replace t.tbl span
+            {
+              id = span;
+              parent;
+              cat;
+              name;
+              fiber = s.fiber;
+              fiber_name = s.fiber_name;
+              t0 = s.step;
+              t1 = None;
+            };
+          t.order_rev <- span :: t.order_rev
+        end
+      | Event.Span_end { span } -> (
+        match Hashtbl.find_opt t.tbl span with
+        | Some sp when sp.t1 = None -> sp.t1 <- Some s.step
+        | _ -> ())
+      | _ -> ())
+    events;
+  t
+
+let find t id = Hashtbl.find_opt t.tbl id
+
+let all t = List.rev_map (Hashtbl.find t.tbl) t.order_rev
+
+let count t = Hashtbl.length t.tbl
+
+let duration sp = Option.map (fun t1 -> t1 - sp.t0) sp.t1
+
+let children t id =
+  List.filter (fun sp -> sp.parent = id && sp.id <> id) (all t)
+
+let roots t = children t 0
+
+let by_cat t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let n, d = Option.value (Hashtbl.find_opt tbl sp.cat) ~default:(0, 0) in
+      Hashtbl.replace tbl sp.cat
+        (n + 1, d + Option.value (duration sp) ~default:0))
+    (all t);
+  Hashtbl.fold (fun cat (n, d) acc -> (cat, n, d) :: acc) tbl []
+  |> List.sort compare
+
+type breakdown = {
+  b_span : span;
+  total : int;
+  parts : (string * int) list; (* per direct-child category, sorted *)
+  compute : int; (* total minus every part; >= 0 for well-formed traces *)
+}
+
+let breakdown t id =
+  match find t id with
+  | None -> None
+  | Some sp -> (
+    match sp.t1 with
+    | None -> None
+    | Some t1 ->
+      let total = t1 - sp.t0 in
+      let per_cat = Hashtbl.create 4 in
+      List.iter
+        (fun kid ->
+          match duration kid with
+          | None -> ()
+          | Some d ->
+            Hashtbl.replace per_cat kid.cat
+              (Option.value (Hashtbl.find_opt per_cat kid.cat) ~default:0
+              + d))
+        (children t id);
+      let parts =
+        Hashtbl.fold (fun c d acc -> (c, d) :: acc) per_cat []
+        |> List.sort compare
+      in
+      let spent = List.fold_left (fun acc (_, d) -> acc + d) 0 parts in
+      Some { b_span = sp; total; parts; compute = total - spent })
+
+let txn_breakdowns t =
+  List.filter_map
+    (fun sp ->
+      if sp.cat = "txn" && sp.t1 <> None then breakdown t sp.id else None)
+    (all t)

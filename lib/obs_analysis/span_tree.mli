@@ -1,0 +1,46 @@
+(** Span reassembly and per-transaction critical-path breakdown.
+
+    Feed it one epoch's events (see {!Trace_reader.epochs}); span ids are
+    unique within an epoch. *)
+
+type span = {
+  id : int;
+  parent : int;  (** [0] = root *)
+  cat : string;  (** ["txn"], ["lock"], ["latch"], ["io"], ["logflush"], ["ib"] *)
+  name : string;
+  fiber : int;
+  fiber_name : string;
+  t0 : int;
+  mutable t1 : int option;  (** [None]: never ended in this epoch *)
+}
+
+type t
+
+val build : Oib_obs.Event.stamped list -> t
+val find : t -> int -> span option
+
+val all : t -> span list
+(** In begin order. *)
+
+val count : t -> int
+val duration : span -> int option
+val children : t -> int -> span list
+val roots : t -> span list
+
+val by_cat : t -> (string * int * int) list
+(** Per category: (cat, span count, summed closed duration), sorted. *)
+
+type breakdown = {
+  b_span : span;
+  total : int;  (** the span's own duration in virtual steps *)
+  parts : (string * int) list;
+      (** summed durations of *direct* children, grouped by category *)
+  compute : int;  (** [total] minus all [parts] *)
+}
+
+val breakdown : t -> int -> breakdown option
+(** [None] if the span is unknown or never ended. The parts and
+    [compute] sum to [total] exactly. *)
+
+val txn_breakdowns : t -> breakdown list
+(** One breakdown per closed ["txn"] span, in begin order. *)

@@ -1,0 +1,26 @@
+(** JSONL trace ingestion: decode dumped events, split into epochs.
+
+    The inverse of {!Oib_obs.Event.to_json}: every event kind the engine
+    can emit decodes back to the same constructor, so analyses work on
+    typed events rather than raw JSON. *)
+
+type error = { line_no : int; line : string; msg : string }
+
+val parse_line : string -> (Oib_obs.Event.stamped, string) result
+
+val of_lines : string list -> Oib_obs.Event.stamped list * error list
+(** Blank lines are skipped; bad lines are collected, not fatal. *)
+
+val of_string : string -> Oib_obs.Event.stamped list * error list
+val of_file : string -> Oib_obs.Event.stamped list * error list
+
+val epochs :
+  Oib_obs.Event.stamped list -> Oib_obs.Event.stamped list list
+(** Split a capture into engine incarnations: a new epoch starts at every
+    [Epoch] marker (which becomes its first event), right after a [Crash]
+    (which stays the last event of its epoch), and wherever the step
+    clock jumps backwards (a restart that emitted no marker). Within an
+    epoch, steps are nondecreasing by construction. *)
+
+val last_step : Oib_obs.Event.stamped list -> int
+(** Highest step stamp in the list (0 when empty). *)

@@ -57,13 +57,15 @@ let acquire t mode =
     if Trace.tracing tr then
       Trace.emit tr
         (Event.Latch_wait { latch = t.name; mode = mode_name mode });
+    let span = Trace.span_begin tr ~cat:"latch" ~name:t.name in
     Sched.suspend t.sched (fun resume ->
         t.waiters <- t.waiters @ [ (mode, resume) ]);
     let waited = Sched.steps t.sched - t0 in
     Trace.observe tr "latch_wait" waited;
     if Trace.tracing tr then
       Trace.emit tr
-        (Event.Latch_acquired { latch = t.name; mode = mode_name mode; waited })
+        (Event.Latch_acquired { latch = t.name; mode = mode_name mode; waited });
+    Trace.span_end tr span
   end
 
 let try_acquire t mode =

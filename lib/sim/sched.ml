@@ -21,6 +21,8 @@ type t = {
   mutable current : fiber_id option;
   mutable crash_requested : bool;
   mutable crash_trap : (int -> bool) option;
+  mutable tick_every : int; (* 0 = no tick hook *)
+  mutable on_tick : int -> unit;
 }
 
 let fiber_name t id =
@@ -41,6 +43,8 @@ let create ?(seed = 42) ?(trace = Oib_obs.Trace.null) () =
       current = None;
       crash_requested = false;
       crash_trap = None;
+      tick_every = 0;
+      on_tick = ignore;
     }
   in
   (* stamp every event with this scheduler's step clock and fiber *)
@@ -64,6 +68,15 @@ let request_crash t = t.crash_requested <- true
 let set_crash_trap t f = t.crash_trap <- Some f
 
 let clear_crash_trap t = t.crash_trap <- None
+
+let set_tick t ~every f =
+  if every <= 0 then invalid_arg "Sched.set_tick: every must be positive";
+  t.tick_every <- every;
+  t.on_tick <- f
+
+let clear_tick t =
+  t.tick_every <- 0;
+  t.on_tick <- ignore
 
 let enqueue t id thunk = t.runq <- (id, thunk) :: t.runq
 
@@ -159,6 +172,10 @@ let run t =
       end
     | Some (id, thunk) ->
       t.steps <- t.steps + 1;
+      (* the hook runs outside any fiber, so anything it emits is stamped
+         as "main" *)
+      if t.tick_every > 0 && t.steps mod t.tick_every = 0 then
+        t.on_tick t.steps;
       t.current <- Some id;
       let finally () = t.current <- None in
       (try thunk ()

@@ -67,6 +67,14 @@ val set_crash_trap : t -> (int -> bool) -> unit
 
 val clear_crash_trap : t -> unit
 
+val set_tick : t -> every:int -> (int -> unit) -> unit
+(** [set_tick t ~every f] — call [f steps] before every [every]-th step
+    (one hook at a time; replaces any previous). The hook runs outside any
+    fiber, so trace events it emits are stamped as ["main"]. Drives the
+    periodic metrics sampler. [every] must be positive. *)
+
+val clear_tick : t -> unit
+
 (** Condition variables for building blocking primitives (latches, locks,
     bounded queues) on top of the scheduler. *)
 module Cond : sig

@@ -41,15 +41,20 @@ let get t id =
     | None -> raise Not_found
     | Some { payload; lsn; copy_payload } ->
       t.metrics.page_reads <- t.metrics.page_reads + 1;
-      (let tr = Oib_sim.Sched.trace t.sched in
-       if Oib_obs.Trace.tracing tr then
-         Oib_obs.Trace.emit tr (Oib_obs.Event.Page_read { page = id }));
+      let tr = Oib_sim.Sched.trace t.sched in
+      let span =
+        Oib_obs.Trace.span_begin tr ~cat:"io"
+          ~name:(Printf.sprintf "read:page-%d" id)
+      in
+      if Oib_obs.Trace.tracing tr then
+        Oib_obs.Trace.emit tr (Oib_obs.Event.Page_read { page = id });
       let page =
         Page.make ~id ~sched:t.sched ~metrics:t.metrics
           ~payload:(copy_payload payload) ~copy_payload
       in
       page.lsn <- lsn;
       Hashtbl.replace t.cache id page;
+      Oib_obs.Trace.span_end tr span;
       page
   end
 
@@ -65,19 +70,24 @@ let install t id ~payload ~copy_payload =
 
 let flush_page t (page : Page.t) =
   if page.dirty then begin
-    (* write-ahead rule *)
+    let tr = Oib_sim.Sched.trace t.sched in
+    let span =
+      Oib_obs.Trace.span_begin tr ~cat:"io"
+        ~name:(Printf.sprintf "write:page-%d" page.id)
+    in
+    (* write-ahead rule; its logflush span nests inside this io span *)
     Oib_wal.Log_manager.flush t.log ~upto:page.lsn;
     t.metrics.page_writes <- t.metrics.page_writes + 1;
-    (let tr = Oib_sim.Sched.trace t.sched in
-     if Oib_obs.Trace.tracing tr then
-       Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id }));
+    if Oib_obs.Trace.tracing tr then
+      Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id });
     Stable_store.write t.store page.id
       {
         Stable_store.payload = page.copy_payload page.payload;
         lsn = page.lsn;
         copy_payload = page.copy_payload;
       };
-    page.dirty <- false
+    page.dirty <- false;
+    Oib_obs.Trace.span_end tr span
   end
 
 let flush_all t =

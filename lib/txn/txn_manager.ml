@@ -10,6 +10,7 @@ type txn = {
   txn_id : int;
   begin_lsn : Lsn.t;
   begin_step : int; (* scheduler step at begin, for latency histograms *)
+  span : int; (* trace span covering the whole transaction (0 untraced) *)
   mutable last : Lsn.t;
   mutable st : status;
 }
@@ -32,10 +33,14 @@ let locks t = t.locks
 let begin_txn t =
   let txn_id = t.next_id in
   t.next_id <- txn_id + 1;
+  let span =
+    Trace.span_begin t.trace ~cat:"txn"
+      ~name:(Printf.sprintf "txn-%d" txn_id)
+  in
   let begin_lsn = LM.append t.log ~txn:(Some txn_id) ~prev_lsn:Lsn.nil LR.Begin in
   let txn =
-    { txn_id; begin_lsn; begin_step = Trace.now t.trace; last = begin_lsn;
-      st = Active }
+    { txn_id; begin_lsn; begin_step = Trace.now t.trace; span;
+      last = begin_lsn; st = Active }
   in
   Hashtbl.replace t.active txn_id txn;
   if Trace.tracing t.trace then
@@ -69,7 +74,8 @@ let commit t txn =
   let latency = txn_latency t txn in
   Trace.observe t.trace "txn_latency" latency;
   if Trace.tracing t.trace then
-    Trace.emit t.trace (Event.Txn_commit { txn = txn.txn_id; latency })
+    Trace.emit t.trace (Event.Txn_commit { txn = txn.txn_id; latency });
+  Trace.span_end t.trace txn.span
 
 let rollback t txn ~undo =
   assert (txn.st = Active);
@@ -103,12 +109,17 @@ let rollback t txn ~undo =
   let latency = txn_latency t txn in
   Trace.observe t.trace "txn_latency" latency;
   if Trace.tracing t.trace then
-    Trace.emit t.trace (Event.Txn_abort { txn = txn.txn_id; latency })
+    Trace.emit t.trace (Event.Txn_abort { txn = txn.txn_id; latency });
+  Trace.span_end t.trace txn.span
 
 let adopt t ~txn_id ~last =
+  let span =
+    Trace.span_begin t.trace ~cat:"txn"
+      ~name:(Printf.sprintf "txn-%d" txn_id)
+  in
   let txn =
-    { txn_id; begin_lsn = last; begin_step = Trace.now t.trace; last;
-      st = Active }
+    { txn_id; begin_lsn = last; begin_step = Trace.now t.trace; span;
+      last; st = Active }
   in
   Hashtbl.replace t.active txn_id txn;
   if txn_id >= t.next_id then t.next_id <- txn_id + 1;

@@ -61,6 +61,10 @@ let append t ~txn ~prev_lsn body =
 let flush t ~upto =
   if Lsn.( > ) upto t.durable_lsn then begin
     t.metrics.log_flushes <- t.metrics.log_flushes + 1;
+    let span =
+      Trace.span_begin t.trace ~cat:"logflush"
+        ~name:(Printf.sprintf "flush:%d" (Lsn.to_int upto))
+    in
     if Trace.tracing t.trace then
       Trace.emit t.trace (Event.Log_flush { upto = Lsn.to_int upto });
     (* volatile is newest-first; move the prefix with lsn <= upto to the
@@ -75,7 +79,8 @@ let flush t ~upto =
         Buffer.add_string t.durable bytes;
         if Lsn.( > ) r.lsn t.durable_lsn then t.durable_lsn <- r.lsn)
       (List.rev to_flush);
-    t.volatile <- to_keep
+    t.volatile <- to_keep;
+    Trace.span_end t.trace span
   end
 
 let flush_all t =
