@@ -1,0 +1,251 @@
+(* oib-fuzz: deterministic simulation testing for the online index builder.
+
+   oib-fuzz run   --seed 7                      one generated scenario
+   oib-fuzz fuzz  --count 40                    many seeds, generated fault plans
+   oib-fuzz sweep --alg nsf --scenarios 2       crash at every k-th step
+   oib-fuzz repro --seed 7 --alg sf ...         replay a shrunk failure
+
+   Every failure is shrunk to a minimal scenario and reported as a one-line
+   `oib-fuzz repro ...` command, with the flight-recorder dump of the
+   minimal failing run. Nonzero exit on any oracle violation. *)
+
+open Oib_dst
+module Trace = Oib_obs.Trace
+module Ctx = Oib_core.Ctx
+module Catalog = Oib_core.Catalog
+
+(* Test-only oracle sabotage: plant a phantom entry in the index behind the
+   WAL's back, right before the final battery. The consistency oracle must
+   flag it, and the shrinker must carry the failure down to a minimal
+   scenario — this is how the harness proves it can catch real bugs. *)
+let sabotage_hook (ctx : Ctx.t) =
+  match Catalog.index ctx.Ctx.catalog 10 with
+  | info ->
+    ignore
+      (Oib_btree.Btree.set_state info.Catalog.tree
+         (Oib_util.Ikey.make "zzz-sabotage"
+            (Oib_util.Rid.make ~page:999_983 ~slot:0))
+         Oib_wal.Log_record.Present)
+  | exception Invalid_argument _ -> ()
+
+let inject_of sabotage = if sabotage then Some sabotage_hook else None
+
+let print_outcome (o : Runner.outcome) =
+  Printf.printf
+    "incarnations=%d steps=%d committed=%d%s oracle=%s\n"
+    o.Runner.incarnations o.Runner.total_steps o.Runner.committed
+    (if o.Runner.build_cancelled then " build-cancelled" else "")
+    (if Runner.failed o then "FAIL" else "ok")
+
+(* Shrink the failure, dump the minimal run's flight recorder, print the
+   repro line. Never returns a passing status: caller exits 1 after. *)
+let report_failure ~sabotage (o : Runner.outcome) =
+  let inject = inject_of sabotage in
+  Printf.printf "ORACLE VIOLATION at %s:\n"
+    (Option.value o.Runner.failed_at ~default:"?");
+  List.iter (fun e -> Printf.printf "  %s\n" e) o.Runner.errors;
+  print_endline "shrinking...";
+  let reproduces c = Runner.failed (Runner.run ?inject c) in
+  let small, runs = Shrink.shrink ~reproduces o.Runner.scenario in
+  Format.printf "minimal after %d runs: %a@." runs Scenario.pp small;
+  let errs = (Runner.run ?inject small).Runner.errors in
+  List.iter (fun e -> Printf.printf "  %s\n" e) errs;
+  (* flight-recorder dump of the minimal failing run *)
+  let tr = Trace.create () in
+  ignore (Trace.attach_recorder tr ~capacity:256);
+  Trace.set_on_dump tr (fun s ->
+      print_string s;
+      print_newline ());
+  ignore (Runner.run ~trace:tr ?inject small);
+  Trace.failure tr ~reason:"oib-fuzz oracle violation (minimal scenario)";
+  Printf.printf "repro: %s\n%!" (Scenario.repro_command ~sabotage small)
+
+let exec ~sabotage ~jsonl sc =
+  Format.printf "%a@." Scenario.pp sc;
+  let trace, close =
+    match jsonl with
+    | None -> (None, fun () -> ())
+    | Some path ->
+      let tr = Trace.create () in
+      ignore (Trace.attach_recorder tr ~capacity:2048);
+      let close = Trace.add_jsonl_file_sink tr ~path in
+      ( Some tr,
+        fun () ->
+          close ();
+          Printf.printf "event trace written to %s\n" path )
+  in
+  let o = Runner.run ?trace ?inject:(inject_of sabotage) sc in
+  print_outcome o;
+  close ();
+  if Runner.failed o then begin
+    report_failure ~sabotage o;
+    exit 1
+  end
+
+let cmd_run seed alg rows workers txns sabotage jsonl =
+  let sc =
+    Scenario.generate ~seed
+    |> Scenario.override
+         ?alg:(Option.map Scenario.alg_of_string alg)
+         ?rows ?workers ?txns
+  in
+  exec ~sabotage ~jsonl sc
+
+let cmd_repro seed alg rows unique workers txns ops post faults sabotage jsonl =
+  let sc =
+    Scenario.generate ~seed
+    |> Scenario.override
+         ?alg:(Option.map Scenario.alg_of_string alg)
+         ?rows ~unique ?workers ?txns ?ops ?post
+         ?faults:(Option.map Scenario.faults_of_string faults)
+  in
+  exec ~sabotage ~jsonl sc
+
+let cmd_fuzz count seed_base alg sabotage =
+  let alg = Option.map Scenario.alg_of_string alg in
+  let inject = inject_of sabotage in
+  for seed = seed_base to seed_base + count - 1 do
+    let sc = Scenario.generate ~seed |> Scenario.override ?alg in
+    let o = Runner.run ?inject sc in
+    Format.printf "seed %4d: %a@." seed Scenario.pp sc;
+    Printf.printf "          ";
+    print_outcome o;
+    if Runner.failed o then begin
+      report_failure ~sabotage o;
+      exit 1
+    end
+  done;
+  Printf.printf "%d scenarios clean\n" count
+
+let cmd_sweep alg scenarios seed_base points sabotage =
+  let alg = Scenario.alg_of_string alg in
+  let total = ref 0 in
+  for i = 0 to scenarios - 1 do
+    let seed = seed_base + i in
+    let sc = Scenario.generate ~seed |> Scenario.override ~alg in
+    Format.printf "%a@." Scenario.pp sc;
+    let r = Sweep.sweep ?inject:(inject_of sabotage) sc ~points in
+    if r.Sweep.base_errors <> [] then begin
+      Printf.printf "fault-free base run FAILS:\n";
+      report_failure ~sabotage
+        (Runner.run
+           ?inject:(inject_of sabotage)
+           (Scenario.override ~faults:[] sc));
+      exit 1
+    end;
+    total := !total + 1 + List.length r.Sweep.points;
+    Printf.printf "  base %d steps, %d crash points: " r.Sweep.base_steps
+      (List.length r.Sweep.points);
+    (match Sweep.failures r with
+    | [] -> Printf.printf "all clean\n%!"
+    | p :: _ ->
+      Printf.printf "FAIL at step %d\n" p.Sweep.crash_step;
+      report_failure ~sabotage
+        (Runner.run
+           ?inject:(inject_of sabotage)
+           (Scenario.override ~faults:[ Scenario.Crash_at p.Sweep.crash_step ]
+              sc));
+      exit 1)
+  done;
+  Printf.printf "%d scenario/crash-point combinations clean\n" !total
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed")
+
+let alg_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "a"; "alg" ] ~docv:"ALG" ~doc:"Force nsf, sf or iot")
+
+let rows_opt =
+  Arg.(value & opt (some int) None & info [ "rows" ] ~docv:"N")
+
+let workers_opt =
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W")
+
+let txns_opt =
+  Arg.(value & opt (some int) None & info [ "txns" ] ~docv:"T" ~doc:"Per worker")
+
+let sabotage_arg =
+  Arg.(
+    value & flag
+    & info [ "sabotage" ]
+        ~doc:"Test-only: corrupt the index before the final oracle battery")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Write every trace event to $(docv) as JSON lines.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one generated scenario and its oracle battery")
+    Term.(
+      const cmd_run $ seed_arg $ alg_opt $ rows_opt $ workers_opt $ txns_opt
+      $ sabotage_arg $ jsonl_arg)
+
+let repro_cmd =
+  let ops = Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N") in
+  let post =
+    Arg.(value & opt (some int) None & info [ "post-txns" ] ~docv:"N")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:"Comma-separated kind@step list (crash,media,ckpt,trunc,backup) or 'none'")
+  in
+  let unique = Arg.(value & flag & info [ "unique" ]) in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Replay a (shrunk) scenario from its repro line")
+    Term.(
+      const cmd_repro $ seed_arg $ alg_opt $ rows_opt $ unique $ workers_opt
+      $ txns_opt $ ops $ post $ faults $ sabotage_arg $ jsonl_arg)
+
+let fuzz_cmd =
+  let count =
+    Arg.(value & opt int 25 & info [ "count" ] ~docv:"N" ~doc:"Scenarios to run")
+  in
+  let base =
+    Arg.(value & opt int 1 & info [ "seed-base" ] ~docv:"SEED" ~doc:"First seed")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Generated scenarios with generated fault plans, shrink failures")
+    Term.(const cmd_fuzz $ count $ base $ alg_opt $ sabotage_arg)
+
+let sweep_cmd =
+  let alg =
+    Arg.(value & opt string "nsf" & info [ "a"; "alg" ] ~docv:"ALG")
+  in
+  let scenarios =
+    Arg.(value & opt int 2 & info [ "scenarios" ] ~docv:"N" ~doc:"Seeds to sweep")
+  in
+  let base =
+    Arg.(value & opt int 1 & info [ "seed-base" ] ~docv:"SEED" ~doc:"First seed")
+  in
+  let points =
+    Arg.(
+      value & opt int 55
+      & info [ "points" ] ~docv:"K" ~doc:"Crash points per scenario")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Re-run a scenario crashing at every k-th scheduler step")
+    Term.(const cmd_sweep $ alg $ scenarios $ base $ points $ sabotage_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "oib-fuzz" ~version:"1.0"
+             ~doc:
+               "Deterministic simulation tests: scenario fuzzing, crash-point \
+                sweeps, failure shrinking")
+          [ run_cmd; fuzz_cmd; sweep_cmd; repro_cmd ]))

@@ -93,6 +93,8 @@ let create pool kv ~index_id ~page_capacity ~unique =
   persist_meta t ~image_lsn:Oib_wal.Lsn.nil;
   t
 
+let destroy t = Durable_kv.remove t.kv (meta_key t.index_id)
+
 let open_from_image pool kv ~index_id =
   match Durable_kv.get kv (meta_key index_id) with
   | Some (Btree_meta m) ->
@@ -116,6 +118,12 @@ let image_lsn t =
   | _ -> Oib_wal.Lsn.nil
 
 let checkpoint_image t ~lsn =
+  (* Tree pages carry no page LSN, so flush_page's WAL guard cannot force
+     the log for us: the image may capture effects of in-flight
+     transactions, and unless their Begin/op records are durable first,
+     a crash would keep those effects without making the txn a loser.
+     Force the whole log before the image. *)
+  Oib_wal.Log_manager.flush_all (Buffer_pool.log t.pool);
   (* Sharp snapshot: no yields occur between these flushes under the
      cooperative scheduler. *)
   List.iter

@@ -34,6 +34,13 @@ val open_from_image : Buffer_pool.t -> Durable_kv.t -> index_id:int -> t
     (possibly the empty tree forced by {!create}). Raises [Not_found] if no
     image exists. *)
 
+val destroy : t -> unit
+(** Remove the tree's durable metadata so the index id can be created
+    again (a cancelled build's drop, §2.3.2). The dropped tree's flushed
+    pages stay in the stable store — they only pin the page-id allocator
+    above them — but without its meta the tree is unrecoverable and
+    {!create} accepts the id. *)
+
 val index_id : t -> int
 val unique : t -> bool
 val page_capacity : t -> int

@@ -71,7 +71,7 @@ let log_ddl pool body =
        ~prev_lsn:Oib_wal.Lsn.nil body);
   Oib_wal.Log_manager.flush_all (Buffer_pool.log pool)
 
-let create_table t pool ~table_id =
+let create_table ?(log = true) t pool ~table_id =
   if Hashtbl.mem t.tables table_id then
     invalid_arg "Catalog.create_table: exists";
   let heap =
@@ -81,7 +81,7 @@ let create_table t pool ~table_id =
   Hashtbl.replace t.tables table_id info;
   Durable_kv.set t.kv (table_cat_key table_id) (Table_cat { table_id });
   persist_lists t;
-  log_ddl pool (Oib_wal.Log_record.Create_table { table = table_id });
+  if log then log_ddl pool (Oib_wal.Log_record.Create_table { table = table_id });
   info
 
 let table t id =
@@ -98,7 +98,7 @@ let tables t = Hashtbl.fold (fun _ info acc -> info :: acc) t.tables []
 
 let indexes_of t table_id = (table t table_id).indexes
 
-let add_index t pool ~table_id ~index_id ~key_cols ~unique ~phase =
+let add_index ?(log = true) t pool ~table_id ~index_id ~key_cols ~unique ~phase =
   let tbl = table t table_id in
   if Hashtbl.mem t.indexes index_id then
     invalid_arg "Catalog.add_index: index exists";
@@ -119,9 +119,10 @@ let add_index t pool ~table_id ~index_id ~key_cols ~unique ~phase =
          seq = List.length tbl.indexes - 1;
        });
   persist_lists t;
-  log_ddl pool
-    (Oib_wal.Log_record.Create_index
-       { index = index_id; table = table_id; key_cols; uniq = unique });
+  if log then
+    log_ddl pool
+      (Oib_wal.Log_record.Create_index
+         { index = index_id; table = table_id; key_cols; uniq = unique });
   info
 
 let drop_index t index_id =
@@ -129,6 +130,9 @@ let drop_index t index_id =
   let tbl = table t info.table_id in
   tbl.indexes <- List.filter (fun i -> i.index_id <> index_id) tbl.indexes;
   Hashtbl.remove t.indexes index_id;
+  (* scrub the tree's durable image too: recovery replays Create_index
+     before this drop's record, and Btree.create refuses a stale meta *)
+  Oib_btree.Btree.destroy info.tree;
   Durable_kv.remove t.kv (index_cat_key index_id);
   persist_lists t
 

@@ -67,7 +67,12 @@ val create : Oib_storage.Durable_kv.t -> page_capacity:int -> t
 val kv : t -> Oib_storage.Durable_kv.t
 val page_capacity : t -> int
 
-val create_table : t -> Oib_storage.Buffer_pool.t -> table_id:int -> table_info
+val create_table :
+  ?log:bool -> t -> Oib_storage.Buffer_pool.t -> table_id:int -> table_info
+(** [log] (default true) appends the DDL record. Recovery replays pass
+    [~log:false]: re-logging a replayed [Create_table] / [Create_index]
+    would strand an extra create after its original drop in the log, and
+    the next recovery would resurrect the dropped object. *)
 
 val table : t -> int -> table_info
 val index : t -> int -> index_info
@@ -75,11 +80,11 @@ val tables : t -> table_info list
 val indexes_of : t -> int -> index_info list
 
 val add_index :
-  t -> Oib_storage.Buffer_pool.t -> table_id:int -> index_id:int ->
+  ?log:bool -> t -> Oib_storage.Buffer_pool.t -> table_id:int -> index_id:int ->
   key_cols:int list -> unique:bool -> phase:build_phase -> index_info
 (** Create the descriptor + empty tree and force the catalog entry. The
     caller is responsible for the quiesce protocol (NSF) or the
-    [Index_Build] flag discipline (SF). *)
+    [Index_Build] flag discipline (SF). [log] as in {!create_table}. *)
 
 val drop_index : t -> int -> unit
 (** Remove descriptor and catalog entry (cancel of an index build, §2.3.2;

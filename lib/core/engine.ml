@@ -68,8 +68,34 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
        (List.length analysis.losers)
        (List.length analysis.builds_in_progress));
   Txn.ensure_next_id txns (analysis.max_txn_id + 1);
+  (* heap pages named in the log but never flushed sit above the stable
+     store's max id; reserve them before anything allocates *)
+  List.iter
+    (fun (r : Oib_wal.Log_record.t) ->
+      match r.body with
+      | Oib_wal.Log_record.Heap { page; _ }
+      | Oib_wal.Log_record.Clr { action = Oib_wal.Log_record.Heap { page; _ }; _ }
+      | Oib_wal.Log_record.Heap_extend { page; _ } ->
+        Buffer_pool.reserve_page_ids pool ~upto:page
+      | _ -> ())
+    (LM.durable_records log);
   (* catalog objects over the surviving store *)
   Catalog.reopen ctx.Ctx.catalog pool;
+  (* ... and in the durable inventories: after a log truncation the
+     Heap_extend records above are gone, but the heap files still own
+     their pages *)
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun id -> Buffer_pool.reserve_page_ids pool ~upto:id)
+        (Heap_file.page_ids tbl.heap);
+      List.iter
+        (fun (info : Catalog.index_info) ->
+          List.iter
+            (fun id -> Buffer_pool.reserve_page_ids pool ~upto:id)
+            (Oib_btree.Btree.page_ids info.tree))
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
   (* replay DDL the restored metadata may predate (media recovery) *)
   List.iter
     (fun (r : Oib_wal.Log_record.t) ->
@@ -78,13 +104,15 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
         match Catalog.table ctx.Ctx.catalog table with
         | _ -> ()
         | exception Invalid_argument _ ->
-          ignore (Catalog.create_table ctx.Ctx.catalog pool ~table_id:table))
+          ignore
+            (Catalog.create_table ~log:false ctx.Ctx.catalog pool
+               ~table_id:table))
       | Oib_wal.Log_record.Create_index { index; table; key_cols; uniq } -> (
         match Catalog.index ctx.Ctx.catalog index with
         | _ -> ()
         | exception Invalid_argument _ ->
           ignore
-            (Catalog.add_index ctx.Ctx.catalog pool ~table_id:table
+            (Catalog.add_index ~log:false ctx.Ctx.catalog pool ~table_id:table
                ~index_id:index ~key_cols ~unique:uniq ~phase:Catalog.Ready))
       | Oib_wal.Log_record.Drop_index { index } -> (
         match Catalog.index ctx.Ctx.catalog index with
@@ -106,6 +134,24 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
   recovery_step "redo_heap" "";
   Restart.redo_heap log pool
     ~page_capacity:(Catalog.page_capacity ctx.Ctx.catalog);
+  (* a page can be in the inventory yet exist nowhere: registered
+     durably at extend time, then lost with the unflushed log tail. No
+     durable record could touch it (commit would have flushed the log),
+     so empty is its correct redone state. *)
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun id ->
+          if not (Buffer_pool.mem pool id) then
+            ignore
+              (Buffer_pool.install pool id
+                 ~payload:
+                   (Heap_page.Heap
+                      (Heap_page.create
+                         ~capacity:(Catalog.page_capacity ctx.Ctx.catalog)))
+                 ~copy_payload:Heap_page.copy_payload))
+        (Heap_file.page_ids tbl.heap))
+    (Catalog.tables ctx.Ctx.catalog);
   (* bring every index from its image to the end of the durable log *)
   recovery_step "replay_indexes" "";
   List.iter
@@ -137,10 +183,14 @@ let crash ?(seed = 4242) (old : t) =
   recover_over ~seed old ~store:old.Ctx.store ~kv:old.Ctx.kv
     ~runs:(Oib_sort.Run_store.crash old.Ctx.runs)
 
+exception
+  Media_recovery_forfeited of { backup_lsn : int; log_start : int }
+
 type backup = {
   b_store : Stable_store.t;
   b_kv : Durable_kv.t;
   b_runs : Oib_sort.Run_store.t;
+  b_lsn : Oib_wal.Lsn.t;  (** durable log position the image is clean at *)
 }
 
 let backup (ctx : t) =
@@ -163,6 +213,7 @@ let backup (ctx : t) =
     b_store = Stable_store.snapshot ctx.Ctx.store;
     b_kv = Durable_kv.snapshot ctx.Ctx.kv;
     b_runs = Oib_sort.Run_store.crash ctx.Ctx.runs;
+    b_lsn = LM.flushed_lsn ctx.Ctx.log;
   }
 
 let media_restore ?(seed = 777) (old : t) b =
@@ -171,6 +222,18 @@ let media_restore ?(seed = 777) (old : t) b =
      the backup — including everything the index builder logged, which is
      exactly why NSF's IB writes log records (§2.2.3): no post-build image
      copy of the index is needed for media recovery. *)
+  (* footnote 8's proviso, enforced: if the log has been truncated past the
+     backup point, the records that would redo history from the image are
+     gone — recovering anyway would silently lose committed work, so fail
+     loudly before touching anything *)
+  let log_start = LM.start_lsn old.Ctx.log in
+  if Oib_wal.Lsn.( > ) log_start (Oib_wal.Lsn.next b.b_lsn) then
+    raise
+      (Media_recovery_forfeited
+         {
+           backup_lsn = Oib_wal.Lsn.to_int b.b_lsn;
+           log_start = Oib_wal.Lsn.to_int log_start;
+         });
   recover_over ~seed old ~store:(Stable_store.snapshot b.b_store)
     ~kv:(Durable_kv.snapshot b.b_kv)
     ~runs:(Oib_sort.Run_store.crash b.b_runs)
@@ -236,6 +299,36 @@ let truncate_log (ctx : t) =
       | _ -> ())
     (LM.durable_records ctx.Ctx.log);
   LM.truncate ctx.Ctx.log ~below:!safe
+
+let active_txns (ctx : t) = Txn.active_count ctx.Ctx.txns
+
+let unfinished_builds (ctx : t) =
+  List.concat_map
+    (fun (tbl : Catalog.table_info) ->
+      List.filter_map
+        (fun (info : Catalog.index_info) ->
+          match info.phase with
+          | Catalog.Ready -> None
+          | Catalog.Nsf_building _ -> Some (info.index_id, "nsf-building")
+          | Catalog.Sf_building st ->
+            Some
+              ( info.index_id,
+                if st.draining then "sf-draining" else "sf-building" ))
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog)
+
+let undrained_sidefiles (ctx : t) =
+  List.concat_map
+    (fun (tbl : Catalog.table_info) ->
+      List.filter_map
+        (fun (info : Catalog.index_info) ->
+          match info.phase with
+          | Catalog.Sf_building st ->
+            let n = Oib_sidefile.Side_file.length st.sidefile in
+            if n > 0 then Some (info.index_id, n) else None
+          | Catalog.Ready | Catalog.Nsf_building _ -> None)
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog)
 
 let build_progress (ctx : t) =
   Hashtbl.fold (fun _ st acc -> st :: acc) ctx.Ctx.builds []

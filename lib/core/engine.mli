@@ -30,6 +30,13 @@ type backup
 (** An image copy of the stable store, durable metadata and forced sorted
     runs, taken at a clean point. *)
 
+exception
+  Media_recovery_forfeited of { backup_lsn : int; log_start : int }
+(** Raised by {!media_restore} when {!truncate_log} has discarded log
+    records the restore would need to redo history from the backup point
+    (footnote 8's proviso). Nothing has been modified when this is raised;
+    the pre-failure engine remains usable. *)
+
 val backup : t -> backup
 
 val media_restore : ?seed:int -> t -> backup -> t
@@ -37,7 +44,9 @@ val media_restore : ?seed:int -> t -> backup -> t
     the (surviving) log from the backup point — the recovery mode that
     motivates the NSF builder's logging (§2.2.3: "media recovery can be
     supported without the user being forced to take an image copy of the
-    index immediately after the index build completes"). *)
+    index immediately after the index build completes"). Raises
+    {!Media_recovery_forfeited} if the log no longer reaches back to the
+    backup point. *)
 
 val run_txn :
   t ->
@@ -62,6 +71,19 @@ val truncate_log : t -> int
 val build_progress : t -> Build_status.t list
 (** Live status of every index build this engine incarnation has run or
     resumed, ordered by index id. *)
+
+val active_txns : t -> int
+(** Transactions currently in flight — the consistency oracle's
+    precondition is that this is 0. *)
+
+val unfinished_builds : t -> (int * string) list
+(** [(index_id, phase)] for every index not yet [Ready] — after a scenario
+    has run to completion this must be empty (the side-file drained, the
+    flip done). *)
+
+val undrained_sidefiles : t -> (int * int) list
+(** [(index_id, entries)] for every SF-building index whose side-file
+    still holds appended entries. *)
 
 val consistency_errors : t -> string list
 (** The oracle: for every table, every [Ready] index must contain exactly

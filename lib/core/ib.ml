@@ -203,6 +203,14 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
          scan and writes its side-file entry *)
       set_current_rid (Rid.make ~page:pid ~slot:max_int);
       Latch.release page.Page.latch S;
+      (* The extracted keys may reflect uncommitted updates, and the sorter
+         can spill them to the instantly-durable run store at any feed. If
+         such a transaction's log tail were lost in a crash it would not be
+         a loser, yet its effects would survive inside the durable runs
+         with nothing to compensate them. Force the log first so every
+         transaction whose effects we captured is durably logged (and hence
+         rolled back as a loser if it never commits). *)
+      LM.flush_all ctx.Ctx.log;
       List.iter
         (fun (j, acc) ->
           if pid > Sort.scan_pos j.sorter then begin

@@ -149,6 +149,11 @@ let sidefile_entry ctx txn info ~insert key =
     (Txn.log_op ctx.Ctx.txns txn
        (LR.Sidefile_append
           { sidefile = info.Catalog.index_id; insert; key }));
+  (* The side-file is instantly durable but is not redone from the log; if
+     this transaction's log tail were lost in a crash it would not be a
+     loser, yet the entry would survive and the drain would apply it.
+     Force the log so the writer is durably a known transaction first. *)
+  Oib_wal.Log_manager.flush_all ctx.Ctx.log;
   let pos = SF.apply_append sf.Catalog.sidefile ~insert key in
   note_sidefile_append ctx info ~insert pos
 
@@ -395,24 +400,21 @@ let logical_tree_undo ctx info ~clr (dels, inss) =
 
 let sidefile_undo ctx info ~clr (dels, inss) =
   let sf = sf_state info in
-  List.iter
-    (fun key ->
-      ignore
-        (clr
-           (LR.Sidefile_append
-              { sidefile = info.Catalog.index_id; insert = false; key }));
-      let pos = SF.apply_append sf.Catalog.sidefile ~insert:false key in
-      note_sidefile_append ctx info ~insert:false pos)
-    dels;
-  List.iter
-    (fun key ->
-      ignore
-        (clr
-           (LR.Sidefile_append
-              { sidefile = info.Catalog.index_id; insert = true; key }));
-      let pos = SF.apply_append sf.Catalog.sidefile ~insert:true key in
-      note_sidefile_append ctx info ~insert:true pos)
-    inss
+  (* Same durability rule as [sidefile_entry]: the CLRs must be durable
+     before their compensating appends hit the instantly-durable side-file,
+     or a second crash would roll the transaction back again and append the
+     compensation twice. *)
+  let append ~insert key =
+    ignore
+      (clr
+         (LR.Sidefile_append
+            { sidefile = info.Catalog.index_id; insert; key }));
+    Oib_wal.Log_manager.flush_all ctx.Ctx.log;
+    let pos = SF.apply_append sf.Catalog.sidefile ~insert key in
+    note_sidefile_append ctx info ~insert pos
+  in
+  List.iter (fun key -> append ~insert:false key) dels;
+  List.iter (fun key -> append ~insert:true key) inss
 
 let undo_heap ctx _txn ~clr ~page ~old_count ~old_sf op =
   (* 1. reverse the data-page change *)

@@ -1,0 +1,235 @@
+open Oib_util
+module Ib = Oib_core.Ib
+module Driver = Oib_workload.Driver
+
+type alg = Nsf | Sf | Iot
+
+type fault =
+  | Crash_at of int
+  | Media_failure_at of int
+  | Checkpoint_at of int
+  | Truncate_log_at of int
+  | Backup_at of int
+
+type t = {
+  seed : int;
+  alg : alg;
+  rows : int;
+  unique : bool;
+  workers : int;
+  txns_per_worker : int;
+  ops_per_txn : int;
+  abort_pct : float;
+  theta : float;
+  key_space : int;
+  post_crash_txns : int;
+  ib : Ib.config;
+  faults : fault list;
+}
+
+let fault_step = function
+  | Crash_at s | Media_failure_at s | Checkpoint_at s | Truncate_log_at s
+  | Backup_at s ->
+    s
+
+let is_stop = function
+  | Crash_at _ | Media_failure_at _ -> true
+  | Checkpoint_at _ | Truncate_log_at _ | Backup_at _ -> false
+
+let sort_faults fs =
+  List.sort (fun a b -> compare (fault_step a) (fault_step b)) fs
+
+let ib_alg = function Nsf -> Ib.Nsf | Sf | Iot -> Ib.Sf
+
+(* Fault plans live in the step range where generated scenarios actually
+   run (a few dozen to a few hundred steps); steps past the end of the
+   run simply never fire, which is itself a legal plan. *)
+let gen_faults rng =
+  let n = Rng.int rng 4 in
+  let faults = ref [] in
+  let used = Hashtbl.create 8 in
+  let fresh_step () =
+    (* draw until unused; steps collide rarely in [10, 610) *)
+    let rec go tries =
+      let s = 10 + Rng.int rng 600 in
+      if Hashtbl.mem used s && tries < 10 then go (tries + 1) else s
+    in
+    let s = go 0 in
+    Hashtbl.replace used s ();
+    s
+  in
+  for _ = 1 to n do
+    let s = fresh_step () in
+    let f =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> Crash_at s
+      | 5 | 6 -> Checkpoint_at s
+      | 7 -> Truncate_log_at s
+      | 8 -> Backup_at s
+      | _ -> Media_failure_at s
+    in
+    faults := f :: !faults
+  done;
+  (* a media failure without an earlier backup would degrade to a plain
+     crash; give it an image copy to restore when we can *)
+  let fs = sort_faults !faults in
+  let rec ensure_backup seen_backup acc = function
+    | [] -> List.rev acc
+    | Media_failure_at s :: rest when not seen_backup ->
+      let b = max 1 (s / 2) in
+      if Hashtbl.mem used b then
+        ensure_backup true (Media_failure_at s :: acc) rest
+      else begin
+        Hashtbl.replace used b ();
+        ensure_backup true (Media_failure_at s :: Backup_at b :: acc) rest
+      end
+    | (Backup_at _ as f) :: rest -> ensure_backup true (f :: acc) rest
+    | f :: rest -> ensure_backup seen_backup (f :: acc) rest
+  in
+  sort_faults (ensure_backup false [] fs)
+
+let generate ~seed =
+  let rng = Rng.create (0x5eed + seed) in
+  let alg =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> Nsf
+    | 4 | 5 | 6 | 7 -> Sf
+    | _ -> Iot
+  in
+  let rows = 40 + Rng.int rng 211 in
+  let unique = (match alg with Iot -> false | Nsf | Sf -> Rng.chance rng 0.2) in
+  let workers = Rng.int rng 5 in
+  let txns_per_worker = 5 + Rng.int rng 31 in
+  let ops_per_txn = 1 + Rng.int rng 5 in
+  let abort_pct = float_of_int (Rng.int rng 30) /. 100.0 in
+  let theta = float_of_int (Rng.int rng 120) /. 100.0 in
+  let key_space = 50 + Rng.int rng 950 in
+  let post_crash_txns = 3 + Rng.int rng 12 in
+  let ib =
+    {
+      Ib.algorithm = ib_alg alg;
+      memory_keys = 16 * (1 + Rng.int rng 8);
+      batch_size = 4 + Rng.int rng 28;
+      ckpt_every_pages = 4 + Rng.int rng 28;
+      ckpt_every_keys = 32 + Rng.int rng 480;
+      specialized_split = Rng.bool rng;
+      sort_sidefile = Rng.bool rng;
+    }
+  in
+  let faults = gen_faults rng in
+  {
+    seed;
+    alg;
+    rows;
+    unique;
+    workers;
+    txns_per_worker;
+    ops_per_txn;
+    abort_pct;
+    theta;
+    key_space;
+    post_crash_txns;
+    ib;
+    faults;
+  }
+
+let override ?alg ?rows ?unique ?workers ?txns ?ops ?post ?faults t =
+  let pick o v = Option.value o ~default:v in
+  let alg = pick alg t.alg in
+  {
+    t with
+    alg;
+    ib = { t.ib with Ib.algorithm = ib_alg alg };
+    rows = pick rows t.rows;
+    unique = pick unique t.unique;
+    workers = pick workers t.workers;
+    txns_per_worker = pick txns t.txns_per_worker;
+    ops_per_txn = pick ops t.ops_per_txn;
+    post_crash_txns = pick post t.post_crash_txns;
+    faults = (match faults with Some fs -> sort_faults fs | None -> t.faults);
+  }
+
+let workload t =
+  {
+    Driver.default with
+    Driver.seed = t.seed;
+    workers = t.workers;
+    txns_per_worker = t.txns_per_worker;
+    ops_per_txn = t.ops_per_txn;
+    abort_pct = t.abort_pct;
+    theta = t.theta;
+    key_space = t.key_space;
+  }
+
+let alg_to_string = function Nsf -> "nsf" | Sf -> "sf" | Iot -> "iot"
+
+let alg_of_string = function
+  | "nsf" -> Nsf
+  | "sf" -> Sf
+  | "iot" -> Iot
+  | s -> failwith (Printf.sprintf "unknown algorithm %S (use nsf|sf|iot)" s)
+
+let fault_to_string = function
+  | Crash_at s -> Printf.sprintf "crash@%d" s
+  | Media_failure_at s -> Printf.sprintf "media@%d" s
+  | Checkpoint_at s -> Printf.sprintf "ckpt@%d" s
+  | Truncate_log_at s -> Printf.sprintf "trunc@%d" s
+  | Backup_at s -> Printf.sprintf "backup@%d" s
+
+let faults_to_string = function
+  | [] -> "none"
+  | fs -> String.concat "," (List.map fault_to_string fs)
+
+let faults_of_string s =
+  match String.trim s with
+  | "" | "none" -> []
+  | s ->
+    String.split_on_char ',' s
+    |> List.map (fun item ->
+           let item = String.trim item in
+           match String.index_opt item '@' with
+           | None ->
+             failwith
+               (Printf.sprintf "bad fault %S (want kind@step, e.g. crash@120)"
+                  item)
+           | Some i ->
+             let kind = String.sub item 0 i in
+             let step =
+               match
+                 int_of_string_opt
+                   (String.sub item (i + 1) (String.length item - i - 1))
+               with
+               | Some n when n >= 0 -> n
+               | _ -> failwith (Printf.sprintf "bad fault step in %S" item)
+             in
+             (match kind with
+             | "crash" -> Crash_at step
+             | "media" -> Media_failure_at step
+             | "ckpt" -> Checkpoint_at step
+             | "trunc" -> Truncate_log_at step
+             | "backup" -> Backup_at step
+             | k -> failwith (Printf.sprintf "unknown fault kind %S" k)))
+    |> sort_faults
+
+let pp fmt t =
+  Format.fprintf fmt
+    "seed=%d alg=%s rows=%d%s workers=%d txns=%d ops=%d abort=%.2f \
+     theta=%.2f keyspace=%d post=%d ib=(mem=%d batch=%d ckpt-pages=%d \
+     ckpt-keys=%d split=%b sortsf=%b) faults=%s"
+    t.seed (alg_to_string t.alg) t.rows
+    (if t.unique then " unique" else "")
+    t.workers t.txns_per_worker t.ops_per_txn t.abort_pct t.theta t.key_space
+    t.post_crash_txns t.ib.Ib.memory_keys t.ib.Ib.batch_size
+    t.ib.Ib.ckpt_every_pages t.ib.Ib.ckpt_every_keys t.ib.Ib.specialized_split
+    t.ib.Ib.sort_sidefile
+    (faults_to_string t.faults)
+
+let repro_command ?(sabotage = false) t =
+  Printf.sprintf
+    "oib-fuzz repro --seed %d --alg %s --rows %d --workers %d --txns %d \
+     --ops %d --post-txns %d --faults %s%s%s"
+    t.seed (alg_to_string t.alg) t.rows t.workers t.txns_per_worker
+    t.ops_per_txn t.post_crash_txns
+    (faults_to_string t.faults)
+    (if t.unique then " --unique" else "")
+    (if sabotage then " --sabotage" else "")

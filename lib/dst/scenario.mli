@@ -1,0 +1,80 @@
+(** Scenario generation: one seed determines a complete simulation run.
+
+    A scenario fixes everything the deterministic runner needs — the
+    algorithm under test, the table size, the transaction mix, the index
+    builder's tuning, and a fault plan (crashes, media failures, system
+    checkpoints, log truncations, backups at generated scheduler steps).
+    [generate ~seed] derives all of it from one integer, so a failing run
+    is reproduced by its seed plus whatever explicit overrides the
+    shrinker settled on — exactly the line [oib-fuzz repro] accepts. *)
+
+type alg = Nsf | Sf | Iot
+(** [Iot] = §6.2's index-organized mode: a unique SF primary build
+    followed by a secondary built via a key-order scan of the primary. *)
+
+type fault =
+  | Crash_at of int  (** system failure at the step; restart recovery *)
+  | Media_failure_at of int
+      (** data disk lost at the step; restore the latest backup and redo
+          the surviving log (degrades to a plain crash when the plan took
+          no backup, or when truncation forfeited the restore) *)
+  | Checkpoint_at of int  (** {!Oib_core.Engine.checkpoint} *)
+  | Truncate_log_at of int  (** {!Oib_core.Engine.truncate_log} *)
+  | Backup_at of int  (** {!Oib_core.Engine.backup}, kept as "latest" *)
+
+type t = {
+  seed : int;  (** master seed; every derived RNG folds it in *)
+  alg : alg;
+  rows : int;  (** initial table size *)
+  unique : bool;  (** build the index unique (NSF/SF only) *)
+  workers : int;
+  txns_per_worker : int;
+  ops_per_txn : int;
+  abort_pct : float;
+  theta : float;
+  key_space : int;
+  post_crash_txns : int;  (** per worker, in each post-crash incarnation *)
+  ib : Oib_core.Ib.config;
+  faults : fault list;  (** sorted by step, steps strictly increasing *)
+}
+
+val generate : seed:int -> t
+(** Deterministic: equal seeds yield equal scenarios. *)
+
+val override :
+  ?alg:alg ->
+  ?rows:int ->
+  ?unique:bool ->
+  ?workers:int ->
+  ?txns:int ->
+  ?ops:int ->
+  ?post:int ->
+  ?faults:fault list ->
+  t ->
+  t
+(** Apply explicit overrides (the shrinker's moves and the CLI's flags)
+    on top of a generated scenario. Overriding [alg] also retargets
+    [ib.algorithm]. *)
+
+val workload : t -> Oib_workload.Driver.config
+
+val fault_step : fault -> int
+val is_stop : fault -> bool
+(** True for the faults that end an engine incarnation
+    ([Crash_at] / [Media_failure_at]). *)
+
+val alg_to_string : alg -> string
+val alg_of_string : string -> alg
+(** Raises [Failure] on unknown names. *)
+
+val faults_to_string : fault list -> string
+(** E.g. ["ckpt@140,crash@900"]; the empty plan prints as ["none"]. *)
+
+val faults_of_string : string -> fault list
+(** Inverse of {!faults_to_string} (sorts by step). Raises [Failure] on
+    malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val repro_command : ?sabotage:bool -> t -> string
+(** The [oib-fuzz repro ...] line that replays exactly this scenario. *)

@@ -1,0 +1,71 @@
+open Scenario
+
+let with_step f s =
+  match f with
+  | Crash_at _ -> Crash_at s
+  | Media_failure_at _ -> Media_failure_at s
+  | Checkpoint_at _ -> Checkpoint_at s
+  | Truncate_log_at _ -> Truncate_log_at s
+  | Backup_at _ -> Backup_at s
+
+(* Candidate moves, cheapest reductions first: losing a whole fault or
+   half the table prunes more than nudging a step. *)
+let candidates (s : t) =
+  let cands = ref [] in
+  let add c = if c <> s then cands := c :: !cands in
+  List.iteri
+    (fun i _ ->
+      add (override ~faults:(List.filteri (fun j _ -> j <> i) s.faults) s))
+    s.faults;
+  if s.rows > 10 then
+    List.iter
+      (fun r -> if r >= 10 && r < s.rows then add (override ~rows:r s))
+      [ 10; s.rows / 2; s.rows * 3 / 4 ];
+  if s.workers > 0 then
+    List.iter
+      (fun w -> if w >= 0 && w < s.workers then add (override ~workers:w s))
+      [ 0; s.workers / 2; s.workers - 1 ];
+  if s.txns_per_worker > 1 then
+    List.iter
+      (fun n -> if n >= 1 && n < s.txns_per_worker then add (override ~txns:n s))
+      [ 1; s.txns_per_worker / 2 ];
+  if s.ops_per_txn > 1 then
+    List.iter
+      (fun n -> if n >= 1 && n < s.ops_per_txn then add (override ~ops:n s))
+      [ 1; s.ops_per_txn / 2 ];
+  if s.post_crash_txns > 1 then add (override ~post:(s.post_crash_txns / 2) s);
+  List.iteri
+    (fun i f ->
+      let step = fault_step f in
+      List.iter
+        (fun s' ->
+          if s' >= 1 && s' < step then
+            add
+              (override
+                 ~faults:
+                   (List.mapi
+                      (fun j g -> if j = i then with_step g s' else g)
+                      s.faults)
+                 s))
+        [ step / 2; step * 3 / 4; step * 7 / 8; step - 1 ])
+    s.faults;
+  List.rev !cands
+
+let shrink ?(budget = 60) ~reproduces sc =
+  let runs = ref 0 in
+  let try_ c =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      reproduces c
+    end
+  in
+  let rec fix s =
+    if !runs >= budget then s
+    else
+      match List.find_opt try_ (candidates s) with
+      | Some c -> fix c
+      | None -> s
+  in
+  let small = fix sc in
+  (small, !runs)

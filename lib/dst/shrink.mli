@@ -1,0 +1,17 @@
+(** Failure minimization.
+
+    Given a scenario whose run violates the oracle battery, greedily
+    search for a smaller one that still does: drop faults one at a time,
+    bisect the surviving fault steps downward, and shrink rows, workers,
+    transactions and operations — re-running the (deterministic) scenario
+    after every move. The result prints as a one-line
+    [oib-fuzz repro ...] command via {!Scenario.repro_command}. *)
+
+val shrink :
+  ?budget:int ->
+  reproduces:(Scenario.t -> bool) ->
+  Scenario.t ->
+  Scenario.t * int
+(** [shrink ~reproduces sc] assumes [reproduces sc] already holds and
+    returns the minimized scenario plus the number of candidate runs
+    spent. [budget] (default 60) bounds those runs. *)

@@ -1,0 +1,52 @@
+type point = {
+  crash_step : int;
+  errors : string list;
+  failed_at : string option;
+}
+
+type result = {
+  scenario : Scenario.t;
+  base_steps : int;
+  base_errors : string list;
+  points : point list;
+}
+
+let crash_points ~base_steps ~points =
+  let every = max 1 (base_steps / max 1 points) in
+  let rec go acc s = if s > base_steps then List.rev acc else go (s :: acc) (s + every) in
+  go [] every
+
+let sweep ?inject ?(on_point = fun _ _ -> ()) sc ~points =
+  let base = Runner.run ?inject (Scenario.override ~faults:[] sc) in
+  if Runner.failed base then
+    {
+      scenario = sc;
+      base_steps = base.Runner.total_steps;
+      base_errors = base.Runner.errors;
+      points = [];
+    }
+  else
+    let pts = crash_points ~base_steps:base.Runner.total_steps ~points in
+    let results =
+      List.map
+        (fun c ->
+          let o =
+            Runner.run ?inject
+              (Scenario.override ~faults:[ Scenario.Crash_at c ] sc)
+          in
+          on_point c o.Runner.errors;
+          {
+            crash_step = c;
+            errors = o.Runner.errors;
+            failed_at = o.Runner.failed_at;
+          })
+        pts
+    in
+    {
+      scenario = sc;
+      base_steps = base.Runner.total_steps;
+      base_errors = [];
+      points = results;
+    }
+
+let failures r = List.filter (fun p -> p.errors <> []) r.points

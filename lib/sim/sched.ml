@@ -23,6 +23,8 @@ type t = {
   mutable crash_trap : (int -> bool) option;
   mutable tick_every : int; (* 0 = no tick hook *)
   mutable on_tick : int -> unit;
+  mutable step_hooks : (int * (int -> unit)) list; (* newest first *)
+  mutable next_hook_id : int;
 }
 
 let fiber_name t id =
@@ -45,6 +47,8 @@ let create ?(seed = 42) ?(trace = Oib_obs.Trace.null) () =
       crash_trap = None;
       tick_every = 0;
       on_tick = ignore;
+      step_hooks = [];
+      next_hook_id = 0;
     }
   in
   (* stamp every event with this scheduler's step clock and fiber *)
@@ -77,6 +81,15 @@ let set_tick t ~every f =
 let clear_tick t =
   t.tick_every <- 0;
   t.on_tick <- ignore
+
+let add_step_hook t f =
+  let id = t.next_hook_id in
+  t.next_hook_id <- id + 1;
+  t.step_hooks <- (id, f) :: t.step_hooks;
+  id
+
+let remove_step_hook t id =
+  t.step_hooks <- List.filter (fun (i, _) -> i <> id) t.step_hooks
 
 let enqueue t id thunk = t.runq <- (id, thunk) :: t.runq
 
@@ -176,6 +189,11 @@ let run t =
          as "main" *)
       if t.tick_every > 0 && t.steps mod t.tick_every = 0 then
         t.on_tick t.steps;
+      (match t.step_hooks with
+      | [] -> ()
+      | hooks ->
+        (* snapshot: a hook may remove itself (or install others) *)
+        List.iter (fun (_, f) -> f t.steps) hooks);
       t.current <- Some id;
       let finally () = t.current <- None in
       (try thunk ()

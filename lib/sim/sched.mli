@@ -75,6 +75,16 @@ val set_tick : t -> every:int -> (int -> unit) -> unit
 
 val clear_tick : t -> unit
 
+val add_step_hook : t -> (int -> unit) -> int
+(** [add_step_hook t f] — call [f steps] before every step, outside any
+    fiber. Unlike {!set_tick} (one slot, owned by the metrics sampler),
+    any number of step hooks may coexist; the returned id removes this
+    one. The failure-injection runner uses a step hook to fire in-flight
+    faults (system checkpoints, log truncation, backups) at generated
+    steps while crash traps are armed independently. *)
+
+val remove_step_hook : t -> int -> unit
+
 (** Condition variables for building blocking primitives (latches, locks,
     bounded queues) on top of the scheduler. *)
 module Cond : sig

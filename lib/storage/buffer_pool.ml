@@ -106,6 +106,9 @@ let flush_some t rng p =
       then flush_page t page)
     t.cache
 
+let reserve_page_ids t ~upto =
+  if upto >= t.next_page_id then t.next_page_id <- upto + 1
+
 let evict t id = Hashtbl.remove t.cache id
 
 let drop t id =

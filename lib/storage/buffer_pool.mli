@@ -37,6 +37,14 @@ val install :
     redo when a page named in the log was never written to stable storage
     before the crash. Raises [Invalid_argument] if the page exists. *)
 
+val reserve_page_ids : t -> upto:int -> unit
+(** Never hand out ids [<= upto] from {!new_page}. A fresh pool seeds its
+    allocator from the stable store's highest *flushed* page, but the
+    durable log may name heap pages above that (logged, never written
+    back). Recovery must reserve those before any allocation, or a
+    recovery-time [new_page] (e.g. replaying the [Create_index] of a later
+    dropped build) squats on an id redo is about to reinstall. *)
+
 val mem : t -> int -> bool
 
 val flush_page : t -> Page.t -> unit

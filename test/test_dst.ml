@@ -1,0 +1,340 @@
+(* Deterministic simulation testing: the lib/dst harness itself, the
+   determinism contract it relies on, and targeted fault coverage that the
+   generated scenarios only hit probabilistically (log truncation vs.
+   media restore, unique-violation rollback under a concurrent build). *)
+
+open Oib_core
+open Oib_dst
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+module Trace = Oib_obs.Trace
+module Btree = Oib_btree.Btree
+module Rid = Oib_util.Rid
+module Ikey = Oib_util.Ikey
+module Record = Oib_util.Record
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let setup ?(seed = 3) () =
+  let ctx = Engine.create ~seed ~page_capacity:512 () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  ctx
+
+let check_clean ctx =
+  Alcotest.(check (list string))
+    "oracle clean" [] (Engine.consistency_errors ctx)
+
+let phase ctx id = (Catalog.index ctx.Ctx.catalog id).Catalog.phase
+
+(* Populate with distinct col-0 values (Driver.populate draws duplicates,
+   which a unique build legitimately cancels on). *)
+let populate_distinct ctx ~rows =
+  let i = ref 0 in
+  while !i < rows do
+    let upto = min rows (!i + 64) in
+    (match
+       Engine.run_txn ctx (fun txn ->
+           for j = !i to upto - 1 do
+             ignore
+               (Table_ops.insert ctx txn ~table:1
+                  (Record.make
+                     [|
+                       Printf.sprintf "pk%06d" j; Printf.sprintf "s%04d" (j mod 89);
+                     |]))
+           done)
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "populate aborted");
+    i := upto
+  done
+
+let build_to_ready ?(cfg = Ib.default_config Ib.Nsf) ?(unique = false) ctx =
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx cfg ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique }));
+  Sched.run ctx.Ctx.sched;
+  Alcotest.(check bool) "build ready" true (phase ctx 10 = Catalog.Ready)
+
+(* --- determinism regression: the contract lib/dst is built on --- *)
+
+let traced_run seed =
+  let buf = Buffer.create (1 lsl 16) in
+  let tr = Trace.create () in
+  Trace.add_jsonl_buffer_sink tr ~name:"capture" buf;
+  let sc =
+    Scenario.generate ~seed
+    |> Scenario.override ~faults:[ Scenario.Crash_at 120 ]
+  in
+  let o = Runner.run ~trace:tr sc in
+  (o, Buffer.contents buf)
+
+let test_identical_traces () =
+  (* two engines, same seed, same build + workload + crash plan: the JSONL
+     event streams must match event for event *)
+  let o1, t1 = traced_run 11 in
+  let o2, t2 = traced_run 11 in
+  Alcotest.(check bool) "runs clean" false
+    (Runner.failed o1 || Runner.failed o2);
+  Alcotest.(check bool) "crash actually taken" true (o1.Runner.incarnations >= 2);
+  Alcotest.(check int) "same shape" o1.Runner.total_steps o2.Runner.total_steps;
+  Alcotest.(check bool) "trace non-trivial" true (String.length t1 > 2000);
+  Alcotest.(check string) "event-for-event identical" t1 t2
+
+let test_seeds_diverge () =
+  let _, t1 = traced_run 11 in
+  let _, t2 = traced_run 12 in
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t2)
+
+(* --- truncate_log vs. crash and vs. media restore (footnote 8) --- *)
+
+let test_truncate_then_crash () =
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:200 ~seed:5 in
+  build_to_ready ctx;
+  ignore (Engine.truncate_log ctx);
+  (* post-truncation activity, then a crash: restart recovery must need
+     nothing older than the truncation point *)
+  let wcfg =
+    { Driver.default with Driver.seed = 5; workers = 2; txns_per_worker = 6 }
+  in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  Sched.run ctx.Ctx.sched;
+  let ctx' = Engine.crash ctx in
+  check_clean ctx';
+  Alcotest.(check bool) "index survived" true (phase ctx' 10 = Catalog.Ready)
+
+let test_truncate_forfeits_media_restore () =
+  let ctx = setup ~seed:7 () in
+  let _ = Driver.populate ctx ~table:1 ~rows:150 ~seed:7 in
+  build_to_ready ctx;
+  let stale = Engine.backup ctx in
+  (* committed work past the backup, then truncation: the log no longer
+     reaches back to the backup point, so the restore is forfeited *)
+  let wcfg =
+    { Driver.default with Driver.seed = 8; workers = 2; txns_per_worker = 5 }
+  in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  Sched.run ctx.Ctx.sched;
+  ignore (Engine.truncate_log ctx);
+  (match Engine.media_restore ctx stale with
+  | _ -> Alcotest.fail "media_restore accepted a forfeited backup"
+  | exception Engine.Media_recovery_forfeited { backup_lsn; log_start } ->
+    Alcotest.(check bool) "log starts past the backup" true
+      (log_start > backup_lsn));
+  (* loud, not corrupt: the pre-failure engine is untouched... *)
+  check_clean ctx;
+  (* ...and a fresh post-truncation backup restores fine *)
+  let fresh = Engine.backup ctx in
+  let _ = Driver.spawn_workers ctx wcfg ~table:1 in
+  Sched.run ctx.Ctx.sched;
+  let ctx' = Engine.media_restore ctx fresh in
+  check_clean ctx';
+  Alcotest.(check bool) "index restored" true (phase ctx' 10 = Catalog.Ready)
+
+(* --- unique-violation rollback under a concurrent NSF build (§2.2.2) --- *)
+
+let test_unique_violation_rollback_during_build () =
+  let rows = 400 in
+  let ctx = setup ~seed:13 () in
+  populate_distinct ctx ~rows;
+  let heap_before = List.length (Driver.live_rids ctx ~table:1) in
+  let violations = ref 0 in
+  let during_build = ref false in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Nsf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = true }));
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"dup-inserter" (fun () ->
+         (* wait until the builder has indexed an early key, so the
+            transaction's direct maintenance finds it Present while the
+            build is still in flight *)
+         let indexed () =
+           match Catalog.index ctx.Ctx.catalog 10 with
+           | info -> Btree.find_kv info.Catalog.tree "pk000005" <> []
+           | exception Invalid_argument _ -> false
+         in
+         while not (indexed ()) do
+           Sched.yield ctx.Ctx.sched
+         done;
+         (match phase ctx 10 with
+         | Catalog.Nsf_building _ -> during_build := true
+         | _ -> ());
+         match
+           Engine.run_txn ctx (fun txn ->
+               ignore
+                 (Table_ops.insert ctx txn ~table:1
+                    (Record.make [| "pk000005"; "duplicate" |])))
+         with
+         | Ok () -> Alcotest.fail "duplicate insert committed"
+         | Error (`Unique_violation (idx, kv)) ->
+           Alcotest.(check int) "violating index" 10 idx;
+           Alcotest.(check string) "violating key" "pk000005" kv;
+           incr violations
+         | Error `Deadlock -> ()));
+  Sched.run ctx.Ctx.sched;
+  Alcotest.(check bool) "violation raised" true (!violations = 1);
+  Alcotest.(check bool) "while build in progress" true !during_build;
+  (* the transaction rolled back completely: heap row gone again, and the
+     finished index holds exactly one entry per original row *)
+  Alcotest.(check int) "heap unchanged" heap_before
+    (List.length (Driver.live_rids ctx ~table:1));
+  Alcotest.(check bool) "build finished ready" true (phase ctx 10 = Catalog.Ready);
+  Alcotest.(check int) "one entry per row" rows
+    (Btree.present_count (Catalog.index ctx.Ctx.catalog 10).Catalog.tree);
+  check_clean ctx
+
+(* --- the harness catches, shrinks, and reproduces planted violations --- *)
+
+(* Same corruption oib-fuzz's --sabotage plants: a phantom entry inserted
+   behind the WAL's back just before the final battery. *)
+let plant_phantom (ctx : Ctx.t) =
+  match Catalog.index ctx.Ctx.catalog 10 with
+  | info ->
+    ignore
+      (Btree.set_state info.Catalog.tree
+         (Ikey.make "zzz-phantom" (Rid.make ~page:999_983 ~slot:0))
+         Oib_wal.Log_record.Present)
+  | exception Invalid_argument _ -> ()
+
+let test_harness_catches_planted_violation () =
+  let sc = Scenario.generate ~seed:3 |> Scenario.override ~alg:Scenario.Nsf in
+  let clean = Runner.run sc in
+  Alcotest.(check bool) "clean without sabotage" false (Runner.failed clean);
+  let o = Runner.run ~inject:plant_phantom sc in
+  Alcotest.(check bool) "sabotage caught" true (Runner.failed o);
+  Alcotest.(check (option string)) "at the final battery" (Some "final")
+    o.Runner.failed_at
+
+let test_shrinker_minimizes_and_repro_round_trips () =
+  let sc = Scenario.generate ~seed:3 |> Scenario.override ~alg:Scenario.Nsf in
+  let reproduces c = Runner.failed (Runner.run ~inject:plant_phantom c) in
+  let small, runs = Shrink.shrink ~budget:60 ~reproduces sc in
+  Alcotest.(check bool) "runs counted" true (runs > 0 && runs <= 60);
+  Alcotest.(check bool) "still reproduces" true (reproduces small);
+  (* the phantom reproduces everywhere, so the greedy walk must reach the
+     floor of every dimension it shrinks *)
+  Alcotest.(check int) "rows minimized" 10 small.Scenario.rows;
+  Alcotest.(check int) "workers minimized" 0 small.Scenario.workers;
+  Alcotest.(check string) "faults dropped" "none"
+    (Scenario.faults_to_string small.Scenario.faults);
+  (* the printed repro line round-trips through the CLI's own parsers *)
+  let fs = Scenario.faults_to_string small.Scenario.faults in
+  Alcotest.(check bool) "fault plan round-trips" true
+    (Scenario.faults_of_string fs = small.Scenario.faults);
+  let line = Scenario.repro_command ~sabotage:true small in
+  Alcotest.(check bool) "repro names seed and sabotage" true
+    (contains line "--seed 3" && contains line "--sabotage")
+
+let test_fault_plan_parser () =
+  let fs =
+    [
+      Scenario.Backup_at 14;
+      Scenario.Checkpoint_at 40;
+      Scenario.Truncate_log_at 77;
+      Scenario.Media_failure_at 210;
+      Scenario.Crash_at 300;
+    ]
+  in
+  Alcotest.(check bool) "parse inverts print" true
+    (Scenario.faults_of_string (Scenario.faults_to_string fs) = fs);
+  Alcotest.(check bool) "empty plan" true (Scenario.faults_of_string "none" = []);
+  Alcotest.(check bool) "generate is deterministic" true
+    (Scenario.generate ~seed:42 = Scenario.generate ~seed:42)
+
+(* --- sweep: every k-th step, and a clean pass over a real scenario --- *)
+
+let test_sweep_crash_point_spacing () =
+  Alcotest.(check (list int)) "every 10th"
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+    (Sweep.crash_points ~base_steps:100 ~points:10);
+  Alcotest.(check (list int)) "floored at every step" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (Sweep.crash_points ~base_steps:7 ~points:55)
+
+let test_sweep_small_scenario_clean () =
+  let sc =
+    Scenario.generate ~seed:1
+    |> Scenario.override ~alg:Scenario.Sf ~rows:60 ~workers:2 ~txns:6 ~post:2
+  in
+  let r = Sweep.sweep sc ~points:12 in
+  Alcotest.(check (list string)) "base clean" [] r.Sweep.base_errors;
+  Alcotest.(check bool) "points attempted" true (List.length r.Sweep.points >= 10);
+  Alcotest.(check int) "no failures" 0 (List.length (Sweep.failures r))
+
+let test_sweep_reports_poisoned_base () =
+  let sc =
+    Scenario.generate ~seed:1 |> Scenario.override ~alg:Scenario.Nsf ~rows:40
+  in
+  let r = Sweep.sweep ~inject:plant_phantom sc ~points:10 in
+  Alcotest.(check bool) "base failure reported" true (r.Sweep.base_errors <> []);
+  Alcotest.(check int) "no points wasted" 0 (List.length r.Sweep.points)
+
+(* --- bounded mini-fuzz: generated fault plans, every oracle, in-tree --- *)
+
+let test_generated_scenarios_clean () =
+  for seed = 1 to 6 do
+    let sc = Scenario.generate ~seed in
+    let o = Runner.run sc in
+    if Runner.failed o then
+      Alcotest.failf "seed %d (%s) failed at %s: %s" seed
+        (Scenario.alg_to_string sc.Scenario.alg)
+        (Option.value o.Runner.failed_at ~default:"?")
+        (String.concat "; " o.Runner.errors)
+  done
+
+let test_oracle_battery_clean_engine () =
+  let ctx = setup () in
+  let _ = Driver.populate ctx ~table:1 ~rows:80 ~seed:3 in
+  build_to_ready ctx;
+  Alcotest.(check (list string)) "battery clean" [] (Oracle.battery ctx)
+
+let () =
+  Alcotest.run "dst"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "identical traces, same seed" `Quick
+            test_identical_traces;
+          Alcotest.test_case "traces diverge across seeds" `Quick
+            test_seeds_diverge;
+        ] );
+      ( "truncate-log",
+        [
+          Alcotest.test_case "truncate then crash" `Quick test_truncate_then_crash;
+          Alcotest.test_case "truncate forfeits stale media restore" `Quick
+            test_truncate_forfeits_media_restore;
+        ] );
+      ( "unique-violation",
+        [
+          Alcotest.test_case "rollback during concurrent NSF build" `Quick
+            test_unique_violation_rollback_during_build;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "catches planted violation" `Quick
+            test_harness_catches_planted_violation;
+          Alcotest.test_case "shrinks and reproduces" `Quick
+            test_shrinker_minimizes_and_repro_round_trips;
+          Alcotest.test_case "fault-plan parser" `Quick test_fault_plan_parser;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "crash-point spacing" `Quick
+            test_sweep_crash_point_spacing;
+          Alcotest.test_case "small scenario clean" `Quick
+            test_sweep_small_scenario_clean;
+          Alcotest.test_case "poisoned base reported" `Quick
+            test_sweep_reports_poisoned_base;
+        ] );
+      ( "mini-fuzz",
+        [
+          Alcotest.test_case "generated scenarios clean" `Quick
+            test_generated_scenarios_clean;
+          Alcotest.test_case "oracle battery on clean engine" `Quick
+            test_oracle_battery_clean_engine;
+        ] );
+    ]

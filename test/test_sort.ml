@@ -236,6 +236,73 @@ let prop_merge_restart_any_crash_point =
       let out = merge_with_crash ~crash_after:crash_at ~ckpt_every:73 seed in
       Run_store.length out = 2000 && Run_store.is_sorted out)
 
+(* --- qcheck: loser tree on arbitrary inputs --- *)
+
+let prop_loser_tree_sorted_permutation =
+  (* arbitrary stream contents (sorted per stream — the merge
+     precondition); the merged output must be ordered by key value and a
+     permutation of the union, entry for entry (rids are unique tags) *)
+  QCheck.Test.make ~name:"loser tree: sorted permutation of arbitrary input"
+    ~count:200
+    QCheck.(
+      list_of_size Gen.(1 -- 6) (list_of_size Gen.(0 -- 40) (int_bound 30)))
+    (fun raw ->
+      let id = ref 0 in
+      let streams_keys =
+        List.map
+          (fun vals ->
+            List.map
+              (fun v ->
+                incr id;
+                Ikey.make (Printf.sprintf "k%02d" v) (Rid.make ~page:!id ~slot:0))
+              vals
+            |> List.sort Ikey.compare)
+          raw
+      in
+      let streams =
+        Array.of_list
+          (List.map
+             (fun l ->
+               let r = ref l in
+               fun () ->
+                 match !r with
+                 | [] -> None
+                 | x :: tl ->
+                   r := tl;
+                   Some x)
+             streams_keys)
+      in
+      let out = List.map fst (Loser_tree.drain (Loser_tree.make ~streams)) in
+      let rec nondecreasing = function
+        | a :: (b :: _ as tl) -> Ikey.compare_kv a b <= 0 && nondecreasing tl
+        | _ -> true
+      in
+      nondecreasing out
+      && List.sort Ikey.compare out
+         = List.sort Ikey.compare (List.concat streams_keys))
+
+(* --- qcheck: resumed merge is byte-identical to an uninterrupted one --- *)
+
+let merge_uninterrupted ~ckpt_every seed =
+  let kv = Durable_kv.create () in
+  let store = Run_store.create () in
+  let sorter = Sort_phase.start kv store ~ckpt_id:"t/s" ~memory_keys:50 in
+  feed_all sorter (shuffled_keys seed 2000) ~page_size:20;
+  let runs = Sort_phase.finish sorter in
+  Merge_phase.merge kv store ~ckpt_id:"t/m" ~inputs:runs ~output:"t/out"
+    ~ckpt_every
+
+let prop_merge_resume_byte_identical =
+  (* crash at an arbitrary output position, resume from the checkpoint:
+     every key AND every rid must match the uninterrupted merge exactly *)
+  QCheck.Test.make
+    ~name:"merge resumed from any checkpoint = uninterrupted output"
+    ~count:15
+    QCheck.(pair small_nat (int_bound 1999))
+    (fun (seed, crash_at) ->
+      Run_store.to_list (merge_with_crash ~crash_after:crash_at ~ckpt_every:73 seed)
+      = Run_store.to_list (merge_uninterrupted ~ckpt_every:73 seed))
+
 let () =
   Alcotest.run "sort"
     [
@@ -262,6 +329,12 @@ let () =
           Alcotest.test_case "merge completes" `Quick test_merge_restart;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sort_restart_any_crash_point; prop_merge_restart_any_crash_point ]
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sort_restart_any_crash_point;
+            prop_merge_restart_any_crash_point;
+            prop_loser_tree_sorted_permutation;
+            prop_merge_resume_byte_identical;
+          ]
       );
     ]
