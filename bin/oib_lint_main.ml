@@ -1,0 +1,73 @@
+(* oib-lint: concurrency-protocol linter for the online-index-build tree.
+
+   Parses every .ml under --root with compiler-libs (parsetree only) and
+   enforces the latch/WAL/logging discipline rules L1..L6 described in
+   DESIGN.md §12. Exit status: 0 clean, 1 unsuppressed diagnostics. *)
+
+open Cmdliner
+
+module L = Oib_lint.Lint
+
+let print_stats (st : L.stats) =
+  let line fmt = Printf.printf fmt in
+  line "files scanned       %d\n" st.L.st_files;
+  line "functions analysed  %d\n" st.L.st_units;
+  let table title rows =
+    line "%s\n" title;
+    if rows = [] then line "  (none)\n"
+    else
+      List.iter (fun (r, n) -> line "  %-6s %d\n" r n) rows
+  in
+  table "diagnostics by rule:" st.L.st_by_rule;
+  table "suppressed by rule:" st.L.st_suppressed_by_rule;
+  if st.L.st_suppressions <> [] then begin
+    line "suppressions:\n";
+    List.iter
+      (fun (f, r, why) -> line "  %-4s %s: %s\n" r f why)
+      st.L.st_suppressions
+  end
+
+let run root stats json show_suppressed =
+  if not (Sys.file_exists root && Sys.is_directory root) then begin
+    prerr_endline ("oib-lint: no such directory: " ^ root);
+    2
+  end
+  else begin
+    let options = { L.default_options with L.root } in
+    let res = L.run_tree ~options root in
+    let errs = L.errors res in
+    let shown = if show_suppressed then res.L.r_diags else errs in
+    List.iter (fun d -> print_endline (Oib_lint.Diag.to_string d)) shown;
+    (match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (L.stats_to_json res.L.r_stats);
+      output_string oc "\n";
+      close_out oc
+    | None -> ());
+    if stats then print_stats res.L.r_stats;
+    if errs = [] then 0 else 1
+  end
+
+let root =
+  let doc = "Directory tree to lint." in
+  Arg.(value & opt string "lib" & info [ "root" ] ~docv:"DIR" ~doc)
+
+let stats =
+  let doc = "Print rule hit counts and the suppression table." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let json =
+  let doc = "Write statistics as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let show_suppressed =
+  let doc = "Also print diagnostics silenced by [@lint.allow]." in
+  Arg.(value & flag & info [ "show-suppressed" ] ~doc)
+
+let cmd =
+  let doc = "latch/WAL/logging protocol linter for the oib tree" in
+  let info = Cmd.info "oib-lint" ~doc in
+  Cmd.v info Term.(const run $ root $ stats $ json $ show_suppressed)
+
+let () = exit (Cmd.eval' cmd)

@@ -177,6 +177,9 @@ let descend_write t key =
   ignore l;
   observe_traversal t !depth;
   (p, held)
+[@@lint.allow
+  "L1: hand-over-hand X descent transfers the latched leaf and retained \
+   ancestors to the caller, which releases them via release_write"]
 
 (* Read descent: S-latch crabbing; returns the S-latched leaf page. *)
 let descend_read t key =
@@ -199,6 +202,9 @@ let descend_read t key =
   let leaf = go root in
   observe_traversal t !depth;
   leaf
+[@@lint.allow
+  "L1: hand-over-hand S descent returns the latched leaf; the caller \
+   releases it after reading"]
 
 (* Leftmost leaf, S-latched. *)
 let leftmost_leaf t =
@@ -214,6 +220,9 @@ let leftmost_leaf t =
   let root = page t t.root in
   Latch.acquire root.Page.latch S;
   go root
+[@@lint.allow
+  "L1: returns the S-latched leftmost leaf as the scan entry point; leaf \
+   iterators release it while crabbing along the chain"]
 
 (* --- splits --- *)
 
@@ -318,6 +327,9 @@ let split_leaf t (p : Page.t) (l : leaf) held key ~ib_split =
   in
   ignore m;
   result
+[@@lint.allow
+  "L1: swaps the caller's leaf latch for the X-latched split target; the \
+   caller's release_write balances whichever page is returned"]
 
 (* Release all latches after a write operation. *)
 let release_write (p : Page.t) held =
@@ -388,6 +400,9 @@ let try_fast_path t cursor key =
         None
       end
     | _ -> None)
+[@@lint.allow
+  "L1: on a cursor hit the X-latched leaf is returned to the caller, \
+   which mutates and then releases it; misses release locally"]
 
 (* state transition on an X-latched leaf where the key is known to fit *)
 let set_on_leaf t p l key (target : state) : state =
@@ -538,6 +553,9 @@ let find_kv t kv =
   in
   walk p;
   List.rev !acc
+[@@lint.allow
+  "L1: leaf-chain crabbing: each walk step latches the successor before \
+   releasing the current leaf; the tail release ends the scan"]
 
 let iter_range t ?lo ?hi f =
   let start_key =
@@ -573,6 +591,9 @@ let iter_range t ?lo ?hi f =
     else Latch.release p.Page.latch S
   in
   walk p true
+[@@lint.allow
+  "L1: leaf-chain crabbing: each walk step latches the successor before \
+   releasing the current leaf; the tail release ends the scan"]
 
 let range t ?lo ?hi () =
   let acc = ref [] in
@@ -593,6 +614,9 @@ let iter_leaves t f =
     else Latch.release p.Page.latch S
   in
   walk p
+[@@lint.allow
+  "L1: leaf-chain crabbing: each walk step latches the successor before \
+   releasing the current leaf; the tail release ends the scan"]
 
 let iter_entries t f =
   iter_leaves t (fun _ l ->
@@ -636,6 +660,9 @@ let gc_pseudo_deleted t ~keep =
   Latch.acquire root.Page.latch X;
   walk (leftmost root);
   !removed
+[@@lint.allow
+  "L1: X-latch crabbing down the leftmost path and along the leaf chain; \
+   each step releases the predecessor after latching the successor"]
 
 (* --- bottom-up bulk build (SF) --- *)
 

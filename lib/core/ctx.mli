@@ -1,0 +1,19 @@
+(** The assembled system: every subsystem one engine instance owns. Shared
+    by the record-operation layer, the index builders, and the engine
+    façade. The record is deliberately transparent — construction happens
+    in {!Engine} and each layer picks the subsystems it needs. *)
+
+type t = {
+  sched : Oib_sim.Sched.t;
+  metrics : Oib_sim.Metrics.t;
+  trace : Oib_obs.Trace.t;
+  log : Oib_wal.Log_manager.t;
+  store : Oib_storage.Stable_store.t;
+  kv : Oib_storage.Durable_kv.t;
+  pool : Oib_storage.Buffer_pool.t;
+  locks : Oib_lock.Lock_manager.t;
+  txns : Oib_txn.Txn_manager.t;
+  catalog : Catalog.t;
+  runs : Oib_sort.Run_store.t;
+  builds : (int, Build_status.t) Hashtbl.t;  (** index_id -> live progress *)
+}

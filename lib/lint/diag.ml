@@ -1,0 +1,45 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  hint : string;
+  suppressed : string option;
+}
+
+let make ?(suppressed = None) ~file ~line ~col ~rule ~hint msg =
+  { file; line; col; rule; msg; hint; suppressed }
+
+let of_location ?(suppressed = None) ~rule ~hint (loc : Location.t) msg =
+  let p = loc.loc_start in
+  {
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    msg;
+    hint;
+    suppressed;
+  }
+
+let to_string t =
+  let supp =
+    match t.suppressed with
+    | None -> ""
+    | Some why -> " [suppressed: " ^ why ^ "]"
+  in
+  t.file ^ ":" ^ string_of_int t.line ^ ":" ^ string_of_int t.col ^ ": ["
+  ^ t.rule ^ "] " ^ t.msg
+  ^ (if t.hint = "" then "" else " (hint: " ^ t.hint ^ ")")
+  ^ supp
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule

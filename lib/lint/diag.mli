@@ -1,0 +1,43 @@
+(** Linter diagnostics.
+
+    A diagnostic names the protocol rule it enforces (L1..L6), the exact
+    source position, a one-line message, and a one-line fix hint. A
+    diagnostic can be suppressed by a [[@lint.allow "Ln: reason"]]
+    attribute in scope at the offending site; the suppression keeps the
+    diagnostic but records the written justification. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** "L1".."L6" *)
+  msg : string;
+  hint : string;  (** one-line fix hint *)
+  suppressed : string option;
+      (** [Some justification] when an in-scope allow matched *)
+}
+
+val make :
+  ?suppressed:string option ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  hint:string ->
+  string ->
+  t
+
+val of_location :
+  ?suppressed:string option ->
+  rule:string ->
+  hint:string ->
+  Location.t ->
+  string ->
+  t
+
+val to_string : t -> string
+(** [file:line:col: [rule] msg (hint: ...)] — one line, no trailing
+    newline. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule — for stable reports. *)

@@ -1,0 +1,150 @@
+type options = {
+  root : string;
+  config : Summary.config;
+  require_mli : bool;
+  mli_exempt : string list;
+}
+
+let default_options =
+  {
+    root = "lib";
+    config = Summary.default_config;
+    require_mli = true;
+    mli_exempt = [];
+  }
+
+type stats = {
+  st_files : int;
+  st_units : int;
+  st_by_rule : (string * int) list;
+  st_suppressed_by_rule : (string * int) list;
+  st_suppressions : (string * string * string) list;
+}
+
+type result = {
+  r_diags : Diag.t list;
+  r_rules : Rules.t;
+  r_stats : stats;
+}
+
+let scan_files root =
+  let out = ref [] in
+  let rec go dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun e ->
+          if String.length e > 0 && e.[0] <> '.' && e <> "_build" then
+            let p = Filename.concat dir e in
+            if Sys.is_directory p then go p
+            else if Filename.check_suffix e ".ml" then out := p :: !out)
+        entries
+  in
+  go root;
+  List.sort compare !out
+
+let l6_diags opts files =
+  if not opts.require_mli then []
+  else
+    List.filter_map
+      (fun f ->
+        let m = Summary.module_name_of_file f in
+        let mli = Filename.chop_suffix f ".ml" ^ ".mli" in
+        if List.mem m opts.mli_exempt || Sys.file_exists mli then None
+        else
+          Some
+            (Diag.make ~file:f ~line:1 ~col:0 ~rule:"L6"
+               ~hint:
+                 ("add " ^ Filename.basename mli
+                ^ " so the module's public surface is explicit")
+               ("module " ^ m ^ " has no interface (.mli)")))
+      files
+
+let count_by_rule diags =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Diag.t) ->
+      Hashtbl.replace tbl d.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.rule)))
+    diags;
+  List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) tbl [])
+
+let run_files ?(options = default_options) files =
+  let summaries =
+    List.map (Summary.summarize_file ~config:options.config) files
+  in
+  let rules = Rules.run summaries in
+  let diags =
+    List.sort Diag.compare (rules.Rules.diags @ l6_diags options files)
+  in
+  let unsuppressed, suppressed =
+    List.partition (fun (d : Diag.t) -> d.suppressed = None) diags
+  in
+  let stats =
+    {
+      st_files = List.length files;
+      st_units =
+        List.fold_left
+          (fun n fs -> n + List.length fs.Summary.fs_units)
+          0 summaries;
+      st_by_rule = count_by_rule unsuppressed;
+      st_suppressed_by_rule = count_by_rule suppressed;
+      st_suppressions =
+        List.map
+          (fun (d : Diag.t) ->
+            (d.file, d.rule, Option.value ~default:"" d.suppressed))
+          suppressed;
+    }
+  in
+  { r_diags = diags; r_rules = rules; r_stats = stats }
+
+let run_tree ?(options = default_options) root =
+  run_files ~options (scan_files root)
+
+let errors r =
+  List.filter (fun (d : Diag.t) -> d.suppressed = None) r.r_diags
+
+(* --- tiny hand-rolled JSON (no external dependency) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let stats_to_json st =
+  let b = Buffer.create 512 in
+  let counts l =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (r, n) -> "\"" ^ json_escape r ^ "\":" ^ string_of_int n)
+           l)
+    ^ "}"
+  in
+  Buffer.add_string b "{";
+  Buffer.add_string b ("\"files\":" ^ string_of_int st.st_files);
+  Buffer.add_string b (",\"units\":" ^ string_of_int st.st_units);
+  Buffer.add_string b (",\"diagnostics\":" ^ counts st.st_by_rule);
+  Buffer.add_string b (",\"suppressed\":" ^ counts st.st_suppressed_by_rule);
+  Buffer.add_string b ",\"suppressions\":[";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun (f, r, why) ->
+            "{\"file\":\"" ^ json_escape f ^ "\",\"rule\":\"" ^ json_escape r
+            ^ "\",\"reason\":\"" ^ json_escape why ^ "\"}")
+          st.st_suppressions));
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,47 @@
+(** Tree-level linter driver.
+
+    Scans a directory for [.ml] files, summarizes each ({!Summary}), runs
+    the cross-function rules ({!Rules}), applies the interface-coverage
+    rule L6, and aggregates statistics. This is the engine behind the
+    [oib-lint] executable and the [@lint] dune alias. *)
+
+type options = {
+  root : string;  (** directory scanned by {!run_tree} *)
+  config : Summary.config;
+  require_mli : bool;  (** enable rule L6 (module without a [.mli]) *)
+  mli_exempt : string list;
+      (** module names L6 skips (generated or deliberately sealed-open) *)
+}
+
+val default_options : options
+(** Scans ["lib"], default {!Summary.config}, L6 on, no exemptions. *)
+
+type stats = {
+  st_files : int;
+  st_units : int;
+  st_by_rule : (string * int) list;  (** unsuppressed diagnostics per rule *)
+  st_suppressed_by_rule : (string * int) list;
+  st_suppressions : (string * string * string) list;
+      (** (file, rule, justification) for every applied suppression *)
+}
+
+type result = {
+  r_diags : Diag.t list;  (** all diagnostics, sorted, suppressed included *)
+  r_rules : Rules.t;
+  r_stats : stats;
+}
+
+val scan_files : string -> string list
+(** Recursively collect [.ml] files under a root, skipping [_build] and
+    hidden directories. Sorted for determinism. *)
+
+val run_files : ?options:options -> string list -> result
+
+val run_tree : ?options:options -> string -> result
+(** [run_files] over [scan_files root]. *)
+
+val errors : result -> Diag.t list
+(** The unsuppressed diagnostics — non-empty means the lint fails. *)
+
+val stats_to_json : stats -> string
+(** Render statistics as a small JSON object (for [LINT_stats.json]). *)

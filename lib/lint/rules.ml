@@ -1,0 +1,361 @@
+open Summary
+
+let base_blocking =
+  [
+    "Sched.yield";
+    "Sched.suspend";
+    "Condvar.wait";
+    "Sched.Condvar.wait";
+    "Lock_manager.lock";
+    "Lock_manager.instant_lock";
+    "Log_manager.flush";
+    "Log_manager.flush_all";
+  ]
+
+let console_calls =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "prerr_string"; "prerr_endline";
+    "prerr_newline"; "Stdlib.print_string"; "Stdlib.print_endline";
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Format.print_string"; "Format.print_newline";
+  ]
+
+(* printing calls whose first argument selects the channel *)
+let channel_calls =
+  [ "Printf.fprintf"; "Format.fprintf"; "output_string"; "output_char" ]
+
+let console_channels =
+  [ "stdout"; "stderr"; "Stdlib.stdout"; "Stdlib.stderr" ]
+
+let console_allowed_modules =
+  [ "Table_printer"; "Report"; "Trace"; "Flight_recorder" ]
+
+let printf_banned_modules =
+  [ "Lock_manager"; "Log_manager"; "Log_codec"; "Log_record"; "Lsn" ]
+
+type t = {
+  diags : Diag.t list;
+  blocking_units : (string * string) list;
+  acquiring_units : (string * string) list;
+  order_edges : (string * string) list;
+}
+
+(* --- unit index: (module, last name component) -> units --- *)
+
+let last_component name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let build_index summaries =
+  let idx : (string * string, u list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun u ->
+          let k = (fs.fs_module, last_component u.u_name) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt idx k) in
+          Hashtbl.replace idx k (u :: prev))
+        fs.fs_units)
+    summaries;
+  idx
+
+(* Resolve a canonical callee to (module, function-name) candidates within
+   the scanned tree. Unqualified names belong to the caller's module. *)
+let resolve_callee ~caller_module callee =
+  match String.index_opt callee '.' with
+  | None -> (caller_module, callee)
+  | Some i ->
+    let m = String.sub callee 0 i in
+    (m, last_component callee)
+
+(* The latch and scheduler modules ARE the blocking/acquiring primitives;
+   their internals are modelled by the named base sets, not by walking
+   into their bodies (otherwise every hand-over-hand child acquire would
+   count as "blocking" and L2 would collapse into L1/L5). *)
+let opaque_modules = [ "Latch"; "Sched"; "Condvar" ]
+
+let lookup idx ~caller_module callee =
+  let m, n = resolve_callee ~caller_module callee in
+  if List.mem m opaque_modules then []
+  else Option.value ~default:[] (Hashtbl.find_opt idx (m, n))
+
+(* --- property fixpoint over the call graph --- *)
+
+(* [marked] maps (module, full unit name) to a human-readable witness of
+   why the property holds (the base call, or the chain through which it
+   was reached). *)
+let fixpoint summaries idx ~seed =
+  let marked : (string * string, string) Hashtbl.t = Hashtbl.create 64 in
+  let find_mark u = Hashtbl.find_opt marked (u.u_module, u.u_name) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fs ->
+        List.iter
+          (fun u ->
+            if find_mark u = None then
+              let witness =
+                List.find_map
+                  (fun c ->
+                    match seed c with
+                    | Some w -> Some w
+                    | None ->
+                      List.find_map
+                        (fun callee ->
+                          match find_mark callee with
+                          | Some w -> Some (c.c_callee ^ " -> " ^ w)
+                          | None -> None)
+                        (lookup idx ~caller_module:u.u_module c.c_callee))
+                  u.u_calls
+              in
+              match witness with
+              | Some w ->
+                Hashtbl.replace marked (u.u_module, u.u_name) w;
+                changed := true
+              | None -> ())
+          fs.fs_units)
+      summaries
+  done;
+  marked
+
+(* --- suppression --- *)
+
+let diag_of ~rule ~hint ~allows loc msg =
+  let suppressed = List.assoc_opt rule allows in
+  Diag.of_location ~suppressed ~rule ~hint loc msg
+
+let held_text held =
+  String.concat ", " (List.map (fun (k, m) -> k ^ "(" ^ m ^ ")") held)
+
+(* --- L2 --- *)
+
+let l2_diags summaries idx blocking =
+  let out = ref [] in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun c ->
+              if c.c_held <> [] then begin
+                let why =
+                  if List.mem c.c_callee base_blocking then Some c.c_callee
+                  else
+                    List.find_map
+                      (fun callee ->
+                        Option.map
+                          (fun w -> c.c_callee ^ " -> " ^ w)
+                          (Hashtbl.find_opt blocking
+                             (callee.u_module, callee.u_name)))
+                      (lookup idx ~caller_module:u.u_module c.c_callee)
+                in
+                match why with
+                | Some w ->
+                  out :=
+                    diag_of ~rule:"L2"
+                      ~hint:
+                        "release the latch before blocking, or justify the \
+                         log-force point with [@lint.allow]"
+                      ~allows:c.c_allows c.c_loc
+                      ("call may block (" ^ w ^ ") while holding "
+                     ^ held_text c.c_held ^ " in " ^ u.u_name)
+                    :: !out
+                | None -> ()
+              end)
+            u.u_calls)
+        fs.fs_units)
+    summaries;
+  !out
+
+(* --- L4 --- *)
+
+let l4_diags summaries =
+  let out = ref [] in
+  List.iter
+    (fun fs ->
+      let m = fs.fs_module in
+      let allowed = List.mem m console_allowed_modules in
+      let banned_printf = List.mem m printf_banned_modules in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun c ->
+              let console =
+                (not allowed)
+                && (List.mem c.c_callee console_calls
+                   ||
+                   List.mem c.c_callee channel_calls
+                   &&
+                   match c.c_arg1 with
+                   | Some a -> List.mem a console_channels
+                   | None -> false)
+              in
+              if console then
+                out :=
+                  diag_of ~rule:"L4"
+                    ~hint:
+                      "route runtime output through Oib_obs (trace/metrics) \
+                       or return the string to the caller"
+                    ~allows:c.c_allows c.c_loc
+                    ("console output via " ^ c.c_callee
+                   ^ " in library module " ^ m)
+                  :: !out
+              else if
+                banned_printf
+                && String.length c.c_callee > 7
+                && String.sub c.c_callee 0 7 = "Printf."
+              then
+                out :=
+                  diag_of ~rule:"L4"
+                    ~hint:
+                      "build the string with plain concatenation; Printf is \
+                       banned in lock/WAL hot paths"
+                    ~allows:c.c_allows c.c_loc
+                    (c.c_callee ^ " used in lock/WAL module " ^ m)
+                  :: !out)
+            u.u_calls)
+        fs.fs_units)
+    summaries;
+  !out
+
+(* --- L5 --- *)
+
+let acquire_calls = [ "Latch.acquire"; "Latch.with_latch" ]
+
+let l5_edges summaries idx acquiring =
+  (* A -> B with a witness call site: a function in A holds a latch across
+     a call that may acquire in B. *)
+  let edges : (string * string, Summary.call * string) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun c ->
+              if c.c_held <> [] then begin
+                let targets =
+                  if List.mem c.c_callee acquire_calls then [ u.u_module ]
+                  else
+                    List.filter_map
+                      (fun callee ->
+                        if
+                          Hashtbl.mem acquiring
+                            (callee.u_module, callee.u_name)
+                        then Some callee.u_module
+                        else None)
+                      (lookup idx ~caller_module:u.u_module c.c_callee)
+                in
+                List.iter
+                  (fun b ->
+                    if b <> u.u_module then
+                      let k = (u.u_module, b) in
+                      if not (Hashtbl.mem edges k) then
+                        Hashtbl.replace edges k (c, u.u_name))
+                  (List.sort_uniq compare targets)
+              end)
+            u.u_calls)
+        fs.fs_units)
+    summaries;
+  edges
+
+let l5_diags edges =
+  (* adjacency + DFS cycle extraction *)
+  let adj : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+      if not (List.mem b prev) then Hashtbl.replace adj a (b :: prev))
+    edges;
+  let color : (string, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 16 in
+  let cycles = ref [] in
+  let seen_cycle = Hashtbl.create 4 in
+  let rec dfs stack n =
+    match Hashtbl.find_opt color n with
+    | Some `Black -> ()
+    | Some `Grey ->
+      (* back edge: extract the cycle from the stack *)
+      let rec cut = function
+        | x :: rest -> if x = n then [ x ] else x :: cut rest
+        | [] -> []
+      in
+      let cyc = List.rev (cut stack) in
+      let canon = List.sort compare cyc in
+      let key = String.concat "," canon in
+      if not (Hashtbl.mem seen_cycle key) then begin
+        Hashtbl.add seen_cycle key ();
+        cycles := cyc :: !cycles
+      end
+    | None ->
+      Hashtbl.replace color n `Grey;
+      List.iter
+        (fun m -> dfs (m :: stack) m)
+        (Option.value ~default:[] (Hashtbl.find_opt adj n));
+      Hashtbl.replace color n `Black
+  in
+  Hashtbl.iter (fun n _ -> dfs [ n ] n) adj;
+  List.map
+    (fun cyc ->
+      let path = String.concat " -> " (cyc @ [ List.hd cyc ]) in
+      (* anchor the diagnostic at the witness site of the first edge *)
+      let a = List.hd cyc in
+      let b = match cyc with _ :: b :: _ -> b | _ -> a in
+      let witness = Hashtbl.find_opt edges (a, b) in
+      match witness with
+      | Some (c, uname) ->
+        diag_of ~rule:"L5"
+          ~hint:
+            "establish a global latch-acquisition order between these \
+             modules, or justify the protocol with [@lint.allow]"
+          ~allows:c.c_allows c.c_loc
+          ("latch-order cycle " ^ path ^ " (edge " ^ a ^ " -> " ^ b
+         ^ " via " ^ uname ^ " calling " ^ c.c_callee ^ ")")
+      | None ->
+        Diag.make ~file:"<latch-order>" ~line:0 ~col:0 ~rule:"L5"
+          ~hint:"establish a global latch-acquisition order"
+          ("latch-order cycle " ^ path))
+    !cycles
+
+(* --- local findings (L1/L3/parse/allow) --- *)
+
+let local_diags summaries =
+  List.concat_map
+    (fun fs ->
+      let of_finding f =
+        diag_of ~rule:f.f_rule ~hint:f.f_hint ~allows:f.f_allows f.f_loc
+          f.f_msg
+      in
+      List.map of_finding fs.fs_findings
+      @ List.concat_map (fun u -> List.map of_finding u.u_local) fs.fs_units)
+    summaries
+
+let run summaries =
+  let idx = build_index summaries in
+  let blocking =
+    fixpoint summaries idx ~seed:(fun c ->
+        if List.mem c.c_callee base_blocking then Some c.c_callee else None)
+  in
+  let acquiring =
+    fixpoint summaries idx ~seed:(fun c ->
+        if List.mem c.c_callee acquire_calls then Some c.c_callee else None)
+  in
+  let edges = l5_edges summaries idx acquiring in
+  let diags =
+    local_diags summaries
+    @ l2_diags summaries idx blocking
+    @ l4_diags summaries
+    @ l5_diags edges
+  in
+  let pairs tbl = List.sort_uniq compare (Hashtbl.fold (fun k _ a -> k :: a) tbl []) in
+  {
+    diags = List.sort Diag.compare (List.sort_uniq compare diags);
+    blocking_units = pairs blocking;
+    acquiring_units = pairs acquiring;
+    order_edges =
+      List.sort_uniq compare
+        (Hashtbl.fold (fun (a, b) _ acc -> (a, b) :: acc) edges []);
+  }

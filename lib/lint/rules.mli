@@ -1,0 +1,45 @@
+(** Cross-function protocol rules over {!Summary} call summaries.
+
+    - L2: no (transitively) blocking call while a latch is held. The base
+      blocking set is the cooperative-scheduler suspension points
+      ([Sched.yield]/[suspend], [Condvar.wait]), lock-manager waits, and
+      WAL flushes; blocking-ness propagates up the static call graph.
+    - L4: runtime output discipline — no console-printing calls in [lib/]
+      outside the explicit reporting modules, and no [Printf] at all in the
+      lock-manager/WAL modules (hot paths format eagerly otherwise).
+    - L5: static latch-order graph. An edge [A -> B] is added when a
+      function in module [A] holds a latch across a call that may acquire
+      a latch in module [B]; a cycle is a potential lock-order inversion
+      and fails the build. Intra-module self-edges are ignored (tree-order
+      hand-over-hand crabbing is governed by page order, not module
+      order).
+
+    Unit-local findings already carried by the summaries (L1, L3, parse
+    and malformed-allow errors) are converted to diagnostics here too, so
+    [run] yields the complete per-tree diagnostic list. Suppressions from
+    in-scope [[@lint.allow]] attributes are applied, never dropped: a
+    suppressed diagnostic keeps its justification text. *)
+
+val base_blocking : string list
+(** Canonical names that suspend the cooperative fiber directly. *)
+
+val console_calls : string list
+(** Canonical names that print to stdout/stderr unconditionally. *)
+
+val console_allowed_modules : string list
+(** Modules allowed to print (report renderers, trace dumpers). *)
+
+val printf_banned_modules : string list
+(** Modules where any [Printf.*] reference is rejected (L4). *)
+
+type t = {
+  diags : Diag.t list;  (** every diagnostic, suppressed ones included *)
+  blocking_units : (string * string) list;
+      (** (module, function) pairs that may block, after the fixpoint *)
+  acquiring_units : (string * string) list;
+      (** (module, function) pairs that may acquire a latch *)
+  order_edges : (string * string) list;
+      (** distinct latch-order edges [A -> B] discovered for L5 *)
+}
+
+val run : Summary.file_summary list -> t

@@ -1,0 +1,669 @@
+open Parsetree
+
+type config = {
+  l3_modules : string list;
+  l3_mutators : string list;
+  l3_appends : string list;
+}
+
+let default_config =
+  {
+    l3_modules = [ "Table_ops"; "Heap_file"; "Btree" ];
+    l3_mutators = [ "Heap_page.put"; "Heap_page.remove" ];
+    l3_appends = [ "Log_manager.append"; "Txn_manager.log_op" ];
+  }
+
+type call = {
+  c_callee : string;
+  c_loc : Location.t;
+  c_held : (string * string) list;
+  c_arg1 : string option;
+  c_allows : (string * string) list;
+}
+
+type finding = {
+  f_rule : string;
+  f_loc : Location.t;
+  f_msg : string;
+  f_hint : string;
+  f_allows : (string * string) list;
+}
+
+type u = {
+  u_module : string;
+  u_file : string;
+  u_name : string;
+  u_loc : Location.t;
+  u_allows : (string * string) list;
+  u_calls : call list;
+  u_acquires_latch : bool;
+  u_local : finding list;
+}
+
+type file_summary = {
+  fs_file : string;
+  fs_module : string;
+  fs_units : u list;
+  fs_findings : finding list;
+}
+
+let module_name_of_file f =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename f))
+
+(* --- [@lint.allow "Ln: reason"] attributes --- *)
+
+let allow_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then None
+  else
+    let malformed why = Some (Error (attr.attr_loc, why)) in
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] -> (
+      match String.index_opt s ':' with
+      | Some i ->
+        let rule = String.trim (String.sub s 0 i) in
+        let reason =
+          String.trim (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        let rule_ok =
+          String.length rule = 2
+          && rule.[0] = 'L'
+          && rule.[1] >= '1'
+          && rule.[1] <= '6'
+        in
+        if not rule_ok then
+          malformed ("[@lint.allow]: unknown rule " ^ Filename.quote rule)
+        else if String.length reason < 8 then
+          malformed "[@lint.allow]: justification too short (>= 8 chars)"
+        else Some (Ok (rule, reason))
+      | None -> malformed "[@lint.allow]: missing \"Ln:\" rule prefix")
+    | _ -> malformed "[@lint.allow]: payload must be a string literal"
+
+(* --- abstract state: latches held + unlogged mutations pending --- *)
+
+type state = {
+  held : (string * string * Location.t) list;  (* latch key, mode, site *)
+  pend : (string * Location.t) list;  (* L3: mutations awaiting an append *)
+}
+
+let empty_state = { held = []; pend = [] }
+
+let max_states = 48
+
+let dedup_states sts =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | s :: rest ->
+      if List.mem s seen then go seen rest else go (s :: seen) rest
+  in
+  let d = go [] sts in
+  if List.length d > max_states then (
+    let rec take n = function
+      | x :: r when n > 0 -> x :: take (n - 1) r
+      | _ -> []
+    in
+    take max_states d)
+  else d
+
+let union a b = dedup_states (a @ b)
+
+(* --- per-unit accumulator and environment --- *)
+
+type acc = {
+  mutable calls : call list;
+  mutable local : finding list;
+  mutable acq : bool;
+  l3_seen : (string, unit) Hashtbl.t;  (* dedup L3 sites across states *)
+}
+
+type env = {
+  cfg : config;
+  aliases : (string, string list) Hashtbl.t;
+  modname : string;
+  in_l3 : bool;
+  allows : (string * string) list;
+  acc : acc;
+  units : u list ref;
+  file : string;
+  file_findings : finding list ref;
+}
+
+let emit env ~rule ~hint loc msg =
+  env.acc.local <-
+    { f_rule = rule; f_loc = loc; f_msg = msg; f_hint = hint;
+      f_allows = env.allows }
+    :: env.acc.local
+
+(* --- name resolution (aliases + Oib_* wrapper stripping) --- *)
+
+let rec strip_oib = function
+  | p :: (_ :: _ as rest)
+    when String.length p >= 4 && String.sub p 0 4 = "Oib_" ->
+    strip_oib rest
+  | l -> l
+
+let resolve env lid =
+  let parts = strip_oib (Longident.flatten lid) in
+  let parts =
+    match parts with
+    | hd :: tl -> (
+      match Hashtbl.find_opt env.aliases hd with
+      | Some repl -> repl @ tl
+      | None -> parts)
+    | [] -> parts
+  in
+  String.concat "." parts
+
+let rec expr_key e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (Longident.flatten txt)
+  | Pexp_field (b, { txt; _ }) ->
+    expr_key b ^ "." ^ String.concat "." (Longident.flatten txt)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) | Pexp_newtype (_, e) ->
+    expr_key e
+  | Pexp_apply (f, _) -> "(" ^ expr_key f ^ " _)"
+  | _ -> "<expr>"
+
+let mode_key e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident (("S" | "X") as m); _ }, None) ->
+    m
+  | _ -> "?"
+
+let loc_key (loc : Location.t) =
+  loc.loc_start.pos_fname ^ ":"
+  ^ string_of_int loc.loc_start.pos_lnum
+  ^ ":"
+  ^ string_of_int (loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+(* --- classification sets resolved at walk time --- *)
+
+let raise_names =
+  [ "raise"; "raise_notrace"; "failwith"; "invalid_arg";
+    "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg" ]
+
+let held_snapshot sts =
+  let pairs =
+    List.concat_map (fun s -> List.map (fun (k, m, _) -> (k, m)) s.held) sts
+  in
+  List.sort_uniq compare pairs
+
+let record_call env sts name loc arg1 =
+  env.acc.calls <-
+    {
+      c_callee = name;
+      c_loc = loc;
+      c_held = held_snapshot sts;
+      c_arg1 = arg1;
+      c_allows = env.allows;
+    }
+    :: env.acc.calls
+
+(* flush L3 pending mutations at the end of a latched section *)
+let l3_flush env sts =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (mname, mloc) ->
+          let k = loc_key mloc in
+          if not (Hashtbl.mem env.acc.l3_seen k) then begin
+            Hashtbl.add env.acc.l3_seen k ();
+            emit env ~rule:"L3"
+              ~hint:
+                "log the mutation (Txn_manager.log_op / Log_manager.append) \
+                 before releasing the protecting latch"
+              mloc
+              ("page mutation " ^ mname
+             ^ " reaches a latch release with no log append in the same \
+                latched section")
+          end)
+        s.pend)
+    sts;
+  List.map (fun s -> { s with pend = [] }) sts
+
+(* --- the walker --- *)
+
+let positional args =
+  List.filter_map
+    (fun (l, e) -> match l with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+let rec strip_fun e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> strip_fun e
+  | _ -> e
+
+let is_function_expr e =
+  match (strip_fun e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let binding_name vb =
+  let rec pat p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> txt
+    | Ppat_constraint (p, _) -> pat p
+    | _ -> "_"
+  in
+  pat vb.pvb_pat
+
+let rec collect_allows env (attrs : attributes) =
+  match attrs with
+  | [] -> []
+  | a :: rest -> (
+    match allow_of_attribute a with
+    | None -> collect_allows env rest
+    | Some (Ok pair) -> pair :: collect_allows env rest
+    | Some (Error (loc, why)) ->
+      env.file_findings :=
+        { f_rule = "allow"; f_loc = loc; f_msg = why;
+          f_hint = "use [@lint.allow \"Ln: justification\"]"; f_allows = [] }
+        :: !(env.file_findings);
+      collect_allows env rest)
+
+and walk env sts e =
+  let env =
+    match collect_allows env e.pexp_attributes with
+    | [] -> env
+    | extra -> { env with allows = extra @ env.allows }
+  in
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> apply env sts f args
+  | Pexp_let (_, vbs, body) ->
+    let sts = List.fold_left (fun sts vb -> binding env sts vb) sts vbs in
+    walk env sts body
+  | Pexp_sequence (a, b) -> walk env (walk env sts a) b
+  | Pexp_ifthenelse (c, t, eo) ->
+    let sc = walk env sts c in
+    let st = walk env sc t in
+    let se = match eo with Some el -> walk env sc el | None -> sc in
+    union st se
+  | Pexp_match (scrut, cases) ->
+    let s0 = walk env sts scrut in
+    cases_union env s0 cases
+  | Pexp_try (body, handlers) ->
+    (* handlers approximated as running from the entry state *)
+    let sb = walk env sts body in
+    let sh = cases_union env sts handlers in
+    union sb sh
+  | Pexp_fun (_, _, _, body) ->
+    (* closure creation: runs zero or more times *)
+    union sts (walk env sts body)
+  | Pexp_function cases -> union sts (cases_union env sts cases)
+  | Pexp_while (c, b) ->
+    let sc = walk env sts c in
+    union sc (walk env sc b)
+  | Pexp_for (_, a, b, _, body) ->
+    let s1 = walk env (walk env sts a) b in
+    union s1 (walk env s1 body)
+  | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> walk env sts a
+  | Pexp_construct (_, None) | Pexp_variant (_, None) -> sts
+  | Pexp_tuple es | Pexp_array es -> List.fold_left (walk env) sts es
+  | Pexp_record (fields, base) ->
+    let sts = match base with Some b -> walk env sts b | None -> sts in
+    List.fold_left (fun sts (_, fe) -> walk env sts fe) sts fields
+  | Pexp_field (b, _) -> walk env sts b
+  | Pexp_setfield (a, _, b) -> walk env (walk env sts a) b
+  | Pexp_constraint (a, _)
+  | Pexp_coerce (a, _, _)
+  | Pexp_newtype (_, a)
+  | Pexp_open (_, a)
+  | Pexp_lazy a
+  | Pexp_poly (a, _) -> walk env sts a
+  | Pexp_letmodule (name, mexpr, body) ->
+    (match (name.txt, mexpr.pmod_desc) with
+    | Some n, Pmod_ident { txt; _ } ->
+      Hashtbl.replace env.aliases n
+        (String.split_on_char '.'
+           (String.concat "." (strip_oib (Longident.flatten txt))))
+    | _ -> ());
+    walk env sts body
+  | Pexp_letexception (_, body) -> walk env sts body
+  | Pexp_assert a -> (
+    match a.pexp_desc with
+    | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> []
+    | _ -> walk env sts a)
+  | _ -> sts
+
+and cases_union env s0 cases =
+  match cases with
+  | [] -> s0
+  | _ ->
+    List.fold_left
+      (fun acc c ->
+        let sg =
+          match c.pc_guard with Some g -> walk env s0 g | None -> s0
+        in
+        union acc (walk env sg c.pc_rhs))
+      [] cases
+
+and binding env sts vb =
+  if is_function_expr vb.pvb_expr then begin
+    let allows = collect_allows env vb.pvb_attributes @ env.allows in
+    sub_unit env ~name:(binding_name vb) ~loc:vb.pvb_loc ~allows vb.pvb_expr;
+    sts
+  end
+  else
+    let env =
+      match collect_allows env vb.pvb_attributes with
+      | [] -> env
+      | extra -> { env with allows = extra @ env.allows }
+    in
+    walk env sts vb.pvb_expr
+
+and apply env sts f args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    let name = resolve env txt in
+    match (name, args) with
+    | "|>", [ (_, a); (_, fn) ] -> pipe env sts a fn
+    | "@@", [ (_, fn); (_, a) ] -> pipe env sts a fn
+    | _ -> named_call env sts name f.pexp_loc args)
+  | _ ->
+    let sts = walk env sts f in
+    walk_args env sts args
+
+and pipe env sts a fn =
+  let sts = walk env sts a in
+  match (strip_fun fn).pexp_desc with
+  | Pexp_fun (_, _, _, body) -> walk env sts body
+  | Pexp_function cases -> cases_union env sts cases
+  | Pexp_ident { txt; _ } ->
+    named_call env sts (resolve env txt) fn.pexp_loc []
+  | _ -> walk env sts fn
+
+and walk_args env sts args =
+  List.fold_left
+    (fun sts (_, a) ->
+      match (strip_fun a).pexp_desc with
+      | Pexp_fun _ | Pexp_function _ ->
+        (* callback: zero-or-once inline, under the current latch state *)
+        walk env sts a
+      | _ -> walk env sts a)
+    sts args
+
+and named_call env sts name loc args =
+  let pos = positional args in
+  let arg1 = match pos with a :: _ -> Some (expr_key a) | [] -> None in
+  match name with
+  | "Latch.acquire" -> (
+    match pos with
+    | latch_e :: mode_e :: _ ->
+      let sts = walk_args env sts args in
+      let key = expr_key latch_e and mode = mode_key mode_e in
+      record_call env sts name loc arg1;
+      env.acc.acq <- true;
+      List.map (fun s -> { s with held = (key, mode, loc) :: s.held }) sts
+    | _ ->
+      record_call env sts name loc arg1;
+      sts)
+  | "Latch.release" -> (
+    match pos with
+    | latch_e :: mode_e :: _ ->
+      let sts = walk_args env sts args in
+      let key = expr_key latch_e and mode = mode_key mode_e in
+      record_call env sts name loc arg1;
+      let sts = l3_flush env sts in
+      List.map
+        (fun s ->
+          let rec drop = function
+            | [] -> []
+            | (k, m, al) :: rest when k = key ->
+              if mode <> "?" && m <> "?" && m <> mode then
+                emit env ~rule:"L1"
+                  ~hint:"release with the same mode that was acquired" loc
+                  ("latch " ^ key ^ " released in mode " ^ mode
+                 ^ " but acquired in mode " ^ m ^ " at line "
+                 ^ string_of_int al.Location.loc_start.pos_lnum);
+              rest
+            | x :: rest -> x :: drop rest
+          in
+          { s with held = drop s.held })
+        sts
+    | _ ->
+      record_call env sts name loc arg1;
+      sts)
+  | "Latch.with_latch" -> (
+    match pos with
+    | latch_e :: mode_e :: rest ->
+      let key = expr_key latch_e and mode = mode_key mode_e in
+      record_call env sts name loc arg1;
+      env.acc.acq <- true;
+      let inner =
+        List.map (fun s -> { s with held = (key, mode, loc) :: s.held }) sts
+      in
+      let inner =
+        match rest with
+        | fn :: _ -> (
+          match (strip_fun fn).pexp_desc with
+          | Pexp_fun (_, _, _, body) -> walk env inner body
+          | Pexp_function cases -> cases_union env inner cases
+          | Pexp_ident { txt; _ } ->
+            named_call env inner (resolve env txt) fn.pexp_loc []
+          | _ -> walk env inner fn)
+        | [] -> inner
+      in
+      let inner = l3_flush env inner in
+      List.map
+        (fun s ->
+          let rec drop = function
+            | [] -> []
+            | (k, _, _) :: rest when k = key -> rest
+            | x :: rest -> x :: drop rest
+          in
+          { s with held = drop s.held })
+        inner
+    | _ ->
+      record_call env sts name loc arg1;
+      sts)
+  | _ when List.mem name raise_names ->
+    let sts = walk_args env sts args in
+    record_call env sts name loc arg1;
+    []
+  | _ ->
+    let sts = walk_args env sts args in
+    record_call env sts name loc arg1;
+    let sts =
+      if env.in_l3 && List.mem name env.cfg.l3_mutators then
+        List.map (fun s -> { s with pend = (name, loc) :: s.pend }) sts
+      else if List.mem name env.cfg.l3_appends then
+        List.map (fun s -> { s with pend = [] }) sts
+      else sts
+    in
+    sts
+
+(* --- units --- *)
+
+and analyze_unit env ~name ~loc ~allows expr =
+  let acc =
+    { calls = []; local = []; acq = false; l3_seen = Hashtbl.create 8 }
+  in
+  let env = { env with allows; acc } in
+  let rec body_of e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, b) -> body_of b
+    | Pexp_newtype (_, b) -> body_of b
+    | Pexp_constraint (b, _) -> body_of b
+    | _ -> e
+  in
+  let b = body_of expr in
+  let exits =
+    match b.pexp_desc with
+    | Pexp_function cases -> cases_union env [ empty_state ] cases
+    | _ -> walk env [ empty_state ] b
+  in
+  (* L1: a latch acquired in this unit survives to a normal exit *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (k, m, al) ->
+          let kk = loc_key al in
+          if not (Hashtbl.mem seen kk) then begin
+            Hashtbl.add seen kk ();
+            emit env ~rule:"L1"
+              ~hint:
+                "balance the acquire on every path, use Latch.with_latch, \
+                 or justify the ownership transfer with [@lint.allow]"
+              al
+              ("latch " ^ k ^ " (" ^ m
+             ^ ") acquired here is not released on every path of " ^ name)
+          end)
+        s.held)
+    exits;
+  env.units :=
+    {
+      u_module = env.modname;
+      u_file = env.file;
+      u_name = name;
+      u_loc = loc;
+      u_allows = allows;
+      u_calls = List.rev acc.calls;
+      u_acquires_latch = acc.acq;
+      u_local = List.rev acc.local;
+    }
+    :: !(env.units)
+
+and sub_unit env ~name ~loc ~allows expr =
+  let full = ref name in
+  (* nested unit names are dotted onto the enclosing unit's name *)
+  (match !(env.units) with _ -> ());
+  analyze_unit env ~name:!full ~loc ~allows expr
+
+(* --- structure traversal --- *)
+
+let register_module_binding env (mb : module_binding) prefix process =
+  match mb.pmb_name.txt with
+  | None -> ()
+  | Some n -> (
+    let rec go (me : module_expr) =
+      match me.pmod_desc with
+      | Pmod_ident { txt; _ } ->
+        Hashtbl.replace env.aliases n (strip_oib (Longident.flatten txt))
+      | Pmod_structure items -> process (prefix ^ n ^ ".") items
+      | Pmod_functor (_, body) -> go body
+      | Pmod_constraint (m, _) -> go m
+      | _ -> ()
+    in
+    go mb.pmb_expr)
+
+let summarize_source ?(config = default_config) ~file src =
+  let modname = module_name_of_file file in
+  let units = ref [] in
+  let file_findings = ref [] in
+  let aliases = Hashtbl.create 16 in
+  let env0 =
+    {
+      cfg = config;
+      aliases;
+      modname;
+      in_l3 = List.mem modname config.l3_modules;
+      allows = [];
+      acc = { calls = []; local = []; acq = false; l3_seen = Hashtbl.create 1 };
+      units;
+      file;
+      file_findings;
+    }
+  in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Location.input_name := file;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+        let s = Format.asprintf "%a" Location.print_report report in
+        String.map (function '\n' -> ' ' | c -> c) s
+      | _ -> Printexc.to_string exn
+    in
+    {
+      fs_file = file;
+      fs_module = modname;
+      fs_units = [];
+      fs_findings =
+        [
+          {
+            f_rule = "parse";
+            f_loc = Location.in_file file;
+            f_msg = "parse error: " ^ msg;
+            f_hint = "fix the syntax error";
+            f_allows = [];
+          };
+        ];
+    }
+  | str ->
+    (* pre-scan: module aliases + file-level floating allows *)
+    let file_allows = ref [] in
+    let rec prescan items =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_module mb -> (
+            match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+            | Some n, Pmod_ident { txt; _ } ->
+              Hashtbl.replace aliases n (strip_oib (Longident.flatten txt))
+            | Some _, Pmod_structure inner -> prescan inner
+            | _ -> ())
+          | Pstr_attribute attr -> (
+            match allow_of_attribute attr with
+            | Some (Ok pair) -> file_allows := pair :: !file_allows
+            | Some (Error (loc, why)) ->
+              file_findings :=
+                {
+                  f_rule = "allow";
+                  f_loc = loc;
+                  f_msg = why;
+                  f_hint = "use [@@@lint.allow \"Ln: justification\"]";
+                  f_allows = [];
+                }
+                :: !file_findings
+            | None -> ())
+          | _ -> ())
+        items
+    in
+    prescan str;
+    let rec process prefix items =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let allows =
+                  collect_allows env0 vb.pvb_attributes @ !file_allows
+                in
+                analyze_unit env0
+                  ~name:(prefix ^ binding_name vb)
+                  ~loc:vb.pvb_loc ~allows vb.pvb_expr)
+              vbs
+          | Pstr_eval (e, attrs) ->
+            let allows = collect_allows env0 attrs @ !file_allows in
+            analyze_unit env0 ~name:(prefix ^ "_toplevel") ~loc:item.pstr_loc
+              ~allows e
+          | Pstr_module mb -> register_module_binding env0 mb prefix process
+          | _ -> ())
+        items
+    in
+    process "" str;
+    {
+      fs_file = file;
+      fs_module = modname;
+      fs_units = List.rev !units;
+      fs_findings = List.rev !file_findings;
+    }
+
+let summarize_file ?config file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  summarize_source ?config ~file src

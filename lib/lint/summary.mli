@@ -1,0 +1,74 @@
+(** Per-function call summaries extracted from the parsetree.
+
+    Each [.ml] file is parsed with compiler-libs (parsetree only — no type
+    information) and every value binding becomes an analysis {e unit}.
+    Walking a unit's body tracks, path-sensitively, the multiset of latches
+    held (via [Latch.acquire]/[Latch.release]/[Latch.with_latch]), and
+    records every call site together with the latches held at that moment.
+    Unit-local protocol findings (rule L1 latch balance, rule L3 WAL
+    discipline) are emitted during the walk; cross-function rules (L2, L4,
+    L5) consume the summaries in {!Rules}.
+
+    The analysis is necessarily approximate: branches union their states,
+    loops run zero-or-once, callbacks passed to higher-order functions run
+    zero-or-once inline, and latches are identified by the source text of
+    the latch expression. Functions that intentionally transfer latch
+    ownership (hand-over-hand crabbing) carry
+    [[@lint.allow "L1: reason"]] justifications. *)
+
+type config = {
+  l3_modules : string list;
+      (** modules whose heap-page mutations must be WAL-logged *)
+  l3_mutators : string list;  (** canonical names of page-mutating calls *)
+  l3_appends : string list;  (** canonical names of log-append calls *)
+}
+
+val default_config : config
+
+type call = {
+  c_callee : string;  (** canonical resolved name, e.g. "Log_manager.flush" *)
+  c_loc : Location.t;
+  c_held : (string * string) list;
+      (** latches possibly held at the call: (latch expr text, mode) *)
+  c_arg1 : string option;  (** text of the first positional argument *)
+  c_allows : (string * string) list;  (** allow scope at the site *)
+}
+
+type finding = {
+  f_rule : string;
+  f_loc : Location.t;
+  f_msg : string;
+  f_hint : string;
+  f_allows : (string * string) list;
+}
+
+type u = {
+  u_module : string;  (** module name derived from the file name *)
+  u_file : string;
+  u_name : string;  (** dotted path, e.g. "descend_write.go" *)
+  u_loc : Location.t;
+  u_allows : (string * string) list;
+      (** (rule, justification) pairs in scope for the whole unit *)
+  u_calls : call list;
+  u_acquires_latch : bool;
+      (** the unit contains a direct [Latch.acquire]/[with_latch] *)
+  u_local : finding list;  (** unit-local L1/L3 findings *)
+}
+
+type file_summary = {
+  fs_file : string;
+  fs_module : string;
+  fs_units : u list;
+  fs_findings : finding list;
+      (** file-level findings: parse errors, malformed allow attributes *)
+}
+
+val module_name_of_file : string -> string
+
+val summarize_file : ?config:config -> string -> file_summary
+(** Parse and analyse one [.ml] file from disk. Parse failures yield a
+    summary with no units and a ["parse"] finding. *)
+
+val summarize_source :
+  ?config:config -> file:string -> string -> file_summary
+(** Same, from an in-memory source string (used by tests). *)

@@ -10,7 +10,7 @@ let mode_string = function S -> "S" | X -> "X" | IS -> "IS" | IX -> "IX"
 
 let name_string = function
   | Record rid -> Format.asprintf "rec%a" Rid.pp rid
-  | Table id -> Printf.sprintf "table:%d" id
+  | Table id -> "table:" ^ string_of_int id
 
 type outcome = Granted | Deadlock
 
@@ -47,7 +47,6 @@ type request = { txn : int; mutable mode : mode }
 type waiter = {
   w_txn : int;
   w_mode : mode; (* target mode after grant (joined, for conversions) *)
-  w_conversion : bool;
   w_resume : unit -> unit;
 }
 
@@ -237,12 +236,7 @@ let lock_aux t ~txn name mode ~conditional ~instant =
       let span = Trace.span_begin tr ~cat:"lock" ~name:(name_string name) in
       Oib_sim.Sched.suspend t.sched (fun resume ->
           let w =
-            {
-              w_txn = txn;
-              w_mode = target;
-              w_conversion = conversion;
-              w_resume = resume;
-            }
+            { w_txn = txn; w_mode = target; w_resume = resume }
           in
           if conversion then e.waiters <- w :: e.waiters
           else e.waiters <- e.waiters @ [ w ]);

@@ -19,8 +19,6 @@
     The whole restart sequence is orchestrated by the engine layer
     ([Oib_core.Engine.restart]), which owns the catalog. *)
 
-module LR := Oib_wal.Log_record
-
 type analysis = {
   losers : (int * Oib_wal.Lsn.t) list;
       (** transaction id, LSN its undo must start from; oldest first *)

@@ -93,6 +93,9 @@ let try_page t id record =
     end
   end
   else None
+[@@lint.allow
+  "L1: on success the X-latched page travels with the reservation to the \
+   caller (table_ops), which logs the insert and then releases"]
 
 let prepare_insert t record =
   (* 1. inventory hits (dropping stale entries) *)
@@ -128,6 +131,9 @@ let prepare_insert t record =
       let hp = Heap_page.of_payload p.Page.payload in
       t.fsip <- [ p.Page.id ];
       (p, Heap_page.reserve hp record))
+[@@lint.allow
+  "L1: returns an X-latched page with space reserved; the caller applies \
+   the insert, logs it, and releases the latch"]
 
 let note_free t id =
   if not (List.mem id t.fsip) then t.fsip <- id :: t.fsip
@@ -136,6 +142,9 @@ let latch_rid t rid mode =
   let p = page t rid.Rid.page in
   Oib_sim.Latch.acquire p.Page.latch mode;
   p
+[@@lint.allow
+  "L1: latching accessor by design: returns the page latched in the \
+   requested mode; every caller releases after its record operation"]
 
 let read_record t rid =
   let p = latch_rid t rid S in

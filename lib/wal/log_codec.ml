@@ -165,7 +165,7 @@ let r_state c =
   | 0 -> Absent
   | 1 -> Present
   | 2 -> Pseudo_deleted
-  | n -> fail (Printf.sprintf "bad key state %d" n)
+  | n -> fail ("bad key state " ^ string_of_int n)
 
 let r_heap_op c =
   match r_u8 c with
@@ -182,7 +182,7 @@ let r_heap_op c =
     let old_record = r_record c in
     let new_record = r_record c in
     Heap_update { rid; old_record; new_record }
-  | n -> fail (Printf.sprintf "bad heap op tag %d" n)
+  | n -> fail ("bad heap op tag " ^ string_of_int n)
 
 let rec r_body c =
   match r_u8 c with
@@ -245,7 +245,7 @@ let rec r_body c =
   | 15 ->
     let index = r_i64 c in
     Drop_index { index }
-  | n -> fail (Printf.sprintf "bad body tag %d" n)
+  | n -> fail ("bad body tag " ^ string_of_int n)
 
 let decode s ~pos =
   let len = String.length s in

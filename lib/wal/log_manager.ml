@@ -63,7 +63,7 @@ let flush t ~upto =
     t.metrics.log_flushes <- t.metrics.log_flushes + 1;
     let span =
       Trace.span_begin t.trace ~cat:"logflush"
-        ~name:(Printf.sprintf "flush:%d" (Lsn.to_int upto))
+        ~name:("flush:" ^ string_of_int (Lsn.to_int upto))
     in
     if Trace.tracing t.trace then
       Trace.emit t.trace (Event.Log_flush { upto = Lsn.to_int upto });

@@ -1,0 +1,20 @@
+(* clean twin of l1_unbalanced: every path releases, with_latch balances *)
+module Latch = Oib_sim.Latch
+
+let balanced p ok =
+  Latch.acquire p X;
+  let r = if ok then touch p else skip p in
+  Latch.release p X;
+  r
+
+let scoped p f = Latch.with_latch p S (fun () -> f p)
+
+let early_exit p =
+  Latch.acquire p X;
+  match probe p with
+  | Some v ->
+    Latch.release p X;
+    v
+  | None ->
+    Latch.release p X;
+    fallback p

@@ -1,0 +1,16 @@
+(* planted L1: the [false] branch returns without releasing the latch *)
+module Latch = Oib_sim.Latch
+
+let unbalanced p ok =
+  Latch.acquire p X;
+  if ok then begin
+    touch p;
+    Latch.release p X;
+    true
+  end
+  else false
+
+(* planted L1: released in the wrong mode *)
+let wrong_mode p =
+  Latch.acquire p S;
+  Latch.release p X

@@ -1,0 +1,10 @@
+(* clean twin of l2_yield_under_latch: blocking happens after release *)
+module Latch = Oib_sim.Latch
+module Sched = Oib_sim.Sched
+
+let polite p log =
+  Latch.acquire p X;
+  touch p;
+  Latch.release p X;
+  Oib_wal.Log_manager.flush log ~upto:lsn;
+  Sched.yield ()

@@ -1,0 +1,16 @@
+(* planted L2, twice: a direct scheduler yield under a latch, and a
+   transitive one through a local helper that forces the WAL *)
+module Latch = Oib_sim.Latch
+module Sched = Oib_sim.Sched
+
+let force_log log = Oib_wal.Log_manager.flush log ~upto:lsn
+
+let direct p =
+  Latch.acquire p X;
+  Sched.yield ();
+  Latch.release p X
+
+let transitive p log =
+  Latch.acquire p X;
+  force_log log;
+  Latch.release p X

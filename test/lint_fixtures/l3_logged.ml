@@ -1,0 +1,9 @@
+(* clean twin of l3_mutate_without_log: the mutation is logged before
+   the latch release *)
+module Latch = Oib_sim.Latch
+
+let logged p hp rid r log =
+  Latch.acquire p X;
+  Heap_page.put hp rid r;
+  Oib_wal.Log_manager.append log (record_for rid r);
+  Latch.release p X

@@ -1,0 +1,9 @@
+(* planted L3: a heap-page mutation reaches the latch release with no
+   WAL append in the same latched section (module is opted into L3 by
+   the test's config) *)
+module Latch = Oib_sim.Latch
+
+let unlogged p hp rid r =
+  Latch.acquire p X;
+  Heap_page.put hp rid r;
+  Latch.release p X

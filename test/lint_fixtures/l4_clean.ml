@@ -1,0 +1,5 @@
+(* clean twin of l4_rogue_print: strings are built and returned, and
+   sprintf is fine outside the lock/WAL modules *)
+let describe x = "x = " ^ string_of_int x
+
+let describe_fmt x = Printf.sprintf "x = %d" x

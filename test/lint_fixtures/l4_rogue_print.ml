@@ -1,0 +1,7 @@
+(* planted L4, three ways: bare print, Printf to stdout, and fprintf
+   with an explicit stderr channel *)
+let chatty x =
+  print_endline "entering chatty";
+  Printf.printf "x = %d\n" x;
+  Printf.fprintf stderr "warn: %d\n" x;
+  x + 1

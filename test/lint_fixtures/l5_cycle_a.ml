@@ -1,0 +1,13 @@
+(* planted L5 (with l5_cycle_b): A latches then calls into B, which
+   latches then calls back into A — a lock-order inversion *)
+module Latch = Oib_sim.Latch
+
+let enter p =
+  Latch.acquire p X;
+  touch p;
+  Latch.release p X
+
+let cross p q =
+  Latch.acquire p X;
+  L5_cycle_b.enter q;
+  Latch.release p X

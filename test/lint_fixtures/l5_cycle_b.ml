@@ -1,0 +1,12 @@
+(* second half of the planted L5 cycle; see l5_cycle_a *)
+module Latch = Oib_sim.Latch
+
+let enter q =
+  Latch.acquire q X;
+  touch q;
+  Latch.release q X
+
+let cross q p =
+  Latch.acquire q X;
+  L5_cycle_a.enter p;
+  Latch.release q X

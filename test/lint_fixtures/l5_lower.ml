@@ -1,0 +1,7 @@
+(* leaf of the clean latch-order hierarchy; never calls upward *)
+module Latch = Oib_sim.Latch
+
+let enter q =
+  Latch.acquire q X;
+  touch q;
+  Latch.release q X

@@ -1,0 +1,8 @@
+(* clean twin of the L5 cycle: acquisition order is strictly one-way,
+   upper before lower *)
+module Latch = Oib_sim.Latch
+
+let cross p q =
+  Latch.acquire p X;
+  L5_lower.enter q;
+  Latch.release p X

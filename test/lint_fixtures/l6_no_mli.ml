@@ -1,0 +1,2 @@
+(* planted L6: this module deliberately ships without a .mli *)
+let exposed_by_accident x = x + 1

@@ -1,0 +1,2 @@
+(* clean twin of l6_no_mli: the interface next door satisfies L6 *)
+let visible x = x + 1

@@ -1,0 +1,3 @@
+(* planted L4: this fixture shadows the lock-manager module name, where
+   any Printf reference (even sprintf) is banned on the hot path *)
+let name_string id = Printf.sprintf "table:%d" id

@@ -1,0 +1,5 @@
+(* planted "allow" finding: the suppression payload names no rule, so it
+   must be reported rather than silently honoured *)
+module Latch = Oib_sim.Latch
+
+let sloppy p = (Latch.acquire p X) [@lint.allow "bogus"]

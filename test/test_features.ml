@@ -7,7 +7,6 @@ open Oib_core
 open Oib_util
 module Sched = Oib_sim.Sched
 module Txn = Oib_txn.Txn_manager
-module Driver = Oib_workload.Driver
 
 let setup ?(seed = 9) () =
   let ctx = Engine.create ~seed ~page_capacity:512 () in

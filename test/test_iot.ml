@@ -6,7 +6,6 @@
 open Oib_core
 open Oib_util
 module Sched = Oib_sim.Sched
-module Txn = Oib_txn.Txn_manager
 
 let pk i = Printf.sprintf "pk%06d" i
 

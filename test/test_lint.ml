@@ -1,0 +1,147 @@
+(* The lint fixture corpus: one planted violation per rule plus a clean
+   twin, asserting the linter catches exactly what it claims to catch.
+   Fixtures live in lint_fixtures/ as data-only files — they are parsed
+   by the linter, never compiled. *)
+
+open Oib_lint
+
+let fx name = Filename.concat "lint_fixtures" name
+
+let opts ?(require_mli = false) ?(l3_modules = []) () =
+  {
+    Lint.default_options with
+    Lint.require_mli;
+    Lint.config =
+      (if l3_modules = [] then Summary.default_config
+       else { Summary.default_config with Summary.l3_modules });
+  }
+
+let run ?require_mli ?l3_modules names =
+  Lint.run_files ~options:(opts ?require_mli ?l3_modules ()) (List.map fx names)
+
+(* unsuppressed (rule, basename) pairs, sorted *)
+let error_rules res =
+  List.sort_uniq compare
+    (List.map
+       (fun (d : Diag.t) -> (d.Diag.rule, Filename.basename d.Diag.file))
+       (Lint.errors res))
+
+let count_rule rule res =
+  List.length
+    (List.filter (fun (d : Diag.t) -> d.Diag.rule = rule) (Lint.errors res))
+
+let check_rules msg expected res =
+  Alcotest.(check (list (pair string string))) msg expected (error_rules res)
+
+let test_l1_unbalanced () =
+  let res = run [ "l1_unbalanced.ml"; "l1_balanced.ml" ] in
+  check_rules "only the planted file trips L1"
+    [ ("L1", "l1_unbalanced.ml") ]
+    res;
+  Alcotest.(check int) "leak + mode mismatch" 2 (count_rule "L1" res)
+
+let test_l2_blocking () =
+  let res = run [ "l2_yield_under_latch.ml"; "l2_clean.ml" ] in
+  check_rules "only the planted file trips L2"
+    [ ("L2", "l2_yield_under_latch.ml") ]
+    res;
+  Alcotest.(check int) "direct yield + transitive flush" 2
+    (count_rule "L2" res)
+
+let test_l2_suppression_recorded () =
+  let res = run [ "l2_allowed.ml" ] in
+  Alcotest.(check int) "no unsuppressed diagnostics" 0
+    (List.length (Lint.errors res));
+  let supp =
+    List.filter (fun (d : Diag.t) -> d.Diag.suppressed <> None) res.Lint.r_diags
+  in
+  Alcotest.(check int) "one suppressed L2" 1 (List.length supp);
+  let d = List.hd supp in
+  Alcotest.(check string) "rule" "L2" d.Diag.rule;
+  (match d.Diag.suppressed with
+  | Some why ->
+    Alcotest.(check bool) "justification is recorded verbatim" true
+      (String.length why > 20)
+  | None -> Alcotest.fail "suppression lost");
+  Alcotest.(check int) "stats count the suppression" 1
+    (List.length res.Lint.r_stats.Lint.st_suppressions)
+
+let test_l3_wal_discipline () =
+  let l3_modules = [ "L3_mutate_without_log"; "L3_logged" ] in
+  let res = run ~l3_modules [ "l3_mutate_without_log.ml"; "l3_logged.ml" ] in
+  check_rules "mutation without append trips L3; logged twin is clean"
+    [ ("L3", "l3_mutate_without_log.ml") ]
+    res
+
+let test_l4_output_discipline () =
+  let res = run [ "l4_rogue_print.ml"; "lock_manager.ml"; "l4_clean.ml" ] in
+  check_rules "console output and hot-path Printf trip L4"
+    [ ("L4", "l4_rogue_print.ml"); ("L4", "lock_manager.ml") ]
+    res;
+  Alcotest.(check int) "print_endline + printf + fprintf stderr + sprintf" 4
+    (count_rule "L4" res)
+
+let test_l5_cycle () =
+  let res = run [ "l5_cycle_a.ml"; "l5_cycle_b.ml" ] in
+  Alcotest.(check bool) "cycle reported" true (count_rule "L5" res >= 1);
+  let edges = res.Lint.r_rules.Rules.order_edges in
+  Alcotest.(check bool) "both edge directions discovered" true
+    (List.mem ("L5_cycle_a", "L5_cycle_b") edges
+    && List.mem ("L5_cycle_b", "L5_cycle_a") edges)
+
+let test_l5_hierarchy_clean () =
+  let res = run [ "l5_upper.ml"; "l5_lower.ml" ] in
+  Alcotest.(check int) "one-way order has no cycle" 0 (count_rule "L5" res);
+  Alcotest.(check bool) "the one-way edge is still recorded" true
+    (List.mem ("L5_upper", "L5_lower") res.Lint.r_rules.Rules.order_edges)
+
+let test_l6_missing_mli () =
+  let res = run ~require_mli:true [ "l6_no_mli.ml"; "l6_with_mli.ml" ] in
+  check_rules "module without .mli trips L6; the twin with one is clean"
+    [ ("L6", "l6_no_mli.ml") ]
+    res
+
+let test_malformed_allow () =
+  let res = run [ "malformed_allow.ml" ] in
+  Alcotest.(check bool) "rule-less allow payload is reported" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.rule = "allow")
+       (Lint.errors res));
+  Alcotest.(check bool) "and it does not suppress the underlying L1" true
+    (count_rule "L1" res >= 1)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_stats_json () =
+  let res = run [ "l1_unbalanced.ml" ] in
+  let json = Lint.stats_to_json res.Lint.r_stats in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true
+        (contains json needle))
+    [ "\"files\":1"; "\"L1\""; "\"suppressions\"" ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "L1 latch balance" `Quick test_l1_unbalanced;
+          Alcotest.test_case "L2 blocking under latch" `Quick test_l2_blocking;
+          Alcotest.test_case "L2 suppression recorded" `Quick
+            test_l2_suppression_recorded;
+          Alcotest.test_case "L3 WAL discipline" `Quick test_l3_wal_discipline;
+          Alcotest.test_case "L4 output discipline" `Quick
+            test_l4_output_discipline;
+          Alcotest.test_case "L5 latch-order cycle" `Quick test_l5_cycle;
+          Alcotest.test_case "L5 one-way hierarchy clean" `Quick
+            test_l5_hierarchy_clean;
+          Alcotest.test_case "L6 missing mli" `Quick test_l6_missing_mli;
+          Alcotest.test_case "malformed allow reported" `Quick
+            test_malformed_allow;
+          Alcotest.test_case "stats json" `Quick test_stats_json;
+        ] );
+    ]
