@@ -7,12 +7,19 @@
 
    Every failure is shrunk to a minimal scenario and reported as a one-line
    `oib-fuzz repro ...` command, with the flight-recorder dump of the
-   minimal failing run. Nonzero exit on any oracle violation. *)
+   minimal failing run. Nonzero exit on any oracle violation.
+
+   With --sanitize every run also streams its probe events through oib-san
+   (lockset race detection, latch-order cycle prediction, WAL runtime
+   verification); any sanitizer finding fails the command exactly like an
+   oracle violation, including shrinking and the repro line. *)
 
 open Oib_dst
 module Trace = Oib_obs.Trace
 module Ctx = Oib_core.Ctx
 module Catalog = Oib_core.Catalog
+module San = Oib_san.San
+module Diag = Oib_lint.Diag
 
 (* Test-only oracle sabotage: plant a phantom entry in the index behind the
    WAL's back, right before the final battery. The consistency oracle must
@@ -28,7 +35,69 @@ let sabotage_hook (ctx : Ctx.t) =
          Oib_wal.Log_record.Present)
   | exception Invalid_argument _ -> ()
 
-let inject_of sabotage = if sabotage then Some sabotage_hook else None
+(* Test-only race sabotage: a rogue fiber that dirties a heap page without
+   holding its latch, concurrent with the latched workers and the build
+   scan. The lockset sanitizer must flag the unprotected write; the oracle
+   battery cannot see it. *)
+let race_hook (ctx : Ctx.t) =
+  ignore
+    (Oib_sim.Sched.spawn ctx.Ctx.sched ~name:"rogue" (fun () ->
+         match Catalog.table ctx.Ctx.catalog 1 with
+         | exception Invalid_argument _ -> ()
+         | info -> (
+           match Oib_storage.Heap_file.page_ids info.Catalog.heap with
+           | [] -> ()
+           | first :: _ ->
+             for _ = 1 to 3 do
+               Oib_sim.Sched.yield ctx.Ctx.sched;
+               Oib_storage.Page.mark_dirty
+                 (Oib_storage.Heap_file.page info.Catalog.heap first)
+             done)))
+
+(* One sanitizer session per command invocation: a single live trace and
+   San.t shared by every run the command performs, so the latch-order
+   graph accumulates across runs and crash points (that cross-run
+   assembly is how Goodlock predicts deadlocks neither run alone hits). *)
+type sess = {
+  sabotage : bool;
+  sabotage_race : bool;
+  san : (Trace.t * San.t) option;
+}
+
+let make_sess ~sabotage ~sabotage_race ~sanitize () =
+  if not sanitize then { sabotage; sabotage_race; san = None }
+  else begin
+    let tr = Trace.create () in
+    ignore (Trace.attach_recorder tr ~capacity:256);
+    (* injected-crash dumps are routine during sweeps; stay silent until
+       the sanitizer itself has something to show *)
+    Trace.set_on_dump tr (fun _ -> ());
+    let san = San.create () in
+    San.attach san tr;
+    let dumped = ref false in
+    San.on_report san (fun d ->
+        Printf.printf "SAN: %s\n%!" (Diag.to_string d);
+        (* dump the ring on the first finding, while the racing run's
+           events are still in it; the print sink is installed only
+           around this dump so injected-crash dumps stay silent *)
+        if not !dumped then begin
+          dumped := true;
+          Trace.set_on_dump tr (fun s ->
+              print_string s;
+              print_newline ());
+          Trace.failure tr ~reason:"oib-san: first sanitizer finding";
+          Trace.set_on_dump tr (fun _ -> ())
+        end);
+    { sabotage; sabotage_race; san = Some (tr, san) }
+  end
+
+let sanitizing sess = sess.san <> None
+let trace_of sess = Option.map fst sess.san
+let inject_of sess = if sess.sabotage then Some sabotage_hook else None
+let during_of sess = if sess.sabotage_race then Some race_hook else None
+
+let san_dirty sess =
+  match sess.san with None -> false | Some (_, san) -> not (San.clean san)
 
 let print_outcome (o : Runner.outcome) =
   Printf.printf
@@ -37,61 +106,160 @@ let print_outcome (o : Runner.outcome) =
     (if o.Runner.build_cancelled then " build-cancelled" else "")
     (if Runner.failed o then "FAIL" else "ok")
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* End-of-command sanitizer epilogue: stats JSON, the static-vs-runtime
+   latch-graph diff against `oib-lint --emit-graph` output, and the
+   clean/dirty verdict line. *)
+let finish sess ~lint_graph ~san_json =
+  match sess.san with
+  | None -> ()
+  | Some (_, san) ->
+    (match san_json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (San.stats_json san);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "sanitizer stats written to %s\n" path
+    | None -> ());
+    (match lint_graph with
+    | Some path -> (
+      match San.static_graph_of_json (read_file path) with
+      | Error e -> Printf.printf "lint-graph %s: %s\n" path e
+      | Ok static ->
+        let edges = San.runtime_edges san in
+        Printf.printf "latch-order graph: %d runtime edge(s)\n"
+          (List.length edges);
+        List.iter (fun (a, b) -> Printf.printf "  %s -> %s\n" a b) edges;
+        (match San.diff_static san ~static with
+        | [] -> Printf.printf "static and runtime latch graphs agree\n"
+        | ds -> List.iter (fun d -> print_endline (Diag.to_string d)) ds))
+    | None -> ());
+    if San.clean san then Printf.printf "sanitizer: clean\n%!"
+
+(* Does this scenario reproduce *some* violation — oracle or, when
+   sanitizing, a finding in a fresh scratch sanitizer (so shrink
+   candidates don't pollute the session's accumulated state)? *)
+let reproduces sess c =
+  match sess.san with
+  | None ->
+    Runner.failed
+      (Runner.run ?inject:(inject_of sess) ?during:(during_of sess) c)
+  | Some _ ->
+    let tr = Trace.create () in
+    let scratch = San.create () in
+    San.attach scratch tr;
+    let o =
+      Runner.run ~trace:tr ?inject:(inject_of sess) ?during:(during_of sess)
+        c
+    in
+    Runner.failed o || not (San.clean scratch)
+
 (* Shrink the failure, dump the minimal run's flight recorder, print the
    repro line. Never returns a passing status: caller exits 1 after. *)
-let report_failure ~sabotage (o : Runner.outcome) =
-  let inject = inject_of sabotage in
-  Printf.printf "ORACLE VIOLATION at %s:\n"
-    (Option.value o.Runner.failed_at ~default:"?");
-  List.iter (fun e -> Printf.printf "  %s\n" e) o.Runner.errors;
+let report_failure sess (o : Runner.outcome) =
+  if o.Runner.errors <> [] then begin
+    Printf.printf "ORACLE VIOLATION at %s:\n"
+      (Option.value o.Runner.failed_at ~default:"?");
+    List.iter (fun e -> Printf.printf "  %s\n" e) o.Runner.errors
+  end;
+  (match sess.san with
+  | Some (_, san) when not (San.clean san) ->
+    Printf.printf "SANITIZER VIOLATION:\n";
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+      (San.reports san)
+  | _ -> ());
   print_endline "shrinking...";
-  let reproduces c = Runner.failed (Runner.run ?inject c) in
-  let small, runs = Shrink.shrink ~reproduces o.Runner.scenario in
+  let small, runs = Shrink.shrink ~reproduces:(reproduces sess) o.Runner.scenario in
   Format.printf "minimal after %d runs: %a@." runs Scenario.pp small;
-  let errs = (Runner.run ?inject small).Runner.errors in
-  List.iter (fun e -> Printf.printf "  %s\n" e) errs;
-  (* flight-recorder dump of the minimal failing run *)
+  (* replay the minimal scenario with a fresh recorder (and, when
+     sanitizing, a fresh sanitizer) and dump its flight recorder *)
   let tr = Trace.create () in
   ignore (Trace.attach_recorder tr ~capacity:256);
+  Trace.set_on_dump tr (fun _ -> ());
+  let minimal_san =
+    if not (sanitizing sess) then None
+    else begin
+      let s = San.create () in
+      San.attach s tr;
+      Some s
+    end
+  in
+  let o2 =
+    Runner.run ~trace:tr ?inject:(inject_of sess) ?during:(during_of sess)
+      small
+  in
+  List.iter (fun e -> Printf.printf "  %s\n" e) o2.Runner.errors;
+  (match minimal_san with
+  | Some s ->
+    List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+      (San.reports s)
+  | None -> ());
   Trace.set_on_dump tr (fun s ->
       print_string s;
       print_newline ());
-  ignore (Runner.run ~trace:tr ?inject small);
-  Trace.failure tr ~reason:"oib-fuzz oracle violation (minimal scenario)";
-  Printf.printf "repro: %s\n%!" (Scenario.repro_command ~sabotage small)
+  Trace.failure tr ~reason:"oib-fuzz violation (minimal scenario)";
+  Printf.printf "repro: %s\n%!"
+    (Scenario.repro_command ~sabotage:sess.sabotage
+       ~sabotage_race:sess.sabotage_race ~sanitize:(sanitizing sess) small)
 
-let exec ~sabotage ~jsonl sc =
+let exec sess ~jsonl ~lint_graph ~san_json sc =
   Format.printf "%a@." Scenario.pp sc;
   let trace, close =
-    match jsonl with
-    | None -> (None, fun () -> ())
-    | Some path ->
-      let tr = Trace.create () in
-      ignore (Trace.attach_recorder tr ~capacity:2048);
-      let close = Trace.add_jsonl_file_sink tr ~path in
-      ( Some tr,
-        fun () ->
-          close ();
-          Printf.printf "event trace written to %s\n" path )
+    match (trace_of sess, jsonl) with
+    | None, None -> (None, fun () -> ())
+    | tr0, jsonl ->
+      let tr =
+        match tr0 with
+        | Some t -> t
+        | None ->
+          let t = Trace.create () in
+          ignore (Trace.attach_recorder t ~capacity:2048);
+          t
+      in
+      let close =
+        match jsonl with
+        | None -> fun () -> ()
+        | Some path ->
+          let c = Trace.add_jsonl_file_sink tr ~path in
+          fun () ->
+            c ();
+            Printf.printf "event trace written to %s\n" path
+      in
+      (Some tr, close)
   in
-  let o = Runner.run ?trace ?inject:(inject_of sabotage) sc in
+  let o =
+    Runner.run ?trace ?inject:(inject_of sess) ?during:(during_of sess) sc
+  in
   print_outcome o;
   close ();
-  if Runner.failed o then begin
-    report_failure ~sabotage o;
+  if Runner.failed o || san_dirty sess then begin
+    report_failure sess o;
+    finish sess ~lint_graph ~san_json;
     exit 1
-  end
+  end;
+  finish sess ~lint_graph ~san_json
 
-let cmd_run seed alg rows workers txns sabotage jsonl =
+let cmd_run seed alg rows workers txns sabotage sabotage_race sanitize jsonl
+    lint_graph san_json =
+  let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let sc =
     Scenario.generate ~seed
     |> Scenario.override
          ?alg:(Option.map Scenario.alg_of_string alg)
          ?rows ?workers ?txns
   in
-  exec ~sabotage ~jsonl sc
+  exec sess ~jsonl ~lint_graph ~san_json sc
 
-let cmd_repro seed alg rows unique workers txns ops post faults sabotage jsonl =
+let cmd_repro seed alg rows unique workers txns ops post faults sabotage
+    sabotage_race sanitize jsonl lint_graph san_json =
+  let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let sc =
     Scenario.generate ~seed
     |> Scenario.override
@@ -99,55 +267,72 @@ let cmd_repro seed alg rows unique workers txns ops post faults sabotage jsonl =
          ?rows ~unique ?workers ?txns ?ops ?post
          ?faults:(Option.map Scenario.faults_of_string faults)
   in
-  exec ~sabotage ~jsonl sc
+  exec sess ~jsonl ~lint_graph ~san_json sc
 
-let cmd_fuzz count seed_base alg sabotage =
+let cmd_fuzz count seed_base alg sabotage sabotage_race sanitize lint_graph
+    san_json =
+  let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let alg = Option.map Scenario.alg_of_string alg in
-  let inject = inject_of sabotage in
   for seed = seed_base to seed_base + count - 1 do
     let sc = Scenario.generate ~seed |> Scenario.override ?alg in
-    let o = Runner.run ?inject sc in
+    let o =
+      Runner.run ?trace:(trace_of sess) ?inject:(inject_of sess)
+        ?during:(during_of sess) sc
+    in
     Format.printf "seed %4d: %a@." seed Scenario.pp sc;
     Printf.printf "          ";
     print_outcome o;
-    if Runner.failed o then begin
-      report_failure ~sabotage o;
+    if Runner.failed o || san_dirty sess then begin
+      report_failure sess o;
+      finish sess ~lint_graph ~san_json;
       exit 1
     end
   done;
-  Printf.printf "%d scenarios clean\n" count
+  Printf.printf "%d scenarios clean\n" count;
+  finish sess ~lint_graph ~san_json
 
-let cmd_sweep alg scenarios seed_base points sabotage =
+let cmd_sweep alg scenarios seed_base points sabotage sabotage_race sanitize
+    lint_graph san_json =
+  let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let alg = Scenario.alg_of_string alg in
   let total = ref 0 in
+  let fail o =
+    report_failure sess o;
+    finish sess ~lint_graph ~san_json;
+    exit 1
+  in
+  let rerun sc =
+    Runner.run ?inject:(inject_of sess) ?during:(during_of sess) sc
+  in
   for i = 0 to scenarios - 1 do
     let seed = seed_base + i in
     let sc = Scenario.generate ~seed |> Scenario.override ~alg in
     Format.printf "%a@." Scenario.pp sc;
-    let r = Sweep.sweep ?inject:(inject_of sabotage) sc ~points in
+    let r =
+      Sweep.sweep ?trace:(trace_of sess) ?inject:(inject_of sess)
+        ?during:(during_of sess) sc ~points
+    in
     if r.Sweep.base_errors <> [] then begin
       Printf.printf "fault-free base run FAILS:\n";
-      report_failure ~sabotage
-        (Runner.run
-           ?inject:(inject_of sabotage)
-           (Scenario.override ~faults:[] sc));
-      exit 1
+      fail (rerun (Scenario.override ~faults:[] sc))
     end;
     total := !total + 1 + List.length r.Sweep.points;
     Printf.printf "  base %d steps, %d crash points: " r.Sweep.base_steps
       (List.length r.Sweep.points);
     (match Sweep.failures r with
-    | [] -> Printf.printf "all clean\n%!"
+    | [] when not (san_dirty sess) -> Printf.printf "all clean\n%!"
+    | [] ->
+      Printf.printf "SANITIZER FAIL\n";
+      fail (rerun (Scenario.override ~faults:[] sc))
     | p :: _ ->
       Printf.printf "FAIL at step %d\n" p.Sweep.crash_step;
-      report_failure ~sabotage
-        (Runner.run
-           ?inject:(inject_of sabotage)
+      fail
+        (rerun
            (Scenario.override ~faults:[ Scenario.Crash_at p.Sweep.crash_step ]
-              sc));
-      exit 1)
+              sc)))
   done;
-  Printf.printf "%d scenario/crash-point combinations clean\n" !total
+  Printf.printf "%d scenario/crash-point combinations clean\n" !total;
+  finish sess ~lint_graph ~san_json
 
 open Cmdliner
 
@@ -175,6 +360,22 @@ let sabotage_arg =
     & info [ "sabotage" ]
         ~doc:"Test-only: corrupt the index before the final oracle battery")
 
+let sabotage_race_arg =
+  Arg.(
+    value & flag
+    & info [ "sabotage-race" ]
+        ~doc:
+          "Test-only: spawn a rogue fiber that dirties a heap page without \
+           latching it; the race sanitizer must flag it")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Stream probe events through oib-san (lockset races, latch-order \
+           cycles, WAL discipline); findings fail like oracle violations")
+
 let jsonl_arg =
   Arg.(
     value
@@ -182,12 +383,29 @@ let jsonl_arg =
     & info [ "trace-jsonl" ] ~docv:"FILE"
         ~doc:"Write every trace event to $(docv) as JSON lines.")
 
+let lint_graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint-graph" ] ~docv:"FILE"
+        ~doc:
+          "Static latch-order graph from `oib-lint --emit-graph`, diffed \
+           against the runtime graph after the sanitized runs")
+
+let san_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "san-json" ] ~docv:"FILE"
+        ~doc:"Write sanitizer counters as JSON to $(docv)")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one generated scenario and its oracle battery")
     Term.(
       const cmd_run $ seed_arg $ alg_opt $ rows_opt $ workers_opt $ txns_opt
-      $ sabotage_arg $ jsonl_arg)
+      $ sabotage_arg $ sabotage_race_arg $ sanitize_arg $ jsonl_arg
+      $ lint_graph_arg $ san_json_arg)
 
 let repro_cmd =
   let ops = Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N") in
@@ -206,7 +424,8 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Replay a (shrunk) scenario from its repro line")
     Term.(
       const cmd_repro $ seed_arg $ alg_opt $ rows_opt $ unique $ workers_opt
-      $ txns_opt $ ops $ post $ faults $ sabotage_arg $ jsonl_arg)
+      $ txns_opt $ ops $ post $ faults $ sabotage_arg $ sabotage_race_arg
+      $ sanitize_arg $ jsonl_arg $ lint_graph_arg $ san_json_arg)
 
 let fuzz_cmd =
   let count =
@@ -218,7 +437,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Generated scenarios with generated fault plans, shrink failures")
-    Term.(const cmd_fuzz $ count $ base $ alg_opt $ sabotage_arg)
+    Term.(
+      const cmd_fuzz $ count $ base $ alg_opt $ sabotage_arg
+      $ sabotage_race_arg $ sanitize_arg $ lint_graph_arg $ san_json_arg)
 
 let sweep_cmd =
   let alg =
@@ -238,7 +459,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Re-run a scenario crashing at every k-th scheduler step")
-    Term.(const cmd_sweep $ alg $ scenarios $ base $ points $ sabotage_arg)
+    Term.(
+      const cmd_sweep $ alg $ scenarios $ base $ points $ sabotage_arg
+      $ sabotage_race_arg $ sanitize_arg $ lint_graph_arg $ san_json_arg)
 
 let () =
   exit

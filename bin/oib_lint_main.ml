@@ -27,7 +27,33 @@ let print_stats (st : L.stats) =
       st.L.st_suppressions
   end
 
-let run root stats json show_suppressed =
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The static L5 latch-order graph, for the sanitizer's
+   static-vs-runtime diff (oib_fuzz --lint-graph). *)
+let graph_json (edges : (string * string) list) =
+  "{\"edges\":["
+  ^ String.concat ","
+      (List.map
+         (fun (a, b) ->
+           "{\"from\":\"" ^ json_escape a ^ "\",\"to\":\"" ^ json_escape b
+           ^ "\"}")
+         edges)
+  ^ "]}"
+
+let run root stats json show_suppressed unused_allows strict emit_graph =
   if not (Sys.file_exists root && Sys.is_directory root) then begin
     prerr_endline ("oib-lint: no such directory: " ^ root);
     2
@@ -38,6 +64,10 @@ let run root stats json show_suppressed =
     let errs = L.errors res in
     let shown = if show_suppressed then res.L.r_diags else errs in
     List.iter (fun d -> print_endline (Oib_lint.Diag.to_string d)) shown;
+    if unused_allows || strict then
+      List.iter
+        (fun d -> print_endline (Oib_lint.Diag.to_string d))
+        res.L.r_unused_allows;
     (match json with
     | Some path ->
       let oc = open_out path in
@@ -45,8 +75,17 @@ let run root stats json show_suppressed =
       output_string oc "\n";
       close_out oc
     | None -> ());
+    (match emit_graph with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (graph_json res.L.r_rules.Oib_lint.Rules.order_edges);
+      output_string oc "\n";
+      close_out oc
+    | None -> ());
     if stats then print_stats res.L.r_stats;
-    if errs = [] then 0 else 1
+    if errs <> [] then 1
+    else if strict && res.L.r_unused_allows <> [] then 1
+    else 0
   end
 
 let root =
@@ -65,9 +104,33 @@ let show_suppressed =
   let doc = "Also print diagnostics silenced by [@lint.allow]." in
   Arg.(value & flag & info [ "show-suppressed" ] ~doc)
 
+let unused_allows =
+  let doc =
+    "Report [@lint.allow] annotations that suppressed zero diagnostics."
+  in
+  Arg.(value & flag & info [ "unused-allows" ] ~doc)
+
+let strict =
+  let doc =
+    "Fail (exit 1) when any [@lint.allow] annotation is unused; implies \
+     $(b,--unused-allows)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let emit_graph =
+  let doc =
+    "Write the static L5 latch-order graph as JSON to $(docv), for the \
+     sanitizer's static-vs-runtime diff (oib_fuzz --lint-graph)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "emit-graph" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "latch/WAL/logging protocol linter for the oib tree" in
   let info = Cmd.info "oib-lint" ~doc in
-  Cmd.v info Term.(const run $ root $ stats $ json $ show_suppressed)
+  Cmd.v info
+    Term.(
+      const run $ root $ stats $ json $ show_suppressed $ unused_allows
+      $ strict $ emit_graph)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,9 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
      an offline reader needs the marker to split the capture into epochs *)
   if Oib_obs.Trace.tracing trace then
     Oib_obs.Trace.emit trace (Oib_obs.Event.Epoch { label = "restart" });
+  if Oib_obs.Trace.probing trace then
+    Oib_obs.Trace.probe_emit trace
+      (Oib_obs.Probe.Epoch { label = "restart" });
   let log = LM.crash old.Ctx.log in
   let pool = Buffer_pool.create ~sched ~metrics:old.Ctx.metrics ~log ~store in
   let locks = Oib_lock.Lock_manager.create sched old.Ctx.metrics in
@@ -144,7 +147,7 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
         (fun id ->
           if not (Buffer_pool.mem pool id) then
             ignore
-              (Buffer_pool.install pool id
+              (Buffer_pool.install ~role:"Heap_file" pool id
                  ~payload:
                    (Heap_page.Heap
                       (Heap_page.create

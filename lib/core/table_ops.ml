@@ -418,7 +418,7 @@ let sidefile_undo ctx info ~clr (dels, inss) =
 
 let undo_heap ctx _txn ~clr ~page ~old_count ~old_sf op =
   (* 1. reverse the data-page change *)
-  let p = Buffer_pool.get ctx.Ctx.pool page in
+  let p = Buffer_pool.get ~role:"Heap_file" ctx.Ctx.pool page in
   Latch.acquire p.Page.latch X;
   let inverse = inverse_heap_op op in
   apply_heap_op (heap_page p) inverse;

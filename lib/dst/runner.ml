@@ -77,7 +77,13 @@ let spawn_resume ctx (sc : Scenario.t) cancelled =
            end
          with Ib.Build_unique_violation _ -> cancelled := true))
 
-let run ?trace ?inject (sc : Scenario.t) =
+let run ?trace ?inject ?during (sc : Scenario.t) =
+  (* run boundary for the sanitizer: fiber ids and latch identities are
+     about to restart, so all volatile shadow state must go *)
+  (match trace with
+  | Some tr when Oib_obs.Trace.probing tr ->
+    Oib_obs.Trace.probe_emit tr (Oib_obs.Probe.Epoch { label = "run" })
+  | _ -> ());
   let wl = Scenario.workload sc in
   let pending = ref sc.faults in
   let last_backup = ref None in
@@ -102,6 +108,7 @@ let run ?trace ?inject (sc : Scenario.t) =
   if sc.workers > 0 then
     stats_cells := Driver.spawn_workers ctx0 wl ~table:1 :: !stats_cells;
   spawn_build ctx0 sc cancelled;
+  (match during with Some f -> f ctx0 | None -> ());
   let note_ready ctx =
     List.iter
       (fun (tbl : Catalog.table_info) ->

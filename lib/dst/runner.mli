@@ -37,11 +37,17 @@ val failed : outcome -> bool
 val run :
   ?trace:Oib_obs.Trace.t ->
   ?inject:(Oib_core.Ctx.t -> unit) ->
+  ?during:(Oib_core.Ctx.t -> unit) ->
   Scenario.t ->
   outcome
 (** [inject] (test-only hook) runs on the completed engine just before
     the final oracle battery — used to plant deliberate violations and
-    prove the harness catches, shrinks and reports them. *)
+    prove the harness catches, shrinks and reports them. [during]
+    (test-only hook) runs on the first incarnation right after the
+    builder fiber is spawned, before the scheduler starts — used to
+    plant a concurrent saboteur fiber for the race sanitizer. When a
+    sanitizing [trace] is given, an [Epoch] probe marks the run start so
+    per-run shadow state resets. *)
 
 val measure_steps : ?trace:Oib_obs.Trace.t -> Scenario.t -> int
 (** Total steps of the scenario run fault-free — the sweep's upper

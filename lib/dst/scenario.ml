@@ -224,12 +224,15 @@ let pp fmt t =
     t.ib.Ib.sort_sidefile
     (faults_to_string t.faults)
 
-let repro_command ?(sabotage = false) t =
+let repro_command ?(sabotage = false) ?(sabotage_race = false)
+    ?(sanitize = false) t =
   Printf.sprintf
     "oib-fuzz repro --seed %d --alg %s --rows %d --workers %d --txns %d \
-     --ops %d --post-txns %d --faults %s%s%s"
+     --ops %d --post-txns %d --faults %s%s%s%s%s"
     t.seed (alg_to_string t.alg) t.rows t.workers t.txns_per_worker
     t.ops_per_txn t.post_crash_txns
     (faults_to_string t.faults)
     (if t.unique then " --unique" else "")
     (if sabotage then " --sabotage" else "")
+    (if sabotage_race then " --sabotage-race" else "")
+    (if sanitize then " --sanitize" else "")

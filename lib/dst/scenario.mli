@@ -76,5 +76,6 @@ val faults_of_string : string -> fault list
 
 val pp : Format.formatter -> t -> unit
 
-val repro_command : ?sabotage:bool -> t -> string
+val repro_command :
+  ?sabotage:bool -> ?sabotage_race:bool -> ?sanitize:bool -> t -> string
 (** The [oib-fuzz repro ...] line that replays exactly this scenario. *)

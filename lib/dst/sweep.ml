@@ -16,8 +16,8 @@ let crash_points ~base_steps ~points =
   let rec go acc s = if s > base_steps then List.rev acc else go (s :: acc) (s + every) in
   go [] every
 
-let sweep ?inject ?(on_point = fun _ _ -> ()) sc ~points =
-  let base = Runner.run ?inject (Scenario.override ~faults:[] sc) in
+let sweep ?trace ?inject ?during ?(on_point = fun _ _ -> ()) sc ~points =
+  let base = Runner.run ?trace ?inject ?during (Scenario.override ~faults:[] sc) in
   if Runner.failed base then
     {
       scenario = sc;
@@ -31,7 +31,7 @@ let sweep ?inject ?(on_point = fun _ _ -> ()) sc ~points =
       List.map
         (fun c ->
           let o =
-            Runner.run ?inject
+            Runner.run ?trace ?inject ?during
               (Scenario.override ~faults:[ Scenario.Crash_at c ] sc)
           in
           on_point c o.Runner.errors;

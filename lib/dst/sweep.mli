@@ -27,7 +27,9 @@ val crash_points : base_steps:int -> points:int -> int list
     floored at 1). *)
 
 val sweep :
+  ?trace:Oib_obs.Trace.t ->
   ?inject:(Oib_core.Ctx.t -> unit) ->
+  ?during:(Oib_core.Ctx.t -> unit) ->
   ?on_point:(int -> string list -> unit) ->
   Scenario.t ->
   points:int ->

@@ -1,24 +1,30 @@
-(** Linter diagnostics.
+(** Linter and sanitizer diagnostics.
 
-    A diagnostic names the protocol rule it enforces (L1..L6), the exact
-    source position, a one-line message, and a one-line fix hint. A
-    diagnostic can be suppressed by a [[@lint.allow "Ln: reason"]]
+    A diagnostic names the rule it enforces (static [L1..L6], runtime
+    [SAN-*]), a source position (or a synthetic file for runtime
+    findings), a one-line message, and a one-line fix hint. Static
+    diagnostics can be suppressed by a [[@lint.allow "Ln: reason"]]
     attribute in scope at the offending site; the suppression keeps the
-    diagnostic but records the written justification. *)
+    diagnostic but records the written justification. Runtime findings
+    carry a [site] key instead of a meaningful position. *)
 
 type t = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "L1".."L6" *)
+  rule : string;  (** "L1".."L6", "SAN-race", "SAN-order", "SAN-wal", … *)
   msg : string;
   hint : string;  (** one-line fix hint *)
+  site : string;
+      (** runtime dedup key (page/site pair, cycle path, check name);
+          [""] for static diagnostics *)
   suppressed : string option;
       (** [Some justification] when an in-scope allow matched *)
 }
 
 val make :
   ?suppressed:string option ->
+  ?site:string ->
   file:string ->
   line:int ->
   col:int ->
@@ -29,6 +35,7 @@ val make :
 
 val of_location :
   ?suppressed:string option ->
+  ?site:string ->
   rule:string ->
   hint:string ->
   Location.t ->
@@ -36,8 +43,12 @@ val of_location :
   t
 
 val to_string : t -> string
-(** [file:line:col: [rule] msg (hint: ...)] — one line, no trailing
-    newline. *)
+(** [file:line:col(site): [rule] msg (hint: ...)] — one line, no trailing
+    newline; the [(site)] part only when a site is set. *)
 
 val compare : t -> t -> int
-(** Order by file, line, column, rule — for stable reports. *)
+(** Order by rule, file, line, column, site — the dedup key that makes
+    reports byte-stable across runs. *)
+
+val dedupe : t list -> t list
+(** Sort by {!compare} and drop exact-key duplicates. *)

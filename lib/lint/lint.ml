@@ -23,6 +23,7 @@ type stats = {
 
 type result = {
   r_diags : Diag.t list;
+  r_unused_allows : Diag.t list;
   r_rules : Rules.t;
   r_stats : stats;
 }
@@ -71,14 +72,32 @@ let count_by_rule diags =
     diags;
   List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) tbl [])
 
+(* computed after Rules.run so the usage flags are settled *)
+let unused_allow_diags summaries =
+  Diag.dedupe
+    (List.concat_map
+       (fun fs ->
+         List.filter_map
+           (fun (a : Summary.allow) ->
+             if !(a.Summary.a_used) then None
+             else
+               Some
+                 (Diag.of_location ~rule:"allow-unused"
+                    ~hint:
+                      "remove the stale [@lint.allow], or fix its rule tag"
+                    a.Summary.a_loc
+                    ("[@lint.allow \"" ^ a.Summary.a_rule ^ ": "
+                   ^ a.Summary.a_reason
+                   ^ "\"] suppressed no diagnostics")))
+           fs.Summary.fs_allows)
+       summaries)
+
 let run_files ?(options = default_options) files =
   let summaries =
     List.map (Summary.summarize_file ~config:options.config) files
   in
   let rules = Rules.run summaries in
-  let diags =
-    List.sort Diag.compare (rules.Rules.diags @ l6_diags options files)
-  in
+  let diags = Diag.dedupe (rules.Rules.diags @ l6_diags options files) in
   let unsuppressed, suppressed =
     List.partition (fun (d : Diag.t) -> d.suppressed = None) diags
   in
@@ -98,7 +117,12 @@ let run_files ?(options = default_options) files =
           suppressed;
     }
   in
-  { r_diags = diags; r_rules = rules; r_stats = stats }
+  {
+    r_diags = diags;
+    r_unused_allows = unused_allow_diags summaries;
+    r_rules = rules;
+    r_stats = stats;
+  }
 
 let run_tree ?(options = default_options) root =
   run_files ~options (scan_files root)

@@ -27,6 +27,10 @@ type stats = {
 
 type result = {
   r_diags : Diag.t list;  (** all diagnostics, sorted, suppressed included *)
+  r_unused_allows : Diag.t list;
+      (** ["allow-unused"] diagnostics: [[@lint.allow]] attributes that
+          suppressed nothing in this run. Reported by
+          [oib-lint --unused-allows]; fatal under [--strict]. *)
   r_rules : Rules.t;
   r_stats : stats;
 }

@@ -124,7 +124,13 @@ let fixpoint summaries idx ~seed =
 (* --- suppression --- *)
 
 let diag_of ~rule ~hint ~allows loc msg =
-  let suppressed = List.assoc_opt rule allows in
+  let suppressed =
+    match List.find_opt (fun a -> a.a_rule = rule) allows with
+    | Some a ->
+      a.a_used := true;
+      Some a.a_reason
+    | None -> None
+  in
   Diag.of_location ~suppressed ~rule ~hint loc msg
 
 let held_text held =
@@ -264,13 +270,18 @@ let l5_edges summaries idx acquiring =
   edges
 
 let l5_diags edges =
-  (* adjacency + DFS cycle extraction *)
+  (* adjacency + DFS cycle extraction, over *sorted* edges and start
+     nodes: hashtable iteration order must never pick which witness a
+     cycle is reported through, or the output stops being byte-stable *)
+  let sorted_edges =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) edges [])
+  in
   let adj : (string, string list) Hashtbl.t = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun (a, b) _ ->
+  List.iter
+    (fun (a, b) ->
       let prev = Option.value ~default:[] (Hashtbl.find_opt adj a) in
-      if not (List.mem b prev) then Hashtbl.replace adj a (b :: prev))
-    edges;
+      if not (List.mem b prev) then Hashtbl.replace adj a (prev @ [ b ]))
+    sorted_edges;
   let color : (string, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 16 in
   let cycles = ref [] in
   let seen_cycle = Hashtbl.create 4 in
@@ -297,7 +308,10 @@ let l5_diags edges =
         (Option.value ~default:[] (Hashtbl.find_opt adj n));
       Hashtbl.replace color n `Black
   in
-  Hashtbl.iter (fun n _ -> dfs [ n ] n) adj;
+  List.iter
+    (fun n -> dfs [ n ] n)
+    (List.sort_uniq compare
+       (List.concat_map (fun (a, b) -> [ a; b ]) sorted_edges));
   List.map
     (fun cyc ->
       let path = String.concat " -> " (cyc @ [ List.hd cyc ]) in

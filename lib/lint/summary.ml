@@ -13,12 +13,21 @@ let default_config =
     l3_appends = [ "Log_manager.append"; "Txn_manager.log_op" ];
   }
 
+type allow = {
+  a_rule : string;
+  a_reason : string;
+  a_loc : Location.t;
+  a_used : bool ref;
+      (* flipped by Rules when this allow suppresses a diagnostic; an
+         allow that stays false across a whole run is dead weight *)
+}
+
 type call = {
   c_callee : string;
   c_loc : Location.t;
   c_held : (string * string) list;
   c_arg1 : string option;
-  c_allows : (string * string) list;
+  c_allows : allow list;
 }
 
 type finding = {
@@ -26,7 +35,7 @@ type finding = {
   f_loc : Location.t;
   f_msg : string;
   f_hint : string;
-  f_allows : (string * string) list;
+  f_allows : allow list;
 }
 
 type u = {
@@ -34,7 +43,7 @@ type u = {
   u_file : string;
   u_name : string;
   u_loc : Location.t;
-  u_allows : (string * string) list;
+  u_allows : allow list;
   u_calls : call list;
   u_acquires_latch : bool;
   u_local : finding list;
@@ -45,6 +54,9 @@ type file_summary = {
   fs_module : string;
   fs_units : u list;
   fs_findings : finding list;
+  fs_allows : allow list;
+      (* every well-formed [@lint.allow] parsed in the file, in source
+         order — the registry the unused-allow report is computed from *)
 }
 
 let module_name_of_file f =
@@ -82,7 +94,11 @@ let allow_of_attribute (attr : attribute) =
           malformed ("[@lint.allow]: unknown rule " ^ Filename.quote rule)
         else if String.length reason < 8 then
           malformed "[@lint.allow]: justification too short (>= 8 chars)"
-        else Some (Ok (rule, reason))
+        else
+          Some
+            (Ok
+               { a_rule = rule; a_reason = reason; a_loc = attr.attr_loc;
+                 a_used = ref false })
       | None -> malformed "[@lint.allow]: missing \"Ln:\" rule prefix")
     | _ -> malformed "[@lint.allow]: payload must be a string literal"
 
@@ -128,11 +144,12 @@ type env = {
   aliases : (string, string list) Hashtbl.t;
   modname : string;
   in_l3 : bool;
-  allows : (string * string) list;
+  allows : allow list;
   acc : acc;
   units : u list ref;
   file : string;
   file_findings : finding list ref;
+  all_allows : allow list ref;  (* registration order = source order *)
 }
 
 let emit env ~rule ~hint loc msg =
@@ -261,7 +278,9 @@ let rec collect_allows env (attrs : attributes) =
   | a :: rest -> (
     match allow_of_attribute a with
     | None -> collect_allows env rest
-    | Some (Ok pair) -> pair :: collect_allows env rest
+    | Some (Ok allow) ->
+      env.all_allows := allow :: !(env.all_allows);
+      allow :: collect_allows env rest
     | Some (Error (loc, why)) ->
       env.file_findings :=
         { f_rule = "allow"; f_loc = loc; f_msg = why;
@@ -559,6 +578,7 @@ let summarize_source ?(config = default_config) ~file src =
   let modname = module_name_of_file file in
   let units = ref [] in
   let file_findings = ref [] in
+  let all_allows = ref [] in
   let aliases = Hashtbl.create 16 in
   let env0 =
     {
@@ -571,6 +591,7 @@ let summarize_source ?(config = default_config) ~file src =
       units;
       file;
       file_findings;
+      all_allows;
     }
   in
   let lexbuf = Lexing.from_string src in
@@ -589,6 +610,7 @@ let summarize_source ?(config = default_config) ~file src =
       fs_file = file;
       fs_module = modname;
       fs_units = [];
+      fs_allows = [];
       fs_findings =
         [
           {
@@ -615,7 +637,9 @@ let summarize_source ?(config = default_config) ~file src =
             | _ -> ())
           | Pstr_attribute attr -> (
             match allow_of_attribute attr with
-            | Some (Ok pair) -> file_allows := pair :: !file_allows
+            | Some (Ok allow) ->
+              all_allows := allow :: !all_allows;
+              file_allows := allow :: !file_allows
             | Some (Error (loc, why)) ->
               file_findings :=
                 {
@@ -659,6 +683,7 @@ let summarize_source ?(config = default_config) ~file src =
       fs_module = modname;
       fs_units = List.rev !units;
       fs_findings = List.rev !file_findings;
+      fs_allows = List.rev !all_allows;
     }
 
 let summarize_file ?config file =

@@ -25,13 +25,22 @@ type config = {
 
 val default_config : config
 
+type allow = {
+  a_rule : string;  (** "L1".."L6" *)
+  a_reason : string;
+  a_loc : Location.t;  (** the attribute itself, for unused-allow reports *)
+  a_used : bool ref;
+      (** set by {!Rules} when the allow suppresses a diagnostic; an
+          allow still [false] after a full run suppressed nothing *)
+}
+
 type call = {
   c_callee : string;  (** canonical resolved name, e.g. "Log_manager.flush" *)
   c_loc : Location.t;
   c_held : (string * string) list;
       (** latches possibly held at the call: (latch expr text, mode) *)
   c_arg1 : string option;  (** text of the first positional argument *)
-  c_allows : (string * string) list;  (** allow scope at the site *)
+  c_allows : allow list;  (** allow scope at the site *)
 }
 
 type finding = {
@@ -39,7 +48,7 @@ type finding = {
   f_loc : Location.t;
   f_msg : string;
   f_hint : string;
-  f_allows : (string * string) list;
+  f_allows : allow list;
 }
 
 type u = {
@@ -47,8 +56,7 @@ type u = {
   u_file : string;
   u_name : string;  (** dotted path, e.g. "descend_write.go" *)
   u_loc : Location.t;
-  u_allows : (string * string) list;
-      (** (rule, justification) pairs in scope for the whole unit *)
+  u_allows : allow list;  (** allows in scope for the whole unit *)
   u_calls : call list;
   u_acquires_latch : bool;
       (** the unit contains a direct [Latch.acquire]/[with_latch] *)
@@ -61,6 +69,8 @@ type file_summary = {
   fs_units : u list;
   fs_findings : finding list;
       (** file-level findings: parse errors, malformed allow attributes *)
+  fs_allows : allow list;
+      (** every well-formed [@lint.allow] in the file, in source order *)
 }
 
 val module_name_of_file : string -> string

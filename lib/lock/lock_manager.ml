@@ -206,6 +206,15 @@ let lock_aux t ~txn name mode ~conditional ~instant =
       end
     in
     let tr = Oib_sim.Sched.trace t.sched in
+    (* instant-duration grants are invisible to the sanitizer: they are
+       released before the requester proceeds, so they order nothing *)
+    let probe_grant () =
+      if (not instant) && Trace.probing tr then
+        Trace.probe_emit tr
+          (Oib_obs.Probe.Lock_acq
+             { txn; target = name_string name; cond = conditional;
+               table = (match name with Table _ -> true | Record _ -> false) })
+    in
     let denied () =
       if Trace.tracing tr then
         Trace.emit tr
@@ -218,6 +227,7 @@ let lock_aux t ~txn name mode ~conditional ~instant =
     if grantable e ~txn ~mode:target ~conversion then begin
       grant t name e ~txn ~mode:target;
       settle_instant ();
+      probe_grant ();
       Trace.observe tr "lock_wait" 0;
       Granted
     end
@@ -242,6 +252,7 @@ let lock_aux t ~txn name mode ~conditional ~instant =
           else e.waiters <- e.waiters @ [ w ]);
       (* granted by [pump] before we were resumed *)
       settle_instant ();
+      probe_grant ();
       let waited = Oib_sim.Sched.steps t.sched - t0 in
       Trace.observe tr "lock_wait" waited;
       if Trace.tracing tr then
@@ -272,13 +283,18 @@ let try_instant_lock t ~txn name mode =
 let unlock_all t ~txn =
   let names = Option.value ~default:[] (Hashtbl.find_opt t.held txn) in
   Hashtbl.remove t.held txn;
-  (let tr = Oib_sim.Sched.trace t.sched in
-   if Trace.tracing tr && names <> [] then
-     Trace.emit tr (Event.Lock_released_all { owner = txn }));
+  let tr = Oib_sim.Sched.trace t.sched in
+  if Trace.tracing tr && names <> [] then
+    Trace.emit tr (Event.Lock_released_all { owner = txn });
   List.iter
     (fun name ->
       let e = entry t name in
       e.granted <- List.filter (fun r -> r.txn <> txn) e.granted;
+      if Trace.probing tr then
+        Trace.probe_emit tr
+          (Oib_obs.Probe.Lock_rel
+             { txn; target = name_string name;
+               table = (match name with Table _ -> true | Record _ -> false) });
       pump t name e)
     (List.sort_uniq compare names)
 

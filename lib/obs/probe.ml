@@ -1,0 +1,45 @@
+(* Sanitizer probe events.
+
+   A probe is the sanitizer-facing twin of {!Event}: where trace events
+   exist to be rendered (flight recorder, JSONL), probe events exist to be
+   *consumed online* by a dynamic analysis (the oib-san lockset race
+   detector, Goodlock graph builder and WAL verifier in [lib/san]).
+   Payloads are primitives only, for the same layering reason as
+   {!Event}: this module sits below every instrumented subsystem, so
+   latches, lock names and LSNs are rendered to ints/strings at the
+   emission site. The emitting fiber is stamped by {!Trace.probe_emit},
+   not carried in the event. *)
+
+type event =
+  | Spawn of { child : int }
+  | Fiber_exit
+  | Resume of { fiber : int }
+  | Latch_acq of { uid : int; role : string; page : int; excl : bool }
+  | Latch_rel of { uid : int; role : string; page : int; excl : bool }
+  | Lock_acq of { txn : int; target : string; table : bool; cond : bool }
+  | Lock_rel of { txn : int; target : string; table : bool }
+  | Access of { page : int; write : bool; site : string }
+  | Lsn_set of { page : int; old_lsn : int; new_lsn : int; site : string }
+  | Write_back of { page : int; page_lsn : int; flushed_lsn : int }
+  | Page_evict of { page : int }
+  | Log_append of { txn : int; kind : string }
+  | Undo_begin of { txn : int }
+  | Undo_end of { txn : int }
+  | Epoch of { label : string }
+
+let kind = function
+  | Spawn _ -> "spawn"
+  | Fiber_exit -> "fiber_exit"
+  | Resume _ -> "resume"
+  | Latch_acq _ -> "latch_acq"
+  | Latch_rel _ -> "latch_rel"
+  | Lock_acq _ -> "lock_acq"
+  | Lock_rel _ -> "lock_rel"
+  | Access _ -> "access"
+  | Lsn_set _ -> "lsn_set"
+  | Write_back _ -> "write_back"
+  | Page_evict _ -> "page_evict"
+  | Log_append _ -> "log_append"
+  | Undo_begin _ -> "undo_begin"
+  | Undo_end _ -> "undo_end"
+  | Epoch _ -> "epoch"

@@ -1,0 +1,48 @@
+(** Sanitizer probe events.
+
+    The online counterpart of {!Event}: a second, analysis-facing event
+    stream consumed by the oib-san runtime sanitizer ([lib/san]) rather
+    than rendered for humans. Instrumented subsystems emit probes through
+    {!Trace.probe_emit}, which stamps the current fiber and hands the
+    event to the single installed consumer; with no consumer installed
+    (the default) every emission site is one pointer compare.
+
+    Conventions: fiber [-1] is the main (non-fiber) context; [page] is a
+    buffer-pool page id ([-1] when the latch guards no page); LSNs are
+    [Lsn.to_int] renderings; [txn -1] means "no transaction". *)
+
+type event =
+  | Spawn of { child : int }
+      (** a new fiber was registered; the spawner is the stamped fiber *)
+  | Fiber_exit  (** the stamped fiber's body returned *)
+  | Resume of { fiber : int }
+      (** the stamped fiber made [fiber] runnable again (latch grant,
+          lock-queue pump, condition signal — every blocking primitive
+          funnels through [Sched.suspend], so this one edge covers all
+          of them) *)
+  | Latch_acq of { uid : int; role : string; page : int; excl : bool }
+      (** the stamped fiber was granted the latch (after any wait) *)
+  | Latch_rel of { uid : int; role : string; page : int; excl : bool }
+  | Lock_acq of { txn : int; target : string; table : bool; cond : bool }
+      (** manual-duration lock grant (instant-duration grants are not
+          reported: they impose no release-to-acquire ordering) *)
+  | Lock_rel of { txn : int; target : string; table : bool }
+  | Access of { page : int; write : bool; site : string }
+      (** a data access to the page ([site] names the emission point) *)
+  | Lsn_set of { page : int; old_lsn : int; new_lsn : int; site : string }
+  | Write_back of { page : int; page_lsn : int; flushed_lsn : int }
+      (** the page was written to the stable store; [flushed_lsn] is the
+          log's durable horizon at that moment (WAL rule: must be
+          [>= page_lsn]) *)
+  | Page_evict of { page : int }
+      (** the volatile page object was discarded; a later re-read builds
+          a new object (new latch) from the stable image *)
+  | Log_append of { txn : int; kind : string }
+  | Undo_begin of { txn : int }  (** rollback of [txn] starts *)
+  | Undo_end of { txn : int }
+  | Epoch of { label : string }
+      (** incarnation/run boundary: all volatile state (fibers, latches,
+          pages) from before is gone *)
+
+val kind : event -> string
+(** Stable short tag, e.g. ["latch_acq"]. *)

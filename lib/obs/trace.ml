@@ -14,6 +14,7 @@ type t = {
   mutable clock : unit -> int;
   mutable fiber : unit -> (int * string) option;
   mutable sinks : sink list;
+  mutable probe : (int -> Probe.event -> unit) option;
   mutable recorder : Flight_recorder.t option;
   mutable on_dump : string -> unit;
   mutable last_dump : string option;
@@ -28,6 +29,7 @@ let make ~live =
     clock = (fun () -> 0);
     fiber = (fun () -> None);
     sinks = [];
+    probe = None;
     recorder = None;
     on_dump = prerr_endline;
     last_dump = None;
@@ -55,6 +57,21 @@ let set_fiber t f =
 let now t = t.clock ()
 
 let tracing t = t.live && (t.sinks <> [] || t.recorder <> None)
+
+(* The probe channel is deliberately separate from [tracing]: a sanitized
+   run may want probes without paying for event rendering, and a traced
+   run must not suddenly grow probe consumers. Emission sites guard with
+   [probing] before building the event. *)
+let probing t = t.live && t.probe <> None
+
+let set_probe t f = if t.live then t.probe <- f
+
+let probe_emit t ev =
+  match t.probe with
+  | None -> ()
+  | Some f ->
+    let fiber = match t.fiber () with Some (id, _) -> id | None -> -1 in
+    f fiber ev
 
 let stamp t event =
   let fiber, fiber_name =

@@ -30,6 +30,26 @@ val tracing : t -> bool
 val emit : t -> Event.t -> unit
 (** Stamp and dispatch to the flight recorder and every sink. *)
 
+(** {2 Sanitizer probes}
+
+    A second, independent channel for {!Probe.event}s: one consumer (the
+    oib-san sanitizer), no rendering, no recorder. Kept apart from the
+    sink list so sanitizing and tracing can be enabled separately, and so
+    probe payloads never leak into the JSONL event schema. *)
+
+val probing : t -> bool
+(** True when a probe consumer is installed — check before building a
+    probe event at a hot emission site. *)
+
+val set_probe : t -> (int -> Probe.event -> unit) option -> unit
+(** Install (or clear) the probe consumer. It receives the emitting
+    fiber id ([-1] outside any fiber) and the event, and must not block:
+    it runs inside scheduler, latch and lock-manager critical sections. *)
+
+val probe_emit : t -> Probe.event -> unit
+(** Stamp the current fiber and hand the event to the consumer (no-op
+    when none is installed). *)
+
 val add_sink : t -> name:string -> (Event.stamped -> unit) -> unit
 val remove_sink : t -> name:string -> unit
 

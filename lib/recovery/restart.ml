@@ -66,10 +66,10 @@ let apply_heap_op page_payload op =
 
 let redo_heap log pool ~page_capacity =
   let page_of id =
-    match Buffer_pool.get pool id with
+    match Buffer_pool.get ~role:"Heap_file" pool id with
     | p -> p
     | exception Not_found ->
-      Buffer_pool.install pool id
+      Buffer_pool.install ~role:"Heap_file" pool id
         ~payload:(Heap_page.Heap (Heap_page.create ~capacity:page_capacity))
         ~copy_payload:Heap_page.copy_payload
   in

@@ -1,0 +1,71 @@
+type t = { edges : (string * string, string) Hashtbl.t }
+(* value = first witness site *)
+
+let create () = { edges = Hashtbl.create 32 }
+
+let add_edge t ~src ~dst ~site =
+  if src <> dst && not (Hashtbl.mem t.edges (src, dst)) then
+    Hashtbl.replace t.edges (src, dst) site
+
+let edges t =
+  List.sort_uniq compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.edges [])
+
+let witness t k = Hashtbl.find_opt t.edges k
+
+(* Deterministic cycle extraction: DFS over sorted nodes with sorted
+   adjacency, deduplicating cycles by their canonical (sorted) node set.
+   Mirrors the linter's L5 search so the two reports line up. *)
+let cycles t =
+  let es = edges t in
+  let adj : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+      Hashtbl.replace adj a (prev @ [ b ]))
+    es;
+  let nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) es) in
+  let color : (string, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let seen = Hashtbl.create 4 in
+  let rec dfs stack n =
+    match Hashtbl.find_opt color n with
+    | Some `Black -> ()
+    | Some `Grey ->
+      (* stack head is the revisited node; the cycle runs from its
+         previous occurrence (deeper in the stack) forward to here *)
+      let rec take = function
+        | x :: _ when x = n -> []
+        | x :: rest -> x :: take rest
+        | [] -> []
+      in
+      let cyc = n :: List.rev (take (List.tl stack)) in
+      let key = String.concat "," (List.sort compare cyc) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := cyc :: !out
+      end
+    | None ->
+      Hashtbl.replace color n `Grey;
+      List.iter
+        (fun m -> dfs (m :: stack) m)
+        (Option.value ~default:[] (Hashtbl.find_opt adj n));
+      Hashtbl.replace color n `Black
+  in
+  List.iter (fun n -> dfs [ n ] n) nodes;
+  List.rev !out
+
+let lock_node n = String.length n >= 5 && String.sub n 0 5 = "lock:"
+
+let diff ~runtime ~static =
+  let static = List.sort_uniq compare static in
+  let runtime = List.sort_uniq compare runtime in
+  let static_only = List.filter (fun e -> not (List.mem e runtime)) static in
+  let runtime_only =
+    List.filter
+      (fun (a, b) ->
+        (not (lock_node a)) && (not (lock_node b))
+        && not (List.mem (a, b) static))
+      runtime
+  in
+  (static_only, runtime_only)

@@ -1,0 +1,71 @@
+module Sset = Set.Make (String)
+
+type access = {
+  a_fiber : int;
+  a_vc : Vc.t;
+  a_locks : Sset.t;
+  a_xlocks : Sset.t;
+  a_write : bool;
+  a_site : string;
+}
+
+type shadow = {
+  mutable last_write : access option;
+  mutable reads : access list;  (* since the last write, newest first *)
+}
+
+type t = {
+  pages : (int, shadow) Hashtbl.t;
+  report : page:int -> prev:access -> cur:access -> unit;
+}
+
+let create ~report = { pages = Hashtbl.create 64; report }
+
+(* cap the per-page read set: enough to pair every concurrent reader in
+   the simulator's small fiber counts, bounded against pathological runs *)
+let max_reads = 16
+
+let protected_pair prev cur =
+  match (prev.a_write, cur.a_write) with
+  | true, true -> not (Sset.is_empty (Sset.inter prev.a_xlocks cur.a_xlocks))
+  | true, false -> not (Sset.is_empty (Sset.inter prev.a_xlocks cur.a_locks))
+  | false, true -> not (Sset.is_empty (Sset.inter prev.a_locks cur.a_xlocks))
+  | false, false -> true (* reads never conflict *)
+
+let check t ~page prev cur =
+  if
+    prev.a_fiber <> cur.a_fiber
+    && (prev.a_write || cur.a_write)
+    && (not (Vc.leq prev.a_vc cur.a_vc))
+    && not (protected_pair prev cur)
+  then t.report ~page ~prev ~cur
+
+let shadow t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some s -> s
+  | None ->
+    let s = { last_write = None; reads = [] } in
+    Hashtbl.replace t.pages page s;
+    s
+
+let record t ~page acc =
+  let s = shadow t page in
+  (match s.last_write with
+  | Some w -> check t ~page w acc
+  | None -> ());
+  if acc.a_write then begin
+    List.iter (fun r -> check t ~page r acc) s.reads;
+    s.reads <- [];
+    s.last_write <- Some acc
+  end
+  else begin
+    let reads = acc :: s.reads in
+    s.reads <-
+      (if List.length reads > max_reads then
+         List.filteri (fun i _ -> i < max_reads) reads
+       else reads)
+  end
+
+let clear_page t page = Hashtbl.remove t.pages page
+
+let reset t = Hashtbl.reset t.pages

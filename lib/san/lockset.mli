@@ -1,0 +1,37 @@
+(** Eraser-style lockset race detection over buffer-pool pages.
+
+    Shadow state per page: the last write access plus the reads since it.
+    Each access carries the accessing fiber, a vector-clock snapshot, and
+    the latch/lock tokens held at the access. A race is a conflicting
+    pair (at least one write) from different fibers that is not
+    happens-before ordered and whose intersected protection is empty —
+    write/write pairs intersect the exclusively-held sets, read/write
+    pairs intersect the reader's full set with the writer's exclusive
+    set. In the cooperative scheduler, "different fibers" implies the
+    pair spans at least one [Sched] yield point. *)
+
+module Sset : Set.S with type elt = string
+
+type access = {
+  a_fiber : int;
+  a_vc : Vc.t;  (** the fiber's clock when the access happened *)
+  a_locks : Sset.t;  (** every latch/lock token held (any mode) *)
+  a_xlocks : Sset.t;  (** the exclusively-held subset *)
+  a_write : bool;
+  a_site : string;  (** e.g. ["Page.set_lsn"] or ["Heap_file.latch"] *)
+}
+
+type t
+
+val create : report:(page:int -> prev:access -> cur:access -> unit) -> t
+(** [report] fires once per detected racing pair, previous access first. *)
+
+val record : t -> page:int -> access -> unit
+(** Check the access against the page's shadow state, then store it. *)
+
+val clear_page : t -> int -> unit
+(** Forget a page's shadow (eviction: the latch identity changes when the
+    page object is rebuilt, so stale tokens would fake races). *)
+
+val reset : t -> unit
+(** Forget everything (run/incarnation boundary). *)

@@ -1,0 +1,21 @@
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let get f t = Option.value ~default:0 (Imap.find_opt f t)
+
+let tick f t = Imap.add f (get f t + 1) t
+
+let join a b = Imap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = Imap.for_all (fun f n -> n <= get f b) a
+
+let to_string t =
+  "{"
+  ^ String.concat " "
+      (List.map
+         (fun (f, n) -> "f" ^ string_of_int f ^ ":" ^ string_of_int n)
+         (Imap.bindings t))
+  ^ "}"

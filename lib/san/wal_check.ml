@@ -1,0 +1,49 @@
+type t = {
+  page_lsn : (int, int) Hashtbl.t;  (* shadow: last LSN seen per page *)
+  undoing : (int, unit) Hashtbl.t;  (* txns inside an undo walk *)
+  report : check:string -> site:string -> string -> unit;
+}
+
+let create ~report =
+  { page_lsn = Hashtbl.create 64; undoing = Hashtbl.create 8; report }
+
+let undo_kinds = [ "clr"; "abort"; "end" ]
+
+let feed t (ev : Oib_obs.Probe.event) =
+  match ev with
+  | Lsn_set { page; old_lsn; new_lsn; site } ->
+    let shadow =
+      Option.value ~default:0 (Hashtbl.find_opt t.page_lsn page)
+    in
+    let floor = max old_lsn shadow in
+    if new_lsn < floor then
+      t.report ~check:"lsn-monotonic"
+        ~site:("page-" ^ string_of_int page ^ ":" ^ site)
+        ("page " ^ string_of_int page ^ " LSN moved backwards: "
+       ^ string_of_int floor ^ " -> " ^ string_of_int new_lsn ^ " at "
+       ^ site);
+    Hashtbl.replace t.page_lsn page (max floor new_lsn)
+  | Write_back { page; page_lsn; flushed_lsn } ->
+    if flushed_lsn < page_lsn then
+      t.report ~check:"steal-before-flush"
+        ~site:("page-" ^ string_of_int page)
+        ("page " ^ string_of_int page ^ " written back at LSN "
+       ^ string_of_int page_lsn ^ " but the log is only durable to "
+       ^ string_of_int flushed_lsn
+       ^ " (write-ahead rule: force the log before stealing)")
+  | Page_evict { page } -> Hashtbl.remove t.page_lsn page
+  | Undo_begin { txn } -> Hashtbl.replace t.undoing txn ()
+  | Undo_end { txn } -> Hashtbl.remove t.undoing txn
+  | Log_append { txn; kind } ->
+    if txn >= 0 && Hashtbl.mem t.undoing txn && not (List.mem kind undo_kinds)
+    then
+      t.report ~check:"clr-discipline"
+        ~site:("txn-" ^ string_of_int txn ^ ":" ^ kind)
+        ("txn " ^ string_of_int txn ^ " appended a non-compensation record ("
+       ^ kind ^ ") while undoing — rollback must log CLRs only")
+  | Epoch _ ->
+    Hashtbl.reset t.page_lsn;
+    Hashtbl.reset t.undoing
+  | Spawn _ | Fiber_exit | Resume _ | Latch_acq _ | Latch_rel _ | Lock_acq _
+  | Lock_rel _ | Access _ ->
+    ()

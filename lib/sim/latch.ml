@@ -1,5 +1,6 @@
 module Trace = Oib_obs.Trace
 module Event = Oib_obs.Event
+module Probe = Oib_obs.Probe
 
 type mode = S | X
 
@@ -9,13 +10,29 @@ type t = {
   sched : Sched.t;
   metrics : Metrics.t;
   name : string;
+  uid : int;
+  role : string;
+  page : int;
   mutable s_holders : int;
   mutable x_held : bool;
   mutable waiters : (mode * (unit -> unit)) list; (* FIFO, head = oldest *)
 }
 
-let create ?(name = "latch") sched metrics =
-  { sched; metrics; name; s_holders = 0; x_held = false; waiters = [] }
+(* Process-wide identity for the sanitizer's locksets: two latch objects
+   are never "the same lock", even across engine incarnations. *)
+let next_uid = ref 0
+
+let create ?(name = "latch") ?(role = "latch") ?(page = -1) sched metrics =
+  let uid = !next_uid in
+  incr next_uid;
+  { sched; metrics; name; uid; role; page; s_holders = 0; x_held = false;
+    waiters = [] }
+
+let uid t = t.uid
+
+let role t = t.role
+
+let trace t = Sched.trace t.sched
 
 let compatible t mode =
   match mode with
@@ -26,6 +43,13 @@ let grant t mode =
   match mode with
   | S -> t.s_holders <- t.s_holders + 1
   | X -> t.x_held <- true
+
+let probe_acq t mode =
+  let tr = Sched.trace t.sched in
+  if Trace.probing tr then
+    Trace.probe_emit tr
+      (Probe.Latch_acq
+         { uid = t.uid; role = t.role; page = t.page; excl = mode = X })
 
 (* Wake the longest-waiting compatible requests: an X waiter alone, or a
    maximal prefix run of S waiters. FIFO granting prevents starvation of
@@ -49,6 +73,7 @@ let acquire t mode =
   let tr = Sched.trace t.sched in
   if compatible t mode && t.waiters = [] then begin
     grant t mode;
+    probe_acq t mode;
     Trace.observe tr "latch_wait" 0
   end
   else begin
@@ -60,6 +85,8 @@ let acquire t mode =
     let span = Trace.span_begin tr ~cat:"latch" ~name:t.name in
     Sched.suspend t.sched (fun resume ->
         t.waiters <- t.waiters @ [ (mode, resume) ]);
+    (* granted by [wake] before we were resumed *)
+    probe_acq t mode;
     let waited = Sched.steps t.sched - t0 in
     Trace.observe tr "latch_wait" waited;
     if Trace.tracing tr then
@@ -72,6 +99,7 @@ let try_acquire t mode =
   if compatible t mode && t.waiters = [] then begin
     t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
     grant t mode;
+    probe_acq t mode;
     Trace.observe (Sched.trace t.sched) "latch_wait" 0;
     true
   end
@@ -82,6 +110,10 @@ let release t mode =
   if Trace.tracing tr then
     Trace.emit tr
       (Event.Latch_released { latch = t.name; mode = mode_name mode });
+  if Trace.probing tr then
+    Trace.probe_emit tr
+      (Probe.Latch_rel
+         { uid = t.uid; role = t.role; page = t.page; excl = mode = X });
   (match mode with
   | S ->
     assert (t.s_holders > 0);

@@ -11,7 +11,21 @@ type mode = S | X
 
 type t
 
-val create : ?name:string -> Sched.t -> Metrics.t -> t
+val create :
+  ?name:string -> ?role:string -> ?page:int -> Sched.t -> Metrics.t -> t
+(** [role] names the owning structure ("Heap_file", "Btree", …) for the
+    sanitizer's latch-order graph; [page] is the guarded buffer-pool page
+    id (or [-1]), letting the sanitizer treat latched sections as page
+    accesses. Both default to inert values. *)
+
+val uid : t -> int
+(** Process-wide unique identity (never reused, even across engine
+    incarnations) — the sanitizer's lockset element. *)
+
+val role : t -> string
+
+val trace : t -> Oib_obs.Trace.t
+(** The observability hub of the latch's scheduler. *)
 
 val acquire : t -> mode -> unit
 (** Block until the latch is available in [mode]. S is compatible with S;

@@ -99,7 +99,13 @@ let enqueue t id thunk = t.runq <- (id, thunk) :: t.runq
 let start_fiber t id f =
   match_with f ()
     {
-      retc = (fun () -> t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          (* the exiting fiber's effects become visible to whoever runs
+             after the scheduler returns (join-to-main HB edge) *)
+          if Oib_obs.Trace.probing t.trace then
+            Oib_obs.Trace.probe_emit t.trace Oib_obs.Probe.Fiber_exit);
       exnc =
         (fun exn ->
           t.live <- t.live - 1;
@@ -114,7 +120,15 @@ let start_fiber t id f =
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
-                register (fun () -> enqueue t id (fun () -> continue k ())))
+                register (fun () ->
+                    (* every blocking primitive (latch wake, lock-queue
+                       pump, Cond signal/broadcast) resumes its waiter
+                       through this thunk, so stamping the resumer here
+                       captures all synchronizes-with edges at once *)
+                    if Oib_obs.Trace.probing t.trace then
+                      Oib_obs.Trace.probe_emit t.trace
+                        (Oib_obs.Probe.Resume { fiber = id });
+                    enqueue t id (fun () -> continue k ())))
           | _ -> None);
     }
 
@@ -126,6 +140,8 @@ let spawn t ?name f =
   if Oib_obs.Trace.tracing t.trace then
     Oib_obs.Trace.emit t.trace
       (Oib_obs.Event.Fiber_spawn { fiber = id; name = fiber_name t id });
+  if Oib_obs.Trace.probing t.trace then
+    Oib_obs.Trace.probe_emit t.trace (Oib_obs.Probe.Spawn { child = id });
   enqueue t id (fun () -> start_fiber t id f);
   id
 

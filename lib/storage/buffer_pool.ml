@@ -23,17 +23,18 @@ let metrics t = t.metrics
 let log t = t.log
 let store t = t.store
 
-let new_page t ~payload ~copy_payload =
+let new_page ?role t ~payload ~copy_payload =
   let id = t.next_page_id in
   t.next_page_id <- id + 1;
   let page =
-    Page.make ~id ~sched:t.sched ~metrics:t.metrics ~payload ~copy_payload
+    Page.make ?role ~id ~sched:t.sched ~metrics:t.metrics ~payload
+      ~copy_payload ()
   in
   page.dirty <- true;
   Hashtbl.replace t.cache id page;
   page
 
-let get t id =
+let get ?role t id =
   match Hashtbl.find_opt t.cache id with
   | Some p -> p
   | None -> begin
@@ -49,8 +50,8 @@ let get t id =
       if Oib_obs.Trace.tracing tr then
         Oib_obs.Trace.emit tr (Oib_obs.Event.Page_read { page = id });
       let page =
-        Page.make ~id ~sched:t.sched ~metrics:t.metrics
-          ~payload:(copy_payload payload) ~copy_payload
+        Page.make ?role ~id ~sched:t.sched ~metrics:t.metrics
+          ~payload:(copy_payload payload) ~copy_payload ()
       in
       page.lsn <- lsn;
       Hashtbl.replace t.cache id page;
@@ -60,13 +61,41 @@ let get t id =
 
 let mem t id = Hashtbl.mem t.cache id || Stable_store.mem t.store id
 
-let install t id ~payload ~copy_payload =
+let install ?role t id ~payload ~copy_payload =
   if mem t id then invalid_arg "Buffer_pool.install: page exists";
-  let page = Page.make ~id ~sched:t.sched ~metrics:t.metrics ~payload ~copy_payload in
+  let page =
+    Page.make ?role ~id ~sched:t.sched ~metrics:t.metrics ~payload
+      ~copy_payload ()
+  in
   page.dirty <- true;
   Hashtbl.replace t.cache id page;
   if id >= t.next_page_id then t.next_page_id <- id + 1;
   page
+
+(* The page write-back shared by the live path (which forces the log
+   first) and the test-only WAL-bypass (which must be observable as a
+   steal-before-flush by the sanitizer). *)
+let write_back t (page : Page.t) =
+  let tr = Oib_sim.Sched.trace t.sched in
+  t.metrics.page_writes <- t.metrics.page_writes + 1;
+  if Oib_obs.Trace.tracing tr then
+    Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id });
+  if Oib_obs.Trace.probing tr then
+    Oib_obs.Trace.probe_emit tr
+      (Oib_obs.Probe.Write_back
+         {
+           page = page.id;
+           page_lsn = Oib_wal.Lsn.to_int page.lsn;
+           flushed_lsn =
+             Oib_wal.Lsn.to_int (Oib_wal.Log_manager.flushed_lsn t.log);
+         });
+  Stable_store.write t.store page.id
+    {
+      Stable_store.payload = page.copy_payload page.payload;
+      lsn = page.lsn;
+      copy_payload = page.copy_payload;
+    };
+  page.dirty <- false
 
 let flush_page t (page : Page.t) =
   if page.dirty then begin
@@ -77,18 +106,12 @@ let flush_page t (page : Page.t) =
     in
     (* write-ahead rule; its logflush span nests inside this io span *)
     Oib_wal.Log_manager.flush t.log ~upto:page.lsn;
-    t.metrics.page_writes <- t.metrics.page_writes + 1;
-    if Oib_obs.Trace.tracing tr then
-      Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id });
-    Stable_store.write t.store page.id
-      {
-        Stable_store.payload = page.copy_payload page.payload;
-        lsn = page.lsn;
-        copy_payload = page.copy_payload;
-      };
-    page.dirty <- false;
+    write_back t page;
     Oib_obs.Trace.span_end tr span
   end
+
+let unsafe_steal_without_wal t (page : Page.t) =
+  if page.dirty then write_back t page
 
 let flush_all t =
   let pages = Hashtbl.fold (fun _ p acc -> p :: acc) t.cache [] in
@@ -109,9 +132,17 @@ let flush_some t rng p =
 let reserve_page_ids t ~upto =
   if upto >= t.next_page_id then t.next_page_id <- upto + 1
 
-let evict t id = Hashtbl.remove t.cache id
+let probe_evict t id =
+  let tr = Oib_sim.Sched.trace t.sched in
+  if Oib_obs.Trace.probing tr then
+    Oib_obs.Trace.probe_emit tr (Oib_obs.Probe.Page_evict { page = id })
+
+let evict t id =
+  if Hashtbl.mem t.cache id then probe_evict t id;
+  Hashtbl.remove t.cache id
 
 let drop t id =
+  if Hashtbl.mem t.cache id then probe_evict t id;
   Hashtbl.remove t.cache id;
   Stable_store.remove t.store id
 

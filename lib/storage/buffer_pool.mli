@@ -22,15 +22,19 @@ val log : t -> Oib_wal.Log_manager.t
 val store : t -> Stable_store.t
 
 val new_page :
+  ?role:string ->
   t -> payload:Page.payload -> copy_payload:(Page.payload -> Page.payload) ->
   Page.t
-(** Allocate a fresh page (monotonically increasing id). *)
+(** Allocate a fresh page (monotonically increasing id). [role] tags the
+    page's latch for the sanitizer (see {!Page.make}). *)
 
-val get : t -> int -> Page.t
+val get : ?role:string -> t -> int -> Page.t
 (** Fetch a page; reads from the stable store on a miss (counted as a page
-    read). Raises [Not_found] if the page exists nowhere. *)
+    read — [role] tags the rebuilt page object on that path). Raises
+    [Not_found] if the page exists nowhere. *)
 
 val install :
+  ?role:string ->
   t -> int -> payload:Page.payload ->
   copy_payload:(Page.payload -> Page.payload) -> Page.t
 (** Recreate a page under a *specific* id with fresh contents — used by
@@ -49,6 +53,12 @@ val mem : t -> int -> bool
 
 val flush_page : t -> Page.t -> unit
 (** Write one page back (WAL rule enforced); clears its dirty bit. *)
+
+val unsafe_steal_without_wal : t -> Page.t -> unit
+(** Test-only: write the page back {e without} forcing the log first — a
+    deliberate write-ahead-rule violation. Exists so the oib-san WAL
+    verifier's steal-before-flush check can be exercised; never called
+    from library code. *)
 
 val flush_all : t -> unit
 (** Flush every dirty page except [no_steal] ones (a system checkpoint;

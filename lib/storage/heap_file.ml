@@ -50,11 +50,11 @@ let page_count t = List.length t.pages_rev
 
 let last_page_id t = match t.pages_rev with [] -> None | id :: _ -> Some id
 
-let page t id = Buffer_pool.get t.pool id
+let page t id = Buffer_pool.get ~role:"Heap_file" t.pool id
 
 let extend t =
   let p =
-    Buffer_pool.new_page t.pool
+    Buffer_pool.new_page ~role:"Heap_file" t.pool
       ~payload:(Heap_page.Heap (Heap_page.create ~capacity:t.page_capacity))
       ~copy_payload:Heap_page.copy_payload
   in

@@ -10,10 +10,13 @@ type t = {
   mutable no_steal : bool;
 }
 
-let make ~id ~sched ~metrics ~payload ~copy_payload =
+let make ?(role = "page") ~id ~sched ~metrics ~payload ~copy_payload () =
   {
     id;
-    latch = Oib_sim.Latch.create ~name:(Printf.sprintf "page-%d" id) sched metrics;
+    latch =
+      Oib_sim.Latch.create
+        ~name:(Printf.sprintf "page-%d" id)
+        ~role ~page:id sched metrics;
     lsn = Oib_wal.Lsn.nil;
     payload;
     copy_payload;
@@ -22,7 +25,27 @@ let make ~id ~sched ~metrics ~payload ~copy_payload =
   }
 
 let set_lsn t lsn =
+  (let tr = Oib_sim.Latch.trace t.latch in
+   if Oib_obs.Trace.probing tr then begin
+     Oib_obs.Trace.probe_emit tr
+       (Oib_obs.Probe.Lsn_set
+          {
+            page = t.id;
+            old_lsn = Oib_wal.Lsn.to_int t.lsn;
+            new_lsn = Oib_wal.Lsn.to_int lsn;
+            site = "Page.set_lsn";
+          });
+     Oib_obs.Trace.probe_emit tr
+       (Oib_obs.Probe.Access
+          { page = t.id; write = true; site = "Page.set_lsn" })
+   end);
   t.lsn <- lsn;
   t.dirty <- true
 
-let mark_dirty t = t.dirty <- true
+let mark_dirty t =
+  (let tr = Oib_sim.Latch.trace t.latch in
+   if Oib_obs.Trace.probing tr then
+     Oib_obs.Trace.probe_emit tr
+       (Oib_obs.Probe.Access
+          { page = t.id; write = true; site = "Page.mark_dirty" }));
+  t.dirty <- true

@@ -26,12 +26,17 @@ type t = {
 }
 
 val make :
+  ?role:string ->
   id:int ->
   sched:Oib_sim.Sched.t ->
   metrics:Oib_sim.Metrics.t ->
   payload:payload ->
   copy_payload:(payload -> payload) ->
+  unit ->
   t
+(** [role] (default ["page"]) names the structure the page belongs to
+    ("Heap_file", "Btree", …); it becomes the page latch's node in the
+    sanitizer's latch-order graph. *)
 
 val set_lsn : t -> Oib_wal.Lsn.t -> unit
 (** Record that the log record with this LSN modified the page; also marks

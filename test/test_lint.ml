@@ -115,6 +115,22 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
+let test_unused_allow_reported () =
+  let res = run [ "unused_allow.ml" ] in
+  Alcotest.(check int) "no diagnostics" 0 (List.length (Lint.errors res));
+  (match res.Lint.r_unused_allows with
+  | [ d ] ->
+    Alcotest.(check string) "rule" "allow-unused" d.Diag.rule;
+    Alcotest.(check bool) "names the stale allow" true
+      (contains d.Diag.msg "L1: stale justification")
+  | l ->
+    Alcotest.failf "expected exactly one unused allow, got %d"
+      (List.length l));
+  (* a used allow is not reported *)
+  let used = run [ "l2_allowed.ml" ] in
+  Alcotest.(check int) "used allow not flagged" 0
+    (List.length used.Lint.r_unused_allows)
+
 let test_stats_json () =
   let res = run [ "l1_unbalanced.ml" ] in
   let json = Lint.stats_to_json res.Lint.r_stats in
@@ -142,6 +158,8 @@ let () =
           Alcotest.test_case "L6 missing mli" `Quick test_l6_missing_mli;
           Alcotest.test_case "malformed allow reported" `Quick
             test_malformed_allow;
+          Alcotest.test_case "unused allow reported" `Quick
+            test_unused_allow_reported;
           Alcotest.test_case "stats json" `Quick test_stats_json;
         ] );
     ]
