@@ -17,12 +17,22 @@ let run_experiment name =
       (String.concat ", " (List.map fst Experiments.all));
     false
 
-let main exps micro_only smoke =
+let main exps micro_only smoke baseline =
   if smoke then begin
     (* tiny instrumented config: exercises the whole observability path
-       (trace, progress, histograms, BENCH_obs.json) in a few seconds *)
+       (trace, progress, histograms, BENCH_obs.json, BENCH_core.json) in
+       a few seconds *)
     Obs_report.run ~rows:200 ~workers:2 ~txns:10 ~sample_every:20 ();
-    0
+    match baseline with
+    | None -> 0
+    | Some path ->
+      if Obs_report.check_baseline ~baseline:path ~core:"BENCH_core.json" then 0
+      else begin
+        prerr_endline
+          "bench: wall-time regression vs baseline (re-baseline with \
+           `cp BENCH_core.json bench/BENCH_baseline.json` if intended)";
+        1
+      end
   end
   else if micro_only then begin
     Micro.run ();
@@ -58,8 +68,18 @@ let smoke =
     & info [ "smoke" ]
         ~doc:"Run a tiny instrumented build and emit BENCH_obs.json only.")
 
+let baseline =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-baseline" ] ~docv:"FILE"
+        ~doc:
+          "After --smoke, compare BENCH_core.json against $(docv) and exit \
+           nonzero on a >25% wall-step regression in any run.")
+
 let cmd =
   let doc = "Regenerate the evaluation of the online index build paper" in
-  Cmd.v (Cmd.info "oib-bench" ~doc) Term.(const main $ exps $ micro $ smoke)
+  Cmd.v (Cmd.info "oib-bench" ~doc)
+    Term.(const main $ exps $ micro $ smoke $ baseline)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,8 @@ module Sched = Oib_sim.Sched
 module Driver = Oib_workload.Driver
 module Trace = Oib_obs.Trace
 module Hist = Oib_obs.Hist
+module Resource = Oib_obs.Resource
+module Json = Oib_obs_analysis.Json
 module BS = Build_status
 
 type run_result = {
@@ -121,6 +123,93 @@ let json_of_run r =
   Buffer.add_string b "}}";
   Buffer.contents b
 
+(* BENCH_core.json: the standardized run trajectory every bench config
+   emits — wall time in virtual steps, the build's attributed cost
+   (compares, WAL bytes), foreground latency p99, and the per-phase
+   resource breakdown — so runs are comparable across machines (virtual
+   time) and across PRs (the smoke baseline check below). *)
+let json_of_core_run r =
+  let res = r.status.BS.resources in
+  let fg_p99 =
+    match Trace.find_hist r.trace "txn_latency" with
+    | Some h -> Hist.percentile h 0.99
+    | None -> 0.0
+  in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "{\"name\":%S,\"algorithm\":%S,\"seed\":%d,\"wall_steps\":%d,"
+    r.algorithm r.algorithm r.seed r.total_steps;
+  Printf.bprintf b "\"compares\":%d,\"log_bytes\":%d,\"fg_p99\":%.1f,"
+    res.Resource.sort_compares res.Resource.log_bytes fg_p99;
+  Printf.bprintf b "\"cost\":%s,\"phases\":[" (Resource.to_json res);
+  (* phase_spans and phase_costs both derive one entry per history
+     transition, oldest first — pair them positionally *)
+  let rec phases i spans costs =
+    match (spans, costs) with
+    | (p, _, steps) :: spans, (_, cost) :: costs ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"phase\":%S,\"steps\":%d,\"cost\":%s}"
+        (BS.phase_name p) steps (Resource.to_json cost);
+      phases (i + 1) spans costs
+    | _ -> ()
+  in
+  phases 0 (phase_spans r) (BS.phase_costs r.status);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_core_json runs out =
+  let oc = open_out out in
+  Printf.fprintf oc "{\"schema\":\"bench-core/v1\",\"runs\":[%s]}\n"
+    (String.concat "," (List.map json_of_core_run runs));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+(* Baseline gate for @bench-smoke: compare this run's BENCH_core.json
+   against the checked-in baseline and fail on a >25%% wall-time
+   regression in any run. Virtual steps are deterministic for a given
+   (seed, config), so the gate is noise-free; the threshold only has to
+   absorb legitimate algorithm changes, which must re-baseline. *)
+let check_baseline ~baseline ~core =
+  let load path =
+    match Json.parse (In_channel.with_open_text path In_channel.input_all) with
+    | Ok j -> j
+    | Error msg -> failwith (Printf.sprintf "%s: bad JSON: %s" path msg)
+  in
+  let runs j =
+    match Json.member "runs" j with
+    | Some (Json.List l) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "name" r) Json.to_string,
+              Option.bind (Json.member "wall_steps" r) Json.to_int )
+          with
+          | Some name, Some steps -> Some (name, steps)
+          | _ -> None)
+        l
+    | _ -> []
+  in
+  let base = runs (load baseline) and now = runs (load core) in
+  let ok = ref true in
+  List.iter
+    (fun (name, base_steps) ->
+      match List.assoc_opt name now with
+      | None ->
+        Printf.printf "baseline: run %S missing from %s\n" name core;
+        ok := false
+      | Some steps ->
+        let limit = base_steps * 5 / 4 in
+        let verdict = if steps > limit then "REGRESSION" else "ok" in
+        Printf.printf "baseline: %-4s wall_steps %d vs %d (limit %d) %s\n"
+          name steps base_steps limit verdict;
+        if steps > limit then ok := false)
+    base;
+  if base = [] then begin
+    Printf.printf "baseline: no runs in %s\n" baseline;
+    ok := false
+  end;
+  !ok
+
 let print_run r =
   Printf.printf "\n-- %s build (seed %d, %d steps) --\n" r.algorithm r.seed
     r.total_steps;
@@ -133,7 +222,8 @@ let print_run r =
   Format.printf "%a@." Trace.pp_hists r.trace
 
 let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
-    ?(sample_every = 250) ?(out = "BENCH_obs.json") () =
+    ?(sample_every = 250) ?(out = "BENCH_obs.json")
+    ?(core_out = "BENCH_core.json") () =
   print_endline "== observability report (per-phase timings, latency hists) ==";
   let runs =
     [
@@ -149,4 +239,5 @@ let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
         (List.map (fun r -> Printf.sprintf "%S:%s" r.algorithm (json_of_run r)) runs)
     ^ "}\n");
   close_out oc;
-  Printf.printf "wrote %s\n%!" out
+  Printf.printf "wrote %s\n%!" out;
+  write_core_json runs core_out

@@ -1,0 +1,174 @@
+(* oib-top: terminal dashboard over the metrics plane.
+
+   oib-top frame build.jsonl          # render one frame from a capture
+   oib-top watch build.jsonl          # tail a capture being written
+   oib-top live --rows 2000           # in-process soak, live frames
+
+   All three fold events into Oib_obs_analysis.Dashboard; this binary
+   only owns the terminal (clear-screen, polling, the soak workload). *)
+
+open Oib_core
+module Sched = Oib_sim.Sched
+module Driver = Oib_workload.Driver
+module Trace = Oib_obs.Trace
+module TR = Oib_obs_analysis.Trace_reader
+module Dashboard = Oib_obs_analysis.Dashboard
+
+let clear_if_tty () =
+  if Unix.isatty Unix.stdout then print_string "\027[2J\027[H"
+
+let show dash =
+  clear_if_tty ();
+  print_string (Dashboard.render dash);
+  flush stdout
+
+(* -- frame: one shot from a finished capture -- *)
+
+let cmd_frame path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "oib-top: no such file: %s\n" path;
+    exit 2
+  end;
+  let events, errors = TR.of_file path in
+  List.iter
+    (fun (e : TR.error) ->
+      Printf.eprintf "oib-top: %s:%d: %s\n" path e.line_no e.msg)
+    errors;
+  let dash = Dashboard.create () in
+  Dashboard.feed_all dash events;
+  print_string (Dashboard.render dash)
+
+(* -- watch: tail a capture as it grows -- *)
+
+(* Poll by byte offset: each round, read everything past [offset],
+   feed the complete lines, keep the partial tail for the next round. *)
+let cmd_watch path interval =
+  let dash = Dashboard.create () in
+  let offset = ref 0 in
+  let partial = Buffer.create 256 in
+  let feed_new () =
+    let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+    if size <= !offset then false
+    else begin
+      let ic = open_in_bin path in
+      seek_in ic !offset;
+      let fresh = really_input_string ic (size - !offset) in
+      close_in ic;
+      offset := size;
+      Buffer.add_string partial fresh;
+      let data = Buffer.contents partial in
+      Buffer.clear partial;
+      let lines = String.split_on_char '\n' data in
+      let rec consume = function
+        | [] -> ()
+        | [ tail ] -> Buffer.add_string partial tail
+        | line :: rest ->
+          (match TR.parse_line line with
+          | Ok ev -> Dashboard.feed dash ev
+          | Error _ -> ());
+          consume rest
+      in
+      consume lines;
+      true
+    end
+  in
+  while true do
+    if feed_new () then show dash;
+    Unix.sleepf interval
+  done
+
+(* -- live: in-process soak with frames rendered off the event stream -- *)
+
+let cmd_live rows workers txns seed every refresh delay =
+  let dash = Dashboard.create () in
+  let trace = Trace.create () in
+  ignore (Trace.attach_recorder trace ~capacity:1024);
+  Trace.set_on_dump trace prerr_endline;
+  let last_shown = ref (-refresh) in
+  Trace.add_sink trace ~name:"oib-top" (fun (s : Oib_obs.Event.stamped) ->
+      Dashboard.feed dash s;
+      if s.step >= !last_shown + refresh then begin
+        last_shown := s.step;
+        show dash;
+        if delay > 0.0 then Unix.sleepf delay
+      end);
+  let ctx = Engine.create ~seed ~page_capacity:1024 ~trace () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  let _ = Driver.populate ctx ~table:1 ~rows ~seed in
+  Obs_sampler.install ctx ~every;
+  let _ =
+    Driver.spawn_workers ctx
+      { Driver.default with seed; workers; txns_per_worker = txns }
+      ~table:1
+  in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Nsf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  show dash;
+  match Engine.consistency_errors ctx with
+  | [] -> ()
+  | errs ->
+    List.iter prerr_endline errs;
+    exit 1
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace dump (from --trace-jsonl)")
+
+let frame_cmd =
+  Cmd.v
+    (Cmd.info "frame" ~doc:"Render one dashboard frame from a finished capture")
+    Term.(const cmd_frame $ file_arg)
+
+let watch_cmd =
+  let interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Poll interval in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Tail a capture being written and re-render on new events")
+    Term.(const cmd_watch $ file_arg $ interval)
+
+let live_cmd =
+  let opt_int name v doc =
+    Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
+  in
+  let delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay" ] ~docv:"SECS"
+          ~doc:"Real-time pause per frame (the simulator runs on virtual \
+                time; a small delay makes the soak watchable).")
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Run an NSF build under a concurrent update workload in-process \
+          and render live frames")
+    Term.(
+      const cmd_live
+      $ opt_int "rows" 2000 "Rows in the base table."
+      $ opt_int "workers" 4 "Concurrent updater fibers."
+      $ opt_int "txns" 40 "Transactions per worker."
+      $ opt_int "seed" 7 "Scheduler seed."
+      $ opt_int "every" 200 "Sampler period in virtual steps."
+      $ opt_int "refresh" 400 "Virtual steps between rendered frames."
+      $ delay)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "oib-top" ~version:"1.0"
+             ~doc:
+               "Live terminal dashboard for the online index build engine: \
+                builds, foreground quantiles, resource rates, health signals")
+          [ frame_cmd; watch_cmd; live_cmd ]))

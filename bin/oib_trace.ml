@@ -28,6 +28,9 @@ let run_report render path =
   print_string (render events)
 
 let cmd_summary path = run_report Report.summary path
+
+let cmd_quantiles window every path =
+  run_report (Oib_obs_analysis.Quantiles.report ?window ?every) path
 let cmd_spans path = run_report Report.spans path
 let cmd_contention path = run_report Report.contention path
 let cmd_timeline path = run_report Report.timeline path
@@ -55,6 +58,29 @@ let file_arg =
 let make name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ file_arg)
 
+let quantiles_cmd =
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"STEPS"
+          ~doc:"Sliding-window width in virtual steps (default: 4x the \
+                reporting period).")
+  in
+  let every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "every" ] ~docv:"STEPS"
+          ~doc:"Reporting period in virtual steps (default: ~1/16 of the \
+                epoch span).")
+  in
+  Cmd.v
+    (Cmd.info "quantiles"
+       ~doc:
+         "Sliding-window latency/wait percentiles (p50/p95/p99) per epoch")
+    Term.(const cmd_quantiles $ window $ every $ file_arg)
+
 let () =
   exit
     (Cmd.eval
@@ -74,6 +100,7 @@ let () =
             make "timeline"
               "Chronological waits, build phases, crashes and recovery steps"
               cmd_timeline;
+            quantiles_cmd;
             make "check" "Validate trace invariants; exit 1 on any violation"
               cmd_check;
           ]))

@@ -36,9 +36,13 @@ type t = {
   mutable checkpoints : int;
   mutable history : (phase * int) list; (* (phase, step), newest first *)
   mutable phase_span : int; (* open trace span of the current phase (0 none) *)
+  resources : Oib_obs.Resource.t; (* total cost charged to this build *)
+  mutable cost_marks : (phase * Oib_obs.Resource.t) list;
+      (* resource totals captured at each phase entry, newest first *)
 }
 
 let create ~index_id ~algorithm =
+  let resources = Oib_obs.Resource.create () in
   {
     index_id;
     algorithm;
@@ -49,15 +53,30 @@ let create ~index_id ~algorithm =
     checkpoints = 0;
     history = [ (Init, 0) ];
     phase_span = 0;
+    resources;
+    cost_marks = [ (Init, Oib_obs.Resource.snapshot resources) ];
   }
 
 let set_phase t ~step phase =
   if phase <> t.phase then begin
     t.phase <- phase;
-    t.history <- (phase, step) :: t.history
+    t.history <- (phase, step) :: t.history;
+    t.cost_marks <- (phase, Oib_obs.Resource.snapshot t.resources) :: t.cost_marks
   end
 
 let history t = List.rev t.history
+
+(* Per-phase deltas, oldest first: each mark is the running total at
+   phase entry, so a phase's cost is the next mark minus its own; the
+   current phase runs to the live total. *)
+let phase_costs t =
+  let rec go = function
+    | [] -> []
+    | [ (ph, at) ] -> [ (ph, Oib_obs.Resource.diff ~after:t.resources ~before:at) ]
+    | (ph, at) :: ((_, next_at) :: _ as rest) ->
+      (ph, Oib_obs.Resource.diff ~after:next_at ~before:at) :: go rest
+  in
+  go (List.rev t.cost_marks)
 
 let pp ppf t =
   Format.fprintf ppf "index %d [%s] %s: keys=%d backlog=%d ckpts=%d%s"
@@ -80,5 +99,15 @@ let to_json t =
       Buffer.add_string b
         (Printf.sprintf "{\"phase\":\"%s\",\"step\":%d}" (phase_name ph) step))
     (history t);
+  Buffer.add_string b "],\"cost\":";
+  Buffer.add_string b (Oib_obs.Resource.to_json t.resources);
+  Buffer.add_string b ",\"phase_costs\":[";
+  List.iteri
+    (fun i (ph, cost) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"phase\":\"%s\",\"cost\":%s}" (phase_name ph)
+           (Oib_obs.Resource.to_json cost)))
+    (phase_costs t);
   Buffer.add_string b "]}";
   Buffer.contents b

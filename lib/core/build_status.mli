@@ -26,6 +26,12 @@ type t = {
   mutable history : (phase * int) list;  (** newest first; use {!history} *)
   mutable phase_span : int;
       (** open trace span of the current phase; [0] when untraced *)
+  resources : Oib_obs.Resource.t;
+      (** running resource cost charged to this build (page IO, WAL
+          bytes, wait steps, sort compares — see {!Oib_obs.Resource}) *)
+  mutable cost_marks : (phase * Oib_obs.Resource.t) list;
+      (** resource totals at each phase entry, newest first; use
+          {!phase_costs} *)
 }
 
 val create : index_id:int -> algorithm:string -> t
@@ -36,6 +42,11 @@ val set_phase : t -> step:int -> phase -> unit
 
 val history : t -> (phase * int) list
 (** Transitions oldest-first: [(Init, 0)] then each [set_phase]. *)
+
+val phase_costs : t -> (phase * Oib_obs.Resource.t) list
+(** Resource cost of each phase the build has entered, oldest first:
+    the delta between consecutive phase-entry marks, with the current
+    phase running to the live total. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> string

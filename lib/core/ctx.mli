@@ -16,4 +16,9 @@ type t = {
   catalog : Catalog.t;
   runs : Oib_sort.Run_store.t;
   builds : (int, Build_status.t) Hashtbl.t;  (** index_id -> live progress *)
+  registry : Oib_obs.Registry.t;
+      (** central metrics registry; survives crash/restart with [metrics] *)
+  signals : Oib_obs.Signal.set;
+      (** overload/health signals evaluated on sampler ticks; survives
+          crash/restart *)
 }

@@ -6,6 +6,54 @@ module Btree = Oib_btree.Btree
 
 type t = Ctx.t
 
+(* Default watermarks for the standard health signals (scheduler steps /
+   bytes / ratio). Chosen against the soak and bench workloads: a loaded
+   foreground sits well above raise, a quiet one well below clear. *)
+let overload_fg_p99_raise = 60.0
+let overload_fg_p99_clear = 25.0
+let wal_backlog_raise = 16384.0
+let wal_backlog_clear = 4096.0
+let dirty_ratio_raise = 0.7
+let dirty_ratio_clear = 0.4
+
+(* (Re)connect the observability plane to this incarnation's subsystems.
+   The registry and signal set survive a crash with [metrics]; everything
+   here is idempotent, with sources/gauges replaced so they close over the
+   live scheduler, log and pool rather than the dead incarnation's. *)
+let wire_observability (ctx : Ctx.t) =
+  let m = ctx.Ctx.metrics in
+  let reg = ctx.Ctx.registry in
+  Oib_sim.Metrics.set_fiber_source m (fun () ->
+      Option.value ~default:(-1) (Oib_sim.Sched.current_fiber ctx.Ctx.sched));
+  Oib_sim.Metrics.clear_accounts m;
+  if Oib_sim.Metrics.registry m = None then
+    Oib_sim.Metrics.attach_registry m reg;
+  (* foreground committed-txn latency window (fed by Txn_manager.commit) *)
+  ignore (Oib_obs.Registry.window reg ~slots:8 "fg.latency");
+  Oib_obs.Registry.gauge reg "wal.unflushed_bytes" (fun () ->
+      LM.unflushed_bytes ctx.Ctx.log);
+  Oib_obs.Registry.gauge reg "pool.dirty_pages" (fun () ->
+      Buffer_pool.dirty_count ctx.Ctx.pool);
+  Oib_obs.Registry.gauge reg "pool.cached_pages" (fun () ->
+      Buffer_pool.cached_count ctx.Ctx.pool);
+  let sg = ctx.Ctx.signals in
+  Oib_obs.Signal.register sg ~name:"overload.fg_p99"
+    ~raise_above:overload_fg_p99_raise ~clear_below:overload_fg_p99_clear
+    ~source:(fun () ->
+      match Oib_obs.Registry.find_window reg "fg.latency" with
+      | Some w -> Oib_obs.Window.percentile w 0.99
+      | None -> 0.0);
+  Oib_obs.Signal.register sg ~name:"wal.backlog"
+    ~raise_above:wal_backlog_raise ~clear_below:wal_backlog_clear
+    ~source:(fun () -> float_of_int (LM.unflushed_bytes ctx.Ctx.log));
+  Oib_obs.Signal.register sg ~name:"pool.dirty_ratio"
+    ~raise_above:dirty_ratio_raise ~clear_below:dirty_ratio_clear
+    ~source:(fun () ->
+      let cached = Buffer_pool.cached_count ctx.Ctx.pool in
+      if cached = 0 then 0.0
+      else float_of_int (Buffer_pool.dirty_count ctx.Ctx.pool)
+           /. float_of_int cached)
+
 let create ?(seed = 42) ?(page_capacity = 1024)
     ?(trace = Oib_obs.Trace.null) () =
   let sched = Oib_sim.Sched.create ~seed ~trace () in
@@ -18,8 +66,14 @@ let create ?(seed = 42) ?(page_capacity = 1024)
   let txns = Txn.create ~trace log locks metrics in
   let catalog = Catalog.create kv ~page_capacity in
   let runs = Oib_sort.Run_store.create () in
-  { Ctx.sched; metrics; trace; log; store; kv; pool; locks; txns; catalog;
-    runs; builds = Hashtbl.create 8 }
+  let ctx =
+    { Ctx.sched; metrics; trace; log; store; kv; pool; locks; txns; catalog;
+      runs; builds = Hashtbl.create 8;
+      registry = Oib_obs.Registry.create ();
+      signals = Oib_obs.Signal.create_set () }
+  in
+  wire_observability ctx;
+  ctx
 
 (* Rebuild a live system over [store]/[kv]/[runs] and the survivor log,
    then run restart recovery: analysis, heap redo, logical index replay,
@@ -58,8 +112,14 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
       catalog;
       runs;
       builds = Hashtbl.create 8;
+      registry = old.Ctx.registry;
+      signals = old.Ctx.signals;
     }
   in
+  (* re-close gauges/signal sources over the new incarnation's subsystems
+     and point fiber attribution at the new scheduler; stale per-fiber
+     accounts (their fibers died with the old scheduler) are dropped *)
+  wire_observability ctx;
   let recovery_step step detail =
     if Oib_obs.Trace.tracing trace then
       Oib_obs.Trace.emit trace (Oib_obs.Event.Recovery_step { step; detail })

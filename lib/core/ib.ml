@@ -102,6 +102,25 @@ let note_phase ctx (st : BS.t) phase =
                 (BS.phase_name phase)))
   end
 
+(* Resource account of a build, once its status exists. *)
+let build_account ctx index_id =
+  Option.map
+    (fun (st : BS.t) -> st.BS.resources)
+    (Hashtbl.find_opt ctx.Ctx.builds index_id)
+
+(* Charge everything [f] does on the current fiber to [st]'s account.
+   Registrations nest (shadowing), so a pipeline child fiber re-pointing
+   at its own build is fine. *)
+let with_account ctx (st : BS.t) f =
+  match Sched.current_fiber ctx.Ctx.sched with
+  | None -> f ()
+  | Some fiber ->
+    Oib_sim.Metrics.register_account ctx.Ctx.metrics ~fiber st.BS.resources;
+    Fun.protect
+      ~finally:(fun () ->
+        Oib_sim.Metrics.unregister_account ctx.Ctx.metrics ~fiber)
+      f
+
 let note_checkpoint ctx (st : BS.t) ~stage =
   st.BS.checkpoints <- st.BS.checkpoints + 1;
   let tr = Sched.trace ctx.Ctx.sched in
@@ -266,7 +285,9 @@ let merge_sorted ctx _cfg job =
 
 (* merge [runs] into the canonical sorted run for this index *)
 let do_merge ctx job runs =
-  Merge.merge_all ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(merge_key job.spec.index_id)
+  Merge.merge_all
+    ?account:(build_account ctx job.spec.index_id)
+    ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(merge_key job.spec.index_id)
     ~inputs:runs
     ~output:(sorted_run_name job.spec.index_id)
     ~fan_in:16 ~ckpt_every:4096
@@ -276,6 +297,8 @@ let do_merge ctx job runs =
    insert them and process the side-file"). Exceptions from children are
    re-raised in the caller after all fibers finish. *)
 let parallel_jobs ctx jobs f =
+  (* every pipeline — inline or spawned — charges its own build *)
+  let f job = with_account ctx (job_status ctx job) (fun () -> f job) in
   match jobs with
   | [ job ] -> f job
   | _ ->
@@ -611,13 +634,14 @@ let finish_build ctx job =
   note_phase ctx (job_status ctx job) BS.Ready
 
 let start_sorter ctx cfg index_id =
+  let account = build_account ctx index_id in
   match
-    Sort.resume ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
+    Sort.resume ?account ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
       ~memory_keys:cfg.memory_keys
   with
   | Some s -> s
   | None ->
-    Sort.start ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
+    Sort.start ?account ctx.Ctx.kv ctx.Ctx.runs ~ckpt_id:(sort_key index_id)
       ~memory_keys:cfg.memory_keys
 
 let build_indexes_nsf ctx cfg ~table specs =
@@ -627,6 +651,9 @@ let build_indexes_nsf ctx cfg ~table specs =
       (fun spec -> status ctx ~index_id:spec.index_id ~algorithm:"nsf")
       specs
   in
+  (* the orchestrating fiber's work (quiesce, shared scan) charges the
+     first build; per-index pipelines re-point to their own below *)
+  with_account ctx (List.hd stats) @@ fun () ->
   List.iter (fun st -> note_phase ctx st BS.Quiesce) stats;
   (* short quiesce: create all descriptors under an S table lock (§2.2.1) *)
   let owner = ib_owner (List.hd specs).index_id in
@@ -684,6 +711,7 @@ let build_indexes_sf ctx cfg ~table specs =
       (fun spec -> status ctx ~index_id:spec.index_id ~algorithm:"sf")
       specs
   in
+  with_account ctx (List.hd stats) @@ fun () ->
   (* no quiesce: descriptors appear while updaters run (§3.2.1) *)
   let jobs =
     List.map
@@ -797,6 +825,8 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
      primary key columns to the secondary key, which gives every record
      version an identity whose visibility matches its side-file routing *)
   let key_cols = spec.key_cols @ pinfo.Catalog.key_cols in
+  let bst = status ctx ~index_id:spec.index_id ~algorithm:"via-primary" in
+  with_account ctx bst @@ fun () ->
   let info =
     Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
       ~index_id:spec.index_id ~key_cols ~unique:false
@@ -966,6 +996,7 @@ let resume_one ctx cfg index_id =
     let st =
       status ctx ~index_id ~algorithm:(algorithm_name p.p_algorithm)
     in
+    with_account ctx st @@ fun () ->
     (match (p.p_algorithm, p.p_stage) with
     | Nsf, Scanning _ | Sf, Scanning _ ->
       note_phase ctx st BS.Scan;

@@ -1,41 +1,85 @@
 (* Periodic time-series sampler: every N virtual steps, snapshot the
-   engine's counters and every live build's progress into the trace as
-   [Sample] events. The scheduler's tick hook drives it (no fiber: a
-   sampling fiber would keep the scheduler alive forever), so samples are
-   stamped as "main" at exact multiples of the period and an offline
-   reader can reassemble them into aligned series. *)
+   engine's registry (counters, gauges, window quantiles, rates) and
+   every live build's progress and cost into the trace as [Sample]
+   events, evaluate the health signals, and advance the sliding windows
+   one tick. The scheduler's tick hook drives it (no fiber: a sampling
+   fiber would keep the scheduler alive forever), so samples are stamped
+   as "main" at exact multiples of the period and an offline reader can
+   reassemble them into aligned series.
+
+   Signal evaluation and window rotation happen on every tick even when
+   nothing is tracing: subscribers (e.g. an admission-control throttle)
+   and DST assertions must see the same deterministic flips whether or
+   not a sink is attached. *)
 
 module Sched = Oib_sim.Sched
 module Trace = Oib_obs.Trace
 module Event = Oib_obs.Event
 module Metrics = Oib_sim.Metrics
+module Registry = Oib_obs.Registry
+module Signal = Oib_obs.Signal
+module Resource = Oib_obs.Resource
 module BS = Build_status
 
-let sample (ctx : Ctx.t) =
+let sample ?rate_steps (ctx : Ctx.t) =
+  let m = ctx.Ctx.metrics in
+  (* 1. refresh EWMA rates from counter deltas (periodic ticks only) *)
+  (match rate_steps with
+  | Some steps ->
+    List.iter
+      (fun (name, total) ->
+        Registry.rate_observe
+          (Registry.rate ctx.Ctx.registry ("rate." ^ name))
+          ~total ~steps)
+      [
+        ("txn_commits", m.Metrics.txn_commits);
+        ("page_reads", m.Metrics.page_reads);
+        ("page_writes", m.Metrics.page_writes);
+        ("log_bytes", m.Metrics.log_bytes);
+      ]
+  | None -> ());
+  (* 2. evaluate health signals — before emission, so the emitted
+     [signal.*] states are this tick's; subscribers fire here *)
+  ignore (Signal.eval ctx.Ctx.signals);
+  (* 3. emit one deduplicated batch of samples *)
   let tr = ctx.Ctx.trace in
   if Trace.tracing tr then begin
-    List.iter
-      (fun (name, v) ->
-        Trace.emit tr (Event.Sample { key = "metrics." ^ name; value = v }))
-      (Metrics.to_assoc ctx.Ctx.metrics);
+    let seen = Hashtbl.create 64 in
+    let emit key value =
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Trace.emit tr (Event.Sample { key; value })
+      end
+    in
+    List.iter (fun (key, v) -> emit key v) (Registry.sample_values ctx.Ctx.registry);
     Hashtbl.fold (fun _ st acc -> st :: acc) ctx.Ctx.builds []
     |> List.sort (fun (a : BS.t) b -> compare a.BS.index_id b.BS.index_id)
     |> List.iter (fun (st : BS.t) ->
-           let emit suffix value =
-             Trace.emit tr
-               (Event.Sample
-                  {
-                    key =
-                      Printf.sprintf "build.%d.%s" st.BS.index_id suffix;
-                    value;
-                  })
+           let emit_b suffix value =
+             emit (Printf.sprintf "build.%d.%s" st.BS.index_id suffix) value
            in
-           emit "keys_processed" st.BS.keys_processed;
-           emit "backlog" st.BS.backlog;
-           emit "phase" (BS.rank st.BS.phase))
-  end
+           emit_b "keys_processed" st.BS.keys_processed;
+           emit_b "backlog" st.BS.backlog;
+           emit_b "phase" (BS.rank st.BS.phase);
+           let r = st.BS.resources in
+           emit_b "cost.pages"
+             (r.Resource.pages_read + r.Resource.pages_written);
+           emit_b "cost.log_bytes" r.Resource.log_bytes;
+           emit_b "cost.wait_steps"
+             (r.Resource.latch_wait_steps + r.Resource.lock_wait_steps);
+           emit_b "cost.compares" r.Resource.sort_compares);
+    List.iter
+      (fun s ->
+        emit
+          ("signal." ^ Signal.name s)
+          (if Signal.active s then 1 else 0))
+      (Signal.signals ctx.Ctx.signals)
+  end;
+  (* 4. advance the sliding windows: this tick's observations are now
+     the newest slot; the oldest ages out *)
+  Registry.rotate_windows ctx.Ctx.registry
 
 let install (ctx : Ctx.t) ~every =
-  Sched.set_tick ctx.Ctx.sched ~every (fun _ -> sample ctx)
+  Sched.set_tick ctx.Ctx.sched ~every (fun _ -> sample ~rate_steps:every ctx)
 
 let uninstall (ctx : Ctx.t) = Sched.clear_tick ctx.Ctx.sched

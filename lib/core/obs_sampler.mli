@@ -1,17 +1,31 @@
-(** Periodic metrics/build-progress sampler.
+(** Periodic metrics/build-progress/signal sampler — one tick of the
+    metrics plane.
 
-    [install ctx ~every] hooks the scheduler's tick so that every [every]
-    virtual steps, one [Sample] event per {!Oib_sim.Metrics} counter
-    (keys ["metrics.<name>"]) and three per live build
-    (["build.<id>.keys_processed"], ["build.<id>.backlog"],
-    ["build.<id>.phase"] — the phase as its {!Build_status.rank}) are
-    emitted into the engine's trace. The analyzer and bench reassemble
-    them into time series. No-op while nothing is tracing. *)
+    [install ctx ~every] hooks the scheduler's tick so that every
+    [every] virtual steps one full sample runs: EWMA rates fold in the
+    latest counter deltas, the health signals are evaluated (firing any
+    subscribers), one deduplicated batch of [Sample] events is emitted
+    into the trace, and every registered sliding window rotates one
+    slot. Signal evaluation and window rotation happen even when
+    nothing is tracing, so DST runs reproduce signal flips with or
+    without a sink attached.
+
+    The sample keys (see {!Oib_obs.Event} for the full namespace
+    contract) are: [metrics.<counter>] and the other registry series
+    ([pool.*], [wal.*], [window.<name>.p50/.p95/.p99/.count],
+    [rate.<name>] scaled to events per 1000 steps), three progress and
+    four cost keys per live build ([build.<id>.keys_processed],
+    [.backlog], [.phase], [.cost.pages], [.cost.log_bytes],
+    [.cost.wait_steps], [.cost.compares]) and one [signal.<name>]
+    (0/1) per registered signal. *)
 
 val install : Ctx.t -> every:int -> unit
 (** Claims the scheduler's single tick hook. [every] must be positive. *)
 
 val uninstall : Ctx.t -> unit
 
-val sample : Ctx.t -> unit
-(** Emit one snapshot immediately (what the tick hook calls). *)
+val sample : ?rate_steps:int -> Ctx.t -> unit
+(** Run one full tick immediately (what the tick hook calls, with
+    [rate_steps = every]). Without [rate_steps] the EWMA rates are left
+    untouched — a manual call has no well-defined step delta. Note a
+    call advances the window clock (rotates every window). *)

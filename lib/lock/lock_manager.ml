@@ -255,6 +255,8 @@ let lock_aux t ~txn name mode ~conditional ~instant =
       probe_grant ();
       let waited = Oib_sim.Sched.steps t.sched - t0 in
       Trace.observe tr "lock_wait" waited;
+      Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+          r.lock_wait_steps <- r.lock_wait_steps + waited);
       if Trace.tracing tr then
         Trace.emit tr
           (Event.Lock_acquired

@@ -32,6 +32,21 @@ type t =
   | Span_begin of { span : int; parent : int; cat : string; name : string }
   | Span_end of { span : int }
   | Sample of { key : string; value : int }
+      (** One point of a named time series, emitted in batches by the
+          periodic sampler. The key namespace is a contract with the
+          offline tools (oib-trace, oib-top, bench): within one batch
+          every key appears at most once, and keys follow
+          - [metrics.<counter>] — the engine's global counter record;
+          - [pool.*] / [wal.*] — subsystem gauges (dirty/cached pages,
+            unflushed WAL bytes) and role-labelled IO counters such as
+            [pool.page_read{role=scan}];
+          - [window.<name>.p50|.p95|.p99|.count] — sliding-window
+            quantiles (e.g. [window.fg.latency.p99]);
+          - [rate.<name>] — EWMA rates scaled to events per 1000 steps;
+          - [build.<index_id>.keys_processed|backlog|phase] and
+            [build.<index_id>.cost.pages|log_bytes|wait_steps|compares]
+            — per-build progress and attributed resource cost;
+          - [signal.<name>] — health-signal state, 0 or 1. *)
   | Epoch of { label : string }
 
 type stamped = { step : int; fiber : int; fiber_name : string; event : t }

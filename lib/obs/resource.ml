@@ -1,0 +1,92 @@
+type t = {
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable pages_evicted : int;
+  mutable log_records : int;
+  mutable log_bytes : int;
+  mutable log_flushes : int;
+  mutable latch_wait_steps : int;
+  mutable lock_wait_steps : int;
+  mutable sort_compares : int;
+  mutable run_spills : int;
+}
+
+let create () =
+  {
+    pages_read = 0;
+    pages_written = 0;
+    pages_evicted = 0;
+    log_records = 0;
+    log_bytes = 0;
+    log_flushes = 0;
+    latch_wait_steps = 0;
+    lock_wait_steps = 0;
+    sort_compares = 0;
+    run_spills = 0;
+  }
+
+(* Same single-source-of-truth scheme as [Oib_sim.Metrics.fields]: every
+   derived operation walks this list, so adding a counter is one record
+   field plus one line here. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("pages_read", (fun t -> t.pages_read), fun t v -> t.pages_read <- v);
+    ( "pages_written",
+      (fun t -> t.pages_written),
+      fun t v -> t.pages_written <- v );
+    ( "pages_evicted",
+      (fun t -> t.pages_evicted),
+      fun t v -> t.pages_evicted <- v );
+    ("log_records", (fun t -> t.log_records), fun t v -> t.log_records <- v);
+    ("log_bytes", (fun t -> t.log_bytes), fun t v -> t.log_bytes <- v);
+    ("log_flushes", (fun t -> t.log_flushes), fun t v -> t.log_flushes <- v);
+    ( "latch_wait_steps",
+      (fun t -> t.latch_wait_steps),
+      fun t v -> t.latch_wait_steps <- v );
+    ( "lock_wait_steps",
+      (fun t -> t.lock_wait_steps),
+      fun t v -> t.lock_wait_steps <- v );
+    ( "sort_compares",
+      (fun t -> t.sort_compares),
+      fun t v -> t.sort_compares <- v );
+    ("run_spills", (fun t -> t.run_spills), fun t v -> t.run_spills <- v);
+  ]
+
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
+
+let snapshot t =
+  let s = create () in
+  List.iter (fun (_, get, set) -> set s (get t)) fields;
+  s
+
+let diff ~after ~before =
+  let d = create () in
+  List.iter (fun (_, get, set) -> set d (get after - get before)) fields;
+  d
+
+let add_into ~into t =
+  List.iter (fun (_, get, set) -> set into (get into + get t)) fields
+
+let is_zero t = List.for_all (fun (_, get, _) -> get t = 0) fields
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%s=%d" name v)
+    (to_assoc t);
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (to_assoc t);
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Per-owner resource accounting.
+
+    A [Resource.t] is a small bag of cost counters charged to one owner —
+    in practice one online index build (one [Build_status.t]) — by the
+    subsystems it exercises: buffer-pool page traffic, WAL append/flush
+    volume, latch and lock wait steps, sort comparisons and run spills.
+    Where {!Oib_sim.Metrics} answers "what did the whole engine do",
+    [Resource.t] answers "what did {e this build} cost", which is what
+    {e Engine.build_progress} and the bench trajectory report.
+
+    The derived operations ([to_assoc], [reset], [snapshot], [diff],
+    [add_into], [pp], [to_json]) all walk one field list, mirroring
+    [Oib_sim.Metrics]: adding a counter is a one-line change. *)
+
+type t = {
+  mutable pages_read : int;      (** buffer-pool cache misses *)
+  mutable pages_written : int;   (** pages written back to the store *)
+  mutable pages_evicted : int;   (** cached pages evicted or dropped *)
+  mutable log_records : int;     (** WAL records appended *)
+  mutable log_bytes : int;       (** encoded WAL bytes appended *)
+  mutable log_flushes : int;     (** WAL flush calls that did work *)
+  mutable latch_wait_steps : int;(** scheduler steps blocked on latches *)
+  mutable lock_wait_steps : int; (** scheduler steps blocked on locks *)
+  mutable sort_compares : int;   (** key comparisons in sort/merge *)
+  mutable run_spills : int;      (** sorted runs spilled to the run store *)
+}
+
+val create : unit -> t
+
+val to_assoc : t -> (string * int) list
+(** Every counter as [(name, value)], in declaration order. *)
+
+val reset : t -> unit
+
+val snapshot : t -> t
+(** Independent deep copy. *)
+
+val diff : after:t -> before:t -> t
+
+val add_into : into:t -> t -> unit
+(** Accumulate [t]'s counters into [into]. *)
+
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One flat JSON object of counter name -> value. *)

@@ -1,0 +1,83 @@
+type change = Raised | Cleared
+
+type t = {
+  name : string;
+  mutable raise_above : float;
+  mutable clear_below : float;
+  mutable source : unit -> float;
+  mutable active : bool;
+  mutable value : float;
+  mutable flips : int;
+}
+
+type set = {
+  signals : (string, t) Hashtbl.t;
+  mutable subscribers : (t -> change -> unit) list; (* newest first *)
+}
+
+let create_set () = { signals = Hashtbl.create 8; subscribers = [] }
+
+let register set ~name ~raise_above ~clear_below ~source =
+  if clear_below > raise_above then
+    invalid_arg
+      (Printf.sprintf "Signal.register %S: clear_below > raise_above" name);
+  match Hashtbl.find_opt set.signals name with
+  | Some s ->
+    (* Re-wiring (e.g. after a crash the source closes over fresh
+       subsystems): keep the hysteresis state, replace everything else. *)
+    s.raise_above <- raise_above;
+    s.clear_below <- clear_below;
+    s.source <- source
+  | None ->
+    Hashtbl.replace set.signals name
+      {
+        name;
+        raise_above;
+        clear_below;
+        source;
+        active = false;
+        value = 0.0;
+        flips = 0;
+      }
+
+let subscribe set f = set.subscribers <- f :: set.subscribers
+
+let signals set =
+  Hashtbl.fold (fun _ s acc -> s :: acc) set.signals []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find set name = Hashtbl.find_opt set.signals name
+
+let name s = s.name
+let active s = s.active
+let value s = s.value
+let flips s = s.flips
+let thresholds s = (s.raise_above, s.clear_below)
+
+(* One deterministic pass, signals in name order, subscribers (in
+   subscription order) fired synchronously on each transition. *)
+let eval set =
+  let changes = ref [] in
+  List.iter
+    (fun s ->
+      let v = s.source () in
+      s.value <- v;
+      let change =
+        if (not s.active) && v >= s.raise_above then begin
+          s.active <- true;
+          Some Raised
+        end
+        else if s.active && v <= s.clear_below then begin
+          s.active <- false;
+          Some Cleared
+        end
+        else None
+      in
+      match change with
+      | Some c ->
+        s.flips <- s.flips + 1;
+        List.iter (fun f -> f s c) (List.rev set.subscribers);
+        changes := (s, c) :: !changes
+      | None -> ())
+    (signals set);
+  List.rev !changes

@@ -1,0 +1,60 @@
+(** Derived overload/health signals with hysteresis.
+
+    A signal watches one scalar source — foreground p99 from a
+    {!Window}, WAL flush backlog, dirty-page ratio — against a watermark
+    pair: it {e raises} when the value reaches [raise_above] and only
+    {e clears} once the value falls back to [clear_below], so a source
+    hovering around a single threshold cannot flap. Signals are grouped
+    in a {!set} evaluated in one deterministic pass (name order) from
+    sampler ticks; subscribers fire synchronously on each transition,
+    which is the hook an admission-control throttle plugs into, and DST
+    runs reproduce flips exactly. *)
+
+type t
+(** One named signal. *)
+
+type change = Raised | Cleared
+
+type set
+
+val create_set : unit -> set
+
+val register :
+  set ->
+  name:string ->
+  raise_above:float ->
+  clear_below:float ->
+  source:(unit -> float) ->
+  unit
+(** Create the signal, or — if [name] exists — re-wire its source and
+    thresholds while keeping the active/flip state (used after a crash,
+    when sources must close over the rebuilt subsystems).
+    [Invalid_argument] if [clear_below > raise_above]. *)
+
+val subscribe : set -> (t -> change -> unit) -> unit
+(** Subscribers fire synchronously, in subscription order, on every
+    transition during {!eval}. *)
+
+val eval : set -> (t * change) list
+(** Evaluate every signal once, in name order: read the source, apply
+    hysteresis (raise at [value >= raise_above] when clear; clear at
+    [value <= clear_below] when active), fire subscribers. Returns the
+    transitions of this pass, in name order. *)
+
+val signals : set -> t list
+(** All signals, sorted by name. *)
+
+val find : set -> string -> t option
+
+val name : t -> string
+
+val active : t -> bool
+
+val value : t -> float
+(** Last evaluated source value (0.0 before the first {!eval}). *)
+
+val flips : t -> int
+(** Total transitions since registration. *)
+
+val thresholds : t -> float * float
+(** [(raise_above, clear_below)]. *)

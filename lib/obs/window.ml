@@ -1,0 +1,72 @@
+type t = {
+  bounds : int array;
+  ring : Hist.t array; (* ring.(head) is the slot receiving observations *)
+  mutable head : int;
+  mutable rotations : int;
+}
+
+let create ?(bounds = Hist.default_bounds) ~slots () =
+  if slots < 1 then invalid_arg "Window.create: slots < 1";
+  {
+    bounds;
+    ring = Array.init slots (fun _ -> Hist.create ~bounds ());
+    head = 0;
+    rotations = 0;
+  }
+
+let slots t = Array.length t.ring
+let rotations t = t.rotations
+let bounds t = t.bounds
+
+let observe t v = Hist.observe t.ring.(t.head) v
+
+let rotate t =
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  (* retire the oldest slot by replacing it with a fresh histogram *)
+  t.ring.(t.head) <- Hist.create ~bounds:t.bounds ();
+  t.rotations <- t.rotations + 1
+
+let merged t =
+  let out = Hist.create ~bounds:t.bounds () in
+  Array.iter (fun h -> Hist.merge_into ~into:out h) t.ring;
+  out
+
+let count t = Array.fold_left (fun acc h -> acc + Hist.count h) 0 t.ring
+
+let percentile t p = Hist.percentile (merged t) p
+
+let to_json t =
+  Printf.sprintf
+    "{\"slots\":%d,\"rotations\":%d,\"count\":%d,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}"
+    (Array.length t.ring) t.rotations (count t)
+    (percentile t 0.50) (percentile t 0.95) (percentile t 0.99)
+
+(* Exponentially weighted moving average of an event rate, fed with
+   per-tick deltas. Rates are per scheduler step; the sampler turns
+   counter totals into deltas before calling [tick]. *)
+module Ewma = struct
+  type ewma = {
+    alpha : float;
+    mutable rate : float;
+    mutable primed : bool;
+  }
+
+  type t = ewma
+
+  let create ?(alpha = 0.3) () =
+    if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha";
+    { alpha; rate = 0.0; primed = false }
+
+  let tick t ~count ~steps =
+    if steps > 0 then begin
+      let instant = float_of_int count /. float_of_int steps in
+      if t.primed then
+        t.rate <- t.rate +. (t.alpha *. (instant -. t.rate))
+      else begin
+        t.rate <- instant;
+        t.primed <- true
+      end
+    end
+
+  let rate t = t.rate
+end

@@ -1,0 +1,95 @@
+(* Offline windowed quantiles: extract a (step, value) series from raw
+   trace events, then slide a window over it at a fixed cadence. The
+   observations go through the same Hist buckets as the engine's online
+   Window, so offline and online quantiles agree to within one bucket. *)
+
+module Event = Oib_obs.Event
+module Hist = Oib_obs.Hist
+module TR = Trace_reader
+
+type key = Txn_latency | Fg_latency | Latch_wait | Lock_wait
+
+let all_keys = [ Txn_latency; Fg_latency; Latch_wait; Lock_wait ]
+
+let key_name = function
+  | Txn_latency -> "txn_latency"
+  | Fg_latency -> "fg_latency"
+  | Latch_wait -> "latch_wait"
+  | Lock_wait -> "lock_wait"
+
+let series key events =
+  List.filter_map
+    (fun (s : Event.stamped) ->
+      match (key, s.event) with
+      | Txn_latency, (Event.Txn_commit { latency; _ } | Event.Txn_abort { latency; _ })
+        ->
+        Some (s.step, latency)
+      | Fg_latency, Event.Txn_commit { latency; _ } -> Some (s.step, latency)
+      | Latch_wait, Event.Latch_acquired { waited; _ } -> Some (s.step, waited)
+      | Lock_wait, Event.Lock_acquired { waited; _ } -> Some (s.step, waited)
+      | _ -> None)
+    events
+
+type point = { step : int; count : int; p50 : float; p95 : float; p99 : float }
+
+let over_range ?bounds ~from ~upto obs =
+  let h = Hist.create ?bounds () in
+  List.iter (fun (step, v) -> if step > from && step <= upto then Hist.observe h v) obs;
+  {
+    step = upto;
+    count = Hist.count h;
+    p50 = Hist.percentile h 0.50;
+    p95 = Hist.percentile h 0.95;
+    p99 = Hist.percentile h 0.99;
+  }
+
+let windowed ?bounds ~window ~every obs =
+  if window <= 0 || every <= 0 then
+    invalid_arg "Quantiles.windowed: window and every must be positive";
+  let last = List.fold_left (fun acc (step, _) -> max acc step) 0 obs in
+  let rec points upto acc =
+    if upto - every > last then List.rev acc
+    else points (upto + every) (over_range ?bounds ~from:(upto - window) ~upto obs :: acc)
+  in
+  points every []
+
+let render_key buf name points =
+  Printf.bprintf buf "  %s\n" name;
+  Printf.bprintf buf "    %8s %6s %8s %8s %8s\n" "step" "n" "p50" "p95" "p99";
+  List.iter
+    (fun p ->
+      if p.count > 0 then
+        Printf.bprintf buf "    %8d %6d %8.1f %8.1f %8.1f\n" p.step p.count
+          p.p50 p.p95 p.p99)
+    points
+
+let report ?window ?every events =
+  let buf = Buffer.create 1024 in
+  let epochs = TR.epochs events in
+  let n_epochs = List.length epochs in
+  List.iteri
+    (fun i epoch ->
+      let span = TR.last_step epoch in
+      let every =
+        match every with Some e -> e | None -> max 1 (span / 16)
+      in
+      let window = match window with Some w -> w | None -> 4 * every in
+      if n_epochs > 1 then
+        Printf.bprintf buf "-- epoch %d/%d --\n" (i + 1) n_epochs;
+      Printf.bprintf buf
+        "windowed quantiles (window=%d steps, every=%d steps)\n" window every;
+      let rendered =
+        List.fold_left
+          (fun any key ->
+            match series key epoch with
+            | [] -> any
+            | obs ->
+              render_key buf (key_name key) (windowed ~window ~every obs);
+              true)
+          false all_keys
+      in
+      if not rendered then
+        Buffer.add_string buf "  (no latency or wait events in capture)\n")
+    epochs;
+  if epochs = [] then Buffer.add_string buf "(empty capture)\n";
+  Buffer.contents buf

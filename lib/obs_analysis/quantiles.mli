@@ -1,0 +1,52 @@
+(** Offline windowed quantiles over a JSONL trace capture.
+
+    The offline mirror of the engine's online sliding windows
+    ({!Oib_obs.Window}): extract a latency/wait series from the raw
+    events of one epoch, then replay a sliding window over it and report
+    p50/p95/p99 at a fixed cadence. Because both sides bucket through
+    the same {!Oib_obs.Hist} bounds, an offline point computed with
+    [window = slots * every] agrees with the online
+    [window.<name>.p99] samples to within one bucket (the tick-boundary
+    step can land on either side, hence "within one bucket", not
+    exactly). *)
+
+type key = Txn_latency | Fg_latency | Latch_wait | Lock_wait
+
+val all_keys : key list
+
+val key_name : key -> string
+(** ["txn_latency"], ["fg_latency"], ["latch_wait"], ["lock_wait"]. *)
+
+val series : key -> Oib_obs.Event.stamped list -> (int * int) list
+(** [(step, value)] observations in trace order. [Txn_latency] covers
+    commits and aborts; [Fg_latency] commits only (matching the online
+    [fg.latency] window); the wait keys take the [waited] field of
+    acquisition events. *)
+
+type point = {
+  step : int;  (** right edge of the window (inclusive) *)
+  count : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val over_range :
+  ?bounds:int array -> from:int -> upto:int -> (int * int) list -> point
+(** Exact-bucket percentiles of the observations with
+    [from < step <= upto]; [point.step = upto]. *)
+
+val windowed :
+  ?bounds:int array ->
+  window:int ->
+  every:int ->
+  (int * int) list ->
+  point list
+(** One {!point} at each step [every, 2*every, ...] up to (and covering)
+    the last observation, each over the trailing [window] steps. Raises
+    [Invalid_argument] unless [window > 0 && every > 0]. *)
+
+val report : ?window:int -> ?every:int -> Oib_obs.Event.stamped list -> string
+(** Render windowed quantile tables for every {!key} with data, one
+    section per engine epoch. When omitted, [every] defaults to roughly
+    1/16 of the epoch's span and [window] to [4 * every]. *)

@@ -89,6 +89,8 @@ let acquire t mode =
     probe_acq t mode;
     let waited = Sched.steps t.sched - t0 in
     Trace.observe tr "latch_wait" waited;
+    Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+        r.latch_wait_steps <- r.latch_wait_steps + waited);
     if Trace.tracing tr then
       Trace.emit tr
         (Event.Latch_acquired { latch = t.name; mode = mode_name mode; waited });

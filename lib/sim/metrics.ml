@@ -1,4 +1,10 @@
 type t = {
+  (* observability plumbing — not counters; [fields] below never sees
+     these, so snapshot/diff/reset leave them alone by construction. *)
+  mutable registry : Oib_obs.Registry.t option;
+  mutable fiber_source : unit -> int;
+  accounts : (int, Oib_obs.Resource.t) Hashtbl.t;
+  (* counters *)
   mutable page_reads : int;
   mutable page_writes : int;
   mutable sequential_reads : int;
@@ -23,6 +29,9 @@ type t = {
 
 let create () =
   {
+    registry = None;
+    fiber_source = (fun () -> -1);
+    accounts = Hashtbl.create 8;
     page_reads = 0;
     page_writes = 0;
     sequential_reads = 0;
@@ -148,6 +157,48 @@ let pp ppf t =
       Format.fprintf ppf "%s=%d" (List.assoc name pp_labels) v)
     (to_assoc t);
   Format.fprintf ppf "@]"
+
+(* --- registry bridge ------------------------------------------------- *)
+
+let attach_registry t reg =
+  t.registry <- Some reg;
+  (* Each counter becomes a derived gauge reading the record field, so
+     the registry (and everything sampling it) sees live values without
+     touching the hot-path [t.field <- t.field + 1] increment sites. *)
+  List.iter
+    (fun (name, get, _) ->
+      Oib_obs.Registry.gauge reg ("metrics." ^ name) (fun () -> get t))
+    fields
+
+let registry t = t.registry
+
+let observe_window t name v =
+  match t.registry with
+  | Some reg -> Oib_obs.Registry.observe_window reg name v
+  | None -> ()
+
+(* --- per-fiber resource accounts ------------------------------------- *)
+
+let set_fiber_source t f = t.fiber_source <- f
+
+let register_account t ~fiber r =
+  (* Hashtbl.add, not replace: nested registrations shadow and
+     [unregister_account] pops back to the outer account. *)
+  Hashtbl.add t.accounts fiber r
+
+let unregister_account t ~fiber = Hashtbl.remove t.accounts fiber
+
+let clear_accounts t = Hashtbl.reset t.accounts
+
+let account t =
+  if Hashtbl.length t.accounts = 0 then None
+  else Hashtbl.find_opt t.accounts (t.fiber_source ())
+
+let charge t f =
+  if Hashtbl.length t.accounts > 0 then
+    match Hashtbl.find_opt t.accounts (t.fiber_source ()) with
+    | Some r -> f r
+    | None -> ()
 
 let to_json t =
   let b = Buffer.create 512 in

@@ -7,6 +7,13 @@
     to reproduce the Section 4 comparison quantitatively. *)
 
 type t = {
+  mutable registry : Oib_obs.Registry.t option;
+      (** attached central registry, if any (see {!attach_registry}) *)
+  mutable fiber_source : unit -> int;
+      (** current-fiber id for account attribution; engine wires this to
+          the scheduler, [-1] outside any fiber *)
+  accounts : (int, Oib_obs.Resource.t) Hashtbl.t;
+      (** fiber id -> resource account currently charged for that fiber *)
   mutable page_reads : int;
   mutable page_writes : int;
   mutable sequential_reads : int;  (** reads satisfied by sequential prefetch *)
@@ -52,3 +59,45 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One flat JSON object of counter name -> value. *)
+
+(** {2 Registry bridge}
+
+    The counter record predates {!Oib_obs.Registry}; [attach_registry]
+    bridges it in by registering every counter as a derived gauge named
+    [metrics.<counter>], so registry readers (sampler, bench, JSONL
+    sinks) see live values while the hot-path increment sites stay plain
+    field mutations. *)
+
+val attach_registry : t -> Oib_obs.Registry.t -> unit
+
+val registry : t -> Oib_obs.Registry.t option
+
+val observe_window : t -> string -> int -> unit
+(** Observe into a named window of the attached registry; no-op when no
+    registry is attached or the window does not exist. Lets deep
+    subsystems (e.g. the transaction manager feeding [fg.latency])
+    report without holding a registry handle. *)
+
+(** {2 Per-fiber resource accounts}
+
+    Subsystems charge costs to "whoever is running": {!charge} resolves
+    the current fiber (via [fiber_source]) to a registered
+    {!Oib_obs.Resource.t} and applies the update, and is a cheap no-op
+    when no accounts are registered. The index builder registers each
+    build fiber against its build's account; registrations nest
+    (shadowing), and {!unregister_account} pops to the outer one. *)
+
+val set_fiber_source : t -> (unit -> int) -> unit
+
+val register_account : t -> fiber:int -> Oib_obs.Resource.t -> unit
+
+val unregister_account : t -> fiber:int -> unit
+
+val clear_accounts : t -> unit
+(** Drop every registration (crash path: the fibers are gone). *)
+
+val account : t -> Oib_obs.Resource.t option
+(** The account charged for the current fiber, if any. *)
+
+val charge : t -> (Oib_obs.Resource.t -> unit) -> unit
+(** Apply [f] to the current fiber's account; no-op without one. *)

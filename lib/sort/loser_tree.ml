@@ -6,6 +6,7 @@ type t = {
   cur : Ikey.t option array; (* current head per leaf slot; None = +inf *)
   losers : int array; (* internal node -> losing leaf slot *)
   mutable win1 : int; (* overall winner slot *)
+  account : Oib_obs.Resource.t option; (* merge compares charged here *)
 }
 
 (* slot a beats slot b? None is +infinity; ties break to the lower slot,
@@ -15,10 +16,13 @@ let beats t a b =
   | None, _ -> false
   | Some _, None -> true
   | Some x, Some y ->
+    (match t.account with
+    | Some (r : Oib_obs.Resource.t) -> r.sort_compares <- r.sort_compares + 1
+    | None -> ());
     let c = Ikey.compare x y in
     c < 0 || (c = 0 && a < b)
 
-let make ~streams =
+let make ?account ~streams () =
   let k = Array.length streams in
   if k = 0 then invalid_arg "Loser_tree.make: no streams";
   let k2 = ref 1 in
@@ -30,7 +34,7 @@ let make ~streams =
   for i = 0 to k - 1 do
     cur.(i) <- streams.(i) ()
   done;
-  let t = { streams; k2; cur; losers = Array.make k2 0; win1 = 0 } in
+  let t = { streams; k2; cur; losers = Array.make k2 0; win1 = 0; account } in
   (* build the initial tournament bottom-up *)
   let win = Array.make (2 * k2) 0 in
   for j = 0 to k2 - 1 do

@@ -10,10 +10,13 @@ open Oib_util
 
 type t
 
-val make : streams:(unit -> Ikey.t option) array -> t
+val make :
+  ?account:Oib_obs.Resource.t ->
+  streams:(unit -> Ikey.t option) array -> unit -> t
 (** [make ~streams] builds the tree; [streams.(i) ()] yields the next key
     of stream [i] ([None] = exhausted). Streams are pulled lazily: once to
-    prime each leaf, then once per key contributed. *)
+    prime each leaf, then once per key contributed. Key comparisons are
+    charged to [account] as [sort_compares] when given. *)
 
 val pop : t -> (Ikey.t * int) option
 (** Smallest remaining key and the index of the stream it came from. *)

@@ -10,7 +10,7 @@ type Durable_kv.value +=
 
 exception Injected_crash
 
-let merge ?stop_after kv store ~ckpt_id ~inputs ~output ~ckpt_every =
+let merge ?stop_after ?account kv store ~ckpt_id ~inputs ~output ~ckpt_every =
   (* establish positions: fresh merge or resumption from a checkpoint *)
   let counters, out =
     match Durable_kv.get kv ckpt_id with
@@ -43,7 +43,7 @@ let merge ?stop_after kv store ~ckpt_id ~inputs ~output ~ckpt_every =
         else None)
       runs
   in
-  let tree = Loser_tree.make ~streams in
+  let tree = Loser_tree.make ?account ~streams () in
   let since_ckpt = ref 0 in
   let take_checkpoint () =
     Run_store.force out;
@@ -83,7 +83,7 @@ let merge ?stop_after kv store ~ckpt_id ~inputs ~output ~ckpt_every =
    output run exists with forced content and its in-pass checkpoint was
    cleared at completion. An empty or mid-merge output re-merges — the
    operation is idempotent. *)
-let group_merge kv store ~gid ~inputs ~output ~ckpt_every =
+let group_merge ?account kv store ~gid ~inputs ~output ~ckpt_every =
   let completed_before_crash =
     Durable_kv.get kv gid = None
     &&
@@ -92,9 +92,9 @@ let group_merge kv store ~gid ~inputs ~output ~ckpt_every =
     | exception Not_found -> false
   in
   if completed_before_crash then Run_store.find_run store output
-  else merge kv store ~ckpt_id:gid ~inputs ~output ~ckpt_every
+  else merge ?account kv store ~ckpt_id:gid ~inputs ~output ~ckpt_every
 
-let merge_all kv store ~ckpt_id ~inputs ~output ~fan_in ~ckpt_every =
+let merge_all ?account kv store ~ckpt_id ~inputs ~output ~fan_in ~ckpt_every =
   if fan_in < 2 then invalid_arg "Merge_phase.merge_all: fan_in < 2";
   let rec group acc cur cnt = function
     | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
@@ -106,7 +106,7 @@ let merge_all kv store ~ckpt_id ~inputs ~output ~fan_in ~ckpt_every =
     match inputs with
     | [] -> invalid_arg "Merge_phase.merge_all: no inputs"
     | _ when List.length inputs <= fan_in ->
-      group_merge kv store
+      group_merge ?account kv store
         ~gid:(Printf.sprintf "%s/p%d/final" ckpt_id pass)
         ~inputs ~output ~ckpt_every
     | _ ->
@@ -119,7 +119,7 @@ let merge_all kv store ~ckpt_id ~inputs ~output ~fan_in ~ckpt_every =
             | _ ->
               let oname = Printf.sprintf "%s/p%d/out-%03d" ckpt_id pass gi in
               Run_store.name
-                (group_merge kv store
+                (group_merge ?account kv store
                    ~gid:(Printf.sprintf "%s/p%d/g%d" ckpt_id pass gi)
                    ~inputs:grp ~output:oname ~ckpt_every))
           groups

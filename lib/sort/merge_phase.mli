@@ -17,6 +17,7 @@ exception Injected_crash
 
 val merge :
   ?stop_after:int ->
+  ?account:Oib_obs.Resource.t ->
   Durable_kv.t -> Run_store.t -> ckpt_id:string -> inputs:string list ->
   output:string -> ckpt_every:int -> Run_store.run
 (** Single merge pass; checkpoints every [ckpt_every] output keys. If a
@@ -27,6 +28,7 @@ val merge :
     benchmarks. *)
 
 val merge_all :
+  ?account:Oib_obs.Resource.t ->
   Durable_kv.t -> Run_store.t -> ckpt_id:string -> inputs:string list ->
   output:string -> fan_in:int -> ckpt_every:int -> Run_store.run
 (** Repeated passes with bounded fan-in until a single run remains, renamed

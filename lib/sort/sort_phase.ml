@@ -3,15 +3,30 @@ open Oib_storage
 
 (* binary min-heap over (run tag, key): tag-major so keys destined for the
    next run sink below everything in the current run *)
+(* Charge one key comparison to the owning build's account, if any. *)
+let charge_compare account =
+  match account with
+  | Some (r : Oib_obs.Resource.t) -> r.sort_compares <- r.sort_compares + 1
+  | None -> ()
+
 module Heap = struct
-  type t = { mutable a : (int * Ikey.t) array; mutable n : int }
+  type t = {
+    mutable a : (int * Ikey.t) array;
+    mutable n : int;
+    account : Oib_obs.Resource.t option;
+  }
 
   let dummy = (0, Ikey.make "" Rid.minus_infinity)
 
-  let create () = { a = Array.make 64 dummy; n = 0 }
+  let create ?account () = { a = Array.make 64 dummy; n = 0; account }
 
-  let less (t1, k1) (t2, k2) =
-    t1 < t2 || (t1 = t2 && Ikey.compare k1 k2 < 0)
+  let less h (t1, k1) (t2, k2) =
+    t1 < t2
+    || t1 = t2
+       && begin
+            charge_compare h.account;
+            Ikey.compare k1 k2 < 0
+          end
 
   let size h = h.n
 
@@ -24,7 +39,7 @@ module Heap = struct
     let i = ref h.n in
     h.n <- h.n + 1;
     h.a.(!i) <- x;
-    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+    while !i > 0 && less h h.a.(!i) h.a.((!i - 1) / 2) do
       let p = (!i - 1) / 2 in
       let tmp = h.a.(p) in
       h.a.(p) <- h.a.(!i);
@@ -42,8 +57,8 @@ module Heap = struct
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
-      if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
+      if l < h.n && less h h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.n && less h h.a.(r) h.a.(!smallest) then smallest := r;
       if !smallest = !i then continue := false
       else begin
         let tmp = h.a.(!smallest) in
@@ -81,7 +96,7 @@ type t = {
 
 let run_name t i = Printf.sprintf "%s/run-%04d" t.ckpt_id i
 
-let start kv store ~ckpt_id ~memory_keys =
+let start ?account kv store ~ckpt_id ~memory_keys =
   (* a previous life that crashed before its first checkpoint leaves
      orphan (necessarily empty-forced) runs under our name space: clear
      them — had a checkpoint existed, the caller would have resumed *)
@@ -101,7 +116,7 @@ let start kv store ~ckpt_id ~memory_keys =
     store;
     ckpt_id;
     memory_keys;
-    heap = Heap.create ();
+    heap = Heap.create ?account ();
     cur_tag = 0;
     last_emitted = None;
     completed = [];
@@ -111,6 +126,9 @@ let start kv store ~ckpt_id ~memory_keys =
   }
 
 let roll_run t =
+  (match t.heap.Heap.account with
+  | Some (r : Oib_obs.Resource.t) -> r.run_spills <- r.run_spills + 1
+  | None -> ());
   Run_store.force t.current;
   t.completed <- Run_store.name t.current :: t.completed;
   t.current <- Run_store.create_run t.store ~name:(run_name t t.run_counter);
@@ -128,8 +146,10 @@ let emit_min t =
 let push_key t key =
   let tag =
     match t.last_emitted with
-    | Some e when Ikey.compare key e < 0 -> t.cur_tag + 1
-    | _ -> t.cur_tag
+    | Some e ->
+      charge_compare t.heap.Heap.account;
+      if Ikey.compare key e < 0 then t.cur_tag + 1 else t.cur_tag
+    | None -> t.cur_tag
   in
   Heap.push t.heap (tag, key)
 
@@ -175,7 +195,7 @@ let checkpointed_scan_pos kv ~ckpt_id =
   | Some (Sort_ckpt c) -> Some c.scan_pos
   | _ -> None
 
-let resume kv store ~ckpt_id ~memory_keys =
+let resume ?account kv store ~ckpt_id ~memory_keys =
   match Durable_kv.get kv ckpt_id with
   | Some (Sort_ckpt c) ->
     (* discard runs born after the checkpoint *)
@@ -196,7 +216,7 @@ let resume kv store ~ckpt_id ~memory_keys =
         store;
         ckpt_id;
         memory_keys;
-        heap = Heap.create ();
+        heap = Heap.create ?account ();
         cur_tag = 0;
         (* the paper's same-stream rule: keys continuing the current run
            must sort above the checkpointed highest output *)

@@ -19,9 +19,11 @@ open Oib_storage
 type t
 
 val start :
+  ?account:Oib_obs.Resource.t ->
   Durable_kv.t -> Run_store.t -> ckpt_id:string -> memory_keys:int -> t
 (** [memory_keys] is the tournament capacity (run length ~ 2x this for
-    random input). *)
+    random input). Key comparisons and run spills are charged to
+    [account] when given. *)
 
 val feed_page : t -> scan_pos:int -> Ikey.t list -> unit
 (** Feed the keys extracted from one data page; [scan_pos] identifies that
@@ -40,6 +42,7 @@ val scan_pos : t -> int
 val run_count : t -> int
 
 val resume :
+  ?account:Oib_obs.Resource.t ->
   Durable_kv.t -> Run_store.t -> ckpt_id:string -> memory_keys:int ->
   t option
 (** Rebuild from the last checkpoint; [None] if no checkpoint exists. *)

@@ -23,6 +23,16 @@ let metrics t = t.metrics
 let log t = t.log
 let store t = t.store
 
+(* Role-labeled page-traffic counters in the central registry (e.g.
+   [pool.page_read{role=heap}]) — find-or-create by rendered name, so no
+   handle plumbing; a no-op when no registry is attached. *)
+let bump t name ~role =
+  match Oib_sim.Metrics.registry t.metrics with
+  | Some reg ->
+    Oib_obs.Registry.incr
+      (Oib_obs.Registry.counter reg ~labels:[ ("role", role) ] name)
+  | None -> ()
+
 let new_page ?role t ~payload ~copy_payload =
   let id = t.next_page_id in
   t.next_page_id <- id + 1;
@@ -42,6 +52,9 @@ let get ?role t id =
     | None -> raise Not_found
     | Some { payload; lsn; copy_payload } ->
       t.metrics.page_reads <- t.metrics.page_reads + 1;
+      bump t "pool.page_read" ~role:(Option.value role ~default:"page");
+      Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+          r.pages_read <- r.pages_read + 1);
       let tr = Oib_sim.Sched.trace t.sched in
       let span =
         Oib_obs.Trace.span_begin tr ~cat:"io"
@@ -78,6 +91,9 @@ let install ?role t id ~payload ~copy_payload =
 let write_back t (page : Page.t) =
   let tr = Oib_sim.Sched.trace t.sched in
   t.metrics.page_writes <- t.metrics.page_writes + 1;
+  bump t "pool.page_write" ~role:(Oib_sim.Latch.role page.latch);
+  Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+      r.pages_written <- r.pages_written + 1);
   if Oib_obs.Trace.tracing tr then
     Oib_obs.Trace.emit tr (Oib_obs.Event.Page_write { page = page.id });
   if Oib_obs.Trace.probing tr then
@@ -137,12 +153,21 @@ let probe_evict t id =
   if Oib_obs.Trace.probing tr then
     Oib_obs.Trace.probe_emit tr (Oib_obs.Probe.Page_evict { page = id })
 
+let note_evict t id =
+  match Hashtbl.find_opt t.cache id with
+  | None -> ()
+  | Some page ->
+    probe_evict t id;
+    bump t "pool.page_evict" ~role:(Oib_sim.Latch.role page.Page.latch);
+    Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+        r.pages_evicted <- r.pages_evicted + 1)
+
 let evict t id =
-  if Hashtbl.mem t.cache id then probe_evict t id;
+  note_evict t id;
   Hashtbl.remove t.cache id
 
 let drop t id =
-  if Hashtbl.mem t.cache id then probe_evict t id;
+  note_evict t id;
   Hashtbl.remove t.cache id;
   Stable_store.remove t.store id
 

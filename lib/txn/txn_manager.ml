@@ -73,6 +73,9 @@ let commit t txn =
   t.metrics.txn_commits <- t.metrics.txn_commits + 1;
   let latency = txn_latency t txn in
   Trace.observe t.trace "txn_latency" latency;
+  (* foreground committed-txn latency feeds the sliding window behind
+     the overload signal *)
+  Oib_sim.Metrics.observe_window t.metrics "fg.latency" latency;
   if Trace.tracing t.trace then
     Trace.emit t.trace (Event.Txn_commit { txn = txn.txn_id; latency });
   Trace.span_end t.trace txn.span

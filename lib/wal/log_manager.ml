@@ -9,6 +9,7 @@ type t = {
   mutable durable_lsn : Lsn.t;
   mutable start : Lsn.t;
   mutable volatile : (Log_record.t * string) list; (* newest first *)
+  mutable volatile_bytes : int; (* encoded bytes awaiting flush *)
   by_lsn : (int, Log_record.t) Hashtbl.t;
 }
 
@@ -21,6 +22,7 @@ let create ?(trace = Trace.null) metrics =
     durable_lsn = Lsn.nil;
     start = Lsn.nil;
     volatile = [];
+    volatile_bytes = 0;
     by_lsn = Hashtbl.create 1024;
   }
 
@@ -48,9 +50,13 @@ let append t ~txn ~prev_lsn body =
   let record = { Log_record.lsn; txn; prev_lsn; body } in
   let bytes = Log_codec.encode record in
   t.volatile <- (record, bytes) :: t.volatile;
+  t.volatile_bytes <- t.volatile_bytes + String.length bytes;
   Hashtbl.replace t.by_lsn (Lsn.to_int lsn) record;
   t.metrics.log_records <- t.metrics.log_records + 1;
   t.metrics.log_bytes <- t.metrics.log_bytes + String.length bytes;
+  Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+      r.log_records <- r.log_records + 1;
+      r.log_bytes <- r.log_bytes + String.length bytes);
   if Trace.tracing t.trace then
     Trace.emit t.trace
       (Event.Log_append
@@ -65,6 +71,8 @@ let append t ~txn ~prev_lsn body =
 let flush t ~upto =
   if Lsn.( > ) upto t.durable_lsn then begin
     t.metrics.log_flushes <- t.metrics.log_flushes + 1;
+    Oib_sim.Metrics.charge t.metrics (fun (r : Oib_obs.Resource.t) ->
+        r.log_flushes <- r.log_flushes + 1);
     let span =
       Trace.span_begin t.trace ~cat:"logflush"
         ~name:("flush:" ^ string_of_int (Lsn.to_int upto))
@@ -81,6 +89,7 @@ let flush t ~upto =
     List.iter
       (fun ((r : Log_record.t), bytes) ->
         Buffer.add_string t.durable bytes;
+        t.volatile_bytes <- t.volatile_bytes - String.length bytes;
         if Lsn.( > ) r.lsn t.durable_lsn then t.durable_lsn <- r.lsn)
       (List.rev to_flush);
     t.volatile <- to_keep;
@@ -108,6 +117,7 @@ let crash t =
       durable_lsn = t.durable_lsn;
       start = t.start;
       volatile = [];
+      volatile_bytes = 0;
       by_lsn = Hashtbl.create 1024;
     }
   in
@@ -124,6 +134,8 @@ let all_records t =
 let record_at t lsn = Hashtbl.find_opt t.by_lsn (Lsn.to_int lsn)
 
 let durable_bytes t = Buffer.length t.durable
+
+let unflushed_bytes t = t.volatile_bytes
 
 let truncate t ~below =
   let before = Buffer.length t.durable in

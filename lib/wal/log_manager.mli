@@ -40,6 +40,10 @@ val record_at : t -> Lsn.t -> Log_record.t option
 
 val durable_bytes : t -> int
 
+val unflushed_bytes : t -> int
+(** Encoded bytes sitting in the volatile tail — the flush backlog the
+    [wal.backlog] health signal watches. *)
+
 val truncate : t -> below:Lsn.t -> int
 (** Discard durable records with LSN < [below] (paper footnote 8: log can
     be discarded once image copies make it unnecessary for restart, undo

@@ -1,0 +1,379 @@
+(* The online metrics plane: sliding-window quantiles vs an exact
+   histogram, registry snapshot/JSON round-trips, signal hysteresis,
+   online-vs-offline quantile agreement, per-build resource accounting
+   and the overload signal under hot vs quiet traffic. *)
+
+open Oib_core
+module Sched = Oib_sim.Sched
+module Trace = Oib_obs.Trace
+module Event = Oib_obs.Event
+module Hist = Oib_obs.Hist
+module Window = Oib_obs.Window
+module Registry = Oib_obs.Registry
+module Signal = Oib_obs.Signal
+module Resource = Oib_obs.Resource
+module Driver = Oib_workload.Driver
+module Quantiles = Oib_obs_analysis.Quantiles
+module Json = Oib_obs_analysis.Json
+module BS = Build_status
+
+(* --- Window vs exact Hist ------------------------------------------- *)
+
+(* A window over [slots] ticks must agree exactly with a histogram fed
+   only the observations of the last [slots] ticks (same buckets, merged
+   counts) — for any observation stream and rotation pattern. *)
+let window_matches_exact (slots, ticks) =
+  let w = Window.create ~slots () in
+  (* per-tick observation lists, newest first *)
+  let per_tick = ref [ [] ] in
+  List.iter
+    (fun obs_this_tick ->
+      List.iter
+        (fun v ->
+          Window.observe w v;
+          per_tick :=
+            (match !per_tick with
+            | cur :: rest -> (v :: cur) :: rest
+            | [] -> [ [ v ] ]))
+        obs_this_tick;
+      Window.rotate w;
+      per_tick := [] :: !per_tick)
+    ticks;
+  let live =
+    (* the window holds the open tick plus the last [slots - 1] full ones *)
+    List.filteri (fun i _ -> i < slots) !per_tick |> List.concat
+  in
+  let exact = Hist.create () in
+  List.iter (Hist.observe exact) live;
+  let q p = (Window.percentile w p, Hist.percentile exact p) in
+  Window.count w = Hist.count exact
+  && List.for_all (fun p -> fst (q p) = snd (q p)) [ 0.5; 0.95; 0.99 ]
+
+let qcheck_window =
+  QCheck.Test.make ~count:200 ~name:"window quantiles = exact hist of live ticks"
+    QCheck.(
+      pair (int_range 1 6)
+        (small_list (small_list (int_range 0 5000))))
+    window_matches_exact
+
+let test_window_basics () =
+  Alcotest.check_raises "slots must be positive"
+    (Invalid_argument "Window.create: slots < 1") (fun () ->
+      ignore (Window.create ~slots:0 ()));
+  let w = Window.create ~slots:2 () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Window.percentile w 0.99);
+  Window.observe w 10;
+  Window.rotate w;
+  Window.observe w 20;
+  Alcotest.(check int) "both ticks live" 2 (Window.count w);
+  Window.rotate w;
+  (* first tick's observation has aged out *)
+  Alcotest.(check int) "oldest aged out" 1 (Window.count w);
+  Alcotest.(check int) "rotations counted" 2 (Window.rotations w)
+
+(* --- registry snapshot / JSON round-trip ---------------------------- *)
+
+let test_registry_roundtrip () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~labels:[ ("role", "scan") ] "pool.page_read" in
+  Registry.add c 41;
+  Registry.incr c;
+  let cell = ref 7 in
+  Registry.gauge reg "pool.dirty_pages" (fun () -> !cell);
+  let w = Registry.window reg ~slots:4 "fg.latency" in
+  Window.observe w 12;
+  Window.observe w 40;
+  let json =
+    match Json.parse (Registry.to_json reg) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "registry JSON does not parse: %s" m
+  in
+  let int_member k =
+    match Option.bind (Json.member k json) Json.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "missing int member %S" k
+  in
+  Alcotest.(check int) "labelled counter survives" 42
+    (int_member "pool.page_read{role=scan}");
+  Alcotest.(check int) "gauge read at snapshot" 7 (int_member "pool.dirty_pages");
+  cell := 9;
+  Alcotest.(check int) "gauge re-read, not cached" 9
+    (match Registry.snapshot reg with
+    | s -> (
+      match List.assoc "pool.dirty_pages" s with
+      | Registry.Int v -> v
+      | _ -> Alcotest.fail "gauge kind"));
+  (* window flattens into the sample view under the window. prefix *)
+  let samples = Registry.sample_values reg in
+  Alcotest.(check int) "window count sampled" 2
+    (List.assoc "window.fg.latency.count" samples);
+  Alcotest.(check bool) "window p99 sampled" true
+    (List.mem_assoc "window.fg.latency.p99" samples);
+  (* find-or-create returns the same series; kind clash is an error *)
+  Alcotest.(check int) "counter interned" 42
+    (Registry.counter_value
+       (Registry.counter reg ~labels:[ ("role", "scan") ] "pool.page_read"));
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Registry: \"fg.latency\" already registered as a window, wanted a \
+        counter") (fun () -> ignore (Registry.counter reg "fg.latency"))
+
+(* --- signal hysteresis ---------------------------------------------- *)
+
+let test_signal_hysteresis () =
+  let v = ref 0.0 in
+  let set = Signal.create_set () in
+  Signal.register set ~name:"overload" ~raise_above:10.0 ~clear_below:5.0
+    ~source:(fun () -> !v);
+  let log = ref [] in
+  Signal.subscribe set (fun s change -> log := (Signal.name s, change) :: !log);
+  let drive values = List.iter (fun x -> v := x; ignore (Signal.eval set)) values in
+  let s = Option.get (Signal.find set "overload") in
+  (* noise below the raise threshold: never raises *)
+  drive [ 0.0; 9.9; 6.0; 9.9 ];
+  Alcotest.(check bool) "below raise: quiet" false (Signal.active s);
+  (* raise once, then oscillate inside the dead band: no flapping *)
+  drive [ 12.0; 7.0; 9.0; 5.1; 9.9; 6.0 ];
+  Alcotest.(check bool) "raised" true (Signal.active s);
+  Alcotest.(check int) "one flip despite noise" 1 (Signal.flips s);
+  (* clear only at clear_below, stay clear inside the dead band *)
+  drive [ 5.0; 6.0; 9.9 ];
+  Alcotest.(check bool) "cleared" false (Signal.active s);
+  Alcotest.(check int) "two flips total" 2 (Signal.flips s);
+  drive [ 10.0 ];
+  Alcotest.(check int) "re-raised at threshold" 3 (Signal.flips s);
+  Alcotest.(check (list (pair string bool)))
+    "subscriber saw exactly the transitions"
+    [ ("overload", true); ("overload", false); ("overload", true) ]
+    (List.rev_map (fun (n, c) -> (n, c = Signal.Raised)) !log);
+  (* re-registering keeps state but swaps thresholds/source *)
+  Signal.register set ~name:"overload" ~raise_above:100.0 ~clear_below:0.0
+    ~source:(fun () -> 50.0);
+  Alcotest.(check bool) "state survives re-register" true (Signal.active s);
+  ignore (Signal.eval set);
+  Alcotest.(check bool) "still active in new dead band" true (Signal.active s);
+  Alcotest.check_raises "inverted thresholds"
+    (Invalid_argument "Signal.register \"bad\": clear_below > raise_above")
+    (fun () ->
+      Signal.register set ~name:"bad" ~raise_above:1.0 ~clear_below:2.0
+        ~source:(fun () -> 0.0))
+
+(* --- online window vs offline Quantiles ----------------------------- *)
+
+(* Simulate the sampler's cadence over a synthetic event stream and
+   check the online window agrees with the offline sliding-window
+   replay at every tick. Same Hist buckets on both sides, and the
+   window's live coverage at tick [s] is exactly (s - slots*every, s],
+   so agreement is exact, not just within a bucket. *)
+let test_online_vs_offline () =
+  let slots = 4 and every = 25 and total = 500 in
+  let rng = Random.State.make [| 42 |] in
+  let w = Window.create ~slots () in
+  let obs = ref [] in
+  let checked = ref 0 in
+  for step = 1 to total do
+    (* a bursty latency source: quiet baseline, occasional spikes *)
+    if Random.State.int rng 3 = 0 then begin
+      let v =
+        if Random.State.int rng 10 = 0 then 200 + Random.State.int rng 200
+        else Random.State.int rng 30
+      in
+      Window.observe w v;
+      obs := (step, v) :: !obs
+    end;
+    if step mod every = 0 then begin
+      let off =
+        Quantiles.over_range ~from:(step - (slots * every)) ~upto:step
+          (List.rev !obs)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "count at step %d" step)
+        off.Quantiles.count (Window.count w);
+      List.iter
+        (fun (p, offline) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "p%.0f at step %d" (p *. 100.) step)
+            offline (Window.percentile w p))
+        [
+          (0.5, off.Quantiles.p50);
+          (0.95, off.Quantiles.p95);
+          (0.99, off.Quantiles.p99);
+        ];
+      incr checked;
+      Window.rotate w
+    end
+  done;
+  Alcotest.(check int) "compared at every tick" (total / every) !checked
+
+(* offline series extraction matches the documented key semantics *)
+let test_quantile_series () =
+  let stamp step event = { Event.step; fiber = 1; fiber_name = "w"; event } in
+  let events =
+    [
+      stamp 5 (Event.Txn_commit { txn = 1; latency = 10 });
+      stamp 9 (Event.Txn_abort { txn = 2; latency = 30 });
+      stamp 12 (Event.Latch_acquired { latch = "l"; mode = "X"; waited = 3 });
+      stamp 15 (Event.Lock_acquired { owner = 1; target = "t"; mode = "S"; waited = 8 });
+    ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "txn_latency = commits + aborts"
+    [ (5, 10); (9, 30) ]
+    (Quantiles.series Quantiles.Txn_latency events);
+  Alcotest.(check (list (pair int int)))
+    "fg_latency = commits only" [ (5, 10) ]
+    (Quantiles.series Quantiles.Fg_latency events);
+  Alcotest.(check (list (pair int int)))
+    "lock_wait from acquisition" [ (15, 8) ]
+    (Quantiles.series Quantiles.Lock_wait events)
+
+(* --- engine integration: accounting + overload signal --------------- *)
+
+let build_with_workload ~workers ~txns ~seed =
+  let trace = Trace.create () in
+  let flips = ref [] in
+  let ctx = Engine.create ~seed ~page_capacity:256 ~trace () in
+  Signal.subscribe ctx.Ctx.signals (fun s change ->
+      flips := (Signal.name s, change) :: !flips);
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  let _ = Driver.populate ctx ~table:1 ~rows:800 ~seed in
+  Obs_sampler.install ctx ~every:40;
+  let _ =
+    if workers > 0 then
+      Driver.spawn_workers ctx
+        { Driver.default with seed; workers; txns_per_worker = txns }
+        ~table:1
+    else
+      ref
+        { Driver.committed = 0; aborted = 0; deadlocks = 0; unique_violations = 0 }
+  in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (Ib.default_config Ib.Nsf) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  Sched.run ctx.Ctx.sched;
+  Alcotest.(check (list string)) "consistent" [] (Engine.consistency_errors ctx);
+  (ctx, flips)
+
+let test_per_build_accounting () =
+  let ctx, _ = build_with_workload ~workers:3 ~txns:12 ~seed:11 in
+  match Engine.build_progress ctx with
+  | [ st ] ->
+    let r = st.BS.resources in
+    Alcotest.(check bool) "build did page writes" true (r.Resource.pages_written > 0);
+    Alcotest.(check bool) "build wrote WAL" true (r.Resource.log_bytes > 0);
+    Alcotest.(check bool) "sort compares charged" true (r.Resource.sort_compares > 0);
+    (* phase costs partition the total: summing them gives the live total *)
+    let summed = Resource.create () in
+    List.iter (fun (_, c) -> Resource.add_into ~into:summed c) (BS.phase_costs st);
+    Alcotest.(check int) "phase costs sum to total" r.Resource.sort_compares
+      summed.Resource.sort_compares;
+    Alcotest.(check int) "phase log bytes sum to total" r.Resource.log_bytes
+      summed.Resource.log_bytes;
+    (* the compares were spent in scan/merge, not attributed to ready *)
+    let in_phases phases field =
+      List.fold_left
+        (fun acc (p, c) -> if List.mem p phases then acc + field c else acc)
+        0 (BS.phase_costs st)
+    in
+    Alcotest.(check int) "compares land in scan+merge" r.Resource.sort_compares
+      (in_phases [ BS.Scan; BS.Merge ] (fun c -> c.Resource.sort_compares))
+  | l -> Alcotest.failf "expected 1 build status, got %d" (List.length l)
+
+let overload_changes flips =
+  List.rev
+    (List.filter_map
+       (fun (name, change) ->
+         if name = "overload.fg_p99" then Some change else None)
+       !flips)
+
+let test_overload_hot_then_drain () =
+  let ctx, flips = build_with_workload ~workers:4 ~txns:25 ~seed:7 in
+  let raised = List.mem Signal.Raised (overload_changes flips) in
+  Alcotest.(check bool) "hot traffic raises overload.fg_p99" true raised;
+  (* traffic has stopped: keep ticking so the window drains and the
+     signal clears through hysteresis, not by reset *)
+  for _ = 1 to 12 do
+    Obs_sampler.sample ctx
+  done;
+  let changes = overload_changes flips in
+  Alcotest.(check bool) "drained window clears the signal" true
+    (List.length changes >= 2
+    && List.nth changes (List.length changes - 1) = Signal.Cleared);
+  let s = Option.get (Signal.find ctx.Ctx.signals "overload.fg_p99") in
+  Alcotest.(check bool) "inactive after drain" false (Signal.active s)
+
+let test_overload_quiet () =
+  let _, flips = build_with_workload ~workers:0 ~txns:0 ~seed:7 in
+  Alcotest.(check (list (pair string bool))) "no overload without updaters" []
+    (List.filter_map
+       (fun (name, change) ->
+         if name = "overload.fg_p99" then Some (name, change = Signal.Raised)
+         else None)
+       !flips)
+
+(* sampler emission: window/signal keys appear once per batch *)
+let test_sampler_emits_plane_keys () =
+  let trace = Trace.create () in
+  let samples = ref [] in
+  Trace.add_sink trace ~name:"t" (fun (s : Event.stamped) ->
+      match s.event with
+      | Event.Sample { key; value } -> samples := (s.step, key, value) :: !samples
+      | _ -> ());
+  let ctx, _ =
+    let ctx = Engine.create ~seed:3 ~page_capacity:256 ~trace () in
+    (ctx, ())
+  in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  let _ = Driver.populate ctx ~table:1 ~rows:200 ~seed:3 in
+  Obs_sampler.install ctx ~every:30;
+  let _ =
+    Driver.spawn_workers ctx
+      { Driver.default with seed = 3; workers = 2; txns_per_worker = 8 }
+      ~table:1
+  in
+  Sched.run ctx.Ctx.sched;
+  let keys_at_last_batch =
+    match !samples with
+    | [] -> []
+    | (last, _, _) :: _ ->
+      List.filter_map
+        (fun (s, k, _) -> if s = last then Some k else None)
+        !samples
+  in
+  Alcotest.(check bool) "emits window p99" true
+    (List.mem "window.fg.latency.p99" keys_at_last_batch);
+  Alcotest.(check bool) "emits signal state" true
+    (List.mem "signal.overload.fg_p99" keys_at_last_batch);
+  Alcotest.(check bool) "emits rate series" true
+    (List.mem "rate.txn_commits" keys_at_last_batch);
+  let sorted = List.sort compare keys_at_last_batch in
+  Alcotest.(check int) "no duplicate keys in one batch"
+    (List.length sorted)
+    (List.length (List.sort_uniq compare sorted))
+
+let () =
+  Alcotest.run "obs_plane"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "basics" `Quick test_window_basics;
+          QCheck_alcotest.to_alcotest qcheck_window;
+        ] );
+      ("registry", [ Alcotest.test_case "roundtrip" `Quick test_registry_roundtrip ]);
+      ("signal", [ Alcotest.test_case "hysteresis" `Quick test_signal_hysteresis ]);
+      ( "quantiles",
+        [
+          Alcotest.test_case "online vs offline" `Quick test_online_vs_offline;
+          Alcotest.test_case "series extraction" `Quick test_quantile_series;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "per-build accounting" `Quick test_per_build_accounting;
+          Alcotest.test_case "overload raises then clears" `Quick
+            test_overload_hot_then_drain;
+          Alcotest.test_case "quiet stays quiet" `Quick test_overload_quiet;
+          Alcotest.test_case "sampler plane keys" `Quick
+            test_sampler_emits_plane_keys;
+        ] );
+    ]

@@ -53,7 +53,7 @@ let test_loser_tree_merges () =
       mk [ keyn 2; keyn 5 ];
     |]
   in
-  let tree = Loser_tree.make ~streams in
+  let tree = Loser_tree.make ~streams () in
   let out = Loser_tree.drain tree in
   Alcotest.(check (list int))
     "sorted output"
@@ -68,7 +68,7 @@ let test_loser_tree_merges () =
 let test_loser_tree_single_stream () =
   let r = ref [ keyn 1; keyn 2 ] in
   let streams = [| (fun () -> match !r with [] -> None | x :: tl -> r := tl; Some x) |] in
-  let tree = Loser_tree.make ~streams in
+  let tree = Loser_tree.make ~streams () in
   Alcotest.(check int) "two keys" 2 (List.length (Loser_tree.drain tree))
 
 let test_loser_tree_stability () =
@@ -78,7 +78,7 @@ let test_loser_tree_stability () =
     match !r with [] -> None | x :: tl -> r := tl; Some x
   in
   let streams = [| mk [ k ]; mk [ k ]; mk [ k ] |] in
-  let tree = Loser_tree.make ~streams in
+  let tree = Loser_tree.make ~streams () in
   let out = Loser_tree.drain tree in
   Alcotest.(check (list int)) "stream order preserved" [ 0; 1; 2 ]
     (List.map snd out)
@@ -272,7 +272,7 @@ let prop_loser_tree_sorted_permutation =
                    Some x)
              streams_keys)
       in
-      let out = List.map fst (Loser_tree.drain (Loser_tree.make ~streams)) in
+      let out = List.map fst (Loser_tree.drain (Loser_tree.make ~streams ())) in
       let rec nondecreasing = function
         | a :: (b :: _ as tl) -> Ikey.compare_kv a b <= 0 && nondecreasing tl
         | _ -> true
