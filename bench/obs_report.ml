@@ -10,6 +10,7 @@ module Trace = Oib_obs.Trace
 module Hist = Oib_obs.Hist
 module Resource = Oib_obs.Resource
 module Json = Oib_obs_analysis.Json
+module Profiler = Oib_obs.Profiler
 module BS = Build_status
 
 type run_result = {
@@ -19,6 +20,7 @@ type run_result = {
   status : BS.t;
   trace : Trace.t;
   samples : (int * string * int) list; (* (step, key, value), time order *)
+  prof : Profiler.t;
 }
 
 let one_build alg ~rows ~workers ~txns ~seed ~sample_every =
@@ -36,6 +38,11 @@ let one_build alg ~rows ~workers ~txns ~seed ~sample_every =
   let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
   let _ = Driver.populate ctx ~table:1 ~rows ~seed in
   Obs_sampler.install ctx ~every:sample_every;
+  (* a denser cadence than the metrics plane: profiles want stacks, not
+     series, and sampling from a hook never advances virtual time *)
+  let prof, _ =
+    Obs_sampler.install_profiler ctx ~every:(max 1 (sample_every / 10)) ()
+  in
   let _ =
     if workers > 0 then
       Driver.spawn_workers ctx
@@ -64,6 +71,7 @@ let one_build alg ~rows ~workers ~txns ~seed ~sample_every =
       status;
       trace;
       samples = List.rev !samples;
+      prof;
     }
   | l -> failwith (Printf.sprintf "obs_report: %d statuses" (List.length l))
 
@@ -141,6 +149,18 @@ let json_of_core_run r =
     r.algorithm r.algorithm r.seed r.total_steps;
   Printf.bprintf b "\"compares\":%d,\"log_bytes\":%d,\"fg_p99\":%.1f,"
     res.Resource.sort_compares res.Resource.log_bytes fg_p99;
+  (* where the steps went: the profiler's wait-state breakdown, so a
+     baseline failure can be explained (`oib-prof diff`) and not just
+     detected. The baseline gate above only reads name + wall_steps, so
+     adding this section never trips old baselines. *)
+  Printf.bprintf b "\"profile\":{\"samples\":%d,\"rounds\":%d,\"by_state\":{"
+    (Profiler.samples r.prof) (Profiler.ticks r.prof);
+  List.iteri
+    (fun i (state, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S:%d" state n)
+    (Profiler.by_state r.prof);
+  Buffer.add_string b "}},";
   Printf.bprintf b "\"cost\":%s,\"phases\":[" (Resource.to_json res);
   (* phase_spans and phase_costs both derive one entry per history
      transition, oldest first — pair them positionally *)
@@ -163,6 +183,42 @@ let write_core_json runs out =
     (String.concat "," (List.map json_of_core_run runs));
   close_out oc;
   Printf.printf "wrote %s\n%!" out
+
+(* One flamegraph-ready folded-stack file per run (flamegraph.pl
+   PROF_nsf.folded > nsf.svg), plus one summary line per run APPENDED to
+   the trajectory log — append, never overwrite, so the perf history
+   survives across PRs. Trajectory keys are alphabetical (keep them
+   sorted when extending) and the schema key versions the record. *)
+let write_folded runs =
+  List.iter
+    (fun r ->
+      let path = Printf.sprintf "PROF_%s.folded" r.algorithm in
+      let oc = open_out path in
+      output_string oc (Profiler.folded r.prof);
+      close_out oc;
+      Printf.printf "wrote %s (%d samples)\n%!" path (Profiler.samples r.prof))
+    runs
+
+let trajectory_path () =
+  if Sys.file_exists "bench" && Sys.is_directory "bench" then
+    Filename.concat "bench" "BENCH_trajectory.jsonl"
+  else "BENCH_trajectory.jsonl"
+
+let append_trajectory runs =
+  let path = trajectory_path () in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  List.iter
+    (fun r ->
+      let res = r.status.BS.resources in
+      Printf.fprintf oc
+        "{\"algorithm\":%S,\"compares\":%d,\"keys_processed\":%d,\
+         \"log_bytes\":%d,\"prof_samples\":%d,\
+         \"schema\":\"bench-trajectory/v1\",\"seed\":%d,\"wall_steps\":%d}\n"
+        r.algorithm res.Resource.sort_compares r.status.BS.keys_processed
+        res.Resource.log_bytes (Profiler.samples r.prof) r.seed r.total_steps)
+    runs;
+  close_out oc;
+  Printf.printf "appended %d run(s) to %s\n%!" (List.length runs) path
 
 (* Baseline gate for @bench-smoke: compare this run's BENCH_core.json
    against the checked-in baseline and fail on a >25%% wall-time
@@ -240,4 +296,6 @@ let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
     ^ "}\n");
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
-  write_core_json runs core_out
+  write_core_json runs core_out;
+  write_folded runs;
+  append_trajectory runs

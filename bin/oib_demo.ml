@@ -77,7 +77,7 @@ let report ctx (stats : Driver.stats ref) (d : Metrics.t) steps =
     List.iter print_endline errs;
     exit 1
 
-let cmd_build alg rows workers txns unique seed jsonl =
+let cmd_build alg rows workers txns unique seed jsonl profile profile_folded =
   let alg = alg_of_string alg in
   let trace = Trace.create () in
   ignore (Trace.attach_recorder trace ~capacity:2048);
@@ -90,6 +90,11 @@ let cmd_build alg rows workers txns unique seed jsonl =
   (* sample metrics + build progress into the dump (not the recorder-only
      case: samples would crowd real events out of the ring) *)
   if jsonl <> None then Obs_sampler.install ctx ~every:200;
+  let prof =
+    match profile with
+    | Some every -> Some (fst (Obs_sampler.install_profiler ctx ~every ()))
+    | None -> None
+  in
   let stats =
     if workers > 0 then
       Driver.spawn_workers ctx
@@ -112,6 +117,18 @@ let cmd_build alg rows workers txns unique seed jsonl =
   print_endline "latency histograms (steps):";
   Format.printf "%a@." Trace.pp_hists trace;
   report ctx stats !d !steps;
+  (match prof with
+  | None -> ()
+  | Some p ->
+    Printf.printf "profiler: %d samples in %d rounds\n"
+      (Oib_obs.Profiler.samples p)
+      (Oib_obs.Profiler.ticks p);
+    (match profile_folded with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Oib_obs.Profiler.folded p));
+      Printf.printf "online folded stacks written to %s\n" path));
   close_jsonl ();
   match jsonl with
   | Some path -> Printf.printf "event trace written to %s\n" path
@@ -247,11 +264,29 @@ let build_cmd =
   let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W") in
   let txns = Arg.(value & opt int 50 & info [ "txns" ] ~docv:"T" ~doc:"Per worker") in
   let unique = Arg.(value & flag & info [ "unique" ]) in
+  let profile =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "profile" ] ~docv:"K"
+          ~doc:
+            "Sample every live fiber every $(docv) virtual steps, emitting \
+             prof.sample events (analyze with oib-prof).")
+  in
+  let profile_folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-folded" ] ~docv:"FILE"
+          ~doc:
+            "With --profile, also write the online profiler's folded \
+             stacks to $(docv).")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index online under a transaction mix")
     Term.(
       const cmd_build $ alg_arg $ rows_arg $ workers $ txns $ unique $ seed_arg
-      $ jsonl_arg)
+      $ jsonl_arg $ profile $ profile_folded)
 
 let crash_cmd =
   let at = Arg.(value & opt int 2000 & info [ "at" ] ~docv:"STEP" ~doc:"Crash step") in

@@ -209,12 +209,12 @@ let report_failure sess (o : Runner.outcome) =
     (Scenario.repro_command ~sabotage:sess.sabotage
        ~sabotage_race:sess.sabotage_race ~sanitize:(sanitizing sess) small)
 
-let exec sess ~jsonl ~lint_graph ~san_json sc =
+let exec sess ~jsonl ~lint_graph ~san_json ?profile sc =
   Format.printf "%a@." Scenario.pp sc;
   let trace, close =
-    match (trace_of sess, jsonl) with
-    | None, None -> (None, fun () -> ())
-    | tr0, jsonl ->
+    match (trace_of sess, jsonl, profile) with
+    | None, None, None -> (None, fun () -> ())
+    | tr0, jsonl, _ ->
       let tr =
         match tr0 with
         | Some t -> t
@@ -234,10 +234,36 @@ let exec sess ~jsonl ~lint_graph ~san_json sc =
       in
       (Some tr, close)
   in
+  (* --profile: one profiler per engine incarnation (each new scheduler
+     needs a fresh step hook); the last one standing covers the capture's
+     final incarnation, which is the one a shrunk failure dies in *)
+  let prof_state = ref None in
+  let on_engine =
+    match profile with
+    | None -> None
+    | Some every ->
+      Some
+        (fun (ctx : Ctx.t) ->
+          (match !prof_state with
+          | Some (_, uninstall) -> uninstall ()
+          | None -> ());
+          prof_state :=
+            Some (Oib_core.Obs_sampler.install_profiler ctx ~every ()))
+  in
   let o =
-    Runner.run ?trace ?inject:(inject_of sess) ?during:(during_of sess) sc
+    Runner.run ?trace ?inject:(inject_of sess) ?during:(during_of sess)
+      ?on_engine sc
   in
   print_outcome o;
+  (match !prof_state with
+  | None -> ()
+  | Some (p, _) ->
+    let module Profiler = Oib_obs.Profiler in
+    Printf.printf "profile (final incarnation): %d samples in %d rounds\n"
+      (Profiler.samples p) (Profiler.ticks p);
+    List.iter
+      (fun (state, w) -> Printf.printf "  %-9s %6d\n" state w)
+      (Profiler.by_state p));
   close ();
   if Runner.failed o || san_dirty sess then begin
     report_failure sess o;
@@ -247,7 +273,7 @@ let exec sess ~jsonl ~lint_graph ~san_json sc =
   finish sess ~lint_graph ~san_json
 
 let cmd_run seed alg rows workers txns sabotage sabotage_race sanitize jsonl
-    lint_graph san_json =
+    lint_graph san_json profile =
   let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let sc =
     Scenario.generate ~seed
@@ -255,10 +281,10 @@ let cmd_run seed alg rows workers txns sabotage sabotage_race sanitize jsonl
          ?alg:(Option.map Scenario.alg_of_string alg)
          ?rows ?workers ?txns
   in
-  exec sess ~jsonl ~lint_graph ~san_json sc
+  exec sess ~jsonl ~lint_graph ~san_json ?profile sc
 
 let cmd_repro seed alg rows unique workers txns ops post faults sabotage
-    sabotage_race sanitize jsonl lint_graph san_json =
+    sabotage_race sanitize jsonl lint_graph san_json profile =
   let sess = make_sess ~sabotage ~sabotage_race ~sanitize () in
   let sc =
     Scenario.generate ~seed
@@ -267,7 +293,7 @@ let cmd_repro seed alg rows unique workers txns ops post faults sabotage
          ?rows ~unique ?workers ?txns ?ops ?post
          ?faults:(Option.map Scenario.faults_of_string faults)
   in
-  exec sess ~jsonl ~lint_graph ~san_json sc
+  exec sess ~jsonl ~lint_graph ~san_json ?profile sc
 
 let cmd_fuzz count seed_base alg sabotage sabotage_race sanitize lint_graph
     san_json =
@@ -399,13 +425,23 @@ let san_json_arg =
     & info [ "san-json" ] ~docv:"FILE"
         ~doc:"Write sanitizer counters as JSON to $(docv)")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "profile" ] ~docv:"K"
+        ~doc:
+          "Sample every live fiber every $(docv) steps; prof.sample events \
+           land in --trace-jsonl and a final-incarnation state breakdown is \
+           printed (analyze with oib-prof)")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one generated scenario and its oracle battery")
     Term.(
       const cmd_run $ seed_arg $ alg_opt $ rows_opt $ workers_opt $ txns_opt
       $ sabotage_arg $ sabotage_race_arg $ sanitize_arg $ jsonl_arg
-      $ lint_graph_arg $ san_json_arg)
+      $ lint_graph_arg $ san_json_arg $ profile_arg)
 
 let repro_cmd =
   let ops = Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N") in
@@ -425,7 +461,8 @@ let repro_cmd =
     Term.(
       const cmd_repro $ seed_arg $ alg_opt $ rows_opt $ unique $ workers_opt
       $ txns_opt $ ops $ post $ faults $ sabotage_arg $ sabotage_race_arg
-      $ sanitize_arg $ jsonl_arg $ lint_graph_arg $ san_json_arg)
+      $ sanitize_arg $ jsonl_arg $ lint_graph_arg $ san_json_arg
+      $ profile_arg)
 
 let fuzz_cmd =
   let count =

@@ -1,0 +1,213 @@
+(* oib-prof: offline profile analyzer for JSONL trace dumps carrying
+   Prof_sample events (oib-demo build --profile K --trace-jsonl FILE).
+
+   oib-prof summary build.jsonl            # totals + wait-state mix
+   oib-prof folded  build.jsonl > out.folded   # flamegraph.pl input
+   oib-prof top     build.jsonl [--bottom-up]
+   oib-prof waits   build.jsonl            # per phase / txn class / edge
+   oib-prof diff    a.jsonl b.jsonl        # signed per-path deltas
+
+   Every subcommand takes --epoch N to target one incarnation of a
+   multi-crash capture. *)
+
+module TR = Oib_obs_analysis.Trace_reader
+module Profile = Oib_obs_analysis.Profile
+
+let load path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "oib-prof: no such file: %s\n" path;
+    exit 2
+  end;
+  let events, errors = TR.of_file path in
+  List.iter
+    (fun (e : TR.error) ->
+      Printf.eprintf "oib-prof: %s:%d: %s\n" path e.line_no e.msg)
+    errors;
+  events
+
+let select_epoch epoch path events =
+  match epoch with
+  | None -> events
+  | Some n -> (
+    match TR.nth_epoch events n with
+    | Some es -> es
+    | None ->
+      Printf.eprintf "oib-prof: %s has %d epoch(s); no epoch %d\n" path
+        (List.length (TR.epochs events))
+        n;
+      exit 2)
+
+let load_epoch epoch path = select_epoch epoch path (load path)
+
+let cmd_summary epoch path =
+  let events = load_epoch epoch path in
+  let total = Profile.total_weight events in
+  Printf.printf "%d samples over %d events\n" total (List.length events);
+  if total = 0 then begin
+    prerr_endline
+      "oib-prof: no Prof_sample events (capture with --profile K)";
+    exit 1
+  end;
+  print_endline "state breakdown:";
+  List.iter
+    (fun (state, w) ->
+      Printf.printf "  %-9s %7d  %5.1f%%\n" state w
+        (100.0 *. float_of_int w /. float_of_int total))
+    (Profile.by_state events);
+  print_endline "samples per fiber class:";
+  List.iter
+    (fun (fname, w) -> Printf.printf "  %-12s %7d\n" fname w)
+    (Profile.by_fiber events);
+  print_endline "hottest stacks:";
+  let top =
+    Profile.weights events
+    |> List.sort (fun (pa, wa) (pb, wb) ->
+           if wa <> wb then compare wb wa else String.compare pa pb)
+  in
+  List.iteri
+    (fun i (path, w) -> if i < 5 then Printf.printf "  %6d  %s\n" w path)
+    top
+
+let cmd_folded epoch path =
+  print_string (Profile.folded (load_epoch epoch path))
+
+let cmd_top epoch bottom_up limit path =
+  let events = load_epoch epoch path in
+  if bottom_up then begin
+    Printf.printf "%7s %7s  %s\n" "self" "total" "frame";
+    List.iteri
+      (fun i (frame, total, self) ->
+        if i < limit then Printf.printf "%7d %7d  %s\n" self total frame)
+      (Profile.bottom_up events)
+  end
+  else begin
+    Printf.printf "%7s %7s  %s\n" "total" "self" "path";
+    List.iteri
+      (fun i (path, total, self) ->
+        if i < limit then Printf.printf "%7d %7d  %s\n" total self path)
+      (Profile.top_down events)
+  end
+
+let cmd_waits epoch path =
+  let events = load_epoch epoch path in
+  print_endline "waits by build phase:";
+  List.iter
+    (fun (index, phase, state, w) ->
+      Printf.printf "  index %-3d %-9s %-9s %6d\n" index phase state w)
+    (Profile.waits_by_phase events);
+  print_endline "waits by txn class:";
+  List.iter
+    (fun (fname, state, w) ->
+      Printf.printf "  %-12s %-9s %6d\n" fname state w)
+    (Profile.waits_by_class events);
+  print_endline "blocker attribution (state, resource, blocker):";
+  List.iter
+    (fun (state, resource, blocker, w) ->
+      Printf.printf "  %-9s %-16s %-12s %6d\n" state resource blocker w)
+    (Profile.wait_edges events)
+
+let cmd_diff epoch expect_empty expect_delta path_a path_b =
+  let a = load_epoch epoch path_a and b = load_epoch epoch path_b in
+  let deltas = Profile.diff a b in
+  List.iter
+    (fun (path, d) -> Printf.printf "%+7d  %s\n" d path)
+    deltas;
+  Printf.printf "%d path(s) differ (A=%d samples, B=%d samples)\n"
+    (List.length deltas) (Profile.total_weight a) (Profile.total_weight b);
+  if expect_empty && deltas <> [] then begin
+    prerr_endline "oib-prof: diff expected to be empty but is not";
+    exit 1
+  end;
+  if expect_delta && deltas = [] then begin
+    prerr_endline "oib-prof: diff expected to report a delta but is empty";
+    exit 1
+  end
+
+open Cmdliner
+
+let epoch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Restrict to the $(docv)-th (0-based) engine incarnation of a \
+           multi-crash capture.")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace dump (from --trace-jsonl)")
+
+let summary_cmd =
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Sample totals, wait-state mix, hottest stacks; exit 1 if empty")
+    Term.(const cmd_summary $ epoch_arg $ file_arg)
+
+let folded_cmd =
+  Cmd.v
+    (Cmd.info "folded"
+       ~doc:"Folded stacks (one `frames weight' line each), flamegraph-ready")
+    Term.(const cmd_folded $ epoch_arg $ file_arg)
+
+let top_cmd =
+  let bottom_up =
+    Arg.(
+      value & flag
+      & info [ "bottom-up" ]
+          ~doc:"Aggregate by leaf frame instead of by stack prefix.")
+  in
+  let limit =
+    Arg.(value & opt int 40 & info [ "limit" ] ~docv:"N" ~doc:"Rows to print.")
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Top-down (or bottom-up) self/total step table")
+    Term.(const cmd_top $ epoch_arg $ bottom_up $ limit $ file_arg)
+
+let waits_cmd =
+  Cmd.v
+    (Cmd.info "waits"
+       ~doc:
+         "Wait-state breakdown per build phase and per txn class, plus \
+          blocker attribution edges")
+    Term.(const cmd_waits $ epoch_arg $ file_arg)
+
+let diff_cmd =
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE_B" ~doc:"Second capture (the candidate).")
+  in
+  let expect_empty =
+    Arg.(
+      value & flag
+      & info [ "expect-empty" ]
+          ~doc:"Exit 1 unless the diff is empty (CI self-check).")
+  in
+  let expect_delta =
+    Arg.(
+      value & flag
+      & info [ "expect-delta" ]
+          ~doc:"Exit 1 unless at least one path differs (CI self-check).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Signed per-path sample deltas B-A, largest magnitude first \
+          (positive = B spends more there)")
+    Term.(
+      const cmd_diff $ epoch_arg $ expect_empty $ expect_delta $ file_arg
+      $ file_b)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "oib-prof" ~version:"1.0"
+             ~doc:
+               "Analyze deterministic virtual-time profiles captured in \
+                JSONL trace dumps")
+          [ summary_cmd; folded_cmd; top_cmd; waits_cmd; diff_cmd ]))

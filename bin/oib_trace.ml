@@ -23,20 +23,34 @@ let load path =
     errors;
   (events, errors)
 
-let run_report render path =
+(* shared --epoch N: restrict any subcommand to one engine incarnation *)
+let select_epoch epoch path events =
+  match epoch with
+  | None -> events
+  | Some n -> (
+    match TR.nth_epoch events n with
+    | Some es -> es
+    | None ->
+      Printf.eprintf "oib-trace: %s has %d epoch(s); no epoch %d\n" path
+        (List.length (TR.epochs events))
+        n;
+      exit 2)
+
+let run_report render epoch path =
   let events, _errors = load path in
-  print_string (render events)
+  print_string (render (select_epoch epoch path events))
 
-let cmd_summary path = run_report Report.summary path
+let cmd_summary epoch path = run_report Report.summary epoch path
 
-let cmd_quantiles window every path =
-  run_report (Oib_obs_analysis.Quantiles.report ?window ?every) path
-let cmd_spans path = run_report Report.spans path
-let cmd_contention path = run_report Report.contention path
-let cmd_timeline path = run_report Report.timeline path
+let cmd_quantiles window every epoch path =
+  run_report (Oib_obs_analysis.Quantiles.report ?window ?every) epoch path
+let cmd_spans epoch path = run_report Report.spans epoch path
+let cmd_contention epoch path = run_report Report.contention epoch path
+let cmd_timeline epoch path = run_report Report.timeline epoch path
 
-let cmd_check path =
+let cmd_check epoch path =
   let events, errors = load path in
+  let events = select_epoch epoch path events in
   let violations = Check.run events in
   List.iter
     (fun v -> Format.printf "%a@." Check.pp_violation v)
@@ -55,8 +69,17 @@ let file_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"JSONL trace dump (from --trace-jsonl)")
 
+let epoch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Restrict to the $(docv)-th (0-based) engine incarnation of a \
+           multi-crash capture.")
+
 let make name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ file_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ epoch_arg $ file_arg)
 
 let quantiles_cmd =
   let window =
@@ -79,7 +102,7 @@ let quantiles_cmd =
     (Cmd.info "quantiles"
        ~doc:
          "Sliding-window latency/wait percentiles (p50/p95/p99) per epoch")
-    Term.(const cmd_quantiles $ window $ every $ file_arg)
+    Term.(const cmd_quantiles $ window $ every $ epoch_arg $ file_arg)
 
 let () =
   exit

@@ -83,3 +83,38 @@ let install (ctx : Ctx.t) ~every =
   Sched.set_tick ctx.Ctx.sched ~every (fun _ -> sample ~rate_steps:every ctx)
 
 let uninstall (ctx : Ctx.t) = Sched.clear_tick ctx.Ctx.sched
+
+(* The profiler glue: [Profiler] lives below the scheduler in the
+   dependency order, so the translation from [Sched.fiber_state] to its
+   run-state mirror and the step-hook cadence both live here. The hook
+   (not the single tick slot — that belongs to the metrics sampler
+   above) samples every live fiber every [every] steps. *)
+module Profiler = Oib_obs.Profiler
+
+let install_profiler (ctx : Ctx.t) ?(every = 10) () =
+  if every <= 0 then
+    invalid_arg "Obs_sampler.install_profiler: every must be positive";
+  let prof = Profiler.create ctx.Ctx.trace in
+  let sched = ctx.Ctx.sched in
+  let hook =
+    Sched.add_step_hook sched (fun step ->
+        (* also fire at the incarnation's very first step, so even a
+           scheduler run shorter than one period yields a profile *)
+        if step = 1 || step mod every = 0 then
+          Profiler.sample prof
+            ~fibers:
+              (List.map
+                 (fun (id, name, st) ->
+                   ( id,
+                     name,
+                     match (st : Sched.fiber_state) with
+                     | Sched.Running -> Profiler.Running
+                     | Sched.Runnable -> Profiler.Runnable
+                     | Sched.Blocked -> Profiler.Blocked ))
+                 (Sched.fiber_states sched)))
+  in
+  let uninstall () =
+    Sched.remove_step_hook sched hook;
+    Profiler.detach prof
+  in
+  (prof, uninstall)

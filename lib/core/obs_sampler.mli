@@ -29,3 +29,17 @@ val sample : ?rate_steps:int -> Ctx.t -> unit
     [rate_steps = every]). Without [rate_steps] the EWMA rates are left
     untouched — a manual call has no well-defined step delta. Note a
     call advances the window clock (rotates every window). *)
+
+val install_profiler :
+  Ctx.t -> ?every:int -> unit -> Oib_obs.Profiler.t * (unit -> unit)
+(** Attach a {!Oib_obs.Profiler} to the engine: a scheduler step hook
+    samples every live fiber every [every] (default 10) virtual steps
+    (plus once at the scheduler's first step, so runs shorter than one
+    period still profile),
+    classifying each into on-cpu / blocked-on-{latch,lock,io,logflush} /
+    sched and emitting one [Prof_sample] event per fiber per round.
+    Returns the profiler (for the online tree) and an uninstall thunk
+    (removes the hook and the profiler's sink). Uses [add_step_hook],
+    not the tick slot, so it coexists with {!install}. Hooks never
+    advance virtual time, so installing the profiler does not perturb
+    the schedule. [every] must be positive. *)

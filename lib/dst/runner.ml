@@ -77,7 +77,10 @@ let spawn_resume ctx (sc : Scenario.t) cancelled =
            end
          with Ib.Build_unique_violation _ -> cancelled := true))
 
-let run ?trace ?inject ?during (sc : Scenario.t) =
+let run ?trace ?inject ?during ?on_engine (sc : Scenario.t) =
+  let engine_ready ctx =
+    match on_engine with Some f -> f ctx | None -> ()
+  in
   (* run boundary for the sanitizer: fiber ids and latch identities are
      about to restart, so all volatile shadow state must go *)
   (match trace with
@@ -100,6 +103,7 @@ let run ?trace ?inject ?during (sc : Scenario.t) =
     | Some tr -> Engine.create ~seed:sc.seed ~page_capacity:512 ~trace:tr ()
     | None -> Engine.create ~seed:sc.seed ~page_capacity:512 ()
   in
+  engine_ready ctx0;
   let _ = Catalog.create_table ctx0.Ctx.catalog ctx0.Ctx.pool ~table_id:1 in
   (match sc.alg with
   | Scenario.Iot -> populate_iot ctx0 ~rows:sc.rows
@@ -214,6 +218,7 @@ let run ?trace ?inject ?during (sc : Scenario.t) =
           | None -> Engine.crash ~seed:seed' ctx)
         | _ -> Engine.crash ~seed:seed' ctx
       in
+      engine_ready ctx';
       incarnations := !incarnations + 1;
       (match Oracle.battery ~final:false ctx' with
       | [] ->
@@ -246,6 +251,7 @@ let run ?trace ?inject ?during (sc : Scenario.t) =
          the freshly recovered engine again at step 0, recover, re-check *)
       let ctx_a = Engine.crash ~seed:(sc.seed + 7001) ctx in
       let ctx_b = Engine.crash ~seed:(sc.seed + 7002) ctx_a in
+      engine_ready ctx_b;
       spawn_resume ctx_b sc cancelled;
       match Sched.run ctx_b.Ctx.sched with
       | () -> (

@@ -38,6 +38,7 @@ val run :
   ?trace:Oib_obs.Trace.t ->
   ?inject:(Oib_core.Ctx.t -> unit) ->
   ?during:(Oib_core.Ctx.t -> unit) ->
+  ?on_engine:(Oib_core.Ctx.t -> unit) ->
   Scenario.t ->
   outcome
 (** [inject] (test-only hook) runs on the completed engine just before
@@ -45,9 +46,13 @@ val run :
     prove the harness catches, shrinks and reports them. [during]
     (test-only hook) runs on the first incarnation right after the
     builder fiber is spawned, before the scheduler starts — used to
-    plant a concurrent saboteur fiber for the race sanitizer. When a
-    sanitizing [trace] is given, an [Epoch] probe marks the run start so
-    per-run shadow state resets. *)
+    plant a concurrent saboteur fiber for the race sanitizer.
+    [on_engine] runs right after every engine incarnation is assembled
+    (initial, post-crash/media-restore, and the double-recovery check) —
+    used to re-install per-scheduler instrumentation such as the
+    profiler's step hook, so a capture's final incarnation is profiled.
+    When a sanitizing [trace] is given, an [Epoch] probe marks the run
+    start so per-run shadow state resets. *)
 
 val measure_steps : ?trace:Oib_obs.Trace.t -> Scenario.t -> int
 (** Total steps of the scenario run fault-free — the sweep's upper

@@ -7,7 +7,7 @@
 
 type t =
   | Fiber_spawn of { fiber : int; name : string }
-  | Latch_wait of { latch : string; mode : string }
+  | Latch_wait of { latch : string; mode : string; holders : string }
   | Latch_acquired of { latch : string; mode : string; waited : int }
   | Latch_released of { latch : string; mode : string }
   | Lock_wait of { owner : int; target : string; mode : string; blockers : string }
@@ -33,6 +33,14 @@ type t =
   | Span_begin of { span : int; parent : int; cat : string; name : string }
   | Span_end of { span : int }
   | Sample of { key : string; value : int }
+  | Prof_sample of {
+      fiber : int;
+      fname : string;
+      state : string;
+      path : string;
+      resource : string;
+      blocker : string;
+    }
   | Epoch of { label : string }
       (** engine-incarnation boundary in a multi-run trace; the step clock
           restarts at the next event *)
@@ -68,12 +76,14 @@ let kind = function
   | Span_begin _ -> "span.begin"
   | Span_end _ -> "span.end"
   | Sample _ -> "sample"
+  | Prof_sample _ -> "prof.sample"
   | Epoch _ -> "epoch"
 
 (* key=value detail string, shared by the textual dump and pp *)
 let detail = function
   | Fiber_spawn { fiber; name } -> Printf.sprintf "fiber=%d name=%s" fiber name
-  | Latch_wait { latch; mode } -> Printf.sprintf "latch=%s mode=%s" latch mode
+  | Latch_wait { latch; mode; holders } ->
+    Printf.sprintf "latch=%s mode=%s holders=%s" latch mode holders
   | Latch_acquired { latch; mode; waited } ->
     Printf.sprintf "latch=%s mode=%s waited=%d" latch mode waited
   | Latch_released { latch; mode } ->
@@ -114,6 +124,9 @@ let detail = function
     Printf.sprintf "span=%d parent=%d cat=%s name=%s" span parent cat name
   | Span_end { span } -> Printf.sprintf "span=%d" span
   | Sample { key; value } -> Printf.sprintf "key=%s value=%d" key value
+  | Prof_sample { fiber; fname; state; path; resource; blocker } ->
+    Printf.sprintf "fiber=%d fname=%s state=%s path=%s resource=%s blocker=%s"
+      fiber fname state path resource blocker
   | Epoch { label } -> Printf.sprintf "label=%s" label
 
 let pp ppf e = Format.fprintf ppf "%-18s %s" (kind e) (detail e)
@@ -148,7 +161,8 @@ let fields = function
      same JSON object (like Recovery_step's "what" below) *)
   | Fiber_spawn { fiber; name } ->
     [ ("id", `I fiber); ("name", `S name) ]
-  | Latch_wait { latch; mode } -> [ ("latch", `S latch); ("mode", `S mode) ]
+  | Latch_wait { latch; mode; holders } ->
+    [ ("latch", `S latch); ("mode", `S mode); ("holders", `S holders) ]
   | Latch_acquired { latch; mode; waited } ->
     [ ("latch", `S latch); ("mode", `S mode); ("waited", `I waited) ]
   | Latch_released { latch; mode } ->
@@ -190,6 +204,12 @@ let fields = function
       ("name", `S name) ]
   | Span_end { span } -> [ ("span", `I span) ]
   | Sample { key; value } -> [ ("key", `S key); ("value", `I value) ]
+  (* "id"/"fname", not "fiber"/"fiber_name": the stamp already writes
+     both keys into the same JSON object (samples are taken outside any
+     fiber, so the stamp says main; the payload names the sampled fiber) *)
+  | Prof_sample { fiber; fname; state; path; resource; blocker } ->
+    [ ("id", `I fiber); ("fname", `S fname); ("state", `S state);
+      ("path", `S path); ("resource", `S resource); ("blocker", `S blocker) ]
   | Epoch { label } -> [ ("label", `S label) ]
 
 let to_json s =

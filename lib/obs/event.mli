@@ -7,7 +7,10 @@
 
 type t =
   | Fiber_spawn of { fiber : int; name : string }
-  | Latch_wait of { latch : string; mode : string }
+  | Latch_wait of { latch : string; mode : string; holders : string }
+      (** [holders] is the comma-joined names of the fibers currently
+          holding the latch, oldest grant first — the blockers the
+          profiler charges this wait to *)
   | Latch_acquired of { latch : string; mode : string; waited : int }
   | Latch_released of { latch : string; mode : string }
   | Lock_wait of { owner : int; target : string; mode : string; blockers : string }
@@ -47,6 +50,23 @@ type t =
             [build.<index_id>.cost.pages|log_bytes|wait_steps|compares]
             — per-build progress and attributed resource cost;
           - [signal.<name>] — health-signal state, 0 or 1. *)
+  | Prof_sample of {
+      fiber : int;
+      fname : string;
+      state : string;
+      path : string;
+      resource : string;
+      blocker : string;
+    }
+      (** One profiler observation of one live fiber, emitted by the
+          step-hook sampler (stamped as ["main"]: sampling happens
+          between fiber steps). [state] is exactly one of
+          [oncpu|latch|lock|io|logflush|sched]; [path] is the fiber's
+          open-span stack as ';'-joined [cat:name] segments,
+          outermost first, with digit runs normalized to ['#'];
+          [resource] names the blocking resource (empty when on-cpu)
+          and [blocker] the fiber name(s) holding it (comma-joined,
+          empty when unknown). *)
   | Epoch of { label : string }
 
 type stamped = { step : int; fiber : int; fiber_name : string; event : t }

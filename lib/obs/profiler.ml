@@ -1,0 +1,232 @@
+(* Deterministic sampling profiler.
+
+   Driven from outside (a scheduler step hook): every sampling round the
+   caller hands over one (id, name, run-state) row per live fiber and the
+   profiler classifies each row into exactly one of six buckets —
+
+     oncpu            the fiber the step was charged to
+     sched            runnable-but-not-chosen, or suspended on a cond
+     latch|lock|io|logflush   blocked on that resource
+
+   — attributing waits to the blocking resource and (for latches and
+   locks) to the blocker fiber(s). Each classified row becomes one
+   [Prof_sample] event on the trace and one unit of weight in an
+   in-memory prefix tree keyed by the fiber's open-span path, so the
+   online tree and an offline aggregation of the event stream agree
+   byte-for-byte on the folded output.
+
+   Everything is derived from virtual time and seeded scheduling, so the
+   same seed yields byte-identical profiles. *)
+
+(* the caller's view of a fiber, mirrored from [Sched.fiber_state]
+   (this library sits below the scheduler in the dependency order) *)
+type fiber_run_state = Running | Runnable | Blocked
+
+type wait = Wait_latch of string * string | Wait_lock of string * string
+
+type node = {
+  mutable weight : int; (* samples ending exactly here *)
+  children : (string, node) Hashtbl.t;
+}
+
+type t = {
+  trace : Trace.t;
+  mutable root : node;
+  mutable ticks : int; (* sampling rounds since last reset *)
+  mutable samples : int; (* one per (round, live fiber) *)
+  by_state : (string, int) Hashtbl.t;
+  by_fiber : (string, int) Hashtbl.t; (* normalized fiber name -> samples *)
+  waits : (int, wait) Hashtbl.t; (* fiber id -> what it blocked on *)
+  txn_fiber : (int, string) Hashtbl.t; (* txn id -> fiber name *)
+}
+
+let states = [ "oncpu"; "latch"; "lock"; "io"; "logflush"; "sched" ]
+
+(* "worker-3" -> "worker-#", "rec(3,14)" -> "rec(#,#)": collapse every
+   maximal digit run so paths aggregate across fibers, pages and rows *)
+let norm s =
+  let b = Buffer.create (String.length s) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !in_digits then Buffer.add_char b '#';
+        in_digits := true
+      end
+      else begin
+        in_digits := false;
+        Buffer.add_char b c
+      end)
+    s;
+  Buffer.contents b
+
+(* The frame list of one sample, shared by the online tree and the
+   offline aggregator so both fold identically: normalized fiber name,
+   then the open-span path outermost-first, then a synthetic wait frame
+   naming the blocking state (and resource, when known). *)
+let frames ~fname ~path ~state ~resource =
+  let base =
+    fname :: (if path = "" then [] else String.split_on_char ';' path)
+  in
+  if state = "oncpu" then base
+  else
+    base
+    @ [ (if resource = "" then "wait:" ^ state
+         else "wait:" ^ state ^ ":" ^ resource) ]
+
+(* --- weighted prefix tree --- *)
+
+let new_node () = { weight = 0; children = Hashtbl.create 4 }
+
+let add_frames root fs =
+  let rec go node = function
+    | [] -> node.weight <- node.weight + 1
+    | f :: rest ->
+      let child =
+        match Hashtbl.find_opt node.children f with
+        | Some c -> c
+        | None ->
+          let c = new_node () in
+          Hashtbl.replace node.children f c;
+          c
+      in
+      go child rest
+  in
+  go root fs
+
+let fold_tree root f acc =
+  let rec go prefix node acc =
+    let acc = if node.weight > 0 then f (List.rev prefix) node.weight acc else acc in
+    Hashtbl.fold (fun k c ks -> (k, c) :: ks) node.children []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.fold_left (fun acc (k, c) -> go (k :: prefix) c acc) acc
+  in
+  go [] root acc
+
+(* --- lifecycle --- *)
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let reset t =
+  t.root <- new_node ();
+  t.ticks <- 0;
+  t.samples <- 0;
+  Hashtbl.reset t.by_state;
+  Hashtbl.reset t.by_fiber;
+  Hashtbl.reset t.waits;
+  Hashtbl.reset t.txn_fiber
+
+let sink_name = "profiler"
+
+(* The sink keeps the blocker bookkeeping current: which fiber waits on
+   which resource, held by whom, and which fiber runs which txn. A crash
+   or epoch marker resets everything, so the online tree always describes
+   the trace's final incarnation. *)
+let on_event t (s : Event.stamped) =
+  match s.event with
+  | Event.Txn_begin { txn } -> Hashtbl.replace t.txn_fiber txn s.fiber_name
+  | Event.Lock_wait { target; blockers; _ } ->
+    Hashtbl.replace t.waits s.fiber (Wait_lock (target, blockers))
+  | Event.Lock_acquired _ | Event.Lock_denied _ ->
+    Hashtbl.remove t.waits s.fiber
+  | Event.Latch_wait { latch; holders; _ } ->
+    Hashtbl.replace t.waits s.fiber (Wait_latch (latch, holders))
+  | Event.Latch_acquired _ -> Hashtbl.remove t.waits s.fiber
+  | Event.Crash _ | Event.Epoch _ -> reset t
+  | _ -> ()
+
+let create trace =
+  if Trace.is_null trace then invalid_arg "Profiler.create: null trace";
+  let t =
+    {
+      trace;
+      root = new_node ();
+      ticks = 0;
+      samples = 0;
+      by_state = Hashtbl.create 8;
+      by_fiber = Hashtbl.create 8;
+      waits = Hashtbl.create 8;
+      txn_fiber = Hashtbl.create 8;
+    }
+  in
+  Trace.add_sink trace ~name:sink_name (on_event t);
+  t
+
+let detach t = Trace.remove_sink t.trace ~name:sink_name
+
+(* lock blockers arrive as txn ids ("3,7"); translate to fiber names so
+   waits are attributed fiber-to-fiber like latch holders are *)
+let lock_blocker_names t blockers =
+  if blockers = "" then ""
+  else
+    String.split_on_char ',' blockers
+    |> List.map (fun txn ->
+           match int_of_string_opt (String.trim txn) with
+           | Some id -> (
+             match Hashtbl.find_opt t.txn_fiber id with
+             | Some fname -> fname
+             | None -> "txn-" ^ txn)
+           | None -> txn)
+    |> String.concat ","
+
+let classify t ~id ~state =
+  match (state : fiber_run_state) with
+  | Running -> ("oncpu", "", "")
+  | Runnable -> ("sched", "cpu", "")
+  | Blocked -> (
+    match Hashtbl.find_opt t.waits id with
+    | Some (Wait_latch (latch, holders)) -> ("latch", norm latch, holders)
+    | Some (Wait_lock (target, blockers)) ->
+      ("lock", norm target, lock_blocker_names t blockers)
+    | None -> (
+      (* no wait event pending: fall back to the innermost open span —
+         io and logflush block without a dedicated wait event *)
+      match Trace.open_spans t.trace ~fiber:id with
+      | (("latch" | "lock" | "io" | "logflush") as cat, name) :: _ ->
+        (cat, norm name, "")
+      | _ -> ("sched", "suspend", "")))
+
+let sample t ~fibers =
+  t.ticks <- t.ticks + 1;
+  List.iter
+    (fun (id, name, state) ->
+      let st, resource, blocker = classify t ~id ~state in
+      let fname = norm name in
+      let path =
+        Trace.open_spans t.trace ~fiber:id
+        |> List.rev (* outermost first *)
+        |> List.map (fun (cat, n) -> cat ^ ":" ^ norm n)
+        |> String.concat ";"
+      in
+      Trace.emit t.trace
+        (Event.Prof_sample
+           { fiber = id; fname; state = st; path; resource; blocker });
+      add_frames t.root (frames ~fname ~path ~state:st ~resource);
+      t.samples <- t.samples + 1;
+      bump t.by_state st 1;
+      bump t.by_fiber fname 1)
+    fibers
+
+(* --- views --- *)
+
+let ticks t = t.ticks
+
+let samples t = t.samples
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_state t = sorted t.by_state
+
+let by_fiber t = sorted t.by_fiber
+
+let weights t =
+  fold_tree t.root (fun fs w acc -> (String.concat ";" fs, w) :: acc) []
+  |> List.rev
+
+let folded t =
+  let b = Buffer.create 1024 in
+  List.iter (fun (path, w) -> Printf.bprintf b "%s %d\n" path w) (weights t);
+  Buffer.contents b

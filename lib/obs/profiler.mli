@@ -1,0 +1,72 @@
+(** Deterministic virtual-time sampling profiler.
+
+    A sampling round (driven from a scheduler step hook by
+    [Obs_sampler.install_profiler]) hands the profiler one row per live
+    fiber; each row is classified into exactly one of six buckets —
+    [oncpu], [sched], or blocked-on [latch]/[lock]/[io]/[logflush] —
+    with waits attributed to the blocking resource and, for latches and
+    locks, to the blocker fiber(s). Every classified row is emitted as a
+    {!Event.Prof_sample} and accumulated into a weighted prefix tree
+    keyed by the fiber's open-span path, so the online {!folded} output
+    equals an offline aggregation of the same event stream
+    (see [Oib_obs_analysis.Profile]) byte for byte.
+
+    The profiler attaches an event sink (which also flips {!Trace.tracing}
+    on) to keep its blocker bookkeeping current; a [Crash] or [Epoch]
+    event resets the tree, so after a multi-incarnation run the online
+    state describes the final incarnation only. Sampling is a pure
+    function of the seeded schedule: same seed ⇒ byte-identical
+    profiles. *)
+
+type t
+
+(** The caller's view of a fiber's run state, mirroring
+    [Sched.fiber_state] (this library sits below the scheduler). *)
+type fiber_run_state = Running | Runnable | Blocked
+
+val states : string list
+(** The six bucket names: [oncpu; latch; lock; io; logflush; sched]. *)
+
+val create : Trace.t -> t
+(** Attach the profiler's sink to the trace. Raises [Invalid_argument]
+    on the null trace. *)
+
+val detach : t -> unit
+(** Remove the sink; the accumulated tree remains readable. *)
+
+val sample : t -> fibers:(int * string * fiber_run_state) list -> unit
+(** One sampling round: classify each [(id, name, state)] row, emit one
+    [Prof_sample] per row, add one unit of weight per row to the tree. *)
+
+val norm : string -> string
+(** Collapse every maximal digit run to ['#'] ("worker-3" →
+    "worker-#") so paths aggregate across fibers, pages and rows. *)
+
+val frames :
+  fname:string -> path:string -> state:string -> resource:string ->
+  string list
+(** The frame list of one sample (normalized fiber name, span path
+    outermost-first, then a ["wait:<state>[:<resource>]"] frame unless
+    on-cpu) — shared with the offline aggregator so both fold
+    identically. [path] is the ';'-joined normalized form carried by
+    [Prof_sample]. *)
+
+val ticks : t -> int
+(** Sampling rounds since creation (or the last crash/epoch reset). *)
+
+val samples : t -> int
+(** Total samples taken = one per (round, live fiber). *)
+
+val by_state : t -> (string * int) list
+(** Samples per bucket, sorted by bucket name. *)
+
+val by_fiber : t -> (string * int) list
+(** Samples per normalized fiber name, sorted. *)
+
+val weights : t -> (string * int) list
+(** The tree flattened to [(";"-joined frames, weight)] leaves in
+    lexicographic DFS order — weights sum to {!samples}. *)
+
+val folded : t -> string
+(** Standard folded-stack lines ["f1;f2;f3 W\n"], flamegraph-ready,
+    deterministically ordered. *)

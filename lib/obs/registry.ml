@@ -97,10 +97,16 @@ let window t ?bounds ?(slots = 8) ?labels name =
       (E_window w, w))
     ~cast:(function E_window w -> Some w | _ -> None)
 
+(* Lookup by a name that exists as a different kind is the same
+   programming error [intern] catches on registration — raise, don't
+   shadow: a silent None here would make the caller's observations
+   vanish. A missing name stays None so fire-and-forget observation
+   sites work before the window is wired. *)
 let find_window t name =
   match Hashtbl.find_opt t.entries name with
   | Some (E_window w) -> Some w
-  | _ -> None
+  | Some e -> clash name e "window"
+  | None -> None
 
 let observe_window t name v =
   match find_window t name with

@@ -47,11 +47,15 @@ val window :
 (** [slots] defaults to 8. *)
 
 val find_window : t -> string -> Window.t option
-(** Lookup by rendered name; [None] if absent or not a window. *)
+(** Lookup by rendered name; [None] if absent. Raises [Invalid_argument]
+    when the name exists as a different metric kind — the same
+    programming error registration catches, and a silent [None] would
+    make observations vanish. *)
 
 val observe_window : t -> string -> int -> unit
 (** Observe into the named window; silently a no-op if absent, so hot
-    paths need no registration handshake. *)
+    paths need no registration handshake. Raises like {!find_window} on
+    a kind mismatch. *)
 
 val rotate_windows : t -> unit
 (** Rotate every registered window one tick (sampler-driven). *)

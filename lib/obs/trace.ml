@@ -21,6 +21,7 @@ type t = {
   hists : (string, Hist.t) Hashtbl.t;
   mutable next_span : int; (* ids are unique across engine incarnations *)
   spans : (int, int list) Hashtbl.t; (* fiber id -> open-span stack *)
+  span_info : (int, string * string) Hashtbl.t; (* span id -> (cat, name) *)
 }
 
 let make ~live =
@@ -36,6 +37,7 @@ let make ~live =
     hists = Hashtbl.create 8;
     next_span = 1;
     spans = Hashtbl.create 8;
+    span_info = Hashtbl.create 8;
   }
 
 let null = make ~live:false
@@ -52,7 +54,8 @@ let set_clock t f = if t.live then t.clock <- f
 let set_fiber t f =
   if t.live then begin
     t.fiber <- f;
-    Hashtbl.reset t.spans
+    Hashtbl.reset t.spans;
+    Hashtbl.reset t.span_info
   end
 let now t = t.clock ()
 
@@ -120,7 +123,10 @@ let failure t ~reason =
   end;
   (* whatever was in flight at the crash never ends; drop the stacks so
      post-recovery spans don't inherit pre-crash parents *)
-  if t.live then Hashtbl.reset t.spans
+  if t.live then begin
+    Hashtbl.reset t.spans;
+    Hashtbl.reset t.span_info
+  end
 
 (* --- spans --- *)
 
@@ -134,6 +140,7 @@ let span_begin t ~cat ~name =
     let parent = match stack with p :: _ -> p | [] -> 0 in
     emit t (Event.Span_begin { span = id; parent; cat; name });
     Hashtbl.replace t.spans fid (id :: stack);
+    Hashtbl.replace t.span_info id (cat, name);
     id
   end
 
@@ -155,10 +162,19 @@ let span_end t id =
     | None -> () (* stale handle from before a crash/restart *)
     | Some (fid, stack) ->
       emit t (Event.Span_end { span = id });
+      Hashtbl.remove t.span_info id;
       (match List.filter (fun x -> x <> id) stack with
       | [] -> Hashtbl.remove t.spans fid
       | rest -> Hashtbl.replace t.spans fid rest)
   end
+
+(* The profiler's view of a fiber: (cat, name) of every open span,
+   innermost first. Spans whose info is missing (opened before a
+   crash wiped [span_info]) are skipped rather than invented. *)
+let open_spans t ~fiber =
+  match Hashtbl.find_opt t.spans fiber with
+  | None -> []
+  | Some stack -> List.filter_map (Hashtbl.find_opt t.span_info) stack
 
 let with_span t ~cat ~name f =
   let id = span_begin t ~cat ~name in

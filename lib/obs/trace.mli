@@ -82,6 +82,10 @@ val span_end : t -> int -> unit
 val with_span : t -> cat:string -> name:string -> (unit -> 'a) -> 'a
 (** Bracket [f] in a span; the end is emitted even if [f] raises. *)
 
+val open_spans : t -> fiber:int -> (string * string) list
+(** The [(cat, name)] of every span currently open on [fiber], innermost
+    first — the profiler's sampling view. Empty when not tracing. *)
+
 (** {2 Histograms} *)
 
 val hist : ?bounds:int array -> t -> string -> Hist.t

@@ -10,7 +10,8 @@
      - span nesting is well-formed: fresh ids, parents open at begin,
        ends match open spans, nothing left open unless the epoch crashed;
      - transactions begin and terminate at most once, latencies are
-       non-negative, side-file drains are sane.
+       non-negative, side-file drains are sane;
+     - profiler samples carry one of the six wait-state buckets.
    Across epochs: a step-clock reset is only legal after a crash or at an
    explicit [Epoch] marker. *)
 
@@ -75,7 +76,7 @@ let check_epoch ~epoch_no epoch =
             bad step
               "lock wait mismatch: owner %d on %s waited=%d but steps say %d"
               owner target waited (step - t0))
-      | Event.Latch_wait { latch; mode } ->
+      | Event.Latch_wait { latch; mode; _ } ->
         if Hashtbl.mem latch_waits (s.fiber, latch, mode) then
           bad step "fiber %d waits twice on latch %s without an acquire"
             s.fiber latch;
@@ -127,6 +128,10 @@ let check_epoch ~epoch_no epoch =
         if from_pos > upto then
           bad step "sidefile %d drained backwards: from %d > upto %d"
             sidefile from_pos upto
+      | Event.Prof_sample { fiber; state; _ } ->
+        if not (List.mem state Oib_obs.Profiler.states) then
+          bad step "prof sample for fiber %d with unknown state %S" fiber
+            state
       | _ -> ())
     epoch;
   if not crashed then begin

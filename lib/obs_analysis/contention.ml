@@ -66,7 +66,7 @@ let waits events =
           w.w_t1 <- Some s.step;
           Hashtbl.remove pending_locks (owner, target)
         | None -> ())
-      | Event.Latch_wait { latch; mode } ->
+      | Event.Latch_wait { latch; mode; _ } ->
         let w =
           {
             w_kind = Latch;

@@ -1,0 +1,211 @@
+(* Offline profile aggregation: fold a trace's [Prof_sample] events into
+   the same weighted stacks the online profiler keeps, then slice them —
+   folded output for flamegraph tooling, top-down and bottom-up tables,
+   wait-state breakdowns per build phase and per txn class, blocker
+   attribution edges, and the diff algebra for comparing two runs.
+
+   Frame construction is shared with the online side
+   ([Oib_obs.Profiler.frames]), so `oib-prof folded` over a capture is
+   byte-identical to the tree the live engine accumulated. *)
+
+module Event = Oib_obs.Event
+module Profiler = Oib_obs.Profiler
+
+type sample = {
+  step : int;
+  fiber : int;
+  fname : string;
+  state : string;
+  path : string;
+  resource : string;
+  blocker : string;
+}
+
+let samples events =
+  List.filter_map
+    (fun (e : Event.stamped) ->
+      match e.event with
+      | Event.Prof_sample { fiber; fname; state; path; resource; blocker } ->
+        Some { step = e.step; fiber; fname; state; path; resource; blocker }
+      | _ -> None)
+    events
+
+let frames_of s =
+  Profiler.frames ~fname:s.fname ~path:s.path ~state:s.state
+    ~resource:s.resource
+
+(* --- weighted stacks: path string -> weight --- *)
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let sorted_pairs tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let weights events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s -> bump tbl (String.concat ";" (frames_of s)) 1)
+    (samples events);
+  sorted_pairs tbl
+
+let folded events =
+  let b = Buffer.create 1024 in
+  List.iter (fun (path, w) -> Printf.bprintf b "%s %d\n" path w) (weights events);
+  Buffer.contents b
+
+let total_weight events = List.length (samples events)
+
+let by_state events =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> bump tbl s.state 1) (samples events);
+  sorted_pairs tbl
+
+let by_fiber events =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> bump tbl s.fname 1) (samples events);
+  sorted_pairs tbl
+
+(* --- hierarchy tables --- *)
+
+(* Top-down: every stack prefix is a row; [total] counts samples whose
+   stack passes through the prefix, [self] those ending exactly there.
+   Rows in lexicographic path order, so children follow their parent. *)
+let top_down events =
+  let tbl = Hashtbl.create 64 in
+  let row path =
+    match Hashtbl.find_opt tbl path with
+    | Some r -> r
+    | None ->
+      let r = (ref 0, ref 0) in
+      Hashtbl.replace tbl path r;
+      r
+  in
+  List.iter
+    (fun s ->
+      let fs = frames_of s in
+      let rec prefixes acc = function
+        | [] -> ()
+        | f :: rest ->
+          let acc = if acc = "" then f else acc ^ ";" ^ f in
+          let total, self = row acc in
+          incr total;
+          if rest = [] then incr self;
+          prefixes acc rest
+      in
+      prefixes "" fs)
+    (samples events);
+  Hashtbl.fold (fun path (total, self) acc -> (path, !total, !self) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* Bottom-up: one row per frame; [total] counts samples containing the
+   frame anywhere, [self] those whose innermost frame it is. Sorted by
+   self descending, then name — "which leaves cost the most". *)
+let bottom_up events =
+  let tbl = Hashtbl.create 64 in
+  let row f =
+    match Hashtbl.find_opt tbl f with
+    | Some r -> r
+    | None ->
+      let r = (ref 0, ref 0) in
+      Hashtbl.replace tbl f r;
+      r
+  in
+  List.iter
+    (fun s ->
+      let fs = frames_of s in
+      let uniq = List.sort_uniq String.compare fs in
+      List.iter (fun f -> incr (fst (row f))) uniq;
+      match List.rev fs with
+      | leaf :: _ -> incr (snd (row leaf))
+      | [] -> ())
+    (samples events);
+  Hashtbl.fold (fun f (total, self) acc -> (f, !total, !self) :: acc) tbl []
+  |> List.sort (fun (fa, _, sa) (fb, _, sb) ->
+         if sa <> sb then compare sb sa else String.compare fa fb)
+
+(* --- wait-state breakdowns --- *)
+
+(* (index, phase, enter_step) intervals from the Ib_phase markers; the
+   last phase of each build runs to max_int *)
+let phase_intervals events =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (e : Event.stamped) :: rest -> (
+      match e.event with
+      | Event.Ib_phase { index; phase } -> go ((index, phase, e.step) :: acc) rest
+      | _ -> go acc rest)
+  in
+  go [] events
+
+(* waits per build phase: each non-oncpu sample lands in the phase (of
+   each live build) whose interval covers its step *)
+let waits_by_phase events =
+  let intervals = phase_intervals events in
+  let ends =
+    (* enter step of the next phase of the same build *)
+    List.map
+      (fun (index, phase, t0) ->
+        let t1 =
+          List.fold_left
+            (fun acc (i, _, t) ->
+              if i = index && t > t0 && t < acc then t else acc)
+            max_int intervals
+        in
+        (index, phase, t0, t1))
+      intervals
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.state <> "oncpu" then
+        List.iter
+          (fun (index, phase, t0, t1) ->
+            if s.step >= t0 && s.step < t1 then
+              bump tbl (index, phase, s.state) 1)
+          ends)
+    (samples events);
+  Hashtbl.fold (fun (i, p, st) w acc -> (i, p, st, w) :: acc) tbl []
+  |> List.sort compare
+
+(* waits per txn class = normalized fiber name x state: "how do workers
+   wait" vs "how does the ib wait" *)
+let waits_by_class events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s -> if s.state <> "oncpu" then bump tbl (s.fname, s.state) 1)
+    (samples events);
+  Hashtbl.fold (fun (f, st) w acc -> (f, st, w) :: acc) tbl []
+  |> List.sort compare
+
+(* blocker attribution: (state, resource, blocker fiber) -> weight *)
+let wait_edges events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.state <> "oncpu" && s.blocker <> "" then
+        List.iter
+          (fun b -> bump tbl (s.state, s.resource, Profiler.norm b) 1)
+          (String.split_on_char ',' s.blocker))
+    (samples events);
+  Hashtbl.fold (fun (st, r, b) w acc -> (st, r, b, w) :: acc) tbl []
+  |> List.sort compare
+
+(* --- diff algebra --- *)
+
+(* Signed per-path delta between two runs: positive = B spends more
+   weight there than A. Paths equal in both runs are dropped; sorted by
+   |delta| descending then path, so the headline regression leads. A
+   self-diff is therefore always empty. *)
+let diff a_events b_events =
+  let a = weights a_events and b = weights b_events in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, w) -> bump tbl p (-w)) a;
+  List.iter (fun (p, w) -> bump tbl p w) b;
+  Hashtbl.fold
+    (fun p d acc -> if d = 0 then acc else (p, d) :: acc)
+    tbl []
+  |> List.sort (fun (pa, da) (pb, db) ->
+         if abs da <> abs db then compare (abs db) (abs da)
+         else String.compare pa pb)

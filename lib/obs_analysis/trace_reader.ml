@@ -32,7 +32,12 @@ let decode_event j kind =
   | "latch.wait" ->
     let* latch = str_f "latch" in
     let* mode = str_f "mode" in
-    Ok (Event.Latch_wait { latch; mode })
+    (* absent in pre-profiler captures: default to "unknown holders" *)
+    let holders =
+      Option.value (Option.bind (Json.member "holders" j) Json.to_string)
+        ~default:""
+    in
+    Ok (Event.Latch_wait { latch; mode; holders })
   | "latch.acquired" ->
     let* latch = str_f "latch" in
     let* mode = str_f "mode" in
@@ -133,6 +138,14 @@ let decode_event j kind =
     let* key = str_f "key" in
     let* value = int_f "value" in
     Ok (Event.Sample { key; value })
+  | "prof.sample" ->
+    let* fiber = int_f "id" in
+    let* fname = str_f "fname" in
+    let* state = str_f "state" in
+    let* path = str_f "path" in
+    let* resource = str_f "resource" in
+    let* blocker = str_f "blocker" in
+    Ok (Event.Prof_sample { fiber; fname; state; path; resource; blocker })
   | "epoch" ->
     let* label = str_f "label" in
     Ok (Event.Epoch { label })
@@ -190,6 +203,9 @@ let epochs events =
       | _ -> go cur acc e.step rest)
   in
   go [] [] 0 events
+
+let nth_epoch events n =
+  List.nth_opt (epochs events) n
 
 let last_step events =
   List.fold_left (fun acc (e : Event.stamped) -> max acc e.step) 0 events

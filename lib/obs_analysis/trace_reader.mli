@@ -22,5 +22,10 @@ val epochs :
     clock jumps backwards (a restart that emitted no marker). Within an
     epoch, steps are nondecreasing by construction. *)
 
+val nth_epoch :
+  Oib_obs.Event.stamped list -> int -> Oib_obs.Event.stamped list option
+(** The [n]-th (0-based) epoch of {!epochs}, or [None] when out of
+    range — the shared [--epoch N] filter of the offline tools. *)
+
 val last_step : Oib_obs.Event.stamped list -> int
 (** Highest step stamp in the list (0 when empty). *)

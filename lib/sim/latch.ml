@@ -15,7 +15,9 @@ type t = {
   page : int;
   mutable s_holders : int;
   mutable x_held : bool;
-  mutable waiters : (mode * (unit -> unit)) list; (* FIFO, head = oldest *)
+  mutable holder_ids : Sched.fiber_id list; (* oldest grant first *)
+  mutable waiters : (mode * Sched.fiber_id * (unit -> unit)) list;
+      (* FIFO, head = oldest *)
 }
 
 (* Process-wide identity for the sanitizer's locksets: two latch objects
@@ -26,7 +28,7 @@ let create ?(name = "latch") ?(role = "latch") ?(page = -1) sched metrics =
   let uid = !next_uid in
   incr next_uid;
   { sched; metrics; name; uid; role; page; s_holders = 0; x_held = false;
-    waiters = [] }
+    holder_ids = []; waiters = [] }
 
 let uid t = t.uid
 
@@ -39,10 +41,20 @@ let compatible t mode =
   | S -> not t.x_held
   | X -> (not t.x_held) && t.s_holders = 0
 
-let grant t mode =
-  match mode with
+let grant t mode ~fiber =
+  (match mode with
   | S -> t.s_holders <- t.s_holders + 1
-  | X -> t.x_held <- true
+  | X -> t.x_held <- true);
+  t.holder_ids <- t.holder_ids @ [ fiber ]
+
+let current_id t =
+  match Sched.current_fiber t.sched with Some id -> id | None -> -1
+
+(* who to blame for a wait: the current holders, oldest grant first *)
+let holder_names t =
+  t.holder_ids
+  |> List.map (fun id -> if id < 0 then "main" else Sched.fiber_name t.sched id)
+  |> String.concat ","
 
 let probe_acq t mode =
   let tr = Sched.trace t.sched in
@@ -57,9 +69,9 @@ let probe_acq t mode =
 let wake t =
   let rec go () =
     match t.waiters with
-    | (mode, resume) :: rest when compatible t mode ->
+    | (mode, fiber, resume) :: rest when compatible t mode ->
       t.waiters <- rest;
-      grant t mode;
+      grant t mode ~fiber;
       resume ();
       (* After granting an S, further queued S requests may also proceed;
          after an X nothing else is compatible. *)
@@ -72,7 +84,7 @@ let acquire t mode =
   t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
   let tr = Sched.trace t.sched in
   if compatible t mode && t.waiters = [] then begin
-    grant t mode;
+    grant t mode ~fiber:(current_id t);
     probe_acq t mode;
     Trace.observe tr "latch_wait" 0
   end
@@ -81,10 +93,13 @@ let acquire t mode =
     let t0 = Sched.steps t.sched in
     if Trace.tracing tr then
       Trace.emit tr
-        (Event.Latch_wait { latch = t.name; mode = mode_name mode });
+        (Event.Latch_wait
+           { latch = t.name; mode = mode_name mode;
+             holders = holder_names t });
     let span = Trace.span_begin tr ~cat:"latch" ~name:t.name in
+    let fiber = current_id t in
     Sched.suspend t.sched (fun resume ->
-        t.waiters <- t.waiters @ [ (mode, resume) ]);
+        t.waiters <- t.waiters @ [ (mode, fiber, resume) ]);
     (* granted by [wake] before we were resumed *)
     probe_acq t mode;
     let waited = Sched.steps t.sched - t0 in
@@ -100,7 +115,7 @@ let acquire t mode =
 let try_acquire t mode =
   if compatible t mode && t.waiters = [] then begin
     t.metrics.latch_acquires <- t.metrics.latch_acquires + 1;
-    grant t mode;
+    grant t mode ~fiber:(current_id t);
     probe_acq t mode;
     Trace.observe (Sched.trace t.sched) "latch_wait" 0;
     true
@@ -123,6 +138,17 @@ let release t mode =
   | X ->
     assert t.x_held;
     t.x_held <- false);
+  (* drop the releasing fiber's grant; on ownership transfer (acquired by
+     one fiber, released by another — legal on btree/heap_file) the
+     releaser isn't recorded, so retire the oldest grant instead *)
+  let me = current_id t in
+  let rec drop_first = function
+    | [] -> []
+    | id :: rest -> if id = me then rest else id :: drop_first rest
+  in
+  t.holder_ids <-
+    (if List.mem me t.holder_ids then drop_first t.holder_ids
+     else match t.holder_ids with [] -> [] | _ :: rest -> rest);
   wake t
 
 let with_latch t mode f =

@@ -10,6 +10,8 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
+type fiber_state = Running | Runnable | Blocked
+
 type t = {
   rng : Oib_util.Rng.t;
   trace : Oib_obs.Trace.t;
@@ -17,8 +19,12 @@ type t = {
   names : (fiber_id, string) Hashtbl.t;
   mutable next_id : int;
   mutable live : int;
+  live_set : (fiber_id, unit) Hashtbl.t;
   mutable steps : int;
   mutable current : fiber_id option;
+  mutable pending : fiber_id option;
+      (* chosen by [take_random] but not yet running: step hooks fire in
+         this window, and the profiler charges the step to this fiber *)
   mutable crash_requested : bool;
   mutable crash_trap : (int -> bool) option;
   mutable tick_every : int; (* 0 = no tick hook *)
@@ -41,8 +47,10 @@ let create ?(seed = 42) ?(trace = Oib_obs.Trace.null) () =
       names = Hashtbl.create 16;
       next_id = 0;
       live = 0;
+      live_set = Hashtbl.create 16;
       steps = 0;
       current = None;
+      pending = None;
       crash_requested = false;
       crash_trap = None;
       tick_every = 0;
@@ -102,6 +110,7 @@ let start_fiber t id f =
       retc =
         (fun () ->
           t.live <- t.live - 1;
+          Hashtbl.remove t.live_set id;
           (* the exiting fiber's effects become visible to whoever runs
              after the scheduler returns (join-to-main HB edge) *)
           if Oib_obs.Trace.probing t.trace then
@@ -109,6 +118,7 @@ let start_fiber t id f =
       exnc =
         (fun exn ->
           t.live <- t.live - 1;
+          Hashtbl.remove t.live_set id;
           raise exn);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -137,6 +147,7 @@ let spawn t ?name f =
   t.next_id <- id + 1;
   (match name with Some n -> Hashtbl.replace t.names id n | None -> ());
   t.live <- t.live + 1;
+  Hashtbl.replace t.live_set id ();
   if Oib_obs.Trace.tracing t.trace then
     Oib_obs.Trace.emit t.trace
       (Oib_obs.Event.Fiber_spawn { fiber = id; name = fiber_name t id });
@@ -172,6 +183,22 @@ let take_random t =
     t.runq <- rest;
     Some chosen
 
+(* One row per live fiber, sorted by id. Running = the fiber this step
+   was charged to (pending during step hooks, current inside the fiber);
+   Runnable = parked in the run queue; Blocked = live but neither, i.e.
+   suspended on a latch / lock / cond / io completion. *)
+let fiber_states t =
+  Hashtbl.fold
+    (fun id () acc ->
+      let state =
+        if t.pending = Some id || t.current = Some id then Running
+        else if List.mem_assoc id t.runq then Runnable
+        else Blocked
+      in
+      (id, fiber_name t id, state) :: acc)
+    t.live_set []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let crash_now t =
   Oib_obs.Trace.failure t.trace
     ~reason:(Printf.sprintf "crash at step %d" t.steps);
@@ -201,6 +228,7 @@ let run t =
       end
     | Some (id, thunk) ->
       t.steps <- t.steps + 1;
+      t.pending <- Some id;
       (* the hook runs outside any fiber, so anything it emits is stamped
          as "main" *)
       if t.tick_every > 0 && t.steps mod t.tick_every = 0 then
@@ -211,6 +239,7 @@ let run t =
         (* snapshot: a hook may remove itself (or install others) *)
         List.iter (fun (_, f) -> f t.steps) hooks);
       t.current <- Some id;
+      t.pending <- None;
       let finally () = t.current <- None in
       (try thunk ()
        with e ->

@@ -58,6 +58,15 @@ val steps : t -> int
 
 val live_fibers : t -> int
 
+type fiber_state = Running | Runnable | Blocked
+
+val fiber_states : t -> (fiber_id * string * fiber_state) list
+(** One [(id, name, state)] row per live fiber, sorted by id — the
+    profiler's sampling view. [Running] is the fiber the current step is
+    charged to (during step hooks, the fiber about to run); [Runnable]
+    fibers are parked in the run queue awaiting dispatch; [Blocked]
+    fibers are suspended on a latch, lock, condition or I/O completion. *)
+
 val request_crash : t -> unit
 (** Make {!run} raise {!Crashed} before the next step. *)
 

@@ -22,7 +22,7 @@ let nasty = "q\"b\\nl\ntb\tcr\rbs\bff\012nul-ish\001hi\xc3\xa9"
 let all_variants =
   [
     Event.Fiber_spawn { fiber = 3; name = nasty };
-    Event.Latch_wait { latch = nasty; mode = "X" };
+    Event.Latch_wait { latch = nasty; mode = "X"; holders = nasty };
     Event.Latch_acquired { latch = nasty; mode = "S"; waited = 7 };
     Event.Latch_released { latch = "root"; mode = "X" };
     Event.Lock_wait
@@ -50,6 +50,15 @@ let all_variants =
     Event.Span_begin { span = 5; parent = 2; cat = "lock"; name = nasty };
     Event.Span_end { span = 5 };
     Event.Sample { key = nasty; value = -3 };
+    Event.Prof_sample
+      {
+        fiber = 2;
+        fname = "worker-#";
+        state = "latch";
+        path = "txn:txn-#;latch:page-#";
+        resource = nasty;
+        blocker = "ib";
+      };
     Event.Epoch { label = nasty };
   ]
 

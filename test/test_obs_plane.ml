@@ -118,6 +118,41 @@ let test_registry_roundtrip () =
        "Registry: \"fg.latency\" already registered as a window, wanted a \
         counter") (fun () -> ignore (Registry.counter reg "fg.latency"))
 
+(* A name registered as one kind and looked up (or re-registered) as
+   another must raise, never shadow: a silent miss would swallow the
+   caller's observations. Same-kind re-registration stays legal — the
+   documented crash-re-wiring path for gauges. *)
+let test_registry_kind_clash () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "wal.flushes" in
+  Registry.incr c;
+  let window_clash =
+    Invalid_argument
+      "Registry: \"wal.flushes\" already registered as a counter, wanted a \
+       window"
+  in
+  Alcotest.check_raises "find_window on a counter name" window_clash
+    (fun () -> ignore (Registry.find_window reg "wal.flushes"));
+  Alcotest.check_raises "observe_window on a counter name" window_clash
+    (fun () -> Registry.observe_window reg "wal.flushes" 3);
+  Alcotest.check_raises "window registration over a counter" window_clash
+    (fun () -> ignore (Registry.window reg "wal.flushes"));
+  Alcotest.check_raises "gauge registration over a counter"
+    (Invalid_argument
+       "Registry: \"wal.flushes\" already registered as a counter, wanted a \
+        gauge") (fun () -> Registry.gauge reg "wal.flushes" (fun () -> 0));
+  (* absent names stay quiet: observation sites may fire before wiring *)
+  Alcotest.(check bool) "missing window is None" true
+    (Registry.find_window reg "not.there" = None);
+  Registry.observe_window reg "not.there" 5;
+  (* same-kind re-registration re-points the gauge (crash re-wiring) *)
+  Registry.gauge reg "pool.dirty" (fun () -> 1);
+  Registry.gauge reg "pool.dirty" (fun () -> 2);
+  Alcotest.(check int) "gauge re-wired, not duplicated" 2
+    (match List.assoc "pool.dirty" (Registry.snapshot reg) with
+    | Registry.Int v -> v
+    | _ -> Alcotest.fail "gauge kind")
+
 (* --- signal hysteresis ---------------------------------------------- *)
 
 let test_signal_hysteresis () =
@@ -360,7 +395,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_window_basics;
           QCheck_alcotest.to_alcotest qcheck_window;
         ] );
-      ("registry", [ Alcotest.test_case "roundtrip" `Quick test_registry_roundtrip ]);
+      ( "registry",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
+        ] );
       ("signal", [ Alcotest.test_case "hysteresis" `Quick test_signal_hysteresis ]);
       ( "quantiles",
         [
