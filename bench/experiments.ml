@@ -750,9 +750,109 @@ let e13 () =
        scan position replaces Current-RID (§6.2)"
     t
 
+(* --- E14: crash + range-tracked resume overhead — committed scan ranges
+   (Range_set, §5's checkpoint idea applied to the whole scan) bound what a
+   mid-build crash costs end to end --- *)
+
+type resume_measure = {
+  r_alg : string;
+  r_full_steps : int;
+  r_crash_step : int;
+  r_resumed_steps : int;  (* crashed incarnation + recovery + resume *)
+  r_pages_rescanned : int;
+  r_overhead_pct : float;
+}
+
+let measure_resume alg ~rows ~seed =
+  let cfg =
+    {
+      (Ib.default_config alg) with
+      ckpt_every_pages = 8;
+      ckpt_every_keys = 64;
+      memory_keys = 64;
+    }
+  in
+  let fresh () =
+    let ctx = Engine.create ~seed ~page_capacity:1024 () in
+    let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+    let _ = Driver.populate ctx ~table:1 ~rows ~seed in
+    ctx
+  in
+  let spawn_build ctx =
+    ignore
+      (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+           Ib.build_index ctx cfg ~table:1
+             { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }))
+  in
+  (* uninterrupted reference run *)
+  let ctx = fresh () in
+  let t0 = Sched.steps ctx.Ctx.sched in
+  spawn_build ctx;
+  Sched.run ctx.Ctx.sched;
+  assert (oracle_ok ctx);
+  let full = Sched.steps ctx.Ctx.sched - t0 in
+  let full_reads = ctx.Ctx.metrics.sequential_reads in
+  (* the same build, killed halfway, recovered and resumed *)
+  let ctx = fresh () in
+  let t0 = Sched.steps ctx.Ctx.sched in
+  let crash_at = t0 + (full / 2) in
+  spawn_build ctx;
+  Sched.set_crash_trap ctx.Ctx.sched (fun s -> s >= crash_at);
+  (match Sched.run ctx.Ctx.sched with
+  | () -> failwith "resume bench: build finished before the crash point"
+  | exception Sched.Crashed -> ());
+  let steps1 = Sched.steps ctx.Ctx.sched - t0 in
+  let ctx' = Engine.crash ctx in
+  ignore
+    (Sched.spawn ctx'.Ctx.sched ~name:"ib-resume" (fun () ->
+         Ib.resume_builds ctx' cfg));
+  Sched.run ctx'.Ctx.sched;
+  assert (oracle_ok ctx');
+  assert ((Catalog.index ctx'.Ctx.catalog 10).phase = Catalog.Ready);
+  let total = steps1 + Sched.steps ctx'.Ctx.sched in
+  {
+    r_alg = alg_name alg;
+    r_full_steps = full;
+    r_crash_step = crash_at - t0;
+    r_resumed_steps = total;
+    (* metrics survive the crash, so the delta over the reference run is
+       exactly the rescan (plus recovery's redo reads) the crash caused *)
+    r_pages_rescanned = max 0 (ctx'.Ctx.metrics.sequential_reads - full_reads);
+    r_overhead_pct =
+      100.0 *. float_of_int (total - full) /. float_of_int (max 1 full);
+  }
+
+let resume_measures ?(rows = 2000) ?(seed = 7) () =
+  List.map (fun alg -> measure_resume alg ~rows ~seed) [ Ib.Nsf; Ib.Sf ]
+
+let e14 () =
+  let t =
+    TP.create
+      ~columns:
+        [ "alg"; "full build steps"; "crash at"; "crash+resume steps";
+          "overhead"; "pages rescanned" ]
+  in
+  List.iter
+    (fun m ->
+      TP.add_row t
+        [
+          m.r_alg;
+          string_of_int m.r_full_steps;
+          string_of_int m.r_crash_step;
+          string_of_int m.r_resumed_steps;
+          f1 m.r_overhead_pct ^ "%";
+          string_of_int m.r_pages_rescanned;
+        ])
+    (resume_measures ());
+  TP.print
+    ~title:
+      "E14  crash + resume overhead: committed scan ranges bound the work a \
+       mid-build crash costs (Range_set; §5 applied to the whole scan)"
+    t
+
 let all =
   [
     ("e0", e0); ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13);
+    ("e12", e12); ("e13", e13); ("e14", e14);
   ]

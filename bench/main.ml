@@ -57,7 +57,7 @@ let exps =
     value
     & opt_all string []
     & info [ "e"; "exp" ] ~docv:"EXP"
-        ~doc:"Run one experiment (e1..e12); repeatable.")
+        ~doc:"Run one experiment (e0..e14); repeatable.")
 
 let micro =
   Arg.(value & flag & info [ "micro" ] ~doc:"Run only the micro-benchmarks.")

@@ -177,9 +177,24 @@ let json_of_core_run r =
   Buffer.add_string b "]}";
   Buffer.contents b
 
-let write_core_json runs out =
+(* resume_overhead: what a mid-build crash costs with range-tracked
+   resume, measured by Experiments.measure_resume on this config's rows.
+   A top-level key next to "runs" — the baseline gate below only reads
+   runs' name + wall_steps, so old baselines keep validating. *)
+let json_of_resume (m : Experiments.resume_measure) =
+  Printf.sprintf
+    "{\"algorithm\":%S,\"crash_step\":%d,\"full_steps\":%d,\
+     \"overhead_pct\":%.1f,\"pages_rescanned\":%d,\"resumed_steps\":%d}"
+    (String.lowercase_ascii m.Experiments.r_alg)
+    m.Experiments.r_crash_step m.Experiments.r_full_steps
+    m.Experiments.r_overhead_pct m.Experiments.r_pages_rescanned
+    m.Experiments.r_resumed_steps
+
+let write_core_json ?(resume = []) runs out =
   let oc = open_out out in
-  Printf.fprintf oc "{\"schema\":\"bench-core/v1\",\"runs\":[%s]}\n"
+  Printf.fprintf oc
+    "{\"schema\":\"bench-core/v1\",\"resume_overhead\":[%s],\"runs\":[%s]}\n"
+    (String.concat "," (List.map json_of_resume resume))
     (String.concat "," (List.map json_of_core_run runs));
   close_out oc;
   Printf.printf "wrote %s\n%!" out
@@ -204,7 +219,7 @@ let trajectory_path () =
     Filename.concat "bench" "BENCH_trajectory.jsonl"
   else "BENCH_trajectory.jsonl"
 
-let append_trajectory runs =
+let append_trajectory ?(resume = []) runs =
   let path = trajectory_path () in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   List.iter
@@ -217,8 +232,25 @@ let append_trajectory runs =
         r.algorithm res.Resource.sort_compares r.status.BS.keys_processed
         res.Resource.log_bytes (Profiler.samples r.prof) r.seed r.total_steps)
     runs;
+  (* resume-overhead records ride the same log with a "kind" tag (plain
+     run records carry no "kind"); wall_steps is the crash+resume total
+     so trajectory plots stay step-denominated *)
+  List.iter
+    (fun (seed, m) ->
+      Printf.fprintf oc
+        "{\"algorithm\":%S,\"crash_step\":%d,\"full_steps\":%d,\
+         \"kind\":\"resume_overhead\",\"overhead_pct\":%.1f,\
+         \"pages_rescanned\":%d,\"schema\":\"bench-trajectory/v1\",\
+         \"seed\":%d,\"wall_steps\":%d}\n"
+        (String.lowercase_ascii m.Experiments.r_alg)
+        m.Experiments.r_crash_step m.Experiments.r_full_steps
+        m.Experiments.r_overhead_pct m.Experiments.r_pages_rescanned seed
+        m.Experiments.r_resumed_steps)
+    resume;
   close_out oc;
-  Printf.printf "appended %d run(s) to %s\n%!" (List.length runs) path
+  Printf.printf "appended %d record(s) to %s\n%!"
+    (List.length runs + List.length resume)
+    path
 
 (* Baseline gate for @bench-smoke: compare this run's BENCH_core.json
    against the checked-in baseline and fail on a >25%% wall-time
@@ -296,6 +328,16 @@ let run ?(rows = 2000) ?(workers = 4) ?(txns = 40) ?(seed = 7)
     ^ "}\n");
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
-  write_core_json runs core_out;
+  let resume = Experiments.resume_measures ~rows ~seed () in
+  List.iter
+    (fun (m : Experiments.resume_measure) ->
+      Printf.printf
+        "resume_overhead: %-4s full=%d crash_at=%d resumed=%d (+%.1f%%) \
+         pages_rescanned=%d\n"
+        m.Experiments.r_alg m.Experiments.r_full_steps
+        m.Experiments.r_crash_step m.Experiments.r_resumed_steps
+        m.Experiments.r_overhead_pct m.Experiments.r_pages_rescanned)
+    resume;
+  write_core_json ~resume runs core_out;
   write_folded runs;
-  append_trajectory runs
+  append_trajectory ~resume:(List.map (fun m -> (seed, m)) resume) runs

@@ -77,7 +77,26 @@ let report ctx (stats : Driver.stats ref) (d : Metrics.t) steps =
     List.iter print_endline errs;
     exit 1
 
-let cmd_build alg rows workers txns unique seed jsonl profile profile_folded =
+(* Lifecycle display for a (possibly paused) build: catalog state, build
+   phase, durable scan coverage. *)
+let print_lifecycle ctx ~index_id =
+  match Catalog.index ctx.Ctx.catalog index_id with
+  | exception Invalid_argument _ ->
+    Printf.printf "index %d: not in catalog\n" index_id
+  | info ->
+    let rs = Range_set.load ctx.Ctx.kv ~index_id in
+    Printf.printf "index %d: state=%s phase=%s scanned=%s (%d pages sealed)\n"
+      index_id
+      (Catalog.state_name info.Catalog.state)
+      (match info.Catalog.phase with
+      | Catalog.Ready -> "ready"
+      | Catalog.Nsf_building _ -> "nsf-building"
+      | Catalog.Sf_building _ -> "sf-building")
+      (if Range_set.is_empty rs then "-" else Range_set.to_string rs)
+      (Range_set.covered_count rs)
+
+let cmd_build alg rows workers txns unique seed jsonl profile profile_folded
+    pause resume =
   let alg = alg_of_string alg in
   let trace = Trace.create () in
   ignore (Trace.attach_recorder trace ~capacity:2048);
@@ -103,16 +122,65 @@ let cmd_build alg rows workers txns unique seed jsonl profile profile_folded =
     else
       ref { Driver.committed = 0; aborted = 0; deadlocks = 0; unique_violations = 0 }
   in
+  let cfg =
+    match pause with
+    | None -> Ib.default_config alg
+    | Some _ ->
+      (* pause lands at the first durable checkpoint past the step, so
+         checkpoint often enough for the demo to feel responsive *)
+      { (Ib.default_config alg) with ckpt_every_pages = 16; ckpt_every_keys = 256 }
+  in
+  let paused = ref false in
+  let pause_hook = ref None in
+  (match pause with
+  | None -> ()
+  | Some at ->
+    pause_hook :=
+      Some
+        (Sched.add_step_hook ctx.Ctx.sched (fun steps ->
+             if steps >= at then Throttle.request_pause ctx.Ctx.throttle)));
   let steps = ref 0 and d = ref (Metrics.create ()) in
   ignore
     (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
          let t0 = Sched.steps ctx.Ctx.sched in
          let before = Metrics.snapshot ctx.Ctx.metrics in
-         Ib.build_index ctx (Ib.default_config alg) ~table:1
-           { Ib.index_id = 10; key_cols = [ (if unique then 1 else 0) ]; unique };
+         (try
+            Ib.build_index ctx cfg ~table:1
+              { Ib.index_id = 10; key_cols = [ (if unique then 1 else 0) ]; unique }
+          with Ib.Build_paused { index } ->
+            paused := true;
+            Printf.printf "index %d: pause honoured at a durable checkpoint\n"
+              index);
          steps := Sched.steps ctx.Ctx.sched - t0;
          d := Metrics.diff ~after:(Metrics.snapshot ctx.Ctx.metrics) ~before));
   Sched.run ctx.Ctx.sched;
+  if !paused then begin
+    Printf.printf "build paused (virtual step %d):\n"
+      (Sched.steps ctx.Ctx.sched);
+    print_lifecycle ctx ~index_id:10;
+    if resume then begin
+      (match !pause_hook with
+      | Some id -> Sched.remove_step_hook ctx.Ctx.sched id
+      | None -> ());
+      Throttle.clear_pause ctx.Ctx.throttle;
+      print_endline "resuming from the committed ranges...";
+      ignore
+        (Sched.spawn ctx.Ctx.sched ~name:"ib-resume" (fun () ->
+             let t0 = Sched.steps ctx.Ctx.sched in
+             Ib.resume_builds ctx cfg;
+             steps := !steps + (Sched.steps ctx.Ctx.sched - t0)));
+      Sched.run ctx.Ctx.sched;
+      print_lifecycle ctx ~index_id:10
+    end
+  end;
+  if !paused && not resume then begin
+    print_endline "build left paused; add --resume to continue it in place";
+    close_jsonl ();
+    match jsonl with
+    | Some path -> Printf.printf "event trace written to %s\n" path
+    | None -> ()
+  end
+  else begin
   print_progress ctx;
   print_endline "latency histograms (steps):";
   Format.printf "%a@." Trace.pp_hists trace;
@@ -133,6 +201,7 @@ let cmd_build alg rows workers txns unique seed jsonl profile profile_folded =
   match jsonl with
   | Some path -> Printf.printf "event trace written to %s\n" path
   | None -> ()
+  end
 
 let cmd_crash alg rows at seed jsonl =
   let alg = alg_of_string alg in
@@ -282,11 +351,29 @@ let build_cmd =
             "With --profile, also write the online profiler's folded \
              stacks to $(docv).")
   in
+  let pause =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pause" ] ~docv:"STEP"
+          ~doc:
+            "Request a cooperative pause once the virtual clock reaches \
+             $(docv); the builder stops at its next durable checkpoint, \
+             losing no work.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "With --pause: after the build pauses, continue it in place \
+             from the committed ranges and finish.")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index online under a transaction mix")
     Term.(
       const cmd_build $ alg_arg $ rows_arg $ workers $ txns $ unique $ seed_arg
-      $ jsonl_arg $ profile $ profile_folded)
+      $ jsonl_arg $ profile $ profile_folded $ pause $ resume)
 
 let crash_cmd =
   let at = Arg.(value & opt int 2000 & info [ "at" ] ~docv:"STEP" ~doc:"Crash step") in

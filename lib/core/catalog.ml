@@ -16,6 +16,42 @@ and sf_state = {
   mutable draining : bool;
 }
 
+(* Lifecycle state machine (after the FDB Record Layer online indexer):
+   Disabled -> Write_only at build admission, Write_only -> Readable at the
+   catch-up flip, and either may be disabled again (cancel / take offline).
+   Write_only indexes receive NSF/SF maintenance but never serve reads;
+   transitions are WAL-logged before the catalog's durable entry is
+   rewritten, so recovery lands every index in its last logged state. *)
+type index_state = Disabled | Write_only | Readable
+
+exception
+  Illegal_transition of {
+    index : int;
+    from_ : index_state;
+    to_ : index_state;
+  }
+
+let state_name = function
+  | Disabled -> "disabled"
+  | Write_only -> "write-only"
+  | Readable -> "readable"
+
+let state_to_int = function Disabled -> 0 | Write_only -> 1 | Readable -> 2
+
+let state_of_int = function
+  | 0 -> Disabled
+  | 1 -> Write_only
+  | 2 -> Readable
+  | n -> invalid_arg (Printf.sprintf "Catalog.state_of_int: %d" n)
+
+let legal_transition ~from_ ~to_ =
+  match (from_, to_) with
+  | Disabled, Write_only -> true
+  | Write_only, Readable -> true
+  | Write_only, Disabled -> true
+  | Readable, Disabled -> true
+  | (Disabled | Write_only | Readable), _ -> false
+
 type index_info = {
   index_id : int;
   table_id : int;
@@ -23,6 +59,7 @@ type index_info = {
   uniq : bool;
   tree : Oib_btree.Btree.t;
   mutable phase : build_phase;
+  mutable state : index_state;
 }
 
 type table_info = {
@@ -46,6 +83,7 @@ type Durable_kv.value +=
       key_cols : int list;
       uniq : bool;
       seq : int; (* creation position within the table *)
+      state : int; (* index_state, via state_to_int *)
     }
   | Table_list of int list
   | Index_list of int list
@@ -98,7 +136,30 @@ let tables t = Hashtbl.fold (fun _ info acc -> info :: acc) t.tables []
 
 let indexes_of t table_id = (table t table_id).indexes
 
-let add_index ?(log = true) t pool ~table_id ~index_id ~key_cols ~unique ~phase =
+(* rewrite an index's durable catalog entry (creation and every state
+   transition; the kv is forced, so this is the state's durable home) *)
+let persist_index t (info : index_info) =
+  let tbl = table t info.table_id in
+  let seq =
+    let rec pos i = function
+      | [] -> invalid_arg "Catalog.persist_index: detached info"
+      | x :: rest -> if x.index_id = info.index_id then i else pos (i + 1) rest
+    in
+    pos 0 tbl.indexes
+  in
+  Durable_kv.set t.kv (index_cat_key info.index_id)
+    (Index_cat
+       {
+         index_id = info.index_id;
+         table_id = info.table_id;
+         key_cols = info.key_cols;
+         uniq = info.uniq;
+         seq;
+         state = state_to_int info.state;
+       })
+
+let add_index ?(log = true) ?state t pool ~table_id ~index_id ~key_cols
+    ~unique ~phase =
   let tbl = table t table_id in
   if Hashtbl.mem t.indexes index_id then
     invalid_arg "Catalog.add_index: index exists";
@@ -106,18 +167,21 @@ let add_index ?(log = true) t pool ~table_id ~index_id ~key_cols ~unique ~phase 
     Oib_btree.Btree.create pool t.kv ~index_id ~page_capacity:t.page_capacity
       ~unique
   in
-  let info = { index_id; table_id; key_cols; uniq = unique; tree; phase } in
+  (* default lifecycle state derived from the phase: a Ready descriptor
+     (recovery replay, tests) is readable, a building one is write-only.
+     Builders pass ~state:Disabled and log the Write_only admission
+     explicitly. *)
+  let state =
+    match state with
+    | Some s -> s
+    | None -> ( match phase with Ready -> Readable | _ -> Write_only)
+  in
+  let info =
+    { index_id; table_id; key_cols; uniq = unique; tree; phase; state }
+  in
   tbl.indexes <- tbl.indexes @ [ info ];
   Hashtbl.replace t.indexes index_id info;
-  Durable_kv.set t.kv (index_cat_key index_id)
-    (Index_cat
-       {
-         index_id;
-         table_id;
-         key_cols;
-         uniq = unique;
-         seq = List.length tbl.indexes - 1;
-       });
+  persist_index t info;
   persist_lists t;
   if log then
     log_ddl pool
@@ -153,9 +217,13 @@ let sf_visible sf ~target ~record =
     | Some ck -> String.compare (Record.key_value record cols) ck <= 0)
 
 let visible_to info ~target ~record =
-  match info.phase with
-  | Ready | Nsf_building _ -> true
-  | Sf_building sf -> sf_visible sf ~target ~record
+  (* a Disabled index receives no maintenance at all: it either has not
+     been admitted yet or is being torn down *)
+  if info.state = Disabled then false
+  else
+    match info.phase with
+    | Ready | Nsf_building _ -> true
+    | Sf_building sf -> sf_visible sf ~target ~record
 
 let visible_count_for _t (tbl : table_info) ~target ~record =
   List.length (List.filter (visible_to ~target ~record) tbl.indexes)
@@ -164,12 +232,39 @@ let sidefiled_for _t (tbl : table_info) ~target ~record =
   List.filter_map
     (fun info ->
       match info.phase with
-      | Sf_building sf when sf_visible sf ~target ~record ->
+      | Sf_building sf
+        when info.state <> Disabled && sf_visible sf ~target ~record ->
         Some info.index_id
       | _ -> None)
     tbl.indexes
 
 let set_phase t index_id phase = (index t index_id).phase <- phase
+
+let state t index_id = (index t index_id).state
+
+(* Durability order: WAL record first (appended + flushed), then the
+   forced catalog entry, then memory. A crash between the two leaves the
+   log ahead of the kv; recovery applies the last logged state per index
+   after reopen, so the logged transition wins either way. *)
+let set_state t pool index_id to_ =
+  let info = index t index_id in
+  let from_ = info.state in
+  if not (legal_transition ~from_ ~to_) then
+    raise (Illegal_transition { index = index_id; from_; to_ });
+  log_ddl pool
+    (Oib_wal.Log_record.Index_state
+       { index = index_id; state = state_to_int to_ });
+  info.state <- to_;
+  persist_index t info
+
+(* recovery-only: apply a replayed state without legality checks or
+   logging (the transition is already in the log) *)
+let restore_state t index_id state =
+  match Hashtbl.find_opt t.indexes index_id with
+  | None -> ()
+  | Some info ->
+    info.state <- state;
+    persist_index t info
 
 let reopen t pool =
   Hashtbl.reset t.tables;
@@ -195,16 +290,24 @@ let reopen t pool =
       (fun id ->
         match Durable_kv.get t.kv (index_cat_key id) with
         | Some (Index_cat c) ->
-          Some (c.table_id, c.seq, id, c.key_cols, c.uniq)
+          Some (c.table_id, c.seq, id, c.key_cols, c.uniq, c.state)
         | _ -> None)
       index_ids
   in
   let entries = List.sort compare entries in
   List.iter
-    (fun (table_id, _seq, index_id, key_cols, uniq) ->
+    (fun (table_id, _seq, index_id, key_cols, uniq, state) ->
       let tree = Oib_btree.Btree.open_from_image pool t.kv ~index_id in
       let info =
-        { index_id; table_id; key_cols; uniq; tree; phase = Ready }
+        {
+          index_id;
+          table_id;
+          key_cols;
+          uniq;
+          tree;
+          phase = Ready;
+          state = state_of_int state;
+        }
       in
       let tbl = table t table_id in
       tbl.indexes <- tbl.indexes @ [ info ];

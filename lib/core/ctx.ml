@@ -17,4 +17,5 @@ type t = {
   builds : (int, Build_status.t) Hashtbl.t; (* index_id -> live progress *)
   registry : Oib_obs.Registry.t; (* central metrics registry *)
   signals : Oib_obs.Signal.set; (* overload/health signals *)
+  throttle : Throttle.t; (* IB admission control; survives crash *)
 }

@@ -21,4 +21,8 @@ type t = {
   signals : Oib_obs.Signal.set;
       (** overload/health signals evaluated on sampler ticks; survives
           crash/restart *)
+  throttle : Throttle.t;
+      (** IB admission control driven by [signals]; carried across
+          crash/restart with them (its signal subscription must outlive
+          incarnations) *)
 }

@@ -52,7 +52,18 @@ let wire_observability (ctx : Ctx.t) =
       let cached = Buffer_pool.cached_count ctx.Ctx.pool in
       if cached = 0 then 0.0
       else float_of_int (Buffer_pool.dirty_count ctx.Ctx.pool)
-           /. float_of_int cached)
+           /. float_of_int cached);
+  (* the throttle's signal subscription is made once, in [create] (the
+     subscription list survives restart with the set); only its trace
+     notifier is re-pointed at this incarnation *)
+  Oib_obs.Registry.gauge reg "throttle.level" (fun () ->
+      Throttle.level ctx.Ctx.throttle);
+  Throttle.set_notify ctx.Ctx.throttle
+    (Some
+       (fun th reason ->
+         if Oib_obs.Trace.tracing ctx.Ctx.trace then
+           Oib_obs.Trace.emit ctx.Ctx.trace
+             (Oib_obs.Event.Ib_throttle { level = Throttle.level th; reason })))
 
 let create ?(seed = 42) ?(page_capacity = 1024)
     ?(trace = Oib_obs.Trace.null) () =
@@ -70,9 +81,14 @@ let create ?(seed = 42) ?(page_capacity = 1024)
     { Ctx.sched; metrics; trace; log; store; kv; pool; locks; txns; catalog;
       runs; builds = Hashtbl.create 8;
       registry = Oib_obs.Registry.create ();
-      signals = Oib_obs.Signal.create_set () }
+      signals = Oib_obs.Signal.create_set ();
+      throttle = Throttle.create () }
   in
   wire_observability ctx;
+  (* subscribe once per engine lifetime: subscriptions live in the signal
+     set and survive crash/restart, so [recover_over] must not re-attach *)
+  Throttle.attach ctx.Ctx.throttle ctx.Ctx.signals
+    ~names:[ "overload.fg_p99"; "wal.backlog"; "pool.dirty_ratio" ];
   ctx
 
 (* Rebuild a live system over [store]/[kv]/[runs] and the survivor log,
@@ -114,6 +130,7 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
       builds = Hashtbl.create 8;
       registry = old.Ctx.registry;
       signals = old.Ctx.signals;
+      throttle = old.Ctx.throttle;
     }
   in
   (* re-close gauges/signal sources over the new incarnation's subsystems
@@ -183,6 +200,15 @@ let recover_over ~seed (old : t) ~store ~kv ~runs =
         | exception Invalid_argument _ -> ())
       | _ -> ())
     (LM.durable_records log);
+  (* land every surviving index in its last durably logged lifecycle
+     state: the kv entry may trail the log (crash between the Index_state
+     flush and the catalog rewrite) or predate it (media restore from an
+     old image) *)
+  List.iter
+    (fun (index_id, state) ->
+      Catalog.restore_state ctx.Ctx.catalog index_id
+        (Catalog.state_of_int state))
+    analysis.index_states;
   (* re-register file extensions the restored metadata may predate *)
   List.iter
     (fun (r : Oib_wal.Log_record.t) ->
@@ -460,5 +486,70 @@ let consistency_errors (ctx : t) =
     Oib_obs.Trace.failure ctx.Ctx.trace
       ~reason:
         (Printf.sprintf "consistency oracle: %d error(s); first: %s"
+           (List.length errors) (List.hd errors));
+  errors
+
+(* --- the lifecycle oracle ---
+
+   Invariants of the index state machine as seen at a quiescent point: the
+   non-final checks hold after any crash + recovery (mid-build transients
+   are never observed there — recovery lands every in-progress build in
+   [Write_only] with its progress record intact); the final checks hold
+   once every build has been driven to completion. *)
+
+let lifecycle_errors ?(final = false) (ctx : t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let in_progress = Ib.interrupted_builds ctx in
+  List.iter
+    (fun (tbl : Catalog.table_info) ->
+      List.iter
+        (fun (info : Catalog.index_info) ->
+          let id = info.index_id in
+          let has_progress = List.mem id in_progress in
+          (match info.state with
+          | Catalog.Disabled ->
+            (* Disabled exists only inside the (yield-free) admission and
+               cancel windows; a quiescent point must never see one *)
+            err "index %d: disabled but still cataloged" id
+          | Catalog.Write_only ->
+            if not has_progress then
+              err "index %d: write-only without durable build progress" id
+          | Catalog.Readable -> ());
+          if final then begin
+            (match (info.state, info.phase) with
+            | Catalog.Readable, Catalog.Ready -> ()
+            | Catalog.Readable, _ ->
+              err "index %d: readable but phase is not Ready" id
+            | (Catalog.Write_only | Catalog.Disabled), Catalog.Ready ->
+              err "index %d: phase Ready but state %s" id
+                (Catalog.state_name info.state)
+            | (Catalog.Write_only | Catalog.Disabled), _ -> ());
+            if info.state = Catalog.Readable then begin
+              if has_progress then
+                err "index %d: readable with a leftover progress record" id;
+              if
+                not
+                  (Range_set.is_empty
+                     (Range_set.load ctx.Ctx.kv ~index_id:id))
+              then
+                err "index %d: readable with a leftover scan-range record"
+                  id;
+              match info.phase with
+              | Catalog.Sf_building st ->
+                let n = Oib_sidefile.Side_file.length st.sidefile in
+                if n > 0 then
+                  err "index %d: readable with %d undrained side-file \
+                       entries" id n
+              | Catalog.Ready | Catalog.Nsf_building _ -> ()
+            end
+          end)
+        tbl.indexes)
+    (Catalog.tables ctx.Ctx.catalog);
+  let errors = List.rev !errs in
+  if errors <> [] then
+    Oib_obs.Trace.failure ctx.Ctx.trace
+      ~reason:
+        (Printf.sprintf "lifecycle oracle: %d error(s); first: %s"
            (List.length errors) (List.hd errors));
   errors

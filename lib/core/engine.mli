@@ -90,3 +90,11 @@ val consistency_errors : t -> string list
     one Present entry per record key (and its tree invariants must hold);
     pseudo-deleted entries must not shadow live keys. Empty = consistent.
     Call when no transaction is active. *)
+
+val lifecycle_errors : ?final:bool -> t -> string list
+(** The index-lifecycle oracle, for quiescent points (after recovery or at
+    the end of a run). Always: no [Disabled] index is cataloged, and every
+    [Write_only] index has durable build progress. With [final] (default
+    false), additionally: [Readable] iff phase [Ready], and a [Readable]
+    index has no leftover progress record, no sealed-scan-range record,
+    and no undrained side-file. Empty = consistent. *)

@@ -37,7 +37,45 @@ let default_config algorithm =
 
 exception Build_unique_violation of { index : int; kv : string }
 
+exception Build_paused of { index : int }
+
 type spec = { index_id : int; key_cols : int list; unique : bool }
+
+(* --- test observers (DST scan-accounting oracle) ---
+
+   [scan_observer] fires once per (index, heap page) extraction that feeds
+   the sort; [range_observer] fires when a scanned range is sealed. Both
+   are process-global so a harness can watch every engine incarnation. *)
+
+let scan_observer : (index:int -> page:int -> unit) option ref = ref None
+let set_scan_observer f = scan_observer := f
+
+let range_observer : (index:int -> lo:int -> hi:int -> unit) option ref =
+  ref None
+
+let set_range_observer f = range_observer := f
+
+let observe_scan ~index ~page =
+  match !scan_observer with Some f -> f ~index ~page | None -> ()
+
+let observe_range ~index ~lo ~hi =
+  match !range_observer with Some f -> f ~index ~lo ~hi | None -> ()
+
+(* --- admission-controlled pacing --- *)
+
+(* Extra voluntary yields at IB pacing points while the throttle is
+   backed off; a no-op at level 0, so fault-free runs are step-identical
+   to pre-throttle builds. *)
+let throttle_yields ctx =
+  for _ = 1 to Throttle.extra_yields ctx.Ctx.throttle do
+    Sched.yield ctx.Ctx.sched
+  done
+
+(* Operator pause: honored only right after a durable checkpoint, so the
+   interrupted build resumes exactly where a crash would have. *)
+let check_pause ctx ~index_id =
+  if Throttle.pause_requested ctx.Ctx.throttle then
+    raise (Build_paused { index = index_id })
 
 (* durable build progress *)
 type stage =
@@ -128,6 +166,15 @@ let note_checkpoint ctx (st : BS.t) ~stage =
     Oib_obs.Trace.emit tr
       (Oib_obs.Event.Ib_checkpoint { index = st.BS.index_id; stage })
 
+(* lifecycle transition + trace event *)
+let set_state ctx index_id to_ =
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool index_id to_;
+  let tr = Sched.trace ctx.Ctx.sched in
+  if Oib_obs.Trace.tracing tr then
+    Oib_obs.Trace.emit tr
+      (Oib_obs.Event.Index_state
+         { index = index_id; state = Catalog.state_name to_ })
+
 let set_progress ctx index_id ~algorithm ~table ~stage ~last_scan_page =
   Durable_kv.set ctx.Ctx.kv (progress_key index_id)
     (Ib_progress
@@ -202,6 +249,53 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
   let first_needed =
     List.fold_left (fun acc j -> min acc (Sort.scan_pos j.sorter)) max_int jobs
   in
+  (* Per-job record of already-scanned page ranges. On resume the sort
+     checkpoint may be ahead of the last sealed range (a crash hit between
+     the sort checkpoint and the range commit — both live in the same
+     forced kv, so coverage can only trail the checkpoint, never lead it);
+     reconcile by sealing the gap up to the checkpointed scan position. *)
+  let ranges =
+    List.map
+      (fun j ->
+        let rs = Range_set.load ctx.Ctx.kv ~index_id:j.spec.index_id in
+        let pos = Sort.scan_pos j.sorter in
+        if pos > Range_set.max_covered rs then begin
+          let lo = Range_set.max_covered rs + 1 in
+          Range_set.add rs ~lo ~hi:pos;
+          Range_set.commit ctx.Ctx.kv ~index_id:j.spec.index_id rs;
+          observe_range ~index:j.spec.index_id ~lo ~hi:pos
+        end;
+        (j, rs))
+      jobs
+  in
+  (* Seal everything scanned since the last commit point. Ordered after
+     [Sort.checkpoint]: a page is sealed only once its keys are durable in
+     the sorter's checkpointed state, so a sealed page is never rescanned
+     and never loses its keys. The WAL record is informational (the kv is
+     the authority); it lets trace analysis and recovery narrate coverage. *)
+  let commit_ranges () =
+    let any = ref false in
+    List.iter
+      (fun (j, rs) ->
+        let pos = Sort.scan_pos j.sorter in
+        let lo = Range_set.max_covered rs + 1 in
+        if pos >= lo then begin
+          Range_set.add rs ~lo ~hi:pos;
+          Range_set.commit ctx.Ctx.kv ~index_id:j.spec.index_id rs;
+          ignore
+            (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+               (LR.Range_commit { index = j.spec.index_id; lo; hi = pos }));
+          any := true;
+          observe_range ~index:j.spec.index_id ~lo ~hi:pos;
+          let tr = Sched.trace ctx.Ctx.sched in
+          if Oib_obs.Trace.tracing tr then
+            Oib_obs.Trace.emit tr
+              (Oib_obs.Event.Ib_range_commit
+                 { index = j.spec.index_id; lo; hi = pos })
+        end)
+      ranges;
+    if !any then LM.flush_all ctx.Ctx.log
+  in
   let pages_done = ref 0 in
   let process_page (page : Page.t) =
     let pid = page.Page.id in
@@ -233,6 +327,7 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
       List.iter
         (fun (j, acc) ->
           if pid > Sort.scan_pos j.sorter then begin
+            observe_scan ~index:j.spec.index_id ~page:pid;
             Sort.feed_page j.sorter ~scan_pos:pid (List.rev !acc);
             let st = job_status ctx j in
             st.BS.keys_processed <-
@@ -240,11 +335,15 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
           end)
         per_job;
       incr pages_done;
-      if !pages_done mod cfg.ckpt_every_pages = 0 then
-        List.iter (fun j -> Sort.checkpoint j.sorter) jobs
+      if !pages_done mod cfg.ckpt_every_pages = 0 then begin
+        List.iter (fun j -> Sort.checkpoint j.sorter) jobs;
+        commit_ranges ();
+        check_pause ctx ~index_id:(List.hd jobs).spec.index_id
+      end
     end;
     (* let transactions interleave between pages *)
-    Sched.yield ctx.Ctx.sched
+    Sched.yield ctx.Ctx.sched;
+    throttle_yields ctx
   in
   if not dynamic then
     Heap_file.scan_pages tbl.Catalog.heap ~upto:last_scan_page process_page
@@ -268,7 +367,11 @@ let scan_and_sort ctx cfg tbl ~last_scan_page ~dynamic jobs ~set_current_rid =
         chase ()
     in
     chase ()
-  end
+  end;
+  (* scan complete: checkpoint the sorters (making the tail durable) and
+     seal the remaining coverage *)
+  List.iter (fun j -> Sort.checkpoint j.sorter) jobs;
+  commit_ranges ()
 
 let merge_sorted ctx _cfg job =
   note_phase ctx (job_status ctx job) BS.Merge;
@@ -333,6 +436,11 @@ let cancel_build_internal ctx ~index_id =
    with
   | LockM.Granted -> ()
   | LockM.Deadlock -> ());
+  (* tear-down transition first: a crash mid-cancel must not leave the
+     index maintained (the Drop_index below removes it from the log's
+     state map anyway, so order only matters for the in-memory window) *)
+  if Catalog.state ctx.Ctx.catalog index_id <> Catalog.Disabled then
+    set_state ctx index_id Catalog.Disabled;
   ignore
     (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
        (LR.Build_done { index = index_id }));
@@ -342,6 +450,7 @@ let cancel_build_internal ctx ~index_id =
   LM.flush_all ctx.Ctx.log;
   Catalog.drop_index ctx.Ctx.catalog index_id;
   clear_progress ctx index_id;
+  Range_set.clear ctx.Ctx.kv ~index_id;
   LockM.unlock_all ctx.Ctx.locks ~txn:owner
 
 let nsf_unique_guard ctx job (key : Ikey.t) =
@@ -413,7 +522,9 @@ let nsf_insert_phase ctx cfg job ~from_key =
     | `Inserted ->
       batch := key :: !batch;
       incr batch_n;
-      if !batch_n >= cfg.batch_size then flush_batch ()
+      (* backed-off batches are smaller: shorter latch tenure per flush *)
+      if !batch_n >= Throttle.scaled ctx.Ctx.throttle ~base:cfg.batch_size
+      then flush_batch ()
     | `Rejected _ -> () (* a transaction or a tombstone won the race *));
     highest := Some key;
     st.BS.keys_processed <- st.BS.keys_processed + 1;
@@ -427,9 +538,13 @@ let nsf_insert_phase ctx cfg job ~from_key =
       | Catalog.Nsf_building st, Some h ->
         st.Catalog.avail_below <- Some h.Ikey.kv
       | _ -> ());
-      since_ckpt := 0
+      since_ckpt := 0;
+      check_pause ctx ~index_id:job.spec.index_id
     end;
-    if i mod 16 = 0 then Sched.yield ctx.Ctx.sched
+    if i mod 16 = 0 then begin
+      Sched.yield ctx.Ctx.sched;
+      throttle_yields ctx
+    end
   done;
   flush_batch ()
 
@@ -491,9 +606,13 @@ let sf_bulk_phase ctx cfg job ~from_key =
     incr since_ckpt;
     if !since_ckpt >= cfg.ckpt_every_keys then begin
       sf_checkpoint_bulk ctx job ~highest:(Some key);
-      since_ckpt := 0
+      since_ckpt := 0;
+      check_pause ctx ~index_id:job.spec.index_id
     end;
-    if i mod 16 = 0 then Sched.yield ctx.Ctx.sched
+    if i mod 16 = 0 then begin
+      Sched.yield ctx.Ctx.sched;
+      throttle_yields ctx
+    end
   done;
   Btree.Bulk.finish b
 
@@ -587,7 +706,8 @@ let sf_drain_phase ctx cfg job ~from_pos =
           if not sorted then begin
             pos := !pos + !since_ckpt;
             update_backlog ();
-            checkpoint ()
+            checkpoint ();
+            check_pause ctx ~index_id:job.spec.index_id
           end;
           since_ckpt := 0
         end)
@@ -600,7 +720,8 @@ let sf_drain_phase ctx cfg job ~from_pos =
        Oib_obs.Trace.emit tr
          (Oib_obs.Event.Sidefile_drained
             { sidefile = job.spec.index_id; from_pos; upto }));
-    Sched.yield ctx.Ctx.sched
+    Sched.yield ctx.Ctx.sched;
+    throttle_yields ctx
   in
   (* the bulk of the side-file may be applied sorted (§3.2.5); the chase
      loop then applies new arrivals sequentially until it catches up *)
@@ -623,12 +744,19 @@ let sf_drain_phase ctx cfg job ~from_pos =
 (* --- build orchestration --- *)
 
 let finish_build ctx job =
+  (* Readable first (its own append + flush), then Build_done: a durable
+     Build_done therefore implies a durably logged Readable, so recovery
+     never sees a finished build stuck write-only. The guard covers a
+     resumed finish whose first attempt crashed between the two. *)
+  if Catalog.state ctx.Ctx.catalog job.spec.index_id <> Catalog.Readable then
+    set_state ctx job.spec.index_id Catalog.Readable;
   ignore
     (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
        (LR.Build_done { index = job.spec.index_id }));
   LM.flush_all ctx.Ctx.log;
   Btree.checkpoint_image job.info.tree ~lsn:(LM.flushed_lsn ctx.Ctx.log);
   clear_progress ctx job.spec.index_id;
+  Range_set.clear ctx.Ctx.kv ~index_id:job.spec.index_id;
   Runs.delete_run ctx.Ctx.runs (sorted_run_name job.spec.index_id);
   job.info.phase <- Catalog.Ready;
   note_phase ctx (job_status ctx job) BS.Ready
@@ -666,12 +794,15 @@ let build_indexes_nsf ctx cfg ~table specs =
         let info =
           Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
             ~index_id:spec.index_id ~key_cols:spec.key_cols
-            ~unique:spec.unique
+            ~unique:spec.unique ~state:Catalog.Disabled
             ~phase:(Catalog.Nsf_building { avail_below = None })
         in
         ignore
           (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
              (LR.Build_start { index = spec.index_id; table }));
+        (* admission: still inside the quiesce window, so no update can
+           observe the descriptor before it is write-only *)
+        set_state ctx spec.index_id Catalog.Write_only;
         let sorter = start_sorter ctx cfg spec.index_id in
         { spec; info; sorter })
       specs
@@ -719,7 +850,7 @@ let build_indexes_sf ctx cfg ~table specs =
         let info =
           Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
             ~index_id:spec.index_id ~key_cols:spec.key_cols
-            ~unique:spec.unique
+            ~unique:spec.unique ~state:Catalog.Disabled
             ~phase:
               (Catalog.Sf_building
                  {
@@ -733,6 +864,9 @@ let build_indexes_sf ctx cfg ~table specs =
         ignore
           (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
              (LR.Build_start { index = spec.index_id; table }));
+        (* admission before the scan moves Current-RID: no operation is
+           side-file-visible yet, so nothing is missed in the window *)
+        set_state ctx spec.index_id Catalog.Write_only;
         let sorter = start_sorter ctx cfg spec.index_id in
         { spec; info; sorter })
       specs
@@ -830,6 +964,7 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
   let info =
     Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~table_id:table
       ~index_id:spec.index_id ~key_cols ~unique:false
+      ~state:Catalog.Disabled
       ~phase:
         (Catalog.Sf_building
            {
@@ -843,6 +978,7 @@ let build_secondary_via_primary ctx cfg ~table ~primary spec =
   ignore
     (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
        (LR.Build_start { index = spec.index_id; table }));
+  set_state ctx spec.index_id Catalog.Write_only;
   LM.flush_all ctx.Ctx.log;
   set_progress ctx spec.index_id ~algorithm:Sf ~table
     ~stage:(Scanning { current_rid = Rid.minus_infinity })
@@ -958,8 +1094,43 @@ let interrupted_builds ctx =
 let restore_phase_after_restart ctx ~index_id =
   match get_progress ctx index_id with
   | None -> ()
-  | Some p -> (
-    match p.p_algorithm with
+  | Some p ->
+    (* A build still in progress must not be readable: the log's last
+       state can be Readable only when the crash hit after finish_build's
+       transition but before Build_done became durable (the build will be
+       redone from its checkpoints). Downgrade — logged as a genuine new
+       transition so the next recovery lands write-only directly. *)
+    if Catalog.state ctx.Ctx.catalog index_id = Catalog.Readable then begin
+      ignore
+        (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
+           (LR.Index_state
+              {
+                index = index_id;
+                state = Catalog.state_to_int Catalog.Write_only;
+              }));
+      LM.flush_all ctx.Ctx.log;
+      Catalog.restore_state ctx.Ctx.catalog index_id Catalog.Write_only;
+      let tr = Sched.trace ctx.Ctx.sched in
+      if Oib_obs.Trace.tracing tr then
+        Oib_obs.Trace.emit tr
+          (Oib_obs.Event.Index_state
+             { index = index_id; state = Catalog.state_name Catalog.Write_only })
+    end;
+    (* Rehydrate the published build status from the durable progress
+       record, so [Build_status] and the catalog agree from the first
+       step after reopen (not only once the resuming builder gets
+       scheduled). *)
+    let st =
+      status ctx ~index_id ~algorithm:(algorithm_name p.p_algorithm)
+    in
+    note_phase ctx st
+      (match p.p_stage with
+      | Scanning _ -> BS.Scan
+      | Merging _ -> BS.Merge
+      | Inserting _ -> BS.Insert
+      | Bulking _ -> BS.Bulk
+      | Draining _ -> BS.Drain);
+    (match p.p_algorithm with
     | Nsf ->
       Catalog.set_phase ctx.Ctx.catalog index_id
         (Catalog.Nsf_building { avail_below = None })
@@ -986,6 +1157,20 @@ let restore_phase_after_restart ctx ~index_id =
 let resume_one ctx cfg index_id =
   match get_progress ctx index_id with
   | None -> ()
+  | Some p when
+      (Catalog.index ctx.Ctx.catalog index_id).Catalog.phase = Catalog.Ready
+    ->
+    (* The crash hit finish_build after Build_done became durable but
+       before cleanup: the build is complete (recovery redid the tree and
+       left the phase Ready), only the leftovers need collecting. *)
+    if Catalog.state ctx.Ctx.catalog index_id <> Catalog.Readable then
+      set_state ctx index_id Catalog.Readable;
+    clear_progress ctx index_id;
+    Range_set.clear ctx.Ctx.kv ~index_id;
+    Runs.delete_run ctx.Ctx.runs (sorted_run_name index_id);
+    note_phase ctx
+      (status ctx ~index_id ~algorithm:(algorithm_name p.p_algorithm))
+      BS.Ready
   | Some p ->
     let info = Catalog.index ctx.Ctx.catalog index_id in
     let spec =

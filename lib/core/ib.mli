@@ -45,7 +45,24 @@ exception Build_unique_violation of { index : int; kv : string }
     unique index cannot be built (§2.2.3). The build is cancelled before
     this is raised. *)
 
+exception Build_paused of { index : int }
+(** Raised out of a build when {!Throttle.request_pause} was called on the
+    engine's throttle. Only raised immediately after a durable checkpoint,
+    so the paused build is in exactly the state a crash would leave it in:
+    {!resume_builds} continues it (in-process or after a restart). *)
+
 type spec = { index_id : int; key_cols : int list; unique : bool }
+
+val set_scan_observer : (index:int -> page:int -> unit) option -> unit
+(** Test hook (DST scan accounting): called once per (index, heap page)
+    whose extracted keys are fed to that index's sorter. Process-global —
+    survives engine crash/restart — so a harness can assert that no page
+    is ever scanned twice for one build across incarnations. [None]
+    uninstalls. *)
+
+val set_range_observer : (index:int -> lo:int -> hi:int -> unit) option -> unit
+(** Test hook: called when the builder seals scanned pages [lo..hi]
+    (inclusive) as durably covered for [index]. [None] uninstalls. *)
 
 val build_index : Ctx.t -> config -> table:int -> spec -> unit
 (** Run a complete build in the calling fiber. *)
@@ -92,7 +109,11 @@ val spawn_gc_daemon :
 val restore_phase_after_restart : Ctx.t -> index_id:int -> unit
 (** Used by [Engine.restart]: downgrade a reopened index's phase from
     [Ready] to its true in-progress state using the builder's durable
-    progress record (no-op when the index has no progress record). *)
+    progress record (no-op when the index has no progress record). Also
+    downgrades a [Readable] lifecycle state back to [Write_only] (the
+    crash hit between the readable transition and a durable [Build_done])
+    and rehydrates the published {!Build_status} from the progress record,
+    so status and catalog agree before the resuming builder runs. *)
 
 val interrupted_builds : Ctx.t -> int list
 (** Index ids with a durable in-progress build record. *)

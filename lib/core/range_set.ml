@@ -1,0 +1,63 @@
+(* Disjoint, sorted, coalesced inclusive integer ranges over data-page
+   ids, with a forced-kv durable form. See range_set.mli. *)
+
+module Durable_kv = Oib_storage.Durable_kv
+
+type t = { mutable ranges : (int * int) list (* ascending, disjoint *) }
+
+let create () = { ranges = [] }
+
+let add t ~lo ~hi =
+  if lo > hi then invalid_arg "Range_set.add: lo > hi";
+  (* insert, then merge every range that touches [lo..hi] (adjacency
+     counts: [0,3] + [4,7] = [0,7]) *)
+  let rec go acc lo hi = function
+    | [] -> List.rev ((lo, hi) :: acc)
+    | (l, h) :: rest when h + 1 < lo -> go ((l, h) :: acc) lo hi rest
+    | (l, h) :: rest when hi + 1 < l ->
+      List.rev_append acc ((lo, hi) :: (l, h) :: rest)
+    | (l, h) :: rest -> go acc (min lo l) (max hi h) rest
+  in
+  t.ranges <- go [] lo hi t.ranges
+
+let mem t p = List.exists (fun (l, h) -> l <= p && p <= h) t.ranges
+
+let is_empty t = t.ranges = []
+
+let max_covered t =
+  List.fold_left (fun acc (_, h) -> max acc h) (-1) t.ranges
+
+let covered_count t =
+  List.fold_left (fun acc (l, h) -> acc + h - l + 1) 0 t.ranges
+
+let ranges t = t.ranges
+
+let missing t ~lo ~hi =
+  let rec go acc lo = function
+    | _ when lo > hi -> List.rev acc
+    | [] -> List.rev ((lo, hi) :: acc)
+    | (_, h) :: rest when h < lo -> go acc lo rest
+    | (l, h) :: rest ->
+      if l <= lo then go acc (h + 1) rest
+      else go ((lo, min hi (l - 1)) :: acc) (h + 1) rest
+  in
+  if lo > hi then [] else go [] lo t.ranges
+
+let to_string t =
+  String.concat ","
+    (List.map (fun (l, h) -> Printf.sprintf "[%d,%d]" l h) t.ranges)
+
+(* --- durable form --- *)
+
+type Durable_kv.value += Ranges of (int * int) list
+
+let key ~index_id = Printf.sprintf "ib/%d/ranges" index_id
+
+let load kv ~index_id =
+  match Durable_kv.get kv (key ~index_id) with
+  | Some (Ranges rs) -> { ranges = rs }
+  | Some _ | None -> create ()
+
+let commit kv ~index_id t = Durable_kv.set kv (key ~index_id) (Ranges t.ranges)
+
+let clear kv ~index_id = Durable_kv.remove kv (key ~index_id)

@@ -1,0 +1,55 @@
+(** Durable coverage of already-scanned data pages for one index build.
+
+    The paper's §5 checkpoint makes the *sort* restartable; the range set
+    generalizes that to the whole scan (after the FDB Record Layer's
+    online-indexer RangeSet): the builder records, at every batched scan
+    chunk boundary, the inclusive range of data-page ids whose keys are
+    durably captured in checkpointed sort runs. After a crash, the resumed
+    scan visits only uncovered pages — committed ranges are never rescanned.
+
+    Ranges are kept disjoint, sorted and coalesced. The durable form is an
+    immutable [(lo, hi)] list stored in the engine's forced metadata kv
+    under {!key}; it is snapshot-consistent with the sort checkpoint that
+    precedes each {!commit} (both live in the same kv), so a backup/restore
+    can never see coverage ahead of the restored runs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> lo:int -> hi:int -> unit
+(** Cover the inclusive range [lo..hi] (coalescing with neighbours).
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val max_covered : t -> int
+(** Highest covered point, or [-1] when empty. *)
+
+val covered_count : t -> int
+(** Total number of covered points across all ranges. *)
+
+val ranges : t -> (int * int) list
+(** The disjoint ranges, ascending. *)
+
+val missing : t -> lo:int -> hi:int -> (int * int) list
+(** The uncovered sub-ranges of [lo..hi], ascending; empty when the whole
+    interval is covered (or [lo > hi]). *)
+
+val to_string : t -> string
+
+(** {1 Durable persistence} *)
+
+val key : index_id:int -> string
+(** kv key ["ib/<id>/ranges"], alongside the build's other durable state. *)
+
+val load : Oib_storage.Durable_kv.t -> index_id:int -> t
+(** The committed coverage; empty if never committed (or cleared). *)
+
+val commit : Oib_storage.Durable_kv.t -> index_id:int -> t -> unit
+(** Force the current coverage to the kv (an immutable snapshot; safe
+    against the kv's shallow backup copies). *)
+
+val clear : Oib_storage.Durable_kv.t -> index_id:int -> unit

@@ -158,6 +158,9 @@ let sidefile_entry ctx txn info ~insert key =
   note_sidefile_append ctx info ~insert pos
 
 let directly_maintained (info : Catalog.index_info) =
+  (* a Disabled descriptor (pre-admission / mid-teardown) gets nothing *)
+  info.Catalog.state <> Catalog.Disabled
+  &&
   match info.phase with
   | Catalog.Ready | Catalog.Nsf_building _ -> true
   | Catalog.Sf_building _ -> false
@@ -294,13 +297,15 @@ let read ctx txn ~table rid =
 
 let index_lookup ctx txn ~index kv =
   let info = Catalog.index ctx.Ctx.catalog index in
-  (match info.phase with
-  | Catalog.Ready -> ()
-  | Catalog.Nsf_building { avail_below = Some bound } when kv < bound ->
-    (* gradual availability (footnote 3): the prefix below IB's insert
-       position is already complete *)
+  (* the lifecycle state is the read gate: only [Readable] serves, with
+     one carve-out — a write-only NSF build's completed prefix (gradual
+     availability, footnote 3) *)
+  (match (info.Catalog.state, info.phase) with
+  | Catalog.Readable, _ -> ()
+  | Catalog.Write_only, Catalog.Nsf_building { avail_below = Some bound }
+    when kv < bound ->
     ()
-  | Catalog.Nsf_building _ | Catalog.Sf_building _ ->
+  | (Catalog.Write_only | Catalog.Disabled), _ ->
     invalid_arg "Table_ops.index_lookup: index still being built");
   let tbl = Catalog.table ctx.Ctx.catalog info.table_id in
   lock ctx txn (LockM.Table info.table_id) IS;
@@ -317,9 +322,11 @@ let index_lookup ctx txn ~index kv =
 
 let range_lookup ctx txn ~index ?lo ?hi () =
   let info = Catalog.index ctx.Ctx.catalog index in
-  (match info.phase with
-  | Catalog.Ready -> ()
-  | Catalog.Nsf_building _ | Catalog.Sf_building _ ->
+  (* ranges have no per-key gradual-availability carve-out: serve only
+     once the index is [Readable] *)
+  (match info.Catalog.state with
+  | Catalog.Readable -> ()
+  | Catalog.Write_only | Catalog.Disabled ->
     invalid_arg "Table_ops.range_lookup: index still being built");
   let tbl = Catalog.table ctx.Ctx.catalog info.table_id in
   lock ctx txn (LockM.Table info.table_id) IS;
@@ -503,7 +510,8 @@ let undo_executor ctx txn body ~clr =
     assert false
   | LR.Begin | LR.Commit | LR.Abort | LR.End | LR.Sidefile_append _
   | LR.Clr _ | LR.Build_start _ | LR.Build_done _ | LR.Heap_extend _
-  | LR.Create_table _ | LR.Create_index _ | LR.Drop_index _ ->
+  | LR.Create_table _ | LR.Create_index _ | LR.Drop_index _
+  | LR.Index_state _ | LR.Range_commit _ ->
     assert false
 
 let rollback ctx txn =

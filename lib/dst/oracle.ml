@@ -53,6 +53,8 @@ let completion ctx =
         Printf.sprintf "index %d: side-file not drained (%d entries)" id n)
       (Engine.undrained_sidefiles ctx)
 
+let lifecycle ?final ctx = Engine.lifecycle_errors ?final ctx
+
 let battery ?(final = true) ctx =
   let pre =
     let n = Engine.active_txns ctx in
@@ -61,4 +63,5 @@ let battery ?(final = true) ctx =
     else []
   in
   pre @ consistency ctx @ structural ctx @ progress_monotonic ctx
+  @ lifecycle ~final ctx
   @ (if final then completion ctx else [])

@@ -9,6 +9,10 @@
     - {!progress_monotonic}: every build's phase history within this
       incarnation ranks monotonically ({!Oib_core.Build_status.rank}
       never decreases, transition steps never go backwards);
+    - {!lifecycle}: {!Oib_core.Engine.lifecycle_errors} — the index state
+      machine's quiescent-point invariants (no [Disabled] stragglers, no
+      write-only index without durable progress; finally, [Readable] iff
+      [Ready] with no leftover progress/range/side-file state);
     - {!completion}: no build left unfinished and no side-file left
       undrained — only meaningful once a scenario has run to completion,
       hence gated behind [~final].
@@ -19,6 +23,7 @@
 val consistency : Oib_core.Ctx.t -> string list
 val structural : Oib_core.Ctx.t -> string list
 val progress_monotonic : Oib_core.Ctx.t -> string list
+val lifecycle : ?final:bool -> Oib_core.Ctx.t -> string list
 val completion : Oib_core.Ctx.t -> string list
 
 val battery : ?final:bool -> Oib_core.Ctx.t -> string list

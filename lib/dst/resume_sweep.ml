@@ -1,0 +1,68 @@
+(* Crash-at-every-step sweep over a range-tracked resumable build, with
+   the scan-accounting oracle watching every incarnation. See
+   resume_sweep.mli. *)
+
+type point = {
+  crash_step : int;
+  errors : string list;
+  scans : int;
+  seals : int;
+}
+
+type result = {
+  scenario : Scenario.t;
+  base_steps : int;
+  base_errors : string list;
+  points : point list;
+  total_scans : int;
+  total_seals : int;
+}
+
+let run ?(on_point = fun _ _ -> ()) sc ~points =
+  (* Force non-unique: a unique-violation cancel drops the index and its
+     range record, and a from-scratch rebuild of the same id would trip
+     the sealed-page check for reasons that are not bugs. *)
+  let sc = Scenario.override ~unique:false sc in
+  let base = Runner.run (Scenario.override ~faults:[] sc) in
+  if Runner.failed base then
+    {
+      scenario = sc;
+      base_steps = base.Runner.total_steps;
+      base_errors = base.Runner.errors;
+      points = [];
+      total_scans = 0;
+      total_seals = 0;
+    }
+  else begin
+    let pts = Sweep.crash_points ~base_steps:base.Runner.total_steps ~points in
+    let total_scans = ref 0 and total_seals = ref 0 in
+    let results =
+      List.map
+        (fun c ->
+          let chk = Scan_check.create () in
+          Scan_check.install chk;
+          let o =
+            Fun.protect ~finally:Scan_check.uninstall (fun () ->
+                Runner.run
+                  ~on_engine:(fun _ -> Scan_check.new_epoch chk)
+                  (Scenario.override ~faults:[ Scenario.Crash_at c ] sc))
+          in
+          total_scans := !total_scans + Scan_check.scans chk;
+          total_seals := !total_seals + Scan_check.seals chk;
+          let errors = o.Runner.errors @ Scan_check.errors chk in
+          on_point c errors;
+          { crash_step = c; errors; scans = Scan_check.scans chk;
+            seals = Scan_check.seals chk })
+        pts
+    in
+    {
+      scenario = sc;
+      base_steps = base.Runner.total_steps;
+      base_errors = [];
+      points = results;
+      total_scans = !total_scans;
+      total_seals = !total_seals;
+    }
+  end
+
+let failures r = List.filter (fun p -> p.errors <> []) r.points

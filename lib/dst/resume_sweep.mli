@@ -1,0 +1,39 @@
+(** Crash-at-every-step sweep over a range-tracked resumable build.
+
+    Like {!Sweep.sweep}, but every crash-point run carries a fresh
+    {!Scan_check} watching the builder's scan/seal observers across all
+    of that run's incarnations, and each point's errors combine the
+    runner's oracle battery with the scan-accounting violations — so a
+    passing sweep proves both recovery correctness {e and} zero duplicate
+    range scans across resume.
+
+    The scenario is forced non-unique (see {!Scan_check} on why cancels
+    would trip the sealed-page check). *)
+
+type point = {
+  crash_step : int;
+  errors : string list;
+  scans : int;  (** page extractions observed in this point's run *)
+  seals : int;  (** range commits observed in this point's run *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  base_steps : int;
+  base_errors : string list;
+      (** violations of the fault-free base run; when non-empty no crash
+          points were attempted *)
+  points : point list;
+  total_scans : int;
+  total_seals : int;
+      (** across all points — a sweep that proved nothing (never sealed a
+          range) is suspicious, so the caller can assert these are > 0 *)
+}
+
+val run :
+  ?on_point:(int -> string list -> unit) ->
+  Scenario.t ->
+  points:int ->
+  result
+
+val failures : result -> point list

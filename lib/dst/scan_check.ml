@@ -1,0 +1,80 @@
+(* Scan-accounting oracle for resumable builds. See scan_check.mli. *)
+
+open Oib_core
+
+type t = {
+  sealed : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* index -> sealed pages *)
+  max_hi : (int, int) Hashtbl.t; (* index -> highest sealed page *)
+  epoch_seen : (int * int, unit) Hashtbl.t; (* (index, page) this epoch *)
+  mutable epoch : int;
+  mutable scans : int;
+  mutable seals : int;
+  mutable errs : string list;
+}
+
+let create () =
+  {
+    sealed = Hashtbl.create 4;
+    max_hi = Hashtbl.create 4;
+    epoch_seen = Hashtbl.create 256;
+    epoch = 0;
+    scans = 0;
+    seals = 0;
+    errs = [];
+  }
+
+let err t fmt = Printf.ksprintf (fun s -> t.errs <- s :: t.errs) fmt
+
+let sealed_for t index =
+  match Hashtbl.find_opt t.sealed index with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 64 in
+    Hashtbl.replace t.sealed index h;
+    h
+
+let on_scan t ~index ~page =
+  t.scans <- t.scans + 1;
+  if Hashtbl.mem (sealed_for t index) page then
+    err t
+      "index %d: page %d scanned after being sealed (epoch %d) — duplicate \
+       range scan"
+      index page t.epoch;
+  if Hashtbl.mem t.epoch_seen (index, page) then
+    err t "index %d: page %d scanned twice within epoch %d" index page
+      t.epoch;
+  Hashtbl.replace t.epoch_seen (index, page) ()
+
+let on_range t ~index ~lo ~hi =
+  t.seals <- t.seals + 1;
+  let prev = Option.value ~default:(-1) (Hashtbl.find_opt t.max_hi index) in
+  if hi <= prev then
+    err t "index %d: coverage regressed: sealed [%d,%d] after high mark %d"
+      index lo hi prev;
+  if lo <> prev + 1 then
+    err t "index %d: coverage gap: sealed [%d,%d] but high mark is %d" index
+      lo hi prev;
+  let s = sealed_for t index in
+  for p = lo to hi do
+    Hashtbl.replace s p ()
+  done;
+  Hashtbl.replace t.max_hi index (max prev hi)
+
+let install t =
+  Ib.set_scan_observer (Some (fun ~index ~page -> on_scan t ~index ~page));
+  Ib.set_range_observer (Some (fun ~index ~lo ~hi -> on_range t ~index ~lo ~hi))
+
+let uninstall () =
+  Ib.set_scan_observer None;
+  Ib.set_range_observer None
+
+let new_epoch t =
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.epoch_seen
+
+let coverage t index =
+  Option.value ~default:(-1) (Hashtbl.find_opt t.max_hi index)
+
+let scans t = t.scans
+let seals t = t.seals
+let errors t = List.rev t.errs

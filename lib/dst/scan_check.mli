@@ -1,0 +1,49 @@
+(** Scan-accounting oracle for range-tracked resumable builds.
+
+    Watches {!Oib_core.Ib.set_scan_observer} /
+    {!Oib_core.Ib.set_range_observer} across every engine incarnation of a
+    crash-and-resume run and checks the contract of the builder's
+    {!Oib_core.Range_set}:
+
+    - a page sealed by a range commit is {e never} extracted again for
+      that index, in any later incarnation (resume does not rescan
+      covered ranges);
+    - within one incarnation no page is extracted twice for one index;
+    - sealed coverage is contiguous and its high mark strictly monotone
+      across the whole run.
+
+    Rescanning an {e unsealed} page after a crash is legitimate (the
+    extraction was not durable) and is not flagged.
+
+    Intended for non-unique build scenarios: a unique-violation cancel
+    drops the index and its range record, after which a from-scratch
+    rebuild of the same index id would trip the sealed-page check. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> unit
+(** Point the builder's process-global observers at [t]. The observers
+    survive engine crash/restart, so one [install] covers a whole
+    multi-incarnation run. *)
+
+val uninstall : unit -> unit
+(** Clear the builder's observers (do this before the next scenario). *)
+
+val new_epoch : t -> unit
+(** Declare an incarnation boundary (call from the runner's [on_engine]
+    hook): resets the within-epoch duplicate-extraction set. Sealed pages
+    and the coverage high mark persist — that is the point. *)
+
+val coverage : t -> int -> int
+(** Highest sealed page for an index; -1 when nothing is sealed. *)
+
+val scans : t -> int
+(** Total page extractions observed. *)
+
+val seals : t -> int
+(** Total range commits observed. *)
+
+val errors : t -> string list
+(** Accumulated violations, oldest first (empty = clean). *)

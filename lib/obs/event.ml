@@ -25,6 +25,9 @@ type t =
   | Txn_rollback_step of { txn : int; lsn : int }
   | Ib_phase of { index : int; phase : string }
   | Ib_checkpoint of { index : int; stage : string }
+  | Index_state of { index : int; state : string }
+  | Ib_range_commit of { index : int; lo : int; hi : int }
+  | Ib_throttle of { level : int; reason : string }
   | Sidefile_append of { sidefile : int; insert : bool; pos : int }
   | Sidefile_drained of { sidefile : int; from_pos : int; upto : int }
   | Checkpoint of { scope : string }
@@ -68,6 +71,9 @@ let kind = function
   | Txn_rollback_step _ -> "txn.rollback_step"
   | Ib_phase _ -> "ib.phase"
   | Ib_checkpoint _ -> "ib.checkpoint"
+  | Index_state _ -> "index.state"
+  | Ib_range_commit _ -> "ib.range_commit"
+  | Ib_throttle _ -> "ib.throttle"
   | Sidefile_append _ -> "sidefile.append"
   | Sidefile_drained _ -> "sidefile.drained"
   | Checkpoint _ -> "checkpoint"
@@ -111,6 +117,12 @@ let detail = function
   | Ib_phase { index; phase } -> Printf.sprintf "index=%d phase=%s" index phase
   | Ib_checkpoint { index; stage } ->
     Printf.sprintf "index=%d stage=%s" index stage
+  | Index_state { index; state } ->
+    Printf.sprintf "index=%d state=%s" index state
+  | Ib_range_commit { index; lo; hi } ->
+    Printf.sprintf "index=%d lo=%d hi=%d" index lo hi
+  | Ib_throttle { level; reason } ->
+    Printf.sprintf "level=%d reason=%s" level reason
   | Sidefile_append { sidefile; insert; pos } ->
     Printf.sprintf "sidefile=%d op=%s pos=%d" sidefile
       (if insert then "ins" else "del")
@@ -189,6 +201,12 @@ let fields = function
   | Ib_phase { index; phase } -> [ ("index", `I index); ("phase", `S phase) ]
   | Ib_checkpoint { index; stage } ->
     [ ("index", `I index); ("stage", `S stage) ]
+  | Index_state { index; state } ->
+    [ ("index", `I index); ("state", `S state) ]
+  | Ib_range_commit { index; lo; hi } ->
+    [ ("index", `I index); ("lo", `I lo); ("hi", `I hi) ]
+  | Ib_throttle { level; reason } ->
+    [ ("level", `I level); ("reason", `S reason) ]
   | Sidefile_append { sidefile; insert; pos } ->
     [ ("sidefile", `I sidefile); ("insert", `B insert); ("pos", `I pos) ]
   | Sidefile_drained { sidefile; from_pos; upto } ->

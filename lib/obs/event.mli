@@ -27,6 +27,15 @@ type t =
   | Txn_rollback_step of { txn : int; lsn : int }
   | Ib_phase of { index : int; phase : string }
   | Ib_checkpoint of { index : int; stage : string }
+  | Index_state of { index : int; state : string }
+      (** lifecycle transition ([disabled|write-only|readable]), emitted
+          when the catalog state changes — including recovery downgrades *)
+  | Ib_range_commit of { index : int; lo : int; hi : int }
+      (** the builder sealed heap pages [lo..hi] as scanned: a resumed
+          build will never rescan them *)
+  | Ib_throttle of { level : int; reason : string }
+      (** admission-control level change; [reason] names the health
+          signal edge that drove it *)
   | Sidefile_append of { sidefile : int; insert : bool; pos : int }
   | Sidefile_drained of { sidefile : int; from_pos : int; upto : int }
   | Checkpoint of { scope : string }

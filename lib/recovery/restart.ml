@@ -7,6 +7,7 @@ type analysis = {
   winners : int list;
   builds_in_progress : (int * int) list;
   builds_done : int list;
+  index_states : (int * int) list;
   max_lsn : Lsn.t;
   max_txn_id : int;
 }
@@ -16,6 +17,7 @@ let analyze log =
   let ended : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let committed : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let builds : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let states : (int, int) Hashtbl.t = Hashtbl.create 4 in
   let done_builds = ref [] in
   let max_lsn = ref Lsn.nil in
   let max_txn = ref 0 in
@@ -36,6 +38,10 @@ let analyze log =
       | LR.Build_done { index } ->
         Hashtbl.remove builds index;
         done_builds := index :: !done_builds
+      | LR.Index_state { index; state } ->
+        (* records are in LSN order: last one per index wins *)
+        Hashtbl.replace states index state
+      | LR.Drop_index { index } -> Hashtbl.remove states index
       | _ -> ())
     (Oib_wal.Log_manager.durable_records log);
   let losers = ref [] and winners = ref [] in
@@ -52,6 +58,8 @@ let analyze log =
     winners = List.sort compare !winners;
     builds_in_progress = Hashtbl.fold (fun i t acc -> (i, t) :: acc) builds [];
     builds_done = !done_builds;
+    index_states =
+      List.sort compare (Hashtbl.fold (fun i s acc -> (i, s) :: acc) states []);
     max_lsn = !max_lsn;
     max_txn_id = !max_txn;
   }

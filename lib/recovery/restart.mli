@@ -25,6 +25,13 @@ type analysis = {
   winners : int list;
   builds_in_progress : (int * int) list; (** index id, table id *)
   builds_done : int list;
+  index_states : (int * int) list;
+      (** index id -> last WAL-logged lifecycle state (encoded as in
+          [Oib_wal.Log_record.Index_state]); indexes dropped later in the
+          log are omitted. The engine applies these after its catalog
+          reopen so a crash between the [Index_state] record and the
+          catalog's durable rewrite still lands the index in the logged
+          state. *)
   max_lsn : Oib_wal.Lsn.t;
   max_txn_id : int;
 }

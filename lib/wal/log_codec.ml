@@ -102,6 +102,15 @@ let rec w_body buf = function
   | Drop_index { index } ->
     w_u8 buf 15;
     w_i64 buf index
+  | Index_state { index; state } ->
+    w_u8 buf 16;
+    w_i64 buf index;
+    w_i64 buf state
+  | Range_commit { index; lo; hi } ->
+    w_u8 buf 17;
+    w_i64 buf index;
+    w_i64 buf lo;
+    w_i64 buf hi
 
 let encode (t : Log_record.t) =
   let payload = Buffer.create 64 in
@@ -245,6 +254,15 @@ let rec r_body c =
   | 15 ->
     let index = r_i64 c in
     Drop_index { index }
+  | 16 ->
+    let index = r_i64 c in
+    let state = r_i64 c in
+    Index_state { index; state }
+  | 17 ->
+    let index = r_i64 c in
+    let lo = r_i64 c in
+    let hi = r_i64 c in
+    Range_commit { index; lo; hi }
   | n -> fail ("bad body tag " ^ string_of_int n)
 
 let decode s ~pos =

@@ -43,12 +43,16 @@ type body =
       uniq : bool;
     }
   | Drop_index of { index : index_id }
+  | Index_state of { index : index_id; state : int }
+  | Range_commit of { index : index_id; lo : int; hi : int }
 
 type t = { lsn : Lsn.t; txn : txn_id option; prev_lsn : Lsn.t; body : body }
 
 let is_redoable = function
   | Index_key { redoable; _ } -> redoable
-  | Begin | Commit | Abort | End | Build_start _ | Build_done _ -> false
+  | Begin | Commit | Abort | End | Build_start _ | Build_done _
+  | Index_state _ | Range_commit _ ->
+    false
   | Heap _ | Index_bulk_insert _ | Sidefile_append _ | Clr _ | Heap_extend _
   | Create_table _ | Create_index _ | Drop_index _ ->
     true
@@ -57,7 +61,7 @@ let is_undoable = function
   | Heap _ | Index_key _ | Index_bulk_insert _ -> true
   | Begin | Commit | Abort | End | Sidefile_append _ | Clr _ | Build_start _
   | Build_done _ | Heap_extend _ | Create_table _ | Create_index _
-  | Drop_index _ ->
+  | Drop_index _ | Index_state _ | Range_commit _ ->
     false
 
 let heap_op_size = function
@@ -80,6 +84,8 @@ let rec body_size = function
   | Create_table _ -> 5
   | Create_index { key_cols; _ } -> 14 + (8 * List.length key_cols)
   | Drop_index _ -> 5
+  | Index_state _ -> 17
+  | Range_commit _ -> 25
 
 (* lsn + txn + prev_lsn header = 20 bytes *)
 let encoded_size t = 20 + body_size t.body
@@ -130,6 +136,15 @@ let rec pp_body ppf = function
       (String.concat "," (List.map string_of_int key_cols))
       (if uniq then " unique" else "")
   | Drop_index { index } -> Format.fprintf ppf "DROP_INDEX i%d" index
+  | Index_state { index; state } ->
+    Format.fprintf ppf "INDEX_STATE i%d %s" index
+      (match state with
+      | 0 -> "disabled"
+      | 1 -> "write-only"
+      | 2 -> "readable"
+      | n -> "state" ^ string_of_int n)
+  | Range_commit { index; lo; hi } ->
+    Format.fprintf ppf "RANGE_COMMIT i%d [%d,%d]" index lo hi
 
 let pp ppf t =
   Format.fprintf ppf "%a txn=%s prev=%a %a" Lsn.pp t.lsn

@@ -81,6 +81,22 @@ type body =
       (** DDL records (redo-only): catalog changes are recoverable from the
           log so media recovery can recreate descriptors born after the
           last image copy *)
+  | Index_state of { index : index_id; state : int }
+      (** Index lifecycle transition (Disabled=0 / Write_only=1 /
+          Readable=2, see [Oib_core.Catalog.index_state]). Logged and
+          flushed {e before} the catalog's durable entry is rewritten, so
+          after a crash the replayed log suffix always lands the index in
+          the last logged state. Not redone by the heap/index passes —
+          the engine applies the final logged state per index after its
+          catalog reopen. *)
+  | Range_commit of { index : index_id; lo : int; hi : int }
+      (** The index builder durably sealed scanned data pages [lo..hi]
+          (inclusive) for [index]'s build: their keys are in checkpointed
+          sort runs, so a resumed build must never rescan them. Written at
+          each batched scan chunk boundary, after the sort checkpoint.
+          Informational for recovery (coverage itself lives in the durable
+          kv, snapshot-consistent with the sort checkpoint); consumed by
+          the trace/DST scan-accounting oracles. *)
 
 type t = {
   lsn : Lsn.t;

@@ -1,0 +1,238 @@
+(* The index lifecycle state machine (Disabled -> Write_only -> Readable,
+   with the two teardown edges back to Disabled): only DAG transitions are
+   accepted, Write_only indexes absorb maintenance without serving reads,
+   and a reopened engine always lands in the last WAL-logged state. *)
+
+open Oib_core
+module Btree = Oib_btree.Btree
+
+let all_states = [| Catalog.Disabled; Catalog.Write_only; Catalog.Readable |]
+
+let setup () =
+  let ctx = Engine.create ~seed:11 ~page_capacity:512 () in
+  let _ = Catalog.create_table ctx.Ctx.catalog ctx.Ctx.pool ~table_id:1 in
+  ctx
+
+(* an index born Disabled (the builders' admission state), lifecycle
+   driven by hand *)
+let fresh_index ?(index_id = 10) ?(phase = Catalog.Ready) ctx =
+  Catalog.add_index ctx.Ctx.catalog ctx.Ctx.pool ~state:Catalog.Disabled
+    ~table_id:1 ~index_id ~key_cols:[ 0 ] ~unique:false ~phase
+
+(* shortest legal path from Disabled to [target] *)
+let drive ctx index_id target =
+  let step to_ = Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool index_id to_ in
+  match target with
+  | Catalog.Disabled -> ()
+  | Catalog.Write_only -> step Catalog.Write_only
+  | Catalog.Readable ->
+    step Catalog.Write_only;
+    step Catalog.Readable
+
+(* -------------------------------------------------------------------- *)
+(* 1. the transition relation, exhaustively and as a random walk        *)
+
+let legal_pairs =
+  [
+    (Catalog.Disabled, Catalog.Write_only);
+    (Catalog.Write_only, Catalog.Readable);
+    (Catalog.Write_only, Catalog.Disabled);
+    (Catalog.Readable, Catalog.Disabled);
+  ]
+
+let test_all_pairs () =
+  Array.iter
+    (fun from_ ->
+      Array.iter
+        (fun to_ ->
+          let expect = List.mem (from_, to_) legal_pairs in
+          Alcotest.(check bool)
+            (Printf.sprintf "legal_transition %s->%s" (Catalog.state_name from_)
+               (Catalog.state_name to_))
+            expect
+            (Catalog.legal_transition ~from_ ~to_);
+          (* a fresh engine per pair: drive to [from_], attempt [to_] *)
+          let ctx = setup () in
+          let info = fresh_index ctx in
+          drive ctx info.Catalog.index_id from_;
+          match
+            Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool info.Catalog.index_id
+              to_
+          with
+          | () ->
+            Alcotest.(check bool) "accepted => legal" true expect;
+            Alcotest.(check string) "state moved"
+              (Catalog.state_name to_)
+              (Catalog.state_name (Catalog.state ctx.Ctx.catalog 10))
+          | exception Catalog.Illegal_transition { from_ = seen; _ } ->
+            Alcotest.(check bool) "rejected => illegal" false expect;
+            Alcotest.(check string) "exception carries from"
+              (Catalog.state_name from_)
+              (Catalog.state_name seen);
+            Alcotest.(check string) "state unchanged"
+              (Catalog.state_name from_)
+              (Catalog.state_name (Catalog.state ctx.Ctx.catalog 10)))
+        all_states)
+    all_states
+
+let prop_random_walk =
+  QCheck.Test.make ~name:"random walk agrees with legal_transition" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 12) (int_bound 2))
+    (fun targets ->
+      let ctx = setup () in
+      let info = fresh_index ctx in
+      let model = ref Catalog.Disabled in
+      List.for_all
+        (fun i ->
+          let to_ = all_states.(i) in
+          let legal = Catalog.legal_transition ~from_:!model ~to_ in
+          match
+            Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool
+              info.Catalog.index_id to_
+          with
+          | () ->
+            model := to_;
+            legal && Catalog.state ctx.Ctx.catalog 10 = to_
+          | exception Catalog.Illegal_transition _ ->
+            (not legal) && Catalog.state ctx.Ctx.catalog 10 = !model)
+        targets)
+
+(* -------------------------------------------------------------------- *)
+(* 2. Write_only absorbs maintenance but never serves reads             *)
+
+let must_reject_reads ctx ~index =
+  (match
+     Engine.run_txn ctx (fun txn ->
+         ignore (Table_ops.index_lookup ctx txn ~index "k000"))
+   with
+  | Ok () -> Alcotest.fail "index_lookup served a non-Readable index"
+  | Error _ -> Alcotest.fail "lookup failed for the wrong reason"
+  | exception Invalid_argument _ -> ());
+  match
+    Engine.run_txn ctx (fun txn ->
+        ignore (Table_ops.range_lookup ctx txn ~index ()))
+  with
+  | Ok () -> Alcotest.fail "range_lookup served a non-Readable index"
+  | Error _ -> Alcotest.fail "range lookup failed for the wrong reason"
+  | exception Invalid_argument _ -> ()
+
+let test_write_only_absorbs () =
+  let ctx = setup () in
+  (* NSF-building descriptor: direct maintenance from creation on *)
+  let wo =
+    fresh_index ~index_id:10
+      ~phase:(Catalog.Nsf_building { Catalog.avail_below = None })
+      ctx
+  in
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool 10 Catalog.Write_only;
+  (* a Disabled sibling must stay untouched by the same traffic *)
+  let off =
+    fresh_index ~index_id:11
+      ~phase:(Catalog.Nsf_building { Catalog.avail_below = None })
+      ctx
+  in
+  let rid0 = ref Oib_util.Rid.minus_infinity in
+  (match
+     Engine.run_txn ctx (fun txn ->
+         for i = 0 to 19 do
+           let r =
+             Table_ops.insert ctx txn ~table:1
+               (Oib_util.Record.make
+                  [| Printf.sprintf "k%03d" i; Printf.sprintf "v%d" i |])
+           in
+           if i = 0 then rid0 := r
+         done)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert txn failed");
+  Alcotest.(check int) "write_only index absorbed the inserts" 20
+    (Btree.entry_count wo.Catalog.tree);
+  Alcotest.(check int) "disabled index untouched" 0
+    (Btree.entry_count off.Catalog.tree);
+  must_reject_reads ctx ~index:10;
+  must_reject_reads ctx ~index:11;
+  (* deletes are absorbed too (pseudo-delete, entry becomes a tombstone) *)
+  (match Engine.run_txn ctx (fun txn -> Table_ops.delete ctx txn ~table:1 !rid0)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "delete txn failed");
+  Alcotest.(check int) "delete pseudo-deleted in the write_only index" 1
+    (Btree.pseudo_count wo.Catalog.tree);
+  must_reject_reads ctx ~index:10;
+  (* once Readable (and Ready), the same index serves the lookup *)
+  Catalog.set_phase ctx.Ctx.catalog 10 Catalog.Ready;
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool 10 Catalog.Readable;
+  match
+    Engine.run_txn ctx (fun txn ->
+        let hits = Table_ops.index_lookup ctx txn ~index:10 "k005" in
+        Alcotest.(check int) "readable lookup finds the row" 1
+          (List.length hits))
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "readable lookup txn failed"
+
+(* -------------------------------------------------------------------- *)
+(* 3. reopen after a crash lands in the last WAL-logged state           *)
+
+let test_crash_lands_in_logged_state () =
+  let ctx = setup () in
+  let _ = fresh_index ctx in
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool 10 Catalog.Write_only;
+  let ctx = Engine.crash ctx in
+  Alcotest.(check string) "write_only survives the crash" "write-only"
+    (Catalog.state_name (Catalog.state ctx.Ctx.catalog 10));
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool 10 Catalog.Readable;
+  Catalog.set_phase ctx.Ctx.catalog 10 Catalog.Ready;
+  let ctx = Engine.crash ctx in
+  Alcotest.(check string) "readable survives the crash" "readable"
+    (Catalog.state_name (Catalog.state ctx.Ctx.catalog 10));
+  Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool 10 Catalog.Disabled;
+  let ctx = Engine.crash ctx in
+  Alcotest.(check string) "disabled survives the crash" "disabled"
+    (Catalog.state_name (Catalog.state ctx.Ctx.catalog 10))
+
+let prop_crash_preserves_state =
+  QCheck.Test.make
+    ~name:"crash after any legal walk lands in the walk's last state"
+    ~count:30
+    QCheck.(list_of_size Gen.(int_range 0 8) (int_bound 2))
+    (fun targets ->
+      let ctx = setup () in
+      let info = fresh_index ctx in
+      let model = ref Catalog.Disabled in
+      List.iter
+        (fun i ->
+          let to_ = all_states.(i) in
+          if Catalog.legal_transition ~from_:!model ~to_ then begin
+            Catalog.set_state ctx.Ctx.catalog ctx.Ctx.pool
+              info.Catalog.index_id to_;
+            model := to_
+          end)
+        targets;
+      (* keep Readable consistent with a finished build before recovery,
+         else the restart logic legitimately downgrades it *)
+      if !model = Catalog.Readable then
+        Catalog.set_phase ctx.Ctx.catalog 10 Catalog.Ready;
+      let ctx' = Engine.crash ctx in
+      Catalog.state ctx'.Ctx.catalog 10 = !model)
+
+let () =
+  Alcotest.run "lifecycle"
+    [
+      ( "transitions",
+        [
+          Alcotest.test_case "all 9 pairs, driven" `Quick test_all_pairs;
+          QCheck_alcotest.to_alcotest prop_random_walk;
+        ] );
+      ( "write_only",
+        [
+          Alcotest.test_case "absorbs writes, rejects reads" `Quick
+            test_write_only_absorbs;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "state ladder across crashes" `Quick
+            test_crash_lands_in_logged_state;
+          QCheck_alcotest.to_alcotest prop_crash_preserves_state;
+        ] );
+    ]

@@ -166,6 +166,72 @@ let test_resume_does_not_rescan_everything () =
   Alcotest.(check (list string)) "oracle clean" []
     (Engine.consistency_errors ctx')
 
+(* Regression: after a crash mid-build the recovered engine's in-memory
+   Build_status must already agree with the restored catalog phase —
+   BEFORE any resume fiber runs. It used to stay empty (or claim Init)
+   until resume_builds recreated it, so a post-recovery progress display
+   disagreed with Catalog.set_phase's restored state. *)
+let check_status_agrees alg =
+  let ctx = setup ~seed:9 in
+  let _ = Driver.populate ctx ~table:1 ~rows:200 ~seed:9 in
+  let _ =
+    Driver.spawn_workers ctx
+      { Driver.default with seed = 9; workers = 3; txns_per_worker = 40 }
+      ~table:1
+  in
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"ib" (fun () ->
+         Ib.build_index ctx (test_cfg alg) ~table:1
+           { Ib.index_id = 10; key_cols = [ 0 ]; unique = false }));
+  (* crash once the build is demonstrably mid-flight (its durable
+     progress record exists from admission on) *)
+  ignore
+    (Sched.spawn ctx.Ctx.sched ~name:"monitor" (fun () ->
+         let continue = ref true in
+         while !continue do
+           (match Engine.build_progress ctx with
+           | st :: _
+             when Build_status.rank st.Build_status.phase
+                  >= Build_status.rank Build_status.Scan
+                  && st.Build_status.phase <> Build_status.Ready ->
+             Sched.request_crash ctx.Ctx.sched;
+             continue := false
+           | _ -> ());
+           Sched.yield ctx.Ctx.sched
+         done));
+  (match Sched.run ctx.Ctx.sched with
+  | () -> Alcotest.fail "build finished before the monitor crashed it"
+  | exception Sched.Crashed -> ());
+  let ctx' = Engine.crash ctx in
+  (* nothing resumed yet: the status must come from rehydration alone *)
+  (match Ib.interrupted_builds ctx' with
+  | [] -> Alcotest.fail "mid-flight crash left no interrupted build"
+  | _ -> ());
+  match Engine.build_progress ctx' with
+  | [] -> Alcotest.fail "no Build_status after recovery"
+  | sts ->
+    List.iter
+      (fun (st : Build_status.t) ->
+        let info = Catalog.index ctx'.Ctx.catalog st.Build_status.index_id in
+        let agrees =
+          match (info.Catalog.phase, st.Build_status.phase) with
+          | Catalog.Ready, Build_status.Ready -> true
+          | Catalog.Nsf_building _, (Build_status.Scan | Build_status.Merge
+                                    | Build_status.Insert) -> true
+          | Catalog.Sf_building _, (Build_status.Scan | Build_status.Merge
+                                   | Build_status.Bulk | Build_status.Drain)
+            -> true
+          | _ -> false
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "status phase %s consistent with catalog"
+             (Build_status.phase_name st.Build_status.phase))
+          true agrees)
+      sts
+
+let test_status_agrees_nsf () = check_status_agrees Ib.Nsf
+let test_status_agrees_sf () = check_status_agrees Ib.Sf
+
 let prop_crash_anywhere_nsf =
   QCheck.Test.make ~name:"NSF: crash anywhere, recover, finish" ~count:14
     QCheck.(pair small_nat (int_bound 99))
@@ -204,6 +270,10 @@ let () =
           Alcotest.test_case "double crash" `Quick test_double_crash;
           Alcotest.test_case "bounded rescan" `Quick
             test_resume_does_not_rescan_everything;
+          Alcotest.test_case "status rehydrated (nsf)" `Quick
+            test_status_agrees_nsf;
+          Alcotest.test_case "status rehydrated (sf)" `Quick
+            test_status_agrees_sf;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
