@@ -1,8 +1,10 @@
 (* oib-lint: concurrency-protocol linter for the online-index-build tree.
 
-   Parses every .ml under --root with compiler-libs (parsetree only) and
-   enforces the latch/WAL/logging discipline rules L1..L6 described in
-   DESIGN.md §12. Exit status: 0 clean, 1 unsuppressed diagnostics. *)
+   Parses every .ml under --root with compiler-libs (parsetree only),
+   builds a whole-tree call graph, solves the interprocedural
+   latch-effect fixpoint, and enforces the latch/WAL/logging/lifecycle
+   discipline rules L1..L9 described in DESIGN.md §12 and §17.
+   Exit status: 0 clean, 1 unsuppressed diagnostics. *)
 
 open Cmdliner
 
@@ -25,7 +27,11 @@ let print_stats (st : L.stats) =
     List.iter
       (fun (f, r, why) -> line "  %-4s %s: %s\n" r f why)
       st.L.st_suppressions
-  end
+  end;
+  line "phase wall time (ms):\n";
+  List.iter (fun (k, v) -> line "  %-10s %.2f\n" k v) st.L.st_phase_ms;
+  line "rule wall time (ms):\n";
+  List.iter (fun (k, v) -> line "  %-10s %.2f\n" k v) st.L.st_rule_ms
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -53,7 +59,31 @@ let graph_json (edges : (string * string) list) =
          edges)
   ^ "]}"
 
-let run root stats json show_suppressed unused_allows strict emit_graph =
+let print_diag ~explain d =
+  print_endline (Oib_lint.Diag.to_string d);
+  if explain then
+    List.iter
+      (fun frame -> print_endline ("    via " ^ frame))
+      d.Oib_lint.Diag.trace
+
+let trajectory_record (res : L.result) =
+  let st = res.L.r_stats in
+  let total l = List.fold_left (fun a (_, n) -> a + n) 0 l in
+  let ms = List.fold_left (fun a (_, v) -> a +. v) 0. st.L.st_phase_ms in
+  let rules =
+    String.concat ","
+      (List.sort_uniq compare
+         (List.map fst (st.L.st_by_rule @ st.L.st_suppressed_by_rule)))
+  in
+  (* alphabetical keys, schema bench-trajectory/v1 *)
+  Printf.sprintf
+    "{\"analysis_ms\":%.3f,\"files\":%d,\"findings\":%d,\"kind\":\"lint_engine\",\"rules\":\"%s\",\"schema\":\"bench-trajectory/v1\",\"units\":%d}"
+    ms st.L.st_files
+    (total st.L.st_by_rule + total st.L.st_suppressed_by_rule)
+    (json_escape rules) st.L.st_units
+
+let run root stats json show_suppressed unused_allows strict emit_graph
+    graph explain trajectory =
   if not (Sys.file_exists root && Sys.is_directory root) then begin
     prerr_endline ("oib-lint: no such directory: " ^ root);
     2
@@ -63,11 +93,9 @@ let run root stats json show_suppressed unused_allows strict emit_graph =
     let res = L.run_tree ~options root in
     let errs = L.errors res in
     let shown = if show_suppressed then res.L.r_diags else errs in
-    List.iter (fun d -> print_endline (Oib_lint.Diag.to_string d)) shown;
+    List.iter (print_diag ~explain) shown;
     if unused_allows || strict then
-      List.iter
-        (fun d -> print_endline (Oib_lint.Diag.to_string d))
-        res.L.r_unused_allows;
+      List.iter (print_diag ~explain:false) res.L.r_unused_allows;
     (match json with
     | Some path ->
       let oc = open_out path in
@@ -79,6 +107,21 @@ let run root stats json show_suppressed unused_allows strict emit_graph =
     | Some path ->
       let oc = open_out path in
       output_string oc (graph_json res.L.r_rules.Oib_lint.Rules.order_edges);
+      output_string oc "\n";
+      close_out oc
+    | None -> ());
+    (match graph with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Oib_lint.Callgraph.to_json res.L.r_graph);
+      close_out oc
+    | None -> ());
+    (match trajectory with
+    | Some path ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      in
+      output_string oc (trajectory_record res);
       output_string oc "\n";
       close_out oc
     | None -> ());
@@ -125,12 +168,34 @@ let emit_graph =
   Arg.(
     value & opt (some string) None & info [ "emit-graph" ] ~docv:"FILE" ~doc)
 
+let graph =
+  let doc =
+    "Write the full interprocedural call graph (nodes with converged \
+     latch effects, resolved edges) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc)
+
+let explain =
+  let doc =
+    "Under each finding, print the interprocedural path (call frames / \
+     witness chain) that produced it."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let trajectory =
+  let doc =
+    "Append a $(b,kind:lint_engine) record (bench-trajectory/v1) to \
+     $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trajectory" ] ~docv:"FILE" ~doc)
+
 let cmd =
-  let doc = "latch/WAL/logging protocol linter for the oib tree" in
+  let doc = "latch/WAL/logging/lifecycle protocol linter for the oib tree" in
   let info = Cmd.info "oib-lint" ~doc in
   Cmd.v info
     Term.(
       const run $ root $ stats $ json $ show_suppressed $ unused_allows
-      $ strict $ emit_graph)
+      $ strict $ emit_graph $ graph $ explain $ trajectory)
 
 let () = exit (Cmd.eval' cmd)

@@ -202,9 +202,6 @@ let descend_read t key =
   let leaf = go root in
   observe_traversal t !depth;
   leaf
-[@@lint.allow
-  "L1: hand-over-hand S descent returns the latched leaf; the caller \
-   releases it after reading"]
 
 (* Leftmost leaf, S-latched. *)
 let leftmost_leaf t =
@@ -220,9 +217,6 @@ let leftmost_leaf t =
   let root = page t t.root in
   Latch.acquire root.Page.latch S;
   go root
-[@@lint.allow
-  "L1: returns the S-latched leftmost leaf as the scan entry point; leaf \
-   iterators release it while crabbing along the chain"]
 
 (* --- splits --- *)
 
@@ -400,9 +394,6 @@ let try_fast_path t cursor key =
         None
       end
     | _ -> None)
-[@@lint.allow
-  "L1: on a cursor hit the X-latched leaf is returned to the caller, \
-   which mutates and then releases it; misses release locally"]
 
 (* state transition on an X-latched leaf where the key is known to fit *)
 let set_on_leaf t p l key (target : state) : state =
@@ -553,9 +544,6 @@ let find_kv t kv =
   in
   walk p;
   List.rev !acc
-[@@lint.allow
-  "L1: leaf-chain crabbing: each walk step latches the successor before \
-   releasing the current leaf; the tail release ends the scan"]
 
 let iter_range t ?lo ?hi f =
   let start_key =
@@ -591,9 +579,6 @@ let iter_range t ?lo ?hi f =
     else Latch.release p.Page.latch S
   in
   walk p true
-[@@lint.allow
-  "L1: leaf-chain crabbing: each walk step latches the successor before \
-   releasing the current leaf; the tail release ends the scan"]
 
 let range t ?lo ?hi () =
   let acc = ref [] in
@@ -614,9 +599,6 @@ let iter_leaves t f =
     else Latch.release p.Page.latch S
   in
   walk p
-[@@lint.allow
-  "L1: leaf-chain crabbing: each walk step latches the successor before \
-   releasing the current leaf; the tail release ends the scan"]
 
 let iter_entries t f =
   iter_leaves t (fun _ l ->

@@ -31,6 +31,8 @@ exception
     to_ : index_state;
   }
 
+exception Invalid_index_state of int
+
 let state_name = function
   | Disabled -> "disabled"
   | Write_only -> "write-only"
@@ -42,7 +44,7 @@ let state_of_int = function
   | 0 -> Disabled
   | 1 -> Write_only
   | 2 -> Readable
-  | n -> invalid_arg (Printf.sprintf "Catalog.state_of_int: %d" n)
+  | n -> raise (Invalid_index_state n)
 
 let legal_transition ~from_ ~to_ =
   match (from_, to_) with

@@ -65,9 +65,18 @@ val legal_transition : from_:index_state -> to_:index_state -> bool
     [Write_only -> Disabled] (cancel) and [Readable -> Disabled] (take
     offline). Everything else — including self-transitions — is illegal. *)
 
+exception Invalid_index_state of int
+(** Raised by {!state_of_int} for an integer outside [0..2] — a corrupted
+    [Index_state] WAL record or catalog entry. Typed (rather than
+    [Invalid_argument]) so recovery can distinguish log corruption from a
+    programming error and surface the offending value. *)
+
 val state_name : index_state -> string
 val state_to_int : index_state -> int
+
 val state_of_int : int -> index_state
+(** Inverse of {!state_to_int}. Raises {!Invalid_index_state} on any
+    integer that does not encode a lifecycle state. *)
 
 type index_info = {
   index_id : int;

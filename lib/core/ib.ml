@@ -747,9 +747,11 @@ let finish_build ctx job =
   (* Readable first (its own append + flush), then Build_done: a durable
      Build_done therefore implies a durably logged Readable, so recovery
      never sees a finished build stuck write-only. The guard covers a
-     resumed finish whose first attempt crashed between the two. *)
-  if Catalog.state ctx.Ctx.catalog job.spec.index_id <> Catalog.Readable then
-    set_state ctx job.spec.index_id Catalog.Readable;
+     resumed finish whose first attempt crashed between the two — and
+     only the Write_only -> Readable edge is legal, so match the source
+     state explicitly rather than "anything but Readable". *)
+  if Catalog.state ctx.Ctx.catalog job.spec.index_id = Catalog.Write_only
+  then set_state ctx job.spec.index_id Catalog.Readable;
   ignore
     (LM.append ctx.Ctx.log ~txn:None ~prev_lsn:Lsn.nil
        (LR.Build_done { index = job.spec.index_id }));
@@ -1162,8 +1164,9 @@ let resume_one ctx cfg index_id =
     ->
     (* The crash hit finish_build after Build_done became durable but
        before cleanup: the build is complete (recovery redid the tree and
-       left the phase Ready), only the leftovers need collecting. *)
-    if Catalog.state ctx.Ctx.catalog index_id <> Catalog.Readable then
+       left the phase Ready), only the leftovers need collecting. Only
+       the legal Write_only -> Readable edge is taken. *)
+    if Catalog.state ctx.Ctx.catalog index_id = Catalog.Write_only then
       set_state ctx index_id Catalog.Readable;
     clear_progress ctx index_id;
     Range_set.clear ctx.Ctx.kv ~index_id;

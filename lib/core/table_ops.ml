@@ -190,7 +190,10 @@ let insert ctx txn ~table record =
   lock ctx txn (LockM.Table table) IX;
   (* choose a slot with the page latched; the RID lock is conditional while
      latched (a freed slot can still be locked by an unfinished deleter) *)
-  let rec acquire () =
+  let[@lint.allow
+       "L2: try_lock is conditional (lock_aux ~conditional:true never \
+        suspends); the unconditional lock below runs only after the page \
+        latch is released"] rec acquire () =
     let page, slot = Heap_file.prepare_insert tbl.heap record in
     let rid = Rid.make ~page:page.Page.id ~slot in
     if LockM.try_lock ctx.Ctx.locks ~txn:(Txn.id txn) (LockM.Record rid) X

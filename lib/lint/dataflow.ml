@@ -1,0 +1,190 @@
+(* Worklist fixpoint engines over the call graph.
+
+   [solve_effects] computes every unit's latch effect: all effects are
+   reset to bottom (optimistic: "never returns"), then units are
+   re-walked under a context that resolves callee effects from the
+   current solution; a unit whose effect grows requeues its callers.
+   Effect equality deliberately ignores location/origin metadata
+   (Latch_effect.equal), and per-unit visits are capped, so the loop
+   terminates even on recursion through approximated higher-order
+   calls.
+
+   [reach] is the generic may-property engine (may-block, may-acquire,
+   may-append): BFS from seeded call sites, recording a human-readable
+   witness chain for --explain.
+
+   [mutators] finds lifecycle-mutator wrappers: a unit that forwards
+   its own parameters into the (index, state) positions of a known
+   mutator is itself a mutator with those parameter positions. *)
+
+open Summary
+
+let effect_resolver cg ~caller_module name =
+  match Callgraph.lookup cg ~caller_module name with
+  | [] -> None
+  | us ->
+    Some
+      (List.fold_left
+         (fun acc u -> Latch_effect.join acc u.u_effect)
+         Latch_effect.bottom us)
+
+let max_visits = 24
+
+let solve_effects cg =
+  let units = Callgraph.units cg in
+  let ctx =
+    { initial_ctx with x_effects = (fun ~caller_module n ->
+          effect_resolver cg ~caller_module n) }
+  in
+  List.iter (fun u -> u.u_effect <- Latch_effect.bottom) units;
+  let visits : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let queued : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let q = Queue.create () in
+  let enqueue u =
+    let k = (u.u_module, u.u_name) in
+    if not (Hashtbl.mem queued k) then begin
+      Hashtbl.replace queued k ();
+      Queue.add u q
+    end
+  in
+  List.iter enqueue units;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let k = (u.u_module, u.u_name) in
+    Hashtbl.remove queued k;
+    let n = Option.value ~default:0 (Hashtbl.find_opt visits k) in
+    if n < max_visits then begin
+      Hashtbl.replace visits k (n + 1);
+      let old = u.u_effect in
+      u.u_rerun ctx;
+      (* keep the solution monotone even if a capped approximation
+         momentarily shrinks a component *)
+      u.u_effect <- Latch_effect.join old u.u_effect;
+      if not (Latch_effect.equal old u.u_effect) then
+        List.iter enqueue (Callgraph.callers cg u)
+    end
+  done
+
+(* --- generic may-property reachability with witnesses --- *)
+
+let reach cg ~seed =
+  let marked : (string * string, string) Hashtbl.t = Hashtbl.create 64 in
+  let find_mark u = Hashtbl.find_opt marked (u.u_module, u.u_name) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun u ->
+        if find_mark u = None then
+          let witness =
+            List.find_map
+              (fun c ->
+                match seed c with
+                | Some w -> Some w
+                | None ->
+                  List.find_map
+                    (fun callee ->
+                      match find_mark callee with
+                      | Some w -> Some (c.c_callee ^ " -> " ^ w)
+                      | None -> None)
+                    (Callgraph.lookup cg ~caller_module:u.u_module
+                       c.c_callee))
+              u.u_calls
+          in
+          match witness with
+          | Some w ->
+            Hashtbl.replace marked (u.u_module, u.u_name) w;
+            changed := true
+          | None -> ())
+      (Callgraph.units cg)
+  done;
+  marked
+
+(* --- lifecycle-mutator wrappers --- *)
+
+let param_index params name =
+  let rec go i = function
+    | [] -> None
+    | p :: _ when p = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 params
+
+let mutators cg ~seed =
+  let marked : (string * string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun u ->
+        if not (Hashtbl.mem marked (u.u_module, u.u_name)) then
+          let hit =
+            List.find_map
+              (fun c ->
+                if c.c_callback then None
+                else
+                  let target =
+                    match seed c.c_callee with
+                    | Some p -> Some p
+                    | None ->
+                      List.find_map
+                        (fun callee ->
+                          Hashtbl.find_opt marked
+                            (callee.u_module, callee.u_name))
+                        (Callgraph.lookup cg ~caller_module:u.u_module
+                           c.c_callee)
+                  in
+                  match target with
+                  | Some (ip, sp) -> (
+                    match
+                      (List.nth_opt c.c_args ip, List.nth_opt c.c_args sp)
+                    with
+                    | Some ik, Some sk -> (
+                      match
+                        (param_index u.u_params ik, param_index u.u_params sk)
+                      with
+                      | Some ip', Some sp' -> Some (ip', sp')
+                      | _ -> None)
+                    | _ -> None)
+                  | None -> None)
+              u.u_calls
+          in
+          match hit with
+          | Some pos ->
+            Hashtbl.replace marked (u.u_module, u.u_name) pos;
+            changed := true
+          | None -> ())
+      (Callgraph.units cg)
+  done;
+  marked
+
+(* --- the converged context for the final emission pass --- *)
+
+let final_ctx ~config cg =
+  let appends =
+    reach cg ~seed:(fun c ->
+        if List.mem c.c_callee config.l3_appends then Some c.c_callee
+        else None)
+  in
+  let muts =
+    mutators cg ~seed:(fun n -> List.assoc_opt n config.l8_mutators)
+  in
+  {
+    x_effects =
+      (fun ~caller_module n -> effect_resolver cg ~caller_module n);
+    x_appends =
+      (fun ~caller_module n ->
+        List.exists
+          (fun u -> Hashtbl.mem appends (u.u_module, u.u_name))
+          (Callgraph.lookup cg ~caller_module n));
+    x_mutators =
+      (fun ~caller_module n ->
+        List.find_map
+          (fun u -> Hashtbl.find_opt muts (u.u_module, u.u_name))
+          (Callgraph.lookup cg ~caller_module n));
+    x_emit = true;
+  }
+
+let emit_pass ~config cg =
+  let ctx = final_ctx ~config cg in
+  List.iter (fun u -> u.u_rerun ctx) (Callgraph.units cg)

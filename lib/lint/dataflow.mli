@@ -1,0 +1,37 @@
+(** Worklist fixpoint engines over the call graph.
+
+    The pipeline is: {!Callgraph.build} (pass-A summaries) →
+    {!solve_effects} (latch-effect fixpoint) → {!emit_pass} (re-walk
+    every unit under the converged context with emission on) → the rule
+    evaluators in {!Rules}. *)
+
+val solve_effects : Callgraph.t -> unit
+(** Iterate every unit's transfer function to the latch-effect fixpoint
+    (effects reset to bottom first, callers requeued on growth, per-unit
+    visit cap as a termination backstop). Mutates [u_effect] in place;
+    emission is off. *)
+
+val reach :
+  Callgraph.t ->
+  seed:(Summary.call -> string option) ->
+  (string * string, string) Hashtbl.t
+(** Generic may-property reachability: marks every unit from which a
+    seeded call site is reachable through the graph, mapping
+    (module, unit) to a ["f -> g -> base"] witness chain. *)
+
+val mutators :
+  Callgraph.t ->
+  seed:(string -> (int * int) option) ->
+  (string * string, int * int) Hashtbl.t
+(** Lifecycle-mutator wrapper fixpoint: a unit forwarding its own
+    parameters into the (index, state) positions of a known mutator is
+    itself a mutator at those parameter positions. *)
+
+val final_ctx : config:Summary.config -> Callgraph.t -> Summary.ctx
+(** The converged interprocedural context: effect resolution from the
+    solved fixpoint, transitive WAL-append knowledge for L3, wrapper
+    knowledge for L8 — with emission enabled. *)
+
+val emit_pass : config:Summary.config -> Callgraph.t -> unit
+(** Re-run every unit under {!final_ctx}, refreshing calls and findings
+    with interprocedural precision. *)

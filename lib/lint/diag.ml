@@ -7,12 +7,14 @@ type t = {
   hint : string;
   site : string;
   suppressed : string option;
+  trace : string list;
 }
 
-let make ?(suppressed = None) ?(site = "") ~file ~line ~col ~rule ~hint msg =
-  { file; line; col; rule; msg; hint; site; suppressed }
+let make ?(suppressed = None) ?(site = "") ?(trace = []) ~file ~line ~col
+    ~rule ~hint msg =
+  { file; line; col; rule; msg; hint; site; suppressed; trace }
 
-let of_location ?(suppressed = None) ?(site = "") ~rule ~hint
+let of_location ?(suppressed = None) ?(site = "") ?(trace = []) ~rule ~hint
     (loc : Location.t) msg =
   let p = loc.loc_start in
   {
@@ -24,6 +26,7 @@ let of_location ?(suppressed = None) ?(site = "") ~rule ~hint
     hint;
     site;
     suppressed;
+    trace;
   }
 
 let to_string t =

@@ -20,11 +20,15 @@ type t = {
           [""] for static diagnostics *)
   suppressed : string option;
       (** [Some justification] when an in-scope allow matched *)
+  trace : string list;
+      (** interprocedural frames (innermost first) explaining how the
+          finding crossed function boundaries; printed by [--explain] *)
 }
 
 val make :
   ?suppressed:string option ->
   ?site:string ->
+  ?trace:string list ->
   file:string ->
   line:int ->
   col:int ->
@@ -36,6 +40,7 @@ val make :
 val of_location :
   ?suppressed:string option ->
   ?site:string ->
+  ?trace:string list ->
   rule:string ->
   hint:string ->
   Location.t ->

@@ -1,0 +1,118 @@
+(* Interprocedural latch-transfer summaries.
+
+   A unit's effect is a set of alternatives (one per class of normal exit
+   path); each alternative lists what the unit does to latch ownership
+   relative to its caller. Bottom (no alternatives) means the unit never
+   returns normally — the starting point of the fixpoint, and the final
+   value for units that always raise. *)
+
+type kind =
+  | Ret  (* returns a value holding a latch: ownership moves to the caller *)
+  | Param of int  (* exits holding a latch rooted at parameter [i] *)
+  | Unparam of int  (* releases a latch the caller holds on argument [i] *)
+
+type atom = {
+  a_kind : kind;
+  a_path : string;  (* field path from the root var, e.g. ".Page.latch" *)
+  a_mode : string;  (* "S" | "X" | "?" *)
+  a_loc : Location.t;  (* the originating acquire/release site *)
+  a_origin : string list;
+      (* interprocedural frames (innermost first) the latch travelled
+         through before reaching this unit's boundary; [] for direct *)
+}
+
+type alt = atom list
+
+type t = {
+  alts : alt list;
+  ret_params : int list;
+      (* parameters the unit may return unchanged (syntactic: a parameter
+         appears in value position in a tail expression) — lets callers
+         keep tracking a latch that rides through, e.g. crabbing helpers
+         that hand back the page they were given *)
+}
+
+let bottom = { alts = []; ret_params = [] }
+let identity = { alts = [ [] ]; ret_params = [] }
+
+let max_alts = 16
+let max_origin = 6
+
+let atom_key a = (a.a_kind, a.a_path, a.a_mode)
+let alt_key al = List.map atom_key al
+
+let cap_origin o =
+  let rec take n = function
+    | x :: r when n > 0 -> x :: take (n - 1) r
+    | _ -> []
+  in
+  take max_origin o
+
+let norm_alt al =
+  let al =
+    List.stable_sort (fun a b -> compare (atom_key a) (atom_key b)) al
+  in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when atom_key a = atom_key b ->
+      dedup (a :: List.tl rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  List.map (fun a -> { a with a_origin = cap_origin a.a_origin }) (dedup al)
+
+let norm alts =
+  let alts = List.map norm_alt alts in
+  let alts =
+    List.stable_sort (fun a b -> compare (alt_key a) (alt_key b)) alts
+  in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when alt_key a = alt_key b ->
+      dedup (a :: List.tl rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  let d = dedup alts in
+  let rec take n = function
+    | x :: r when n > 0 -> x :: take (n - 1) r
+    | _ -> []
+  in
+  take max_alts d
+
+let make ~alts ~ret_params =
+  { alts = norm alts; ret_params = List.sort_uniq compare ret_params }
+
+(* Fixpoint equality ignores origins and locations: they are explanation
+   metadata, recomputed deterministically on the final pass, and must not
+   keep the worklist spinning. *)
+let equal a b =
+  List.map alt_key a.alts = List.map alt_key b.alts
+  && a.ret_params = b.ret_params
+
+let join a b =
+  {
+    alts = norm (a.alts @ b.alts);
+    ret_params = List.sort_uniq compare (a.ret_params @ b.ret_params);
+  }
+
+let kind_string = function
+  | Ret -> "ret"
+  | Param i -> "param" ^ string_of_int i
+  | Unparam i -> "unparam" ^ string_of_int i
+
+let atom_string a =
+  kind_string a.a_kind ^ a.a_path ^ "(" ^ a.a_mode ^ ")"
+
+let to_string t =
+  let alt al =
+    match al with
+    | [] -> "id"
+    | _ -> String.concat "+" (List.map atom_string al)
+  in
+  (match t.alts with
+  | [] -> "bottom"
+  | alts -> String.concat " | " (List.map alt alts))
+  ^
+  match t.ret_params with
+  | [] -> ""
+  | ps ->
+    " retp:" ^ String.concat "," (List.map string_of_int ps)

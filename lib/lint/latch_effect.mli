@@ -1,0 +1,61 @@
+(** Interprocedural latch-transfer summaries.
+
+    The latch-effect of an analysis unit describes what its normal exits
+    do to latch ownership, relative to the caller:
+
+    - [Ret]: the return value carries a latched page — ownership transfer
+      (the static form the btree/heap-file hand-over-hand APIs use);
+    - [Param i]: the unit exits still holding a latch rooted at its [i]th
+      parameter — the caller (or someone above it) must release;
+    - [Unparam i]: the unit releases a latch the caller holds on the
+      argument it passed in position [i] (crabbing's "release the parent"
+      step).
+
+    An effect is a {e set of alternatives}: one atom list per class of
+    exit path, since e.g. [try_page] returns a latched page on success
+    and nothing on failure. [bottom] (no alternatives) is "never returns
+    normally" — the fixpoint's starting value, and the final effect of
+    units that always raise. The identity effect (one empty alternative)
+    is a unit that returns without touching the caller's latches. *)
+
+type kind = Ret | Param of int | Unparam of int
+
+type atom = {
+  a_kind : kind;
+  a_path : string;  (** field path under the root var, e.g. [".Page.latch"] *)
+  a_mode : string;  (** ["S"], ["X"] or ["?"] *)
+  a_loc : Location.t;  (** originating acquire/release site *)
+  a_origin : string list;
+      (** interprocedural frames the latch travelled through, innermost
+          first; explanation metadata only (ignored by {!equal}) *)
+}
+
+type alt = atom list
+
+type t = {
+  alts : alt list;
+  ret_params : int list;
+      (** parameters the unit may return unchanged (syntactic aliasing:
+          crabbing helpers that hand back the page they were given) *)
+}
+
+val bottom : t
+val identity : t
+
+val make : alts:alt list -> ret_params:int list -> t
+(** Normalize: sort/dedup atoms per alternative, sort/dedup/cap the
+    alternative set. *)
+
+val atom_key : atom -> kind * string * string
+(** (kind, path, mode) — the metadata-free identity used by {!equal}
+    and by deduplication in the summariser. *)
+
+val equal : t -> t -> bool
+(** Structural on atom keys (kind, path, mode) and [ret_params]; ignores
+    locations and origin chains so explanation metadata cannot keep the
+    fixpoint spinning. *)
+
+val join : t -> t -> t
+
+val to_string : t -> string
+(** Debug/graph rendering, e.g. ["ret.Page.latch(X) | id"]. *)

@@ -19,12 +19,15 @@ type stats = {
   st_by_rule : (string * int) list;
   st_suppressed_by_rule : (string * int) list;
   st_suppressions : (string * string * string) list;
+  st_phase_ms : (string * float) list;
+  st_rule_ms : (string * float) list;
 }
 
 type result = {
   r_diags : Diag.t list;
   r_unused_allows : Diag.t list;
   r_rules : Rules.t;
+  r_graph : Callgraph.t;
   r_stats : stats;
 }
 
@@ -93,10 +96,19 @@ let unused_allow_diags summaries =
        summaries)
 
 let run_files ?(options = default_options) files =
+  let t0 = Sys.time () in
   let summaries =
     List.map (Summary.summarize_file ~config:options.config) files
   in
-  let rules = Rules.run summaries in
+  let t1 = Sys.time () in
+  let cg = Callgraph.build summaries in
+  Dataflow.solve_effects cg;
+  let t2 = Sys.time () in
+  Dataflow.emit_pass ~config:options.config cg;
+  let t3 = Sys.time () in
+  let rules = Rules.run ~config:options.config cg in
+  let t4 = Sys.time () in
+  let ms a b = (b -. a) *. 1000. in
   let diags = Diag.dedupe (rules.Rules.diags @ l6_diags options files) in
   let unsuppressed, suppressed =
     List.partition (fun (d : Diag.t) -> d.suppressed = None) diags
@@ -115,12 +127,21 @@ let run_files ?(options = default_options) files =
           (fun (d : Diag.t) ->
             (d.file, d.rule, Option.value ~default:"" d.suppressed))
           suppressed;
+      st_phase_ms =
+        [
+          ("summarize", ms t0 t1);
+          ("solve", ms t1 t2);
+          ("emit", ms t2 t3);
+          ("rules", ms t3 t4);
+        ];
+      st_rule_ms = rules.Rules.rule_ms;
     }
   in
   {
     r_diags = diags;
     r_unused_allows = unused_allow_diags summaries;
     r_rules = rules;
+    r_graph = cg;
     r_stats = stats;
   }
 
@@ -170,5 +191,17 @@ let stats_to_json st =
             "{\"file\":\"" ^ json_escape f ^ "\",\"rule\":\"" ^ json_escape r
             ^ "\",\"reason\":\"" ^ json_escape why ^ "\"}")
           st.st_suppressions));
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]";
+  let times l =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             "\"" ^ json_escape k ^ "\":" ^ Printf.sprintf "%.3f" v)
+           l)
+    ^ "}"
+  in
+  Buffer.add_string b (",\"phase_ms\":" ^ times st.st_phase_ms);
+  Buffer.add_string b (",\"rule_ms\":" ^ times st.st_rule_ms);
+  Buffer.add_string b "}";
   Buffer.contents b

@@ -1,9 +1,12 @@
 (** Tree-level linter driver.
 
-    Scans a directory for [.ml] files, summarizes each ({!Summary}), runs
-    the cross-function rules ({!Rules}), applies the interface-coverage
-    rule L6, and aggregates statistics. This is the engine behind the
-    [oib-lint] executable and the [@lint] dune alias. *)
+    Scans a directory for [.ml] files, summarizes each ({!Summary}),
+    builds the whole-tree call graph ({!Callgraph}), solves the
+    latch-effect fixpoint and re-emits findings under the converged
+    context ({!Dataflow}), runs the cross-function rules ({!Rules}),
+    applies the interface-coverage rule L6, and aggregates statistics.
+    This is the engine behind the [oib-lint] executable and the [@lint]
+    dune alias. *)
 
 type options = {
   root : string;  (** directory scanned by {!run_tree} *)
@@ -23,6 +26,10 @@ type stats = {
   st_suppressed_by_rule : (string * int) list;
   st_suppressions : (string * string * string) list;
       (** (file, rule, justification) for every applied suppression *)
+  st_phase_ms : (string * float) list;
+      (** wall time per engine phase: summarize, solve, emit, rules *)
+  st_rule_ms : (string * float) list;
+      (** wall time per rule family (from {!Rules.t.rule_ms}) *)
 }
 
 type result = {
@@ -32,6 +39,8 @@ type result = {
           suppressed nothing in this run. Reported by
           [oib-lint --unused-allows]; fatal under [--strict]. *)
   r_rules : Rules.t;
+  r_graph : Callgraph.t;
+      (** the solved call graph (for [--graph] dumps and tooling) *)
   r_stats : stats;
 }
 

@@ -39,91 +39,12 @@ type t = {
   blocking_units : (string * string) list;
   acquiring_units : (string * string) list;
   order_edges : (string * string) list;
+  rule_ms : (string * float) list;
 }
-
-(* --- unit index: (module, last name component) -> units --- *)
-
-let last_component name =
-  match String.rindex_opt name '.' with
-  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-  | None -> name
-
-let build_index summaries =
-  let idx : (string * string, u list) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun fs ->
-      List.iter
-        (fun u ->
-          let k = (fs.fs_module, last_component u.u_name) in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt idx k) in
-          Hashtbl.replace idx k (u :: prev))
-        fs.fs_units)
-    summaries;
-  idx
-
-(* Resolve a canonical callee to (module, function-name) candidates within
-   the scanned tree. Unqualified names belong to the caller's module. *)
-let resolve_callee ~caller_module callee =
-  match String.index_opt callee '.' with
-  | None -> (caller_module, callee)
-  | Some i ->
-    let m = String.sub callee 0 i in
-    (m, last_component callee)
-
-(* The latch and scheduler modules ARE the blocking/acquiring primitives;
-   their internals are modelled by the named base sets, not by walking
-   into their bodies (otherwise every hand-over-hand child acquire would
-   count as "blocking" and L2 would collapse into L1/L5). *)
-let opaque_modules = [ "Latch"; "Sched"; "Condvar" ]
-
-let lookup idx ~caller_module callee =
-  let m, n = resolve_callee ~caller_module callee in
-  if List.mem m opaque_modules then []
-  else Option.value ~default:[] (Hashtbl.find_opt idx (m, n))
-
-(* --- property fixpoint over the call graph --- *)
-
-(* [marked] maps (module, full unit name) to a human-readable witness of
-   why the property holds (the base call, or the chain through which it
-   was reached). *)
-let fixpoint summaries idx ~seed =
-  let marked : (string * string, string) Hashtbl.t = Hashtbl.create 64 in
-  let find_mark u = Hashtbl.find_opt marked (u.u_module, u.u_name) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun fs ->
-        List.iter
-          (fun u ->
-            if find_mark u = None then
-              let witness =
-                List.find_map
-                  (fun c ->
-                    match seed c with
-                    | Some w -> Some w
-                    | None ->
-                      List.find_map
-                        (fun callee ->
-                          match find_mark callee with
-                          | Some w -> Some (c.c_callee ^ " -> " ^ w)
-                          | None -> None)
-                        (lookup idx ~caller_module:u.u_module c.c_callee))
-                  u.u_calls
-              in
-              match witness with
-              | Some w ->
-                Hashtbl.replace marked (u.u_module, u.u_name) w;
-                changed := true
-              | None -> ())
-          fs.fs_units)
-      summaries
-  done;
-  marked
 
 (* --- suppression --- *)
 
-let diag_of ~rule ~hint ~allows loc msg =
+let diag_of ?(site = "") ?(trace = []) ~rule ~hint ~allows loc msg =
   let suppressed =
     match List.find_opt (fun a -> a.a_rule = rule) allows with
     | Some a ->
@@ -131,49 +52,95 @@ let diag_of ~rule ~hint ~allows loc msg =
       Some a.a_reason
     | None -> None
   in
-  Diag.of_location ~suppressed ~rule ~hint loc msg
+  Diag.of_location ~suppressed ~site ~trace ~rule ~hint loc msg
 
 let held_text held =
   String.concat ", " (List.map (fun (k, m) -> k ^ "(" ^ m ^ ")") held)
 
+let chain_trace w = String.split_on_char '>' (String.concat "" (String.split_on_char ' ' w)) |> List.filter_map (fun s ->
+    match s with "" -> None | s ->
+      if s.[String.length s - 1] = '-' then
+        Some (String.sub s 0 (String.length s - 1))
+      else Some s)
+
+(* --- L1 (interprocedural tail): a unit that exits holding a latch
+   rooted at a parameter pushes the release obligation to its callers;
+   with no in-tree caller nobody discharges it. --- *)
+
+let l1_param_diags cg =
+  List.concat_map
+    (fun u ->
+      if Callgraph.is_opaque u.u_module then []
+      else if Callgraph.callers cg u <> [] then []
+      else
+        let seen = Hashtbl.create 4 in
+        List.concat_map
+          (fun alt ->
+            List.filter_map
+              (fun (a : Latch_effect.atom) ->
+                match a.a_kind with
+                | Latch_effect.Param i ->
+                  let k = Latch_effect.atom_key a in
+                  if Hashtbl.mem seen k then None
+                  else begin
+                    Hashtbl.add seen k ();
+                    let p =
+                      match List.nth_opt u.u_params i with
+                      | Some p -> p
+                      | None -> "#" ^ string_of_int i
+                    in
+                    Some
+                      (diag_of ~rule:"L1" ~trace:a.a_origin
+                         ~hint:
+                           "balance the acquire on every path, use \
+                            Latch.with_latch, or justify the ownership \
+                            transfer with [@lint.allow]"
+                         ~allows:u.u_allows a.a_loc
+                         ("latch " ^ p ^ a.a_path ^ " (" ^ a.a_mode
+                        ^ ") acquired here is not released on every path \
+                           of " ^ u.u_name
+                        ^ " (no in-tree caller discharges it)"))
+                  end
+                | _ -> None)
+              alt)
+          u.u_effect.Latch_effect.alts)
+    (Callgraph.units cg)
+
 (* --- L2 --- *)
 
-let l2_diags summaries idx blocking =
+let l2_diags cg blocking =
   let out = ref [] in
   List.iter
-    (fun fs ->
+    (fun u ->
       List.iter
-        (fun u ->
-          List.iter
-            (fun c ->
-              if c.c_held <> [] then begin
-                let why =
-                  if List.mem c.c_callee base_blocking then Some c.c_callee
-                  else
-                    List.find_map
-                      (fun callee ->
-                        Option.map
-                          (fun w -> c.c_callee ^ " -> " ^ w)
-                          (Hashtbl.find_opt blocking
-                             (callee.u_module, callee.u_name)))
-                      (lookup idx ~caller_module:u.u_module c.c_callee)
-                in
-                match why with
-                | Some w ->
-                  out :=
-                    diag_of ~rule:"L2"
-                      ~hint:
-                        "release the latch before blocking, or justify the \
-                         log-force point with [@lint.allow]"
-                      ~allows:c.c_allows c.c_loc
-                      ("call may block (" ^ w ^ ") while holding "
-                     ^ held_text c.c_held ^ " in " ^ u.u_name)
-                    :: !out
-                | None -> ()
-              end)
-            u.u_calls)
-        fs.fs_units)
-    summaries;
+        (fun c ->
+          if c.c_held <> [] then begin
+            let why =
+              if List.mem c.c_callee base_blocking then Some c.c_callee
+              else
+                List.find_map
+                  (fun callee ->
+                    Option.map
+                      (fun w -> c.c_callee ^ " -> " ^ w)
+                      (Hashtbl.find_opt blocking
+                         (callee.u_module, callee.u_name)))
+                  (Callgraph.lookup cg ~caller_module:u.u_module c.c_callee)
+            in
+            match why with
+            | Some w ->
+              out :=
+                diag_of ~rule:"L2" ~trace:(chain_trace w)
+                  ~hint:
+                    "release the latch before blocking, or justify the \
+                     log-force point with [@lint.allow]"
+                  ~allows:c.c_allows c.c_loc
+                  ("call may block (" ^ w ^ ") while holding "
+                 ^ held_text c.c_held ^ " in " ^ u.u_name)
+                :: !out
+            | None -> ()
+          end)
+        u.u_calls)
+    (Callgraph.units cg);
   !out
 
 (* --- L4 --- *)
@@ -231,42 +198,38 @@ let l4_diags summaries =
 
 let acquire_calls = [ "Latch.acquire"; "Latch.with_latch" ]
 
-let l5_edges summaries idx acquiring =
+let l5_edges cg acquiring =
   (* A -> B with a witness call site: a function in A holds a latch across
      a call that may acquire in B. *)
   let edges : (string * string, Summary.call * string) Hashtbl.t =
     Hashtbl.create 32
   in
   List.iter
-    (fun fs ->
+    (fun u ->
       List.iter
-        (fun u ->
-          List.iter
-            (fun c ->
-              if c.c_held <> [] then begin
-                let targets =
-                  if List.mem c.c_callee acquire_calls then [ u.u_module ]
-                  else
-                    List.filter_map
-                      (fun callee ->
-                        if
-                          Hashtbl.mem acquiring
-                            (callee.u_module, callee.u_name)
-                        then Some callee.u_module
-                        else None)
-                      (lookup idx ~caller_module:u.u_module c.c_callee)
-                in
-                List.iter
-                  (fun b ->
-                    if b <> u.u_module then
-                      let k = (u.u_module, b) in
-                      if not (Hashtbl.mem edges k) then
-                        Hashtbl.replace edges k (c, u.u_name))
-                  (List.sort_uniq compare targets)
-              end)
-            u.u_calls)
-        fs.fs_units)
-    summaries;
+        (fun c ->
+          if c.c_held <> [] then begin
+            let targets =
+              if List.mem c.c_callee acquire_calls then [ u.u_module ]
+              else
+                List.filter_map
+                  (fun callee ->
+                    if
+                      Hashtbl.mem acquiring (callee.u_module, callee.u_name)
+                    then Some callee.u_module
+                    else None)
+                  (Callgraph.lookup cg ~caller_module:u.u_module c.c_callee)
+            in
+            List.iter
+              (fun b ->
+                if b <> u.u_module then
+                  let k = (u.u_module, b) in
+                  if not (Hashtbl.mem edges k) then
+                    Hashtbl.replace edges k (c, u.u_name))
+              (List.sort_uniq compare targets)
+          end)
+        u.u_calls)
+    (Callgraph.units cg);
   edges
 
 let l5_diags edges =
@@ -321,7 +284,7 @@ let l5_diags edges =
       let witness = Hashtbl.find_opt edges (a, b) in
       match witness with
       | Some (c, uname) ->
-        diag_of ~rule:"L5"
+        diag_of ~rule:"L5" ~trace:cyc
           ~hint:
             "establish a global latch-acquisition order between these \
              modules, or justify the protocol with [@lint.allow]"
@@ -334,37 +297,157 @@ let l5_diags edges =
           ("latch-order cycle " ^ path))
     !cycles
 
-(* --- local findings (L1/L3/parse/allow) --- *)
+(* --- L9: WAL exhaustiveness ------------------------------------------ *)
+
+let l9_diags ~config summaries =
+  match
+    List.find_opt
+      (fun fs -> fs.fs_module = config.l9_record_module)
+      summaries
+  with
+  | None -> []
+  | Some rec_fs -> (
+    match List.assoc_opt config.l9_type rec_fs.fs_l9.l9_variants with
+    | None -> []
+    | Some ctors ->
+      let files names =
+        List.filter (fun fs -> List.mem fs.fs_module names) summaries
+      in
+      let in_pats names c =
+        List.exists (fun fs -> Hashtbl.mem fs.fs_l9.l9_pats c) (files names)
+      in
+      let in_cons names c =
+        List.exists (fun fs -> Hashtbl.mem fs.fs_l9.l9_cons c) (files names)
+      in
+      let arms_of cls =
+        List.filter (fun (f, _, _) -> f = cls) rec_fs.fs_l9.l9_arms
+      in
+      (* [Some false_rhs] when the classifier covers the ctor, None when
+         it does not; a wildcard arm covers everything it reaches *)
+      let classify cls c =
+        let arms = arms_of cls in
+        match List.find_opt (fun (_, ct, _) -> ct = c) arms with
+        | Some (_, _, f) -> Some f
+        | None -> (
+          match List.find_opt (fun (_, ct, _) -> ct = "_") arms with
+          | Some (_, _, f) -> Some f
+          | None -> None)
+      in
+      let allows = rec_fs.fs_allows in
+      List.concat_map
+        (fun (c, loc) ->
+          let out = ref [] in
+          (* all checks for one constructor anchor at its declaration;
+             the site key keeps them distinct through Diag.dedupe *)
+          let add ~site ~hint msg =
+            out := diag_of ~site ~rule:"L9" ~hint ~allows loc msg :: !out
+          in
+          if not (in_pats config.l9_codec_modules c) then
+            add ~site:"encode"
+              ~hint:
+                ("add an encode arm for " ^ c ^ " in "
+                ^ String.concat "/" config.l9_codec_modules)
+              ("WAL record constructor " ^ c
+             ^ " is never matched in the log codec (encode path)");
+          if not (in_cons config.l9_codec_modules c) then
+            add ~site:"decode"
+              ~hint:
+                ("construct " ^ c ^ " in the decode path of "
+                ^ String.concat "/" config.l9_codec_modules)
+              ("WAL record constructor " ^ c
+             ^ " is never constructed by the log codec (decode path)");
+          (if arms_of config.l9_redo_classifier <> [] then
+             match classify config.l9_redo_classifier c with
+             | None ->
+               add ~site:"redo-classify"
+                 ~hint:
+                   ("add a " ^ config.l9_redo_classifier ^ " arm for " ^ c)
+                 ("WAL record constructor " ^ c ^ " is not classified by "
+                ^ config.l9_redo_classifier)
+             | Some false_rhs ->
+               if (not false_rhs) && not (in_pats config.l9_redo_modules c)
+               then
+                 add ~site:"redo"
+                   ~hint:
+                     ("match " ^ c ^ " in the redo replay ("
+                     ^ String.concat "/" config.l9_redo_modules
+                     ^ ") or classify it "
+                     ^ config.l9_redo_classifier ^ " = false")
+                   ("redoable WAL record " ^ c
+                  ^ " has no redo-replay coverage"));
+          (if arms_of config.l9_undo_classifier <> [] then
+             match classify config.l9_undo_classifier c with
+             | None ->
+               add ~site:"undo-classify"
+                 ~hint:
+                   ("add a " ^ config.l9_undo_classifier ^ " arm for " ^ c)
+                 ("WAL record constructor " ^ c ^ " is not classified by "
+                ^ config.l9_undo_classifier)
+             | Some false_rhs ->
+               if (not false_rhs) && not (in_pats config.l9_undo_modules c)
+               then
+                 add ~site:"undo"
+                   ~hint:
+                     ("match " ^ c ^ " in the undo path ("
+                     ^ String.concat "/" config.l9_undo_modules
+                     ^ ") or classify it "
+                     ^ config.l9_undo_classifier ^ " = false")
+                   ("undoable WAL record " ^ c
+                  ^ " has no undo-path coverage"));
+          List.rev !out)
+        ctors)
+
+(* --- local findings (L1/L3/L7/L8/parse/allow) --- *)
 
 let local_diags summaries =
   List.concat_map
     (fun fs ->
       let of_finding f =
-        diag_of ~rule:f.f_rule ~hint:f.f_hint ~allows:f.f_allows f.f_loc
-          f.f_msg
+        diag_of ~rule:f.f_rule ~trace:f.f_trace ~hint:f.f_hint
+          ~allows:f.f_allows f.f_loc f.f_msg
       in
       List.map of_finding fs.fs_findings
       @ List.concat_map (fun u -> List.map of_finding u.u_local) fs.fs_units)
     summaries
 
-let run summaries =
-  let idx = build_index summaries in
-  let blocking =
-    fixpoint summaries idx ~seed:(fun c ->
-        if List.mem c.c_callee base_blocking then Some c.c_callee else None)
+let run ~config cg =
+  let summaries = Callgraph.summaries cg in
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Sys.time () in
+    let r = f () in
+    timings := (name, (Sys.time () -. t0) *. 1000.) :: !timings;
+    r
   in
-  let acquiring =
-    fixpoint summaries idx ~seed:(fun c ->
-        if List.mem c.c_callee acquire_calls then Some c.c_callee else None)
+  let local = timed "local" (fun () -> local_diags summaries) in
+  let l1 = timed "L1" (fun () -> l1_param_diags cg) in
+  let blocking = ref (Hashtbl.create 0) in
+  let l2 =
+    timed "L2" (fun () ->
+        blocking :=
+          Dataflow.reach cg ~seed:(fun c ->
+              if List.mem c.c_callee base_blocking then Some c.c_callee
+              else None);
+        l2_diags cg !blocking)
   in
-  let edges = l5_edges summaries idx acquiring in
-  let diags =
-    local_diags summaries
-    @ l2_diags summaries idx blocking
-    @ l4_diags summaries
-    @ l5_diags edges
+  let l4 = timed "L4" (fun () -> l4_diags summaries) in
+  let acquiring = ref (Hashtbl.create 0) in
+  let edges = ref (Hashtbl.create 0) in
+  let l5 =
+    timed "L5" (fun () ->
+        acquiring :=
+          Dataflow.reach cg ~seed:(fun c ->
+              if List.mem c.c_callee acquire_calls then Some c.c_callee
+              else None);
+        edges := l5_edges cg !acquiring;
+        l5_diags !edges)
   in
-  let pairs tbl = List.sort_uniq compare (Hashtbl.fold (fun k _ a -> k :: a) tbl []) in
+  let l9 = timed "L9" (fun () -> l9_diags ~config summaries) in
+  let blocking = !blocking and acquiring = !acquiring and edges = !edges in
+  let diags = local @ l1 @ l2 @ l4 @ l5 @ l9 in
+  let pairs tbl =
+    List.sort_uniq compare (Hashtbl.fold (fun k _ a -> k :: a) tbl [])
+  in
   {
     diags = List.sort Diag.compare (List.sort_uniq compare diags);
     blocking_units = pairs blocking;
@@ -372,4 +455,5 @@ let run summaries =
     order_edges =
       List.sort_uniq compare
         (Hashtbl.fold (fun (a, b) _ acc -> (a, b) :: acc) edges []);
+    rule_ms = List.rev !timings;
   }

@@ -1,27 +1,39 @@
-(** Cross-function protocol rules over {!Summary} call summaries.
+(** Rule evaluation over the solved call graph.
 
+    Unit-local findings (L1 leaks, L3, L7 escape sites, L8 site checks,
+    parse and malformed-allow errors) are produced by the summariser's
+    emission pass and collected here; this module adds the whole-graph
+    rules and applies [[@lint.allow]] suppression uniformly:
+
+    - L1 (interprocedural tail): a unit whose latch effect still holds a
+      parameter-rooted latch at exit pushes the release obligation to its
+      callers; with no in-tree caller, nobody discharges it.
     - L2: no (transitively) blocking call while a latch is held. The base
       blocking set is the cooperative-scheduler suspension points
       ([Sched.yield]/[suspend], [Condvar.wait]), lock-manager waits, and
-      WAL flushes; blocking-ness propagates up the static call graph.
+      WAL flushes; blocking-ness propagates through {!Dataflow.reach} and
+      each finding carries the witness chain as its trace.
     - L4: runtime output discipline — no console-printing calls in [lib/]
-      outside the explicit reporting modules, and no [Printf] at all in the
-      lock-manager/WAL modules (hot paths format eagerly otherwise).
+      outside the explicit reporting modules, and no [Printf] at all in
+      the lock-manager/WAL modules.
     - L5: static latch-order graph. An edge [A -> B] is added when a
       function in module [A] holds a latch across a call that may acquire
-      a latch in module [B]; a cycle is a potential lock-order inversion
-      and fails the build. Intra-module self-edges are ignored (tree-order
-      hand-over-hand crabbing is governed by page order, not module
-      order).
+      a latch in module [B]; a cycle is a potential lock-order inversion.
+      Intra-module self-edges are ignored (tree-order hand-over-hand
+      crabbing is governed by page order, not module order).
+    - L9: WAL exhaustiveness — every constructor of the log-record body
+      variant must be encoded and decoded by the codec, classified by the
+      redo/undo predicates, and (when classified replayable) matched in
+      the corresponding replay modules.
 
-    Unit-local findings already carried by the summaries (L1, L3, parse
-    and malformed-allow errors) are converted to diagnostics here too, so
-    [run] yields the complete per-tree diagnostic list. Suppressions from
-    in-scope [[@lint.allow]] attributes are applied, never dropped: a
-    suppressed diagnostic keeps its justification text. *)
+    Suppressions from in-scope [[@lint.allow]] attributes are applied,
+    never dropped: a suppressed diagnostic keeps its justification. *)
 
 val base_blocking : string list
 (** Canonical names that suspend the cooperative fiber directly. *)
+
+val acquire_calls : string list
+(** Canonical names that acquire a latch directly. *)
 
 val console_calls : string list
 (** Canonical names that print to stdout/stderr unconditionally. *)
@@ -40,6 +52,10 @@ type t = {
       (** (module, function) pairs that may acquire a latch *)
   order_edges : (string * string) list;
       (** distinct latch-order edges [A -> B] discovered for L5 *)
+  rule_ms : (string * float) list;
+      (** per-rule-family wall time, milliseconds, in evaluation order *)
 }
 
-val run : Summary.file_summary list -> t
+val run : config:Summary.config -> Callgraph.t -> t
+(** Evaluate every rule over a call graph that has already been through
+    {!Dataflow.solve_effects} and {!Dataflow.emit_pass}. *)

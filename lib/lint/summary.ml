@@ -1,9 +1,45 @@
 open Parsetree
 
+(* Per-unit summaries plus the re-runnable transfer functions the
+   interprocedural engine (Callgraph + Dataflow) iterates to a fixpoint.
+
+   Pass A (register = true) parses each file, creates one [u] per value
+   binding, records calls/allows, and runs the transfer function once
+   under [initial_ctx] (no interprocedural knowledge). The dataflow
+   solver then re-runs units via [u_rerun] with a [ctx] that resolves
+   callee effects from the evolving solution; a final emission pass
+   ([x_emit = true]) re-walks every unit to refresh findings with the
+   converged interprocedural state. *)
+
 type config = {
   l3_modules : string list;
   l3_mutators : string list;
   l3_appends : string list;
+  (* L7: page-handle escape *)
+  l7_sources : string list;
+      (* calls whose result is a latched page handle even when their body
+         is out of tree; in-tree transfers are inferred from effects *)
+  l7_exempt_modules : string list;
+      (* page-cache internals that legitimately store page structures *)
+  (* L8: lifecycle protocol automaton *)
+  l8_states : string list;  (* DFA states, bit i = i-th constructor *)
+  l8_legal : (string * string) list;  (* legal (from, to) transitions *)
+  l8_state_fn : string;  (* state-reading call, e.g. "Catalog.state" *)
+  l8_mutators : (string * (int * int)) list;
+      (* transition calls: name -> positional (index arg, state arg) *)
+  l8_initializers : (string * string * string) list;
+      (* descriptor-creating calls: (name, index label, state label) *)
+  l8_read_calls : string list;  (* index-read entry points to gate *)
+  l8_read_modules : string list;  (* modules where the read gate applies *)
+  l8_exempt : string list;  (* e.g. recovery's restore_state *)
+  (* L9: WAL exhaustiveness *)
+  l9_record_module : string;
+  l9_type : string;
+  l9_codec_modules : string list;
+  l9_redo_modules : string list;
+  l9_undo_modules : string list;
+  l9_redo_classifier : string;
+  l9_undo_classifier : string;
 }
 
 let default_config =
@@ -11,6 +47,29 @@ let default_config =
     l3_modules = [ "Table_ops"; "Heap_file"; "Btree" ];
     l3_mutators = [ "Heap_page.put"; "Heap_page.remove" ];
     l3_appends = [ "Log_manager.append"; "Txn_manager.log_op" ];
+    l7_sources = [ "Heap_file.latch_rid" ];
+    l7_exempt_modules = [ "Page"; "Buffer_pool"; "Latch" ];
+    l8_states = [ "Disabled"; "Write_only"; "Readable" ];
+    l8_legal =
+      [
+        ("Disabled", "Write_only");
+        ("Write_only", "Readable");
+        ("Write_only", "Disabled");
+        ("Readable", "Disabled");
+      ];
+    l8_state_fn = "Catalog.state";
+    l8_mutators = [ ("Catalog.set_state", (2, 3)) ];
+    l8_initializers = [ ("Catalog.add_index", "index_id", "state") ];
+    l8_read_calls = [ "Btree.find"; "Btree.iter_range"; "Btree.iter_from" ];
+    l8_read_modules = [ "Table_ops" ];
+    l8_exempt = [ "Catalog.restore_state" ];
+    l9_record_module = "Log_record";
+    l9_type = "body";
+    l9_codec_modules = [ "Log_codec" ];
+    l9_redo_modules = [ "Restart"; "Engine"; "Side_file" ];
+    l9_undo_modules = [ "Table_ops"; "Restart" ];
+    l9_redo_classifier = "is_redoable";
+    l9_undo_classifier = "is_undoable";
   }
 
 type allow = {
@@ -27,6 +86,10 @@ type call = {
   c_loc : Location.t;
   c_held : (string * string) list;
   c_arg1 : string option;
+  c_args : string list;  (* positional argument keys, in order *)
+  c_callback : bool;
+      (* a module-qualified function passed as an argument: a call-graph
+         edge for reachability, but no effect application at this site *)
   c_allows : allow list;
 }
 
@@ -35,8 +98,31 @@ type finding = {
   f_loc : Location.t;
   f_msg : string;
   f_hint : string;
+  f_trace : string list;  (* interprocedural frames, innermost first *)
   f_allows : allow list;
 }
+
+(* Interprocedural context a unit's transfer function runs under. The
+   initial pass knows nothing; the solver and the emission pass thread
+   in the evolving callee-effect solution. *)
+type ctx = {
+  x_effects : caller_module:string -> string -> Latch_effect.t option;
+      (* None: unknown/out-of-tree callee (identity, no tracking) *)
+  x_appends : caller_module:string -> string -> bool;
+      (* callee may (transitively) append to the WAL: discharges L3 *)
+  x_mutators : caller_module:string -> string -> (int * int) option;
+      (* callee is a (possibly wrapped) lifecycle mutator: positional
+         (index arg, state arg) *)
+  x_emit : bool;  (* final pass: produce findings *)
+}
+
+let initial_ctx =
+  {
+    x_effects = (fun ~caller_module:_ _ -> None);
+    x_appends = (fun ~caller_module:_ _ -> false);
+    x_mutators = (fun ~caller_module:_ _ -> None);
+    x_emit = false;
+  }
 
 type u = {
   u_module : string;
@@ -44,9 +130,25 @@ type u = {
   u_name : string;
   u_loc : Location.t;
   u_allows : allow list;
-  u_calls : call list;
-  u_acquires_latch : bool;
-  u_local : finding list;
+  u_params : string list;  (* positional parameter names, in order *)
+  mutable u_calls : call list;
+  mutable u_acquires_latch : bool;
+  mutable u_local : finding list;
+  mutable u_effect : Latch_effect.t;
+  u_rerun : ctx -> unit;
+      (* re-execute the transfer function under a new context, refreshing
+         u_calls / u_acquires_latch / u_local / u_effect in place *)
+}
+
+(* L9 raw material, collected once per file: declared variants,
+   constructors mentioned in patterns / constructions anywhere, and the
+   arms of single-match classifier functions (is_redoable & co). *)
+type l9_info = {
+  l9_variants : (string * (string * Location.t) list) list;
+  l9_pats : (string, unit) Hashtbl.t;
+  l9_cons : (string, unit) Hashtbl.t;
+  l9_arms : (string * string * bool) list;
+      (* (classifier, ctor or "_", rhs is literal [false]) *)
 }
 
 type file_summary = {
@@ -57,6 +159,7 @@ type file_summary = {
   fs_allows : allow list;
       (* every well-formed [@lint.allow] parsed in the file, in source
          order — the registry the unused-allow report is computed from *)
+  fs_l9 : l9_info;
 }
 
 let module_name_of_file f =
@@ -88,7 +191,7 @@ let allow_of_attribute (attr : attribute) =
           String.length rule = 2
           && rule.[0] = 'L'
           && rule.[1] >= '1'
-          && rule.[1] <= '6'
+          && rule.[1] <= '9'
         in
         if not rule_ok then
           malformed ("[@lint.allow]: unknown rule " ^ Filename.quote rule)
@@ -102,14 +205,31 @@ let allow_of_attribute (attr : attribute) =
       | None -> malformed "[@lint.allow]: missing \"Ln:\" rule prefix")
     | _ -> malformed "[@lint.allow]: payload must be a string literal"
 
-(* --- abstract state: latches held + unlogged mutations pending --- *)
+(* --- abstract state --- *)
 
-type state = {
-  held : (string * string * Location.t) list;  (* latch key, mode, site *)
-  pend : (string * Location.t) list;  (* L3: mutations awaiting an append *)
+(* A tracked latch: acquired here (or produced by a callee's effect),
+   rooted at zero or more variables that can name it. A pending item is
+   the return value of the last call, not yet bound to a name. *)
+type item = {
+  i_roots : string list;
+  i_path : string;  (* field path from a root, e.g. ".Page.latch" *)
+  i_mode : string;
+  i_loc : Location.t;
+  i_origin : string list;  (* interprocedural frames, innermost first *)
+  i_pending : bool;
 }
 
-let empty_state = { held = []; pend = [] }
+type state = {
+  held : item list;
+  pend : (string * Location.t) list;  (* L3: mutations awaiting an append *)
+  dead : (string * Location.t) list;  (* L7: handle var -> release site *)
+  facts : (string * int) list;  (* L8: index key -> possible-state bitmask *)
+  neg : Latch_effect.atom list;  (* releases of caller-held param latches *)
+  alias : string list;  (* roots the last call's return value aliases *)
+}
+
+let empty_state =
+  { held = []; pend = []; dead = []; facts = []; neg = []; alias = [] }
 
 let max_states = 48
 
@@ -136,27 +256,54 @@ type acc = {
   mutable calls : call list;
   mutable local : finding list;
   mutable acq : bool;
-  l3_seen : (string, unit) Hashtbl.t;  (* dedup L3 sites across states *)
+  l3_seen : (string, unit) Hashtbl.t;  (* dedup sites across states *)
+  l7_seen : (string, unit) Hashtbl.t;
+  l8_seen : (string, unit) Hashtbl.t;
+  handles : (string, Location.t) Hashtbl.t;  (* page-handle vars *)
 }
+
+let fresh_acc () =
+  {
+    calls = [];
+    local = [];
+    acq = false;
+    l3_seen = Hashtbl.create 8;
+    l7_seen = Hashtbl.create 8;
+    l8_seen = Hashtbl.create 8;
+    handles = Hashtbl.create 8;
+  }
 
 type env = {
   cfg : config;
   aliases : (string, string list) Hashtbl.t;
   modname : string;
   in_l3 : bool;
+  in_l7 : bool;
   allows : allow list;
   acc : acc;
   units : u list ref;
   file : string;
   file_findings : finding list ref;
   all_allows : allow list ref;  (* registration order = source order *)
+  allow_memo : (string, allow option) Hashtbl.t;
+      (* keyed by attribute location: reruns must see the same physical
+         allow records (a_used identity) and must not re-register them *)
+  register : bool;  (* first pass only: create sub-units, register allows *)
+  ctx : ctx;
+  params : string list;  (* current unit's positional parameters *)
+  uname : string;  (* scoped name of the unit being walked *)
+  scope : (string * string) list;
+      (* lexically visible local functions, name -> scoped unit name
+         ("go" -> "descend_read.go"): keeps the ubiquitous local helper
+         names from aliasing across units in the call graph *)
 }
 
-let emit env ~rule ~hint loc msg =
-  env.acc.local <-
-    { f_rule = rule; f_loc = loc; f_msg = msg; f_hint = hint;
-      f_allows = env.allows }
-    :: env.acc.local
+let emit ?(trace = []) env ~rule ~hint loc msg =
+  if env.ctx.x_emit then
+    env.acc.local <-
+      { f_rule = rule; f_loc = loc; f_msg = msg; f_hint = hint;
+        f_trace = trace; f_allows = env.allows }
+      :: env.acc.local
 
 (* --- name resolution (aliases + Oib_* wrapper stripping) --- *)
 
@@ -176,7 +323,10 @@ let resolve env lid =
       | None -> parts)
     | [] -> parts
   in
-  String.concat "." parts
+  match parts with
+  | [ n ] -> (
+    match List.assoc_opt n env.scope with Some scoped -> scoped | None -> n)
+  | _ -> String.concat "." parts
 
 let rec expr_key e =
   match e.pexp_desc with
@@ -200,26 +350,361 @@ let loc_key (loc : Location.t) =
   ^ ":"
   ^ string_of_int (loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
 
-(* --- classification sets resolved at walk time --- *)
+let short_loc (loc : Location.t) =
+  Filename.basename loc.loc_start.pos_fname
+  ^ ":"
+  ^ string_of_int loc.loc_start.pos_lnum
+
+(* split "p.Page.latch" into root "p" and path ".Page.latch" *)
+let split_key k =
+  match String.index_opt k '.' with
+  | None -> (k, "")
+  | Some i ->
+    (String.sub k 0 i, String.sub k i (String.length k - i))
+
+(* the argument expression as a rootable name: a pure ident is its own
+   root; a field chain roots at its full key (releases match on full
+   key = root ^ path, so composite roots still line up) *)
+let arg_root e =
+  match expr_key e with "<expr>" | "(" -> None | k -> Some k
+
+let param_index params name =
+  let rec go i = function
+    | [] -> None
+    | p :: _ when p = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 params
+
+(* --- small parsetree utilities --- *)
 
 let raise_names =
   [ "raise"; "raise_notrace"; "failwith"; "invalid_arg";
     "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
     "Stdlib.invalid_arg" ]
 
+let positional args =
+  List.filter_map
+    (fun (l, e) -> match l with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+let labeled args name =
+  List.find_map
+    (fun (l, e) ->
+      match l with
+      | Asttypes.Labelled n | Asttypes.Optional n when n = name -> Some e
+      | _ -> None)
+    args
+
+let rec strip_fun e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> strip_fun e
+  | _ -> e
+
+let is_function_expr e =
+  match (strip_fun e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let binding_name vb =
+  let rec pat p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> txt
+    | Ppat_constraint (p, _) -> pat p
+    | _ -> "_"
+  in
+  pat vb.pvb_pat
+
+(* variables bound by a pattern *)
+let pat_vars p =
+  let out = ref [] in
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> out := txt :: !out
+    | Ppat_alias (p, { txt; _ }) ->
+      out := txt :: !out;
+      go p
+    | Ppat_tuple ps | Ppat_array ps -> List.iter go ps
+    | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) -> go p
+    | Ppat_record (fields, _) -> List.iter (fun (_, p) -> go p) fields
+    | Ppat_or (a, b) ->
+      go a;
+      go b
+    | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p) -> go p
+    | _ -> ()
+  in
+  go p;
+  !out
+
+(* positional parameter names of a function expression *)
+let rec fun_params e =
+  match e.pexp_desc with
+  | Pexp_fun (Asttypes.Nolabel, _, p, body) ->
+    let n = match pat_vars p with [ v ] -> v | _ -> "_" in
+    n :: fun_params body
+  | Pexp_fun (_, _, _, body) -> "_" :: fun_params body
+  | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> fun_params body
+  | _ -> []
+
+(* idents mentioned anywhere in an expression (free or bound — an
+   over-approximation used for escape-capture checks) *)
+let mentioned_idents e =
+  let out = Hashtbl.create 8 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } ->
+            Hashtbl.replace out n ()
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  out
+
+(* variables bound by any pattern inside an expression (parameters,
+   inner lets, match cases) — used to discount shadowed names when
+   checking what a closure captures *)
+let bound_idents e =
+  let out = Hashtbl.create 8 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+            Hashtbl.replace out txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.expr it e;
+  out
+
+(* idents reachable as (components of) a value expression: bare idents,
+   possibly under tuples/constructors/records — but not under field
+   projections or applications, so storing [p.Page.id] does not count as
+   storing the handle [p] *)
+let value_root_idents e =
+  let out = Hashtbl.create 4 in
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> Hashtbl.replace out n ()
+    | Pexp_tuple es | Pexp_array es -> List.iter go es
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> go a
+    | Pexp_record (fields, base) ->
+      Option.iter go base;
+      List.iter (fun (_, fe) -> go fe) fields
+    | Pexp_constraint (a, _) | Pexp_open (_, a) | Pexp_newtype (_, a) ->
+      go a
+    | Pexp_let (_, _, b) | Pexp_sequence (_, b) -> go b
+    | Pexp_ifthenelse (_, t, eo) ->
+      go t;
+      Option.iter go eo
+    | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.iter (fun c -> go c.pc_rhs) cases
+    | _ -> ()
+  in
+  go e;
+  out
+
+(* idents returned by value in tail position: only idents that appear
+   as (components of) the final value — tuples, constructors, records —
+   never idents inside applications, conditions or scrutinees. *)
+let tail_value_idents body =
+  let out = Hashtbl.create 8 in
+  let rec value e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> Hashtbl.replace out n ()
+    | Pexp_tuple es | Pexp_array es -> List.iter value es
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> value a
+    | Pexp_record (fields, base) ->
+      Option.iter value base;
+      List.iter (fun (_, fe) -> value fe) fields
+    | Pexp_constraint (a, _) | Pexp_open (_, a) | Pexp_newtype (_, a) ->
+      value a
+    | _ -> ()
+  in
+  let rec tail e =
+    match e.pexp_desc with
+    | Pexp_let (_, _, b) | Pexp_sequence (_, b) -> tail b
+    | Pexp_ifthenelse (_, t, eo) ->
+      tail t;
+      Option.iter tail eo
+    | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.iter (fun c -> tail c.pc_rhs) cases
+    | Pexp_constraint (a, _) | Pexp_open (_, a) | Pexp_newtype (_, a) ->
+      tail a
+    | _ -> value e
+  in
+  tail body;
+  out
+
+(* --- L8: lifecycle fact lattice ------------------------------------- *)
+
+let l8_bit cfg name =
+  let rec go i = function
+    | [] -> None
+    | s :: _ when s = name -> Some (1 lsl i)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 cfg.l8_states
+
+let l8_full cfg = (1 lsl List.length cfg.l8_states) - 1
+
+let l8_legal_sources cfg to_ =
+  List.fold_left
+    (fun m (f, t) ->
+      if t = to_ then
+        match l8_bit cfg f with Some b -> m lor b | None -> m
+      else m)
+    0 cfg.l8_legal
+
+let fact_key k = "st:" ^ k
+
+let fact_of s key = List.assoc_opt key s.facts
+
+let set_fact s key mask =
+  { s with facts = (key, mask) :: List.remove_assoc key s.facts }
+
+let meet_fact cfg s key mask =
+  let cur = match fact_of s key with Some m -> m | None -> l8_full cfg in
+  set_fact s key (cur land mask)
+
+(* the constructor a state-literal expression denotes, if any *)
+let l8_ctor cfg e =
+  match (strip_fun e).pexp_desc with
+  | Pexp_construct ({ txt; _ }, None) -> (
+    match List.rev (Longident.flatten txt) with
+    | last :: _ when List.mem last cfg.l8_states -> Some last
+    | _ -> None)
+  | _ -> None
+
+(* is [e] a read of some index's lifecycle state? Returns the fact key
+   identifying the index: either [Catalog.state t id] (key from the id
+   argument) or a [.state] field access (key from the record base). *)
+let l8_state_read env e =
+  match (strip_fun e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when resolve env txt = env.cfg.l8_state_fn -> (
+    match positional args with
+    | [ _; id ] | [ id ] -> Some (fact_key (expr_key id))
+    | _ -> None)
+  | Pexp_field (b, { txt; _ }) -> (
+    match List.rev (Longident.flatten txt) with
+    | "state" :: _ -> Some (fact_key (expr_key b))
+    | _ -> None)
+  | _ -> None
+
+(* Refine [facts] from a boolean condition: returns per-branch state
+   transformers. Recognizes [state = Ctor], [state <> Ctor], [&&], [not]
+   (and parenthesized combinations); anything else refines nothing. *)
+let rec l8_cond env cond =
+  match (strip_fun cond).pexp_desc with
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("=" | "<>" as op); _ }; _ },
+       [ (_, a); (_, b) ]) -> (
+    let read, lit =
+      match (l8_state_read env a, l8_ctor env.cfg b) with
+      | (Some _ as r), (Some _ as l) -> (r, l)
+      | _ -> (l8_state_read env b, l8_ctor env.cfg a)
+    in
+    match (read, lit) with
+    | Some key, Some ctor -> (
+      match l8_bit env.cfg ctor with
+      | Some bit ->
+        let eq s = meet_fact env.cfg s key bit
+        and ne s = meet_fact env.cfg s key (l8_full env.cfg land lnot bit) in
+        if op = "=" then (eq, ne) else (ne, eq)
+      | None -> (Fun.id, Fun.id))
+    | _ -> (Fun.id, Fun.id))
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "not"; _ }; _ },
+       [ (_, a) ]) ->
+    let t, f = l8_cond env a in
+    (f, t)
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "&&"; _ }; _ },
+       [ (_, a); (_, b) ]) ->
+    (* then-branch: both held; else-branch: unknown which failed *)
+    let ta, _ = l8_cond env a in
+    let tb, _ = l8_cond env b in
+    ((fun s -> tb (ta s)), Fun.id)
+  | _ -> (Fun.id, Fun.id)
+
+(* state-constructor mask matched by a case pattern (for [match] on a
+   state read); [None] = pattern constrains nothing (var / wildcard) *)
+let pat_mask cfg p =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, None) -> (
+      match List.rev (Longident.flatten txt) with
+      | last :: _ -> (
+        match l8_bit cfg last with Some b -> Some b | None -> None)
+      | [] -> None)
+    | Ppat_or (a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> Some (x lor y)
+      | _ -> None)
+    | Ppat_constraint (p, _) | Ppat_alias (p, _) | Ppat_open (_, p) -> go p
+    | _ -> None
+  in
+  go p
+
+(* --- latch bookkeeping ---------------------------------------------- *)
+
+let item_named item key =
+  List.exists (fun r -> r ^ item.i_path = key) item.i_roots
+
+let live_handle_roots env sts =
+  let out = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun i ->
+          if i.i_path <> "" then
+            List.iter
+              (fun r ->
+                if not (String.contains r '.')
+                   && not (List.mem_assoc r s.dead) then
+                  Hashtbl.replace out r ())
+              i.i_roots)
+        s.held)
+    sts;
+  Hashtbl.iter
+    (fun r _ ->
+      if List.for_all (fun s -> not (List.mem_assoc r s.dead)) sts then
+        Hashtbl.replace out r ())
+    env.acc.handles;
+  out
+
 let held_snapshot sts =
   let pairs =
-    List.concat_map (fun s -> List.map (fun (k, m, _) -> (k, m)) s.held) sts
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun i ->
+            let r = match i.i_roots with r :: _ -> r | [] -> "<ret>" in
+            (r ^ i.i_path, i.i_mode))
+          s.held)
+      sts
   in
   List.sort_uniq compare pairs
 
-let record_call env sts name loc arg1 =
+let record_call ?(callback = false) env sts name loc pos =
+  let keys = List.map expr_key pos in
   env.acc.calls <-
     {
       c_callee = name;
       c_loc = loc;
       c_held = held_snapshot sts;
-      c_arg1 = arg1;
+      c_arg1 = (match keys with k :: _ -> Some k | [] -> None);
+      c_args = keys;
+      c_callback = callback;
       c_allows = env.allows;
     }
     :: env.acc.calls
@@ -246,49 +731,381 @@ let l3_flush env sts =
     sts;
   List.map (fun s -> { s with pend = [] }) sts
 
-(* --- the walker --- *)
+let mark_dead s root loc =
+  if String.contains root '.' then s
+  else { s with dead = (root, loc) :: List.remove_assoc root s.dead }
 
-let positional args =
-  List.filter_map
-    (fun (l, e) -> match l with Asttypes.Nolabel -> Some e | _ -> None)
-    args
-
-let rec strip_fun e =
-  match e.pexp_desc with
-  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> strip_fun e
-  | _ -> e
-
-let is_function_expr e =
-  match (strip_fun e).pexp_desc with
-  | Pexp_fun _ | Pexp_function _ -> true
-  | _ -> false
-
-let binding_name vb =
-  let rec pat p =
-    match p.ppat_desc with
-    | Ppat_var { txt; _ } -> txt
-    | Ppat_constraint (p, _) -> pat p
-    | _ -> "_"
+(* Release the latch named [key] (mode [mode]) in one state. If nothing
+   matches and the key roots at one of our parameters, the unit is
+   releasing a latch its caller holds: record an [Unparam] atom. *)
+let release_one env ~params s key mode loc =
+  let matched = ref false in
+  let rec drop = function
+    | [] -> []
+    | i :: rest when (not !matched) && item_named i key ->
+      matched := true;
+      if mode <> "?" && i.i_mode <> "?" && i.i_mode <> mode then
+        emit env ~rule:"L1"
+          ~hint:"release with the same mode that was acquired" loc
+          ("latch " ^ key ^ " released in mode " ^ mode
+         ^ " but acquired in mode " ^ i.i_mode ^ " at line "
+         ^ string_of_int i.i_loc.Location.loc_start.pos_lnum);
+      rest
+    | i :: rest -> i :: drop rest
   in
-  pat vb.pvb_pat
+  let held = drop s.held in
+  let s = { s with held } in
+  let root, path = split_key key in
+  let s = mark_dead s root loc in
+  if !matched then s
+  else
+    match param_index params root with
+    | Some idx when path <> "" || List.length params > 0 ->
+      {
+        s with
+        neg =
+          (let atom =
+             {
+               Latch_effect.a_kind = Latch_effect.Unparam idx;
+               a_path = path;
+               a_mode = mode;
+               a_loc = loc;
+               a_origin = [];
+             }
+           in
+           if
+             List.exists
+               (fun a -> Latch_effect.atom_key a = Latch_effect.atom_key atom)
+               s.neg
+           then s.neg
+           else atom :: s.neg);
+      }
+    | _ -> s
 
-let rec collect_allows env (attrs : attributes) =
-  match attrs with
-  | [] -> []
-  | a :: rest -> (
-    match allow_of_attribute a with
-    | None -> collect_allows env rest
-    | Some (Ok allow) ->
-      env.all_allows := allow :: !(env.all_allows);
-      allow :: collect_allows env rest
-    | Some (Error (loc, why)) ->
-      env.file_findings :=
-        { f_rule = "allow"; f_loc = loc; f_msg = why;
-          f_hint = "use [@lint.allow \"Ln: justification\"]"; f_allows = [] }
-        :: !(env.file_findings);
-      collect_allows env rest)
+(* Apply a callee's latch effect at a call site: each alternative forks
+   the state; Ret produces a pending item, Param roots a new item at the
+   argument, Unparam releases (or records a caller-level release of) the
+   argument's latch. Bottom (no alternatives) kills the state — the
+   callee never returns normally. *)
+let apply_effect env sts name loc pos =
+  match env.ctx.x_effects ~caller_module:env.modname name with
+  | None -> List.map (fun s -> { s with alias = [] }) sts
+  | Some eff ->
+    let frame = name ^ " (" ^ short_loc loc ^ ")" in
+    let nth_root i =
+      match List.nth_opt pos i with Some e -> arg_root e | None -> None
+    in
+    let alias_roots = List.filter_map nth_root eff.Latch_effect.ret_params in
+    let apply_atom s (atom : Latch_effect.atom) =
+      match atom.a_kind with
+      | Latch_effect.Ret ->
+        {
+          s with
+          held =
+            {
+              i_roots = [];
+              i_path = atom.a_path;
+              i_mode = atom.a_mode;
+              i_loc = loc;
+              i_origin = frame :: atom.a_origin;
+              i_pending = true;
+            }
+            :: s.held;
+        }
+      | Latch_effect.Param i -> (
+        match nth_root i with
+        | Some r ->
+          {
+            s with
+            held =
+              {
+                i_roots = [ r ];
+                i_path = atom.a_path;
+                i_mode = atom.a_mode;
+                i_loc = loc;
+                i_origin = frame :: atom.a_origin;
+                i_pending = false;
+              }
+              :: s.held;
+          }
+        | None -> s)
+      | Latch_effect.Unparam i -> (
+        match nth_root i with
+        | Some r ->
+          release_one env ~params:env.params s (r ^ atom.a_path) atom.a_mode
+            loc
+        | None -> s)
+    in
+    let out =
+      List.concat_map
+        (fun s ->
+          let s = { s with alias = [] } in
+          List.map
+            (fun alt ->
+              { (List.fold_left apply_atom s alt) with alias = alias_roots })
+            eff.Latch_effect.alts)
+        sts
+    in
+    dedup_states out
 
-and walk env sts e =
+(* --- the walker ------------------------------------------------------ *)
+
+let collect_allows env (attrs : attributes) =
+  List.filter_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "lint.allow" then None
+      else
+        let k = loc_key a.attr_loc in
+        match Hashtbl.find_opt env.allow_memo k with
+        | Some cached -> cached
+        | None ->
+          let res =
+            match allow_of_attribute a with
+            | Some (Ok allow) ->
+              env.all_allows := allow :: !(env.all_allows);
+              Some allow
+            | Some (Error (loc, why)) ->
+              env.file_findings :=
+                { f_rule = "allow"; f_loc = loc; f_msg = why;
+                  f_hint = "use [@lint.allow \"Ln: justification\"]";
+                  f_trace = []; f_allows = [] }
+                :: !(env.file_findings);
+              None
+            | None -> None
+          in
+          Hashtbl.replace env.allow_memo k res;
+          res)
+    attrs
+
+(* L7: storing a live page handle into mutable structure *)
+let l7_store_check env sts loc what rhs =
+  if env.in_l7 then begin
+    let live = live_handle_roots env sts in
+    (* a stored closure escapes everything it captures; a stored value
+       escapes only handles reachable as the value itself *)
+    let ids =
+      if is_function_expr rhs then mentioned_idents rhs
+      else value_root_idents rhs
+    in
+    let bound =
+      if is_function_expr rhs then bound_idents rhs else Hashtbl.create 1
+    in
+    Hashtbl.iter
+      (fun r _ ->
+        if Hashtbl.mem live r && not (Hashtbl.mem bound r) then begin
+          let k = "store:" ^ loc_key loc ^ ":" ^ r in
+          if not (Hashtbl.mem env.acc.l7_seen k) then begin
+            Hashtbl.add env.acc.l7_seen k ();
+            emit env ~rule:"L7"
+              ~hint:
+                "a latched page handle must stay on the stack of the \
+                 latched section; copy out the data you need instead"
+              loc
+              ("page handle " ^ r ^ " (latched) escapes into " ^ what)
+          end
+        end)
+      ids
+  end
+
+(* L7: using a handle whose latch has been released *)
+let l7_dead_use env sts loc what root =
+  if env.in_l7 then
+    List.iter
+      (fun s ->
+        match List.assoc_opt root s.dead with
+        | Some rel when Hashtbl.mem env.acc.handles root ->
+          let k = "dead:" ^ loc_key loc ^ ":" ^ root in
+          if not (Hashtbl.mem env.acc.l7_seen k) then begin
+            Hashtbl.add env.acc.l7_seen k ();
+            emit env ~rule:"L7"
+              ~hint:"re-latch the page before touching it"
+              loc
+              ("page handle " ^ root ^ " used (" ^ what
+             ^ ") after its latch was released at line "
+             ^ string_of_int rel.Location.loc_start.pos_lnum)
+          end
+        | _ -> ())
+      sts
+
+(* L7: a closure value (returned / bound, not a direct call argument)
+   capturing a live latched handle *)
+let l7_capture_check env sts loc fn =
+  if env.in_l7 then begin
+    let live = live_handle_roots env sts in
+    let ids = mentioned_idents fn in
+    (* a name the closure re-binds (its own parameter, an inner let) is
+       shadowed, not captured *)
+    let bound = bound_idents fn in
+    Hashtbl.iter
+      (fun r _ ->
+        if Hashtbl.mem live r && not (Hashtbl.mem bound r) then begin
+          let k = "capture:" ^ loc_key loc ^ ":" ^ r in
+          if not (Hashtbl.mem env.acc.l7_seen k) then begin
+            Hashtbl.add env.acc.l7_seen k ();
+            emit env ~rule:"L7"
+              ~hint:
+                "closures that outlive the latched section must not \
+                 capture the page handle"
+              loc
+              ("page handle " ^ r
+             ^ " (latched) is captured by an escaping closure")
+          end
+        end)
+      ids
+  end
+
+(* L8 checks at a call site; returns updated states *)
+let l8_call env sts name loc args =
+  let cfg = env.cfg in
+  if List.mem name cfg.l8_exempt then sts
+  else
+    let full = l8_full cfg in
+    let mutator =
+      match List.assoc_opt name cfg.l8_mutators with
+      | Some p -> Some p
+      | None -> env.ctx.x_mutators ~caller_module:env.modname name
+    in
+    match mutator with
+    | Some (ipos, spos) -> (
+      let pos = positional args in
+      let index_key =
+        match List.nth_opt pos ipos with
+        | Some e -> Some (fact_key (expr_key e))
+        | None -> None
+      in
+      let target = List.nth_opt pos spos in
+      match Option.map (l8_ctor cfg) target with
+      | Some (Some ctor) ->
+        (* literal target: sources outside legal_transition's preimage
+           must be excluded by a dominating fact *)
+        let legal = l8_legal_sources cfg ctor in
+        let bit = match l8_bit cfg ctor with Some b -> b | None -> 0 in
+        List.map
+          (fun s ->
+            let src =
+              match index_key with
+              | Some k -> (
+                match fact_of s k with Some m -> m | None -> full)
+              | None -> full
+            in
+            let illegal = src land lnot legal in
+            if illegal <> 0 then begin
+              let k = "mut:" ^ loc_key loc in
+              if not (Hashtbl.mem env.acc.l8_seen k) then begin
+                Hashtbl.add env.acc.l8_seen k ();
+                let names =
+                  List.filteri
+                    (fun i _ -> illegal land (1 lsl i) <> 0)
+                    cfg.l8_states
+                in
+                emit env ~rule:"L8"
+                  ~hint:
+                    "guard the transition with a state check (match on \
+                     Catalog.state / the descriptor's state field) so \
+                     only legal source states reach this call"
+                  loc
+                  ("lifecycle transition to " ^ ctor
+                 ^ " is reachable from " ^ String.concat "/" names
+                 ^ ", outside legal_transition")
+              end
+            end;
+            match index_key with
+            | Some k -> set_fact s k bit
+            | None -> s)
+          sts
+      | Some None -> (
+        (* non-literal target: fine if we are a wrapper forwarding our
+           own parameter (checked at our call sites); opaque otherwise *)
+        let target_key =
+          match target with Some e -> expr_key e | None -> "<expr>"
+        in
+        match param_index env.params target_key with
+        | Some _ -> sts
+        | None ->
+          let k = "mutx:" ^ loc_key loc in
+          if not (Hashtbl.mem env.acc.l8_seen k) then begin
+            Hashtbl.add env.acc.l8_seen k ();
+            emit env ~rule:"L8"
+              ~hint:
+                "pass the target state as a constructor literal (or \
+                 forward a parameter) so the transition is statically \
+                 checkable"
+              loc
+              ("lifecycle transition target of " ^ name
+             ^ " is not statically known")
+          end;
+          List.map
+            (fun s ->
+              match index_key with
+              | Some k -> set_fact s k full
+              | None -> s)
+            sts)
+      | None -> sts)
+    | None -> (
+      (* initializer: a descriptor created with a known state seeds the
+         fact for its index key *)
+      match
+        List.find_opt (fun (n, _, _) -> n = name) cfg.l8_initializers
+      with
+      | Some (_, ilabel, slabel) -> (
+        match labeled args ilabel with
+        | Some ie -> (
+          let k = fact_key (expr_key ie) in
+          match Option.bind (labeled args slabel) (fun e ->
+              Option.bind (l8_ctor cfg e) (l8_bit cfg))
+          with
+          | Some bit -> List.map (fun s -> set_fact s k bit) sts
+          | None -> List.map (fun s -> set_fact s k full) sts)
+        | None -> sts)
+      | None ->
+        (* read gate: in gated modules an index read must be dominated
+           by a fact excluding Disabled *)
+        if
+          List.mem name cfg.l8_read_calls
+          && List.mem env.modname cfg.l8_read_modules
+        then begin
+          let pos = positional args in
+          let arg1 = match pos with e :: _ -> expr_key e | [] -> "<expr>" in
+          let disabled =
+            match l8_bit cfg (List.nth cfg.l8_states 0) with
+            | Some b -> b
+            | None -> 1
+          in
+          let gated =
+            List.for_all
+              (fun s ->
+                List.exists
+                  (fun (k, m) ->
+                    (* fact key "st:info" gates reads of "info.tree" *)
+                    let base =
+                      String.sub k 3 (String.length k - 3)
+                    in
+                    (arg1 = base
+                    || (String.length arg1 > String.length base
+                        && String.sub arg1 0 (String.length base + 1)
+                           = base ^ "."))
+                    && m land disabled = 0)
+                  s.facts)
+              sts
+          in
+          if not gated then begin
+            let k = "read:" ^ loc_key loc in
+            if not (Hashtbl.mem env.acc.l8_seen k) then begin
+              Hashtbl.add env.acc.l8_seen k ();
+              emit env ~rule:"L8"
+                ~hint:
+                  "dominate the read with a lifecycle gate (check the \
+                   descriptor's state, or Catalog.state, before using \
+                   the index)"
+                loc
+                ("index read " ^ name
+               ^ " is not dominated by a lifecycle-state gate")
+            end
+          end
+        end;
+        sts)
+
+let rec walk env sts e =
   let env =
     match collect_allows env e.pexp_attributes with
     | [] -> env
@@ -297,26 +1114,65 @@ and walk env sts e =
   match e.pexp_desc with
   | Pexp_apply (f, args) -> apply env sts f args
   | Pexp_let (_, vbs, body) ->
+    (* local functions enter the lexical scope first (before their own
+       bodies run), so recursive and sibling calls resolve to the scoped
+       unit name rather than colliding with every other "go"/"walk" *)
+    let env =
+      let adds =
+        List.filter_map
+          (fun vb ->
+            if is_function_expr vb.pvb_expr then
+              match binding_name vb with
+              | "_" -> None
+              | n -> Some (n, env.uname ^ "." ^ n)
+            else None)
+          vbs
+      in
+      match adds with [] -> env | adds -> { env with scope = adds @ env.scope }
+    in
     let sts = List.fold_left (fun sts vb -> binding env sts vb) sts vbs in
     walk env sts body
-  | Pexp_sequence (a, b) -> walk env (walk env sts a) b
+  | Pexp_sequence (a, b) ->
+    (* a discarded value cannot carry a latch onward *)
+    let sa = walk env sts a in
+    let sa =
+      List.map
+        (fun s ->
+          {
+            s with
+            held = List.filter (fun i -> not i.i_pending) s.held;
+            alias = [];
+          })
+        sa
+    in
+    walk env sa b
   | Pexp_ifthenelse (c, t, eo) ->
+    let ft, fe = l8_cond env c in
     let sc = walk env sts c in
-    let st = walk env sc t in
-    let se = match eo with Some el -> walk env sc el | None -> sc in
+    let st = walk env (List.map ft sc) t in
+    let se =
+      match eo with
+      | Some el -> walk env (List.map fe sc) el
+      | None -> List.map fe sc
+    in
     union st se
   | Pexp_match (scrut, cases) ->
+    let read = l8_state_read env scrut in
     let s0 = walk env sts scrut in
-    cases_union env s0 cases
+    match_union env s0 ~read cases
   | Pexp_try (body, handlers) ->
     (* handlers approximated as running from the entry state *)
     let sb = walk env sts body in
-    let sh = cases_union env sts handlers in
+    let sh = match_union env sts ~read:None handlers in
     union sb sh
   | Pexp_fun (_, _, _, body) ->
-    (* closure creation: runs zero or more times *)
+    (* closure creation outside an argument position: check captures,
+       then approximate the body as running zero or more times *)
+    l7_capture_check env sts e.pexp_loc e;
     union sts (walk env sts body)
-  | Pexp_function cases -> union sts (cases_union env sts cases)
+  | Pexp_function cases ->
+    l7_capture_check env sts e.pexp_loc e;
+    union sts (match_union env sts ~read:None cases)
   | Pexp_while (c, b) ->
     let sc = walk env sts c in
     union sc (walk env sc b)
@@ -329,8 +1185,20 @@ and walk env sts e =
   | Pexp_record (fields, base) ->
     let sts = match base with Some b -> walk env sts b | None -> sts in
     List.fold_left (fun sts (_, fe) -> walk env sts fe) sts fields
-  | Pexp_field (b, _) -> walk env sts b
-  | Pexp_setfield (a, _, b) -> walk env (walk env sts a) b
+  | Pexp_field (b, fld) ->
+    (match b.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident r; _ } ->
+      let fname =
+        match List.rev (Longident.flatten fld.txt) with
+        | f :: _ -> f
+        | [] -> ""
+      in
+      if fname <> "id" then l7_dead_use env sts e.pexp_loc ("." ^ fname) r
+    | _ -> ());
+    walk env sts b
+  | Pexp_setfield (a, _, b) ->
+    l7_store_check env sts e.pexp_loc "a mutable field" b;
+    walk env (walk env sts a) b
   | Pexp_constraint (a, _)
   | Pexp_coerce (a, _, _)
   | Pexp_newtype (_, a)
@@ -352,31 +1220,91 @@ and walk env sts e =
     | _ -> walk env sts a)
   | _ -> sts
 
-and cases_union env s0 cases =
+(* union over match/function cases; [read] is the fact key when the
+   scrutinee reads a lifecycle state, so constructor patterns refine it *)
+and match_union env s0 ~read cases =
   match cases with
   | [] -> s0
   | _ ->
     List.fold_left
       (fun acc c ->
+        let entry =
+          match read with
+          | Some key -> (
+            match pat_mask env.cfg c.pc_lhs with
+            | Some mask ->
+              List.map (fun s -> meet_fact env.cfg s key mask) s0
+            | None -> s0)
+          | None -> s0
+        in
+        (* bind the scrutinee's pending latches to the case's variables *)
+        let entry = bind_states env entry (pat_vars c.pc_lhs) in
         let sg =
-          match c.pc_guard with Some g -> walk env s0 g | None -> s0
+          match c.pc_guard with Some g -> walk env entry g | None -> entry
         in
         union acc (walk env sg c.pc_rhs))
       [] cases
 
+(* Root pending items (and alias extensions) at freshly bound names. A
+   pattern that binds nothing drops pending items: the alternative where
+   a latch was returned cannot be the one this armless pattern matched,
+   and a discarded binding cannot carry the latch onward. *)
+and bind_states env sts vars =
+  ignore env;
+  List.map
+    (fun s ->
+      let held =
+        List.filter_map
+          (fun i ->
+            if i.i_pending then
+              match vars with
+              | [] -> None
+              | _ -> Some { i with i_roots = vars; i_pending = false }
+            else if
+              s.alias <> [] && List.exists (fun r -> List.mem r s.alias) i.i_roots
+            then Some { i with i_roots = vars @ i.i_roots }
+            else Some i)
+          s.held
+      in
+      { s with held; alias = [] })
+    sts
+
 and binding env sts vb =
   if is_function_expr vb.pvb_expr then begin
-    let allows = collect_allows env vb.pvb_attributes @ env.allows in
-    sub_unit env ~name:(binding_name vb) ~loc:vb.pvb_loc ~allows vb.pvb_expr;
+    l7_capture_check env sts vb.pvb_loc vb.pvb_expr;
+    if env.register then begin
+      let allows = collect_allows env vb.pvb_attributes @ env.allows in
+      sub_unit env
+        ~name:(env.uname ^ "." ^ binding_name vb)
+        ~loc:vb.pvb_loc ~allows vb.pvb_expr
+    end;
     sts
   end
-  else
+  else begin
     let env =
       match collect_allows env vb.pvb_attributes with
       | [] -> env
       | extra -> { env with allows = extra @ env.allows }
     in
-    walk env sts vb.pvb_expr
+    let vars = pat_vars vb.pvb_pat in
+    (* a var bound to a configured handle source becomes a tracked page
+       handle for L7 *)
+    (match ((strip_fun vb.pvb_expr).pexp_desc, vars) with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _), [ v ]
+      when List.mem (resolve env txt) env.cfg.l7_sources ->
+      Hashtbl.replace env.acc.handles v vb.pvb_loc
+    | _ -> ());
+    let sts = walk env sts vb.pvb_expr in
+    (* vars bound to a returned latch are handles too *)
+    List.iter
+      (fun s ->
+        if List.exists (fun i -> i.i_pending && i.i_path <> "") s.held then
+          List.iter
+            (fun v -> Hashtbl.replace env.acc.handles v vb.pvb_loc)
+            vars)
+      sts;
+    bind_states env sts vars
+  end
 
 and apply env sts f args =
   match f.pexp_desc with
@@ -385,6 +1313,20 @@ and apply env sts f args =
     match (name, args) with
     | "|>", [ (_, a); (_, fn) ] -> pipe env sts a fn
     | "@@", [ (_, fn); (_, a) ] -> pipe env sts a fn
+    | (":=" | "ref"), _ ->
+      let rhs =
+        match (name, positional args) with
+        | ":=", [ _; r ] -> Some r
+        | "ref", [ r ] -> Some r
+        | _ -> None
+      in
+      (match rhs with
+      | Some r ->
+        l7_store_check env sts f.pexp_loc
+          (if name = ":=" then "a reference cell" else "a ref")
+          r
+      | None -> ());
+      walk_args env sts args
     | _ -> named_call env sts name f.pexp_loc args)
   | _ ->
     let sts = walk env sts f in
@@ -394,7 +1336,7 @@ and pipe env sts a fn =
   let sts = walk env sts a in
   match (strip_fun fn).pexp_desc with
   | Pexp_fun (_, _, _, body) -> walk env sts body
-  | Pexp_function cases -> cases_union env sts cases
+  | Pexp_function cases -> match_union env sts ~read:None cases
   | Pexp_ident { txt; _ } ->
     named_call env sts (resolve env txt) fn.pexp_loc []
   | _ -> walk env sts fn
@@ -403,68 +1345,97 @@ and walk_args env sts args =
   List.fold_left
     (fun sts (_, a) ->
       match (strip_fun a).pexp_desc with
-      | Pexp_fun _ | Pexp_function _ ->
-        (* callback: zero-or-once inline, under the current latch state *)
-        walk env sts a
+      | Pexp_fun (_, _, _, body) ->
+        (* callback argument: zero-or-once inline, under the current
+           latch state; capture is legal (it does not escape the call) *)
+        union sts (walk env sts body)
+      | Pexp_function cases -> union sts (match_union env sts ~read:None cases)
+      | Pexp_ident { txt = Longident.Ldot _ as lid; _ } ->
+        (* module-qualified function value: a call-graph edge for
+           reachability (the HOF may invoke it), no effect application *)
+        record_call ~callback:true env sts (resolve env lid) a.pexp_loc [];
+        sts
       | _ -> walk env sts a)
     sts args
 
 and named_call env sts name loc args =
   let pos = positional args in
-  let arg1 = match pos with a :: _ -> Some (expr_key a) | [] -> None in
   match name with
   | "Latch.acquire" -> (
     match pos with
     | latch_e :: mode_e :: _ ->
       let sts = walk_args env sts args in
       let key = expr_key latch_e and mode = mode_key mode_e in
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       env.acc.acq <- true;
-      List.map (fun s -> { s with held = (key, mode, loc) :: s.held }) sts
+      let root, path = split_key key in
+      List.map
+        (fun s ->
+          let s = { s with dead = List.remove_assoc root s.dead } in
+          {
+            s with
+            held =
+              {
+                i_roots = [ root ];
+                i_path = path;
+                i_mode = mode;
+                i_loc = loc;
+                i_origin = [];
+                i_pending = false;
+              }
+              :: s.held;
+            alias = [];
+          })
+        sts
     | _ ->
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       sts)
   | "Latch.release" -> (
     match pos with
     | latch_e :: mode_e :: _ ->
       let sts = walk_args env sts args in
       let key = expr_key latch_e and mode = mode_key mode_e in
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       let sts = l3_flush env sts in
       List.map
         (fun s ->
-          let rec drop = function
-            | [] -> []
-            | (k, m, al) :: rest when k = key ->
-              if mode <> "?" && m <> "?" && m <> mode then
-                emit env ~rule:"L1"
-                  ~hint:"release with the same mode that was acquired" loc
-                  ("latch " ^ key ^ " released in mode " ^ mode
-                 ^ " but acquired in mode " ^ m ^ " at line "
-                 ^ string_of_int al.Location.loc_start.pos_lnum);
-              rest
-            | x :: rest -> x :: drop rest
-          in
-          { s with held = drop s.held })
+          { (release_one env ~params:env.params s key mode loc) with
+            alias = [] })
         sts
     | _ ->
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       sts)
   | "Latch.with_latch" -> (
     match pos with
     | latch_e :: mode_e :: rest ->
       let key = expr_key latch_e and mode = mode_key mode_e in
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       env.acc.acq <- true;
+      let root, path = split_key key in
       let inner =
-        List.map (fun s -> { s with held = (key, mode, loc) :: s.held }) sts
+        List.map
+          (fun s ->
+            {
+              s with
+              held =
+                {
+                  i_roots = [ root ];
+                  i_path = path;
+                  i_mode = mode;
+                  i_loc = loc;
+                  i_origin = [];
+                  i_pending = false;
+                }
+                :: s.held;
+            })
+          sts
       in
       let inner =
         match rest with
         | fn :: _ -> (
           match (strip_fun fn).pexp_desc with
           | Pexp_fun (_, _, _, body) -> walk env inner body
-          | Pexp_function cases -> cases_union env inner cases
+          | Pexp_function cases -> match_union env inner ~read:None cases
           | Pexp_ident { txt; _ } ->
             named_call env inner (resolve env txt) fn.pexp_loc []
           | _ -> walk env inner fn)
@@ -473,39 +1444,55 @@ and named_call env sts name loc args =
       let inner = l3_flush env inner in
       List.map
         (fun s ->
-          let rec drop = function
-            | [] -> []
-            | (k, _, _) :: rest when k = key -> rest
-            | x :: rest -> x :: drop rest
-          in
-          { s with held = drop s.held })
+          { (release_one env ~params:env.params s key mode loc) with
+            alias = [] })
         inner
     | _ ->
-      record_call env sts name loc arg1;
+      record_call env sts name loc pos;
       sts)
   | _ when List.mem name raise_names ->
     let sts = walk_args env sts args in
-    record_call env sts name loc arg1;
+    record_call env sts name loc pos;
     []
   | _ ->
     let sts = walk_args env sts args in
-    record_call env sts name loc arg1;
+    (* dead-handle arguments *)
+    List.iter
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident r; _ } ->
+          l7_dead_use env sts loc ("argument to " ^ name) r
+        | _ -> ())
+      pos;
+    record_call env sts name loc pos;
+    let sts = l8_call env sts name loc args in
     let sts =
       if env.in_l3 && List.mem name env.cfg.l3_mutators then
         List.map (fun s -> { s with pend = (name, loc) :: s.pend }) sts
-      else if List.mem name env.cfg.l3_appends then
-        List.map (fun s -> { s with pend = [] }) sts
+      else if
+        List.mem name env.cfg.l3_appends
+        || env.ctx.x_appends ~caller_module:env.modname name
+      then List.map (fun s -> { s with pend = [] }) sts
       else sts
     in
-    sts
+    apply_effect env sts name loc pos
 
-(* --- units --- *)
+(* --- units ----------------------------------------------------------- *)
 
-and analyze_unit env ~name ~loc ~allows expr =
-  let acc =
-    { calls = []; local = []; acq = false; l3_seen = Hashtbl.create 8 }
+(* Run a unit's transfer function under [ctx] and store the results
+   (calls, local findings, latch effect) into [u] in place. This is the
+   function the dataflow solver re-invokes via [u_rerun]. *)
+and do_run env u expr ctx =
+  let acc = fresh_acc () in
+  let env =
+    { env with
+      allows = u.u_allows;
+      acc;
+      ctx;
+      params = u.u_params;
+      uname = u.u_name;
+    }
   in
-  let env = { env with allows; acc } in
   let rec body_of e =
     match e.pexp_desc with
     | Pexp_fun (_, _, _, b) -> body_of b
@@ -516,48 +1503,234 @@ and analyze_unit env ~name ~loc ~allows expr =
   let b = body_of expr in
   let exits =
     match b.pexp_desc with
-    | Pexp_function cases -> cases_union env [ empty_state ] cases
+    | Pexp_function cases ->
+      match_union env [ empty_state ] ~read:None cases
     | _ -> walk env [ empty_state ] b
   in
-  (* L1: a latch acquired in this unit survives to a normal exit *)
-  let seen = Hashtbl.create 8 in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun (k, m, al) ->
-          let kk = loc_key al in
-          if not (Hashtbl.mem seen kk) then begin
-            Hashtbl.add seen kk ();
-            emit env ~rule:"L1"
-              ~hint:
-                "balance the acquire on every path, use Latch.with_latch, \
-                 or justify the ownership transfer with [@lint.allow]"
-              al
-              ("latch " ^ k ^ " (" ^ m
-             ^ ") acquired here is not released on every path of " ^ name)
-          end)
-        s.held)
-    exits;
-  env.units :=
+  let tails =
+    match b.pexp_desc with
+    | Pexp_function _ -> Hashtbl.create 1
+    | _ -> tail_value_idents b
+  in
+  let returned s r = Hashtbl.mem tails r || List.mem r s.alias in
+  let l1_seen = Hashtbl.create 8 in
+  let ret_params = ref [] in
+  let alts =
+    List.map
+      (fun s ->
+        List.iter
+          (fun p ->
+            match param_index u.u_params p with
+            | Some i when returned s p ->
+              if not (List.mem i !ret_params) then
+                ret_params := i :: !ret_params
+            | _ -> ())
+          u.u_params;
+        let atoms =
+          List.filter_map
+            (fun i ->
+              if i.i_pending || List.exists (returned s) i.i_roots then
+                Some
+                  {
+                    Latch_effect.a_kind = Latch_effect.Ret;
+                    a_path = i.i_path;
+                    a_mode = i.i_mode;
+                    a_loc = i.i_loc;
+                    a_origin = i.i_origin;
+                  }
+              else
+                match
+                  List.find_map (fun r -> param_index u.u_params r) i.i_roots
+                with
+                | Some idx ->
+                  Some
+                    {
+                      Latch_effect.a_kind = Latch_effect.Param idx;
+                      a_path = i.i_path;
+                      a_mode = i.i_mode;
+                      a_loc = i.i_loc;
+                      a_origin = i.i_origin;
+                    }
+                | None ->
+                  (* acquired here (or received from a callee), reachable
+                     from no returned value and no parameter: leaked *)
+                  let kk = loc_key i.i_loc in
+                  if not (Hashtbl.mem l1_seen kk) then begin
+                    Hashtbl.add l1_seen kk ();
+                    let what =
+                      match i.i_roots with
+                      | r :: _ -> "latch " ^ r ^ i.i_path
+                      | [] -> "a returned latch"
+                    in
+                    emit ~trace:i.i_origin env ~rule:"L1"
+                      ~hint:
+                        "balance the acquire on every path, use \
+                         Latch.with_latch, or justify the ownership \
+                         transfer with [@lint.allow]"
+                      i.i_loc
+                      (what ^ " (" ^ i.i_mode
+                     ^ ") acquired here is not released on every path of "
+                     ^ u.u_name)
+                  end;
+                  None)
+            s.held
+        in
+        atoms @ s.neg)
+      exits
+  in
+  (* L7: returning a handle whose latch was already released *)
+  if env.in_l7 && exits <> [] then
+    Hashtbl.iter
+      (fun v _ ->
+        if Hashtbl.mem acc.handles v then
+          match
+            if
+              List.for_all (fun s -> List.mem_assoc v s.dead) exits
+            then List.assoc_opt v (List.hd exits).dead
+            else None
+          with
+          | Some rel ->
+            emit env ~rule:"L7"
+              ~hint:"return the page id (or re-latch) instead" rel
+              ("page handle " ^ v
+             ^ " is returned from " ^ u.u_name
+             ^ " after its latch was released")
+          | None -> ())
+      tails;
+  u.u_calls <- List.rev acc.calls;
+  u.u_acquires_latch <- acc.acq;
+  u.u_local <- List.rev acc.local;
+  u.u_effect <- Latch_effect.make ~alts ~ret_params:!ret_params
+
+and analyze_unit env ~name ~loc ~allows expr =
+  let params = fun_params (strip_fun expr) in
+  let rec u =
     {
       u_module = env.modname;
       u_file = env.file;
       u_name = name;
       u_loc = loc;
       u_allows = allows;
-      u_calls = List.rev acc.calls;
-      u_acquires_latch = acc.acq;
-      u_local = List.rev acc.local;
+      u_params = params;
+      u_calls = [];
+      u_acquires_latch = false;
+      u_local = [];
+      u_effect = Latch_effect.bottom;
+      u_rerun = (fun ctx -> do_run { env with register = false } u expr ctx);
     }
-    :: !(env.units)
+  in
+  env.units := u :: !(env.units);
+  do_run env u expr env.ctx
 
 and sub_unit env ~name ~loc ~allows expr =
-  let full = ref name in
-  (* nested unit names are dotted onto the enclosing unit's name *)
-  (match !(env.units) with _ -> ());
-  analyze_unit env ~name:!full ~loc ~allows expr
+  analyze_unit env ~name ~loc ~allows expr
 
-(* --- structure traversal --- *)
+(* --- L9 raw-material collection -------------------------------------- *)
+
+let l9_empty () =
+  {
+    l9_variants = [];
+    l9_pats = Hashtbl.create 16;
+    l9_cons = Hashtbl.create 16;
+    l9_arms = [];
+  }
+
+let last_component lid =
+  match List.rev (Longident.flatten lid) with l :: _ -> l | [] -> ""
+
+let rec pat_ctor_names p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> [ last_component txt ]
+  | Ppat_or (a, b) -> pat_ctor_names a @ pat_ctor_names b
+  | Ppat_constraint (p, _) | Ppat_alias (p, _) | Ppat_open (_, p) ->
+    pat_ctor_names p
+  | Ppat_any | Ppat_var _ -> [ "_" ]
+  | _ -> [ "_" ]
+
+let collect_l9 str =
+  let info = ref (l9_empty ()) in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) ->
+            Hashtbl.replace !info.l9_pats (last_component txt) ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_construct ({ txt; _ }, _) ->
+            Hashtbl.replace !info.l9_cons (last_component txt) ()
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      type_declaration =
+        (fun it d ->
+          (match d.ptype_kind with
+          | Ptype_variant ctors ->
+            let cs =
+              List.map (fun c -> (c.pcd_name.txt, c.pcd_loc)) ctors
+            in
+            info :=
+              { !info with
+                l9_variants = (d.ptype_name.txt, cs) :: !info.l9_variants }
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration it d);
+    }
+  in
+  it.structure it str;
+  (* classifier arms: top-level [let f = function ...] (or a match on a
+     parameter) with constructor patterns *)
+  let rhs_false e =
+    match (strip_fun e).pexp_desc with
+    | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> true
+    | _ -> false
+  in
+  let arms_of name expr =
+    let rec body e =
+      match e.pexp_desc with
+      | Pexp_fun (_, _, _, b) | Pexp_newtype (_, b)
+      | Pexp_constraint (b, _) -> body b
+      | _ -> e
+    in
+    let cases =
+      match (body expr).pexp_desc with
+      | Pexp_function cases | Pexp_match (_, cases) -> Some cases
+      | _ -> None
+    in
+    match cases with
+    | None -> []
+    | Some cases ->
+      List.concat_map
+        (fun c ->
+          let f = rhs_false c.pc_rhs in
+          List.map (fun ctor -> (name, ctor, f)) (pat_ctor_names c.pc_lhs))
+        cases
+  in
+  let rec scan items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let n = binding_name vb in
+              if n <> "_" then
+                info :=
+                  { !info with l9_arms = !info.l9_arms @ arms_of n vb.pvb_expr })
+            vbs
+        | Pstr_module
+            { pmb_expr = { pmod_desc = Pmod_structure inner; _ }; _ } ->
+          scan inner
+        | _ -> ())
+      items
+  in
+  scan str;
+  !info
+
+(* --- structure traversal --------------------------------------------- *)
 
 let register_module_binding env (mb : module_binding) prefix process =
   match mb.pmb_name.txt with
@@ -586,12 +1759,19 @@ let summarize_source ?(config = default_config) ~file src =
       aliases;
       modname;
       in_l3 = List.mem modname config.l3_modules;
+      in_l7 = not (List.mem modname config.l7_exempt_modules);
       allows = [];
-      acc = { calls = []; local = []; acq = false; l3_seen = Hashtbl.create 1 };
+      acc = fresh_acc ();
       units;
       file;
       file_findings;
       all_allows;
+      allow_memo = Hashtbl.create 16;
+      register = true;
+      ctx = initial_ctx;
+      params = [];
+      uname = "";
+      scope = [];
     }
   in
   let lexbuf = Lexing.from_string src in
@@ -611,6 +1791,7 @@ let summarize_source ?(config = default_config) ~file src =
       fs_module = modname;
       fs_units = [];
       fs_allows = [];
+      fs_l9 = l9_empty ();
       fs_findings =
         [
           {
@@ -618,6 +1799,7 @@ let summarize_source ?(config = default_config) ~file src =
             f_loc = Location.in_file file;
             f_msg = "parse error: " ^ msg;
             f_hint = "fix the syntax error";
+            f_trace = [];
             f_allows = [];
           };
         ];
@@ -636,21 +1818,26 @@ let summarize_source ?(config = default_config) ~file src =
             | Some _, Pmod_structure inner -> prescan inner
             | _ -> ())
           | Pstr_attribute attr -> (
-            match allow_of_attribute attr with
-            | Some (Ok allow) ->
-              all_allows := allow :: !all_allows;
-              file_allows := allow :: !file_allows
-            | Some (Error (loc, why)) ->
-              file_findings :=
-                {
-                  f_rule = "allow";
-                  f_loc = loc;
-                  f_msg = why;
-                  f_hint = "use [@@@lint.allow \"Ln: justification\"]";
-                  f_allows = [];
-                }
-                :: !file_findings
-            | None -> ())
+            let k = loc_key attr.attr_loc in
+            if not (Hashtbl.mem env0.allow_memo k) then
+              match allow_of_attribute attr with
+              | Some (Ok allow) ->
+                Hashtbl.replace env0.allow_memo k (Some allow);
+                all_allows := allow :: !all_allows;
+                file_allows := allow :: !file_allows
+              | Some (Error (loc, why)) ->
+                Hashtbl.replace env0.allow_memo k None;
+                file_findings :=
+                  {
+                    f_rule = "allow";
+                    f_loc = loc;
+                    f_msg = why;
+                    f_hint = "use [@@@lint.allow \"Ln: justification\"]";
+                    f_trace = [];
+                    f_allows = [];
+                  }
+                  :: !file_findings
+              | None -> ())
           | _ -> ())
         items
     in
@@ -684,6 +1871,7 @@ let summarize_source ?(config = default_config) ~file src =
       fs_units = List.rev !units;
       fs_findings = List.rev !file_findings;
       fs_allows = List.rev !all_allows;
+      fs_l9 = collect_l9 str;
     }
 
 let summarize_file ?config file =

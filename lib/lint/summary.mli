@@ -1,32 +1,61 @@
-(** Per-function call summaries extracted from the parsetree.
+(** Per-unit summaries and re-runnable transfer functions.
 
-    Each [.ml] file is parsed with compiler-libs (parsetree only — no type
-    information) and every value binding becomes an analysis {e unit}.
-    Walking a unit's body tracks, path-sensitively, the multiset of latches
-    held (via [Latch.acquire]/[Latch.release]/[Latch.with_latch]), and
-    records every call site together with the latches held at that moment.
-    Unit-local protocol findings (rule L1 latch balance, rule L3 WAL
-    discipline) are emitted during the walk; cross-function rules (L2, L4,
-    L5) consume the summaries in {!Rules}.
+    Each [.ml] file is parsed with compiler-libs (parsetree only — no
+    type information) and every value binding becomes an analysis
+    {e unit}. Walking a unit's body tracks, path-sensitively, the
+    latches held (acquired directly or produced by callee effects), L3
+    pending mutations, released (dead) page handles, and L8 lifecycle
+    facts; it records every call site together with the latches held at
+    that moment.
 
-    The analysis is necessarily approximate: branches union their states,
-    loops run zero-or-once, callbacks passed to higher-order functions run
-    zero-or-once inline, and latches are identified by the source text of
-    the latch expression. Functions that intentionally transfer latch
-    ownership (hand-over-hand crabbing) carry
-    [[@lint.allow "L1: reason"]] justifications. *)
+    Unlike the single-pass v1, a unit's walk is {e re-runnable}: the
+    first pass registers units and runs under {!initial_ctx} (no
+    interprocedural knowledge); the {!Dataflow} solver then re-invokes
+    [u_rerun] with contexts that resolve callee latch-effects from the
+    evolving fixpoint, and a final pass with [x_emit = true] refreshes
+    each unit's findings under the converged solution.
+
+    The analysis is necessarily approximate: branches union their
+    states, loops run zero-or-once, callbacks passed to higher-order
+    functions run zero-or-once inline, and latches are identified by the
+    source text of the latch expression. Functions that intentionally
+    leak a latch into a structure the analysis cannot track carry
+    [[@lint.allow "Ln: reason"]] justifications. *)
 
 type config = {
   l3_modules : string list;
       (** modules whose heap-page mutations must be WAL-logged *)
   l3_mutators : string list;  (** canonical names of page-mutating calls *)
   l3_appends : string list;  (** canonical names of log-append calls *)
+  l7_sources : string list;
+      (** calls whose result is a latched page handle (out-of-tree
+          sources; in-tree transfers are inferred from latch effects) *)
+  l7_exempt_modules : string list;
+      (** page-cache internals that legitimately store page structures *)
+  l8_states : string list;
+      (** lifecycle DFA states; bit [i] of a fact mask = [i]-th entry *)
+  l8_legal : (string * string) list;  (** legal (from, to) transitions *)
+  l8_state_fn : string;  (** state-reading call, e.g. ["Catalog.state"] *)
+  l8_mutators : (string * (int * int)) list;
+      (** transition calls: name -> positional (index arg, state arg) *)
+  l8_initializers : (string * string * string) list;
+      (** descriptor-creating calls: (name, index label, state label) *)
+  l8_read_calls : string list;  (** index-read entry points to gate *)
+  l8_read_modules : string list;  (** modules where the read gate applies *)
+  l8_exempt : string list;  (** e.g. recovery's [restore_state] *)
+  l9_record_module : string;  (** module declaring the WAL record variant *)
+  l9_type : string;  (** the variant type name, e.g. ["body"] *)
+  l9_codec_modules : string list;
+  l9_redo_modules : string list;
+  l9_undo_modules : string list;
+  l9_redo_classifier : string;  (** e.g. ["is_redoable"] *)
+  l9_undo_classifier : string;
 }
 
 val default_config : config
 
 type allow = {
-  a_rule : string;  (** "L1".."L6" *)
+  a_rule : string;  (** "L1".."L9" *)
   a_reason : string;
   a_loc : Location.t;  (** the attribute itself, for unused-allow reports *)
   a_used : bool ref;
@@ -40,6 +69,10 @@ type call = {
   c_held : (string * string) list;
       (** latches possibly held at the call: (latch expr text, mode) *)
   c_arg1 : string option;  (** text of the first positional argument *)
+  c_args : string list;  (** all positional argument keys, in order *)
+  c_callback : bool;
+      (** a module-qualified function passed as an argument: call-graph
+          edge for reachability, no effect application at the site *)
   c_allows : allow list;  (** allow scope at the site *)
 }
 
@@ -48,19 +81,52 @@ type finding = {
   f_loc : Location.t;
   f_msg : string;
   f_hint : string;
+  f_trace : string list;
+      (** interprocedural frames (innermost first) explaining how the
+          finding crossed function boundaries; [] for local findings *)
   f_allows : allow list;
 }
+
+type ctx = {
+  x_effects : caller_module:string -> string -> Latch_effect.t option;
+      (** resolve a callee's latch effect; [None] = unknown/out-of-tree *)
+  x_appends : caller_module:string -> string -> bool;
+      (** callee may (transitively) append to the WAL (discharges L3) *)
+  x_mutators : caller_module:string -> string -> (int * int) option;
+      (** callee is a (wrapped) lifecycle mutator: (index pos, state pos) *)
+  x_emit : bool;  (** final pass: produce findings *)
+}
+
+val initial_ctx : ctx
+(** No interprocedural knowledge, no emission — the pass-A context. *)
 
 type u = {
   u_module : string;  (** module name derived from the file name *)
   u_file : string;
-  u_name : string;  (** dotted path, e.g. "descend_write.go" *)
+  u_name : string;
   u_loc : Location.t;
   u_allows : allow list;  (** allows in scope for the whole unit *)
-  u_calls : call list;
-  u_acquires_latch : bool;
+  u_params : string list;  (** positional parameter names, in order *)
+  mutable u_calls : call list;
+  mutable u_acquires_latch : bool;
       (** the unit contains a direct [Latch.acquire]/[with_latch] *)
-  u_local : finding list;  (** unit-local L1/L3 findings *)
+  mutable u_local : finding list;  (** unit-local L1/L3/L7/L8 findings *)
+  mutable u_effect : Latch_effect.t;  (** current fixpoint value *)
+  u_rerun : ctx -> unit;
+      (** re-execute the transfer function, refreshing the mutable
+          fields in place *)
+}
+
+type l9_info = {
+  l9_variants : (string * (string * Location.t) list) list;
+      (** declared variant types: (type name, constructors) *)
+  l9_pats : (string, unit) Hashtbl.t;
+      (** constructor names matched in patterns anywhere in the file *)
+  l9_cons : (string, unit) Hashtbl.t;
+      (** constructor names constructed anywhere in the file *)
+  l9_arms : (string * string * bool) list;
+      (** classifier arms: (function, ctor or "_", rhs is literal
+          [false]) — for [is_redoable]-style coverage predicates *)
 }
 
 type file_summary = {
@@ -71,13 +137,15 @@ type file_summary = {
       (** file-level findings: parse errors, malformed allow attributes *)
   fs_allows : allow list;
       (** every well-formed [@lint.allow] in the file, in source order *)
+  fs_l9 : l9_info;
 }
 
 val module_name_of_file : string -> string
 
 val summarize_file : ?config:config -> string -> file_summary
-(** Parse and analyse one [.ml] file from disk. Parse failures yield a
-    summary with no units and a ["parse"] finding. *)
+(** Parse and analyse one [.ml] file from disk (pass A: units registered
+    and run once under {!initial_ctx}). Parse failures yield a summary
+    with no units and a ["parse"] finding. *)
 
 val summarize_source :
   ?config:config -> file:string -> string -> file_summary

@@ -93,9 +93,6 @@ let try_page t id record =
     end
   end
   else None
-[@@lint.allow
-  "L1: on success the X-latched page travels with the reservation to the \
-   caller (table_ops), which logs the insert and then releases"]
 
 let prepare_insert t record =
   (* 1. inventory hits (dropping stale entries) *)
@@ -142,9 +139,6 @@ let latch_rid t rid mode =
   let p = page t rid.Rid.page in
   Oib_sim.Latch.acquire p.Page.latch mode;
   p
-[@@lint.allow
-  "L1: latching accessor by design: returns the page latched in the \
-   requested mode; every caller releases after its record operation"]
 
 let read_record t rid =
   let p = latch_rid t rid S in

@@ -1,0 +1,28 @@
+(* Clean twin of l7_escape.ml: the legitimate patterns around a latched
+   page handle. Fixture data for test_lint — parsed, never compiled. *)
+
+(* copying a scalar field out of the latched section is the recommended
+   remedy, not an escape *)
+let page_id t rid =
+  let p = Heap_file.latch_rid t rid S in
+  let id = p.Page.id in
+  Latch.release p.Page.latch S;
+  id
+
+let inventory = ref []
+
+(* storing the page id (not the handle) in mutable structure is fine *)
+let remember_id t rid =
+  let p = Heap_file.latch_rid t rid X in
+  inventory := p.Page.id :: !inventory;
+  Latch.release p.Page.latch X;
+  ()
+
+(* a local function whose parameter shadows the handle captures
+   nothing; the engine proves the release happens inside [walk] *)
+let shadowed_walker t rid =
+  let p = Heap_file.latch_rid t rid S in
+  let rec walk (p : Page.t) =
+    if p.Page.id >= 0 then Latch.release p.Page.latch S else walk p
+  in
+  walk p

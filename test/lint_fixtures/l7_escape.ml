@@ -1,0 +1,24 @@
+(* Planted L7 violations: a latched page handle escaping the latched
+   section. Fixture data for test_lint — parsed by the linter, never
+   compiled. *)
+
+let stash = ref None
+
+(* escape 1: the live handle is stored into a ref *)
+let store_in_ref t rid =
+  let p = Heap_file.latch_rid t rid X in
+  stash := Some p;
+  Latch.release p.Page.latch X
+
+(* escape 2: an escaping closure captures the live handle *)
+let capture_in_closure t rid =
+  let p = Heap_file.latch_rid t rid S in
+  let read () = Heap_page.get (Heap_page.of_payload p.Page.payload) 0 in
+  Latch.release p.Page.latch S;
+  read
+
+(* escape 3: the payload is touched after the latch was released *)
+let use_after_release t rid =
+  let p = Heap_file.latch_rid t rid S in
+  Latch.release p.Page.latch S;
+  Heap_page.get (Heap_page.of_payload p.Page.payload) rid.Rid.slot

@@ -1,0 +1,24 @@
+(* Clean twin of l8_illegal.ml: every transition is dominated by a state
+   check that restricts the source to legal_transition's preimage, and
+   index reads are gated. Fixture data for test_lint — parsed, never
+   compiled. *)
+
+let enable cat pool idx =
+  match Catalog.state cat idx with
+  | Catalog.Write_only -> Catalog.set_state cat pool idx Catalog.Readable
+  | _ -> ()
+
+let disable cat pool idx =
+  if Catalog.state cat idx = Catalog.Write_only then
+    Catalog.set_state cat pool idx Catalog.Disabled
+
+let gated_read info key =
+  match info.state with
+  | Catalog.Readable -> Btree.find info.tree key
+  | _ -> None
+
+(* a descriptor created Disabled may legally move to Write_only *)
+let fresh cat pool idx =
+  Catalog.add_index cat pool ~table_id:0 ~index_id:idx ~key_cols:[ 1 ]
+    ~unique:false ~phase:Catalog.Ready ~state:Catalog.Disabled;
+  Catalog.set_state cat pool idx Catalog.Write_only

@@ -1,0 +1,17 @@
+(* Planted L8 violations: lifecycle transitions outside legal_transition
+   and an ungated index read. Fixture data for test_lint — parsed, never
+   compiled. *)
+
+(* no dominating state check: Disabled -> Readable is reachable and is
+   not a legal edge *)
+let skip_write_only cat pool idx = Catalog.set_state cat pool idx Catalog.Readable
+
+(* guarded, but in the wrong direction: Readable -> Write_only is not a
+   legal edge either *)
+let wrong_direction cat pool idx =
+  match Catalog.state cat idx with
+  | Catalog.Readable -> Catalog.set_state cat pool idx Catalog.Write_only
+  | _ -> ()
+
+(* an index read with no dominating lifecycle gate *)
+let ungated_read info key = Btree.find info.tree key

@@ -1,0 +1,13 @@
+(* Codec half of the clean L9 corpus. Fixture data for test_lint —
+   parsed, never compiled. *)
+
+let encode = function
+  | L9_clean_records.Alpha n -> "A" ^ string_of_int n
+  | L9_clean_records.Beta s -> "B" ^ s
+  | L9_clean_records.Gamma -> "G"
+
+let decode s =
+  match s.[0] with
+  | 'A' -> L9_clean_records.Alpha 0
+  | 'B' -> L9_clean_records.Beta ""
+  | _ -> L9_clean_records.Gamma

@@ -1,0 +1,15 @@
+(* Clean twin of the L9 corpus: every constructor is encoded, decoded,
+   classified, and replayed where its classifier demands it. Fixture
+   data for test_lint — parsed, never compiled. *)
+
+type body =
+  | Alpha of int
+  | Beta of string
+  | Gamma
+
+let is_redoable = function
+  | Alpha _ -> true
+  | Beta _ -> true
+  | Gamma -> false
+
+let is_undoable = function Alpha _ -> true | Beta _ | Gamma -> false

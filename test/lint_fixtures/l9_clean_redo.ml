@@ -1,0 +1,12 @@
+(* Replay half of the clean L9 corpus: both redoable constructors are
+   replayed, the undoable one is undone. Fixture data for test_lint —
+   parsed, never compiled. *)
+
+let redo apply = function
+  | L9_clean_records.Alpha n -> apply n
+  | L9_clean_records.Beta _ -> ()
+  | L9_clean_records.Gamma -> ()
+
+let undo = function
+  | L9_clean_records.Alpha n -> ignore n
+  | _ -> ()

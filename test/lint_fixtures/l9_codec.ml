@@ -1,0 +1,14 @@
+(* Codec half of the planted L9 corpus: encodes and decodes every
+   constructor except [Orphan]. Fixture data for test_lint — parsed,
+   never compiled. *)
+
+let encode = function
+  | L9_records.Alpha n -> "A" ^ string_of_int n
+  | L9_records.Beta s -> "B" ^ s
+  | L9_records.Gamma -> "G"
+
+let decode s =
+  match s.[0] with
+  | 'A' -> L9_records.Alpha 0
+  | 'B' -> L9_records.Beta ""
+  | _ -> L9_records.Gamma

@@ -1,0 +1,20 @@
+(* Planted L9 violation: the WAL record variant has a constructor
+   ([Orphan]) that the codec never encodes or decodes and the redo path
+   never replays, although the classifier marks it redoable. Fixture
+   data for test_lint — parsed, never compiled. *)
+
+type body =
+  | Alpha of int
+  | Beta of string
+  | Gamma
+  | Orphan of int
+
+let is_redoable = function
+  | Alpha _ -> true
+  | Beta _ -> true
+  | Gamma -> false
+  | Orphan _ -> true
+
+let is_undoable = function
+  | Alpha _ -> true
+  | Beta _ | Gamma | Orphan _ -> false

@@ -1,0 +1,12 @@
+(* Replay half of the planted L9 corpus: redoes Alpha and Beta, undoes
+   Alpha; [Orphan] is classified redoable but never replayed. Fixture
+   data for test_lint — parsed, never compiled. *)
+
+let redo apply = function
+  | L9_records.Alpha n -> apply n
+  | L9_records.Beta _ -> ()
+  | _ -> ()
+
+let undo = function
+  | L9_records.Alpha n -> ignore n
+  | _ -> ()

@@ -216,6 +216,22 @@ let prop_crash_preserves_state =
       let ctx' = Engine.crash ctx in
       Catalog.state ctx'.Ctx.catalog 10 = !model)
 
+(* a corrupted or future-version catalog page must fail loudly with the
+   typed error, never map to an arbitrary state *)
+let test_state_of_int_roundtrip () =
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "roundtrips" true
+        (Catalog.state_of_int (Catalog.state_to_int st) = st))
+    [ Catalog.Disabled; Catalog.Write_only; Catalog.Readable ];
+  List.iter
+    (fun bogus ->
+      Alcotest.check_raises
+        (Printf.sprintf "state_of_int %d raises" bogus)
+        (Catalog.Invalid_index_state bogus)
+        (fun () -> ignore (Catalog.state_of_int bogus)))
+    [ -1; 3; 42; max_int ]
+
 let () =
   Alcotest.run "lifecycle"
     [
@@ -223,6 +239,8 @@ let () =
         [
           Alcotest.test_case "all 9 pairs, driven" `Quick test_all_pairs;
           QCheck_alcotest.to_alcotest prop_random_walk;
+          Alcotest.test_case "state_of_int rejects corruption" `Quick
+            test_state_of_int_roundtrip;
         ] );
       ( "write_only",
         [

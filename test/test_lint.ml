@@ -19,6 +19,11 @@ let opts ?(require_mli = false) ?(l3_modules = []) () =
 let run ?require_mli ?l3_modules names =
   Lint.run_files ~options:(opts ?require_mli ?l3_modules ()) (List.map fx names)
 
+let run_cfg config names =
+  Lint.run_files
+    ~options:{ Lint.default_options with Lint.require_mli = false; Lint.config }
+    (List.map fx names)
+
 (* unsuppressed (rule, basename) pairs, sorted *)
 let error_rules res =
   List.sort_uniq compare
@@ -131,6 +136,103 @@ let test_unused_allow_reported () =
   Alcotest.(check int) "used allow not flagged" 0
     (List.length used.Lint.r_unused_allows)
 
+let test_l7_escape () =
+  let res = run [ "l7_escape.ml"; "l7_clean.ml" ] in
+  check_rules "only the planted file trips L7"
+    [ ("L7", "l7_escape.ml") ]
+    res;
+  Alcotest.(check int) "ref store + closure capture + use after release" 3
+    (count_rule "L7" res)
+
+let l8_cfg =
+  { Summary.default_config with
+    Summary.l8_read_modules = [ "L8_illegal"; "L8_clean" ];
+  }
+
+let test_l8_lifecycle () =
+  let res = run_cfg l8_cfg [ "l8_illegal.ml"; "l8_clean.ml" ] in
+  check_rules "only the planted file trips L8"
+    [ ("L8", "l8_illegal.ml") ]
+    res;
+  Alcotest.(check int)
+    "unguarded transition + wrong direction + ungated read" 3
+    (count_rule "L8" res)
+
+let l9_cfg ~clean =
+  let tag n = if clean then "L9_clean_" ^ n else "L9_" ^ n in
+  { Summary.default_config with
+    Summary.l9_record_module = tag "records";
+    Summary.l9_codec_modules = [ tag "codec" ];
+    Summary.l9_redo_modules = [ tag "redo" ];
+    Summary.l9_undo_modules = [ tag "redo" ];
+  }
+
+let test_l9_exhaustiveness () =
+  let res =
+    run_cfg (l9_cfg ~clean:false)
+      [ "l9_records.ml"; "l9_codec.ml"; "l9_redo.ml" ]
+  in
+  check_rules "the orphan constructor trips L9"
+    [ ("L9", "l9_records.ml") ]
+    res;
+  Alcotest.(check int) "no encode + no decode + no redo coverage" 3
+    (count_rule "L9" res);
+  let clean =
+    run_cfg (l9_cfg ~clean:true)
+      [ "l9_clean_records.ml"; "l9_clean_codec.ml"; "l9_clean_redo.ml" ]
+  in
+  Alcotest.(check int) "covered corpus is silent" 0 (count_rule "L9" clean)
+
+let test_explain_trace () =
+  (* the transitive L2 finding (yield reached through a local helper)
+     must carry the interprocedural witness chain *)
+  let res = run [ "l2_yield_under_latch.ml"; "l2_clean.ml" ] in
+  let l2 =
+    List.filter (fun (d : Diag.t) -> d.Diag.rule = "L2") (Lint.errors res)
+  in
+  Alcotest.(check bool) "at least one L2 carries a call path" true
+    (List.exists (fun (d : Diag.t) -> List.length d.Diag.trace >= 2) l2)
+
+let all_fixture_files =
+  [
+    "l1_unbalanced.ml"; "l1_balanced.ml"; "l2_yield_under_latch.ml";
+    "l2_clean.ml"; "l2_allowed.ml"; "l3_mutate_without_log.ml";
+    "l3_logged.ml"; "l4_rogue_print.ml"; "l4_clean.ml"; "lock_manager.ml";
+    "l5_cycle_a.ml"; "l5_cycle_b.ml"; "l5_upper.ml"; "l5_lower.ml";
+    "l6_no_mli.ml"; "l6_with_mli.ml"; "l7_escape.ml"; "l7_clean.ml";
+    "l8_illegal.ml"; "l8_clean.ml"; "l9_records.ml"; "l9_codec.ml";
+    "l9_redo.ml"; "l9_clean_records.ml"; "l9_clean_codec.ml";
+    "l9_clean_redo.ml"; "malformed_allow.ml"; "unused_allow.ml";
+  ]
+
+let shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* everything deterministic the engine produces: sorted diagnostics plus
+   the call graph with converged effects (timings excluded by design) *)
+let render res =
+  String.concat "\n" (List.map Diag.to_string res.Lint.r_diags)
+  ^ "\n"
+  ^ Callgraph.to_json res.Lint.r_graph
+
+let determinism_test =
+  QCheck.Test.make ~name:"callgraph fixpoint is deterministic" ~count:25
+    QCheck.small_int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let files = shuffle st all_fixture_files in
+      let canonical = run (List.sort compare all_fixture_files) in
+      let shuffled = run files in
+      let rerun = run files in
+      String.equal (render shuffled) (render rerun)
+      && String.equal (render canonical) (render shuffled))
+
 let test_stats_json () =
   let res = run [ "l1_unbalanced.ml" ] in
   let json = Lint.stats_to_json res.Lint.r_stats in
@@ -156,10 +258,17 @@ let () =
           Alcotest.test_case "L5 one-way hierarchy clean" `Quick
             test_l5_hierarchy_clean;
           Alcotest.test_case "L6 missing mli" `Quick test_l6_missing_mli;
+          Alcotest.test_case "L7 page-handle escape" `Quick test_l7_escape;
+          Alcotest.test_case "L8 lifecycle protocol" `Quick test_l8_lifecycle;
+          Alcotest.test_case "L9 WAL exhaustiveness" `Quick
+            test_l9_exhaustiveness;
+          Alcotest.test_case "explain carries call path" `Quick
+            test_explain_trace;
           Alcotest.test_case "malformed allow reported" `Quick
             test_malformed_allow;
           Alcotest.test_case "unused allow reported" `Quick
             test_unused_allow_reported;
           Alcotest.test_case "stats json" `Quick test_stats_json;
         ] );
+      ("engine", [ QCheck_alcotest.to_alcotest determinism_test ]);
     ]
