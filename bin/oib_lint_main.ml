@@ -2,8 +2,9 @@
 
    Parses every .ml under --root with compiler-libs (parsetree only),
    builds a whole-tree call graph, solves the interprocedural
-   latch-effect fixpoint, and enforces the latch/WAL/logging/lifecycle
-   discipline rules L1..L9 described in DESIGN.md §12 and §17.
+   latch-effect and may-yield fixpoints, and enforces the
+   latch/WAL/logging/lifecycle/interference discipline rules L1..L12
+   described in DESIGN.md §12, §17 and §18.
    Exit status: 0 clean, 1 unsuppressed diagnostics. *)
 
 open Cmdliner
@@ -28,6 +29,9 @@ let print_stats (st : L.stats) =
       (fun (f, r, why) -> line "  %-4s %s: %s\n" r f why)
       st.L.st_suppressions
   end;
+  if st.L.st_baselined > 0 then
+    line "baselined findings  %d (grandfathered by --baseline)\n"
+      st.L.st_baselined;
   line "phase wall time (ms):\n";
   List.iter (fun (k, v) -> line "  %-10s %.2f\n" k v) st.L.st_phase_ms;
   line "rule wall time (ms):\n";
@@ -75,15 +79,19 @@ let trajectory_record (res : L.result) =
       (List.sort_uniq compare
          (List.map fst (st.L.st_by_rule @ st.L.st_suppressed_by_rule)))
   in
+  let rule_ms name =
+    Option.value ~default:0. (List.assoc_opt name st.L.st_rule_ms)
+  in
   (* alphabetical keys, schema bench-trajectory/v1 *)
   Printf.sprintf
-    "{\"analysis_ms\":%.3f,\"files\":%d,\"findings\":%d,\"kind\":\"lint_engine\",\"rules\":\"%s\",\"schema\":\"bench-trajectory/v1\",\"units\":%d}"
+    "{\"analysis_ms\":%.3f,\"files\":%d,\"findings\":%d,\"kind\":\"lint_engine\",\"l10_ms\":%.3f,\"l11_ms\":%.3f,\"l12_ms\":%.3f,\"rules\":\"%s\",\"schema\":\"bench-trajectory/v1\",\"units\":%d}"
     ms st.L.st_files
     (total st.L.st_by_rule + total st.L.st_suppressed_by_rule)
-    (json_escape rules) st.L.st_units
+    (rule_ms "L10") (rule_ms "L11") (rule_ms "L12") (json_escape rules)
+    st.L.st_units
 
 let run root stats json show_suppressed unused_allows strict emit_graph
-    graph explain trajectory =
+    graph explain trajectory baseline write_baseline emit_atomics =
   if not (Sys.file_exists root && Sys.is_directory root) then begin
     prerr_endline ("oib-lint: no such directory: " ^ root);
     2
@@ -91,6 +99,19 @@ let run root stats json show_suppressed unused_allows strict emit_graph
   else begin
     let options = { L.default_options with L.root } in
     let res = L.run_tree ~options root in
+    let res =
+      match baseline with
+      | Some path -> (
+        match L.read_baseline path with
+        | keys -> L.apply_baseline keys res
+        | exception Sys_error e | exception Failure e ->
+          prerr_endline ("oib-lint: --baseline: " ^ e);
+          exit 2)
+      | None -> res
+    in
+    (match write_baseline with
+    | Some path -> L.write_baseline path res
+    | None -> ());
     let errs = L.errors res in
     let shown = if show_suppressed then res.L.r_diags else errs in
     List.iter (print_diag ~explain) shown;
@@ -114,6 +135,13 @@ let run root stats json show_suppressed unused_allows strict emit_graph
     | Some path ->
       let oc = open_out path in
       output_string oc (Oib_lint.Callgraph.to_json res.L.r_graph);
+      close_out oc
+    | None -> ());
+    (match emit_atomics with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Oib_lint.Atomics.to_json res.L.r_rules.Oib_lint.Rules.atomics);
       close_out oc
     | None -> ());
     (match trajectory with
@@ -190,12 +218,47 @@ let trajectory =
   Arg.(
     value & opt (some string) None & info [ "trajectory" ] ~docv:"FILE" ~doc)
 
+let baseline =
+  let doc =
+    "Grandfather findings listed in the $(docv) snapshot (created with \
+     $(b,--write-baseline)): matching findings are reported as baselined, \
+     counted separately in --stats, and do not fail the run."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let write_baseline =
+  let doc =
+    "Snapshot the current unsuppressed findings to $(docv) \
+     (oib-lint-baseline/v1, one rule|file|site|msg key per line)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-baseline" ] ~docv:"FILE" ~doc)
+
+let emit_atomics =
+  let doc =
+    "Write the L12 atomic-section table (per-function yield-free regions \
+     and the crossing/atomic shared-state classification) as JSON to \
+     $(docv), for the sanitizer's static-vs-dynamic diff \
+     (oib_fuzz --atomics)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-atomics" ] ~docv:"FILE" ~doc)
+
 let cmd =
-  let doc = "latch/WAL/logging/lifecycle protocol linter for the oib tree" in
+  let doc =
+    "latch/WAL/logging/lifecycle/interference protocol linter for the oib \
+     tree"
+  in
   let info = Cmd.info "oib-lint" ~doc in
   Cmd.v info
     Term.(
       const run $ root $ stats $ json $ show_suppressed $ unused_allows
-      $ strict $ emit_graph $ graph $ explain $ trajectory)
+      $ strict $ emit_graph $ graph $ explain $ trajectory $ baseline
+      $ write_baseline $ emit_atomics)
 
 let () = exit (Cmd.eval' cmd)

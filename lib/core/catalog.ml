@@ -75,6 +75,7 @@ type t = {
   page_capacity : int;
   tables : (int, table_info) Hashtbl.t;
   indexes : (int, index_info) Hashtbl.t;
+  mutable trace : Oib_obs.Trace.t;  (* sanitizer probes only *)
 }
 
 type Durable_kv.value +=
@@ -94,7 +95,30 @@ let table_cat_key id = Printf.sprintf "cat/table/%d" id
 let index_cat_key id = Printf.sprintf "cat/index/%d" id
 
 let create kv ~page_capacity =
-  { kv; page_capacity; tables = Hashtbl.create 8; indexes = Hashtbl.create 16 }
+  {
+    kv;
+    page_capacity;
+    tables = Hashtbl.create 8;
+    indexes = Hashtbl.create 16;
+    trace = Oib_obs.Trace.null;
+  }
+
+let set_trace t trace = t.trace <- trace
+
+(* Shared-state probes for the sanitizer's L12 interference automaton.
+   The key carries the index instance — the per-index state words are
+   independent, exactly as the linter keys accesses by instance — and
+   the sanitizer strips the "(i)" suffix back to the class when diffing
+   against the static table. *)
+let probe_state t index_id ~write site =
+  if Oib_obs.Trace.probing t.trace then
+    Oib_obs.Trace.probe_emit t.trace
+      (Oib_obs.Probe.Shared
+         {
+           key = Printf.sprintf "Catalog.state(%d)" index_id;
+           write;
+           site;
+         })
 
 let kv t = t.kv
 let page_capacity t = t.page_capacity
@@ -242,7 +266,9 @@ let sidefiled_for _t (tbl : table_info) ~target ~record =
 
 let set_phase t index_id phase = (index t index_id).phase <- phase
 
-let state t index_id = (index t index_id).state
+let state t index_id =
+  probe_state t index_id ~write:false "catalog.state";
+  (index t index_id).state
 
 (* Durability order: WAL record first (appended + flushed), then the
    forced catalog entry, then memory. A crash between the two leaves the
@@ -250,13 +276,24 @@ let state t index_id = (index t index_id).state
    after reopen, so the logged transition wins either way. *)
 let set_state t pool index_id to_ =
   let info = index t index_id in
+  probe_state t index_id ~write:false "catalog.set_state";
   let from_ = info.state in
   if not (legal_transition ~from_ ~to_) then
     raise (Illegal_transition { index = index_id; from_; to_ });
   log_ddl pool
     (Oib_wal.Log_record.Index_state
        { index = index_id; state = state_to_int to_ });
+  (* log_ddl forces the WAL, which may suspend this fiber; another DDL
+     fiber could have transitioned the index meanwhile. Re-validate
+     against the current state before installing, so a raced transition
+     surfaces as Illegal_transition instead of silently clobbering it
+     (the logged record is then a no-op replay of a rejected change). *)
+  probe_state t index_id ~write:false "catalog.set_state.revalidate";
+  let cur = info.state in
+  if not (legal_transition ~from_:cur ~to_) then
+    raise (Illegal_transition { index = index_id; from_ = cur; to_ });
   info.state <- to_;
+  probe_state t index_id ~write:true "catalog.set_state";
   persist_index t info
 
 (* recovery-only: apply a replayed state without legality checks or

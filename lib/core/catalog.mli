@@ -98,6 +98,11 @@ type t
 
 val create : Oib_storage.Durable_kv.t -> page_capacity:int -> t
 
+val set_trace : t -> Oib_obs.Trace.t -> unit
+(** Point the catalog's sanitizer probes ([Shared] events on class
+    [Catalog.state], keyed per index instance) at the current
+    incarnation's trace. Defaults to {!Oib_obs.Trace.null}. *)
+
 val kv : t -> Oib_storage.Durable_kv.t
 val page_capacity : t -> int
 

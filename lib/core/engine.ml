@@ -63,7 +63,11 @@ let wire_observability (ctx : Ctx.t) =
        (fun th reason ->
          if Oib_obs.Trace.tracing ctx.Ctx.trace then
            Oib_obs.Trace.emit ctx.Ctx.trace
-             (Oib_obs.Event.Ib_throttle { level = Throttle.level th; reason })))
+             (Oib_obs.Event.Ib_throttle { level = Throttle.level th; reason })));
+  (* point the shared-state sanitizer probes (L12 interference twin) at
+     this incarnation's trace *)
+  Throttle.set_trace ctx.Ctx.throttle ctx.Ctx.trace;
+  Catalog.set_trace ctx.Ctx.catalog ctx.Ctx.trace
 
 let create ?(seed = 42) ?(page_capacity = 1024)
     ?(trace = Oib_obs.Trace.null) () =

@@ -11,6 +11,7 @@ type t = {
   mutable watched : string list;
   mutable notify : (t -> string -> unit) option;
   mutable pause : bool;
+  mutable trace : Oib_obs.Trace.t;  (* sanitizer probes only *)
 }
 
 let create ?(max_level = 3) () =
@@ -22,15 +23,33 @@ let create ?(max_level = 3) () =
     watched = [];
     notify = None;
     pause = false;
+    trace = Oib_obs.Trace.null;
   }
 
-let level t = t.level
+let set_trace t trace = t.trace <- trace
+
+(* Shared-state probes for the sanitizer's L12 interference automaton:
+   every [t.level] read/write the linter counts has a dynamic twin here,
+   so the static and dynamic crossing sets stay comparable. *)
+let probe t ~write site =
+  if Oib_obs.Trace.probing t.trace then
+    Oib_obs.Trace.probe_emit t.trace
+      (Oib_obs.Probe.Shared { key = "Throttle.level"; write; site })
+
+let level t =
+  probe t ~write:false "throttle.level";
+  t.level
+
 let backoffs t = t.backoffs
 let restores t = t.restores
 
-let scaled t ~base = max 1 (base lsr t.level)
+let scaled t ~base =
+  probe t ~write:false "throttle.scaled";
+  max 1 (base lsr t.level)
 
-let extra_yields t = t.level
+let extra_yields t =
+  probe t ~write:false "throttle.extra_yields";
+  t.level
 
 let set_notify t f = t.notify <- f
 
@@ -42,8 +61,10 @@ let on_change t set s change =
   if List.mem name t.watched then
     match change with
     | Signal.Raised ->
+      probe t ~write:false "throttle.on_change";
       if t.level < t.max_level then begin
         t.level <- t.level + 1;
+        probe t ~write:true "throttle.on_change";
         t.backoffs <- t.backoffs + 1;
         fire t (name ^ " raised")
       end
@@ -58,8 +79,10 @@ let on_change t set s change =
             | None -> false)
           t.watched
       in
+      probe t ~write:false "throttle.on_change";
       if (not any_active) && t.level > 0 then begin
         t.level <- 0;
+        probe t ~write:true "throttle.on_change";
         t.restores <- t.restores + 1;
         fire t (name ^ " cleared")
       end

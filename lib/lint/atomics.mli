@@ -1,0 +1,44 @@
+(** L12: atomic-section export.
+
+    From the converged per-unit summaries, compute every function's
+    maximal yield-free regions (runs of shared-state accesses that do
+    not cross a suspension point) and classify every shared-state
+    class key as [atomic] (no unit has a read→yield→write window over
+    it) or [crossing] (some unit does — recorded {e before}
+    [[@lint.allow]] suppression, so justified windows still count).
+
+    The JSON export (schema [oib-lint-atomics/v1]) is the static half
+    of the L12 twin: [oib-fuzz --sanitize --atomics FILE] diffs the
+    interleavings the sanitizer actually observes against this table.
+    A dynamically observed crossing that the static table calls atomic
+    is a soundness bug in one of the two; a static crossing never
+    observed dynamically is merely untested. *)
+
+type region = {
+  rg_start : int;  (** first line of the yield-free run *)
+  rg_end : int;
+  rg_reads : string list;  (** class keys read in the region, sorted *)
+  rg_writes : string list;
+}
+
+type unit_atomics = {
+  ua_unit : string;  (** ["Module.name"] *)
+  ua_file : string;
+  ua_yield : string;  (** converged may-yield level, human-readable *)
+  ua_regions : region list;
+}
+
+type t = {
+  at_crossing : string list;
+      (** class keys with a stale-write window somewhere in the tree *)
+  at_atomic : string list;
+      (** accessed class keys that never cross a yield *)
+  at_units : unit_atomics list;  (** units touching shared state, sorted *)
+}
+
+val compute : Callgraph.t -> t
+(** Requires a graph already through {!Dataflow.solve_effects} and
+    {!Dataflow.emit_pass} (regions need the converged yield sites). *)
+
+val to_json : t -> string
+(** Byte-stable: everything sorted, no timestamps. *)

@@ -122,10 +122,11 @@ let to_json t =
       (List.map
          (fun u ->
            Printf.sprintf
-             "{\"unit\":\"%s\",\"file\":\"%s\",\"effect\":\"%s\",\"acquires\":%b}"
+             "{\"unit\":\"%s\",\"file\":\"%s\",\"effect\":\"%s\",\"yield\":\"%s\",\"acquires\":%b}"
              (json_escape (full u))
              (json_escape u.u_file)
              (json_escape (Latch_effect.to_string u.u_effect))
+             (json_escape (Yield_effect.to_string u.u_yield))
              u.u_acquires_latch)
          t.cg_units)
   in

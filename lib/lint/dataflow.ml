@@ -28,15 +28,34 @@ let effect_resolver cg ~caller_module name =
          (fun acc u -> Latch_effect.join acc u.u_effect)
          Latch_effect.bottom us)
 
+let yield_resolver cg ~caller_module name =
+  match Callgraph.lookup cg ~caller_module name with
+  | [] -> None
+  | us ->
+    Some
+      (List.fold_left
+         (fun acc u -> Yield_effect.join acc u.u_yield)
+         Yield_effect.bottom us)
+
 let max_visits = 24
 
-let solve_effects cg =
+(* [order] permutes only the initial enqueue order; the fixpoint must be
+   (and is, see the order-independence property test) insensitive to it *)
+let solve_effects ?(order = fun us -> us) cg =
   let units = Callgraph.units cg in
   let ctx =
-    { initial_ctx with x_effects = (fun ~caller_module n ->
-          effect_resolver cg ~caller_module n) }
+    { initial_ctx with
+      x_effects =
+        (fun ~caller_module n -> effect_resolver cg ~caller_module n);
+      x_yields =
+        (fun ~caller_module n -> yield_resolver cg ~caller_module n);
+    }
   in
-  List.iter (fun u -> u.u_effect <- Latch_effect.bottom) units;
+  List.iter
+    (fun u ->
+      u.u_effect <- Latch_effect.bottom;
+      u.u_yield <- Yield_effect.bottom)
+    units;
   let visits : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
   let queued : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
   let q = Queue.create () in
@@ -47,7 +66,7 @@ let solve_effects cg =
       Queue.add u q
     end
   in
-  List.iter enqueue units;
+  List.iter enqueue (order units);
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     let k = (u.u_module, u.u_name) in
@@ -56,12 +75,16 @@ let solve_effects cg =
     if n < max_visits then begin
       Hashtbl.replace visits k (n + 1);
       let old = u.u_effect in
+      let oldy = u.u_yield in
       u.u_rerun ctx;
       (* keep the solution monotone even if a capped approximation
          momentarily shrinks a component *)
       u.u_effect <- Latch_effect.join old u.u_effect;
-      if not (Latch_effect.equal old u.u_effect) then
-        List.iter enqueue (Callgraph.callers cg u)
+      u.u_yield <- Yield_effect.join oldy u.u_yield;
+      if
+        (not (Latch_effect.equal old u.u_effect))
+        || not (Yield_effect.equal oldy u.u_yield)
+      then List.iter enqueue (Callgraph.callers cg u)
     end
   done
 
@@ -182,6 +205,8 @@ let final_ctx ~config cg =
         List.find_map
           (fun u -> Hashtbl.find_opt muts (u.u_module, u.u_name))
           (Callgraph.lookup cg ~caller_module n));
+    x_yields =
+      (fun ~caller_module n -> yield_resolver cg ~caller_module n);
     x_emit = true;
   }
 

@@ -5,11 +5,16 @@
     every unit under the converged context with emission on) → the rule
     evaluators in {!Rules}. *)
 
-val solve_effects : Callgraph.t -> unit
-(** Iterate every unit's transfer function to the latch-effect fixpoint
-    (effects reset to bottom first, callers requeued on growth, per-unit
-    visit cap as a termination backstop). Mutates [u_effect] in place;
-    emission is off. *)
+val solve_effects :
+  ?order:(Summary.u list -> Summary.u list) -> Callgraph.t -> unit
+(** Iterate every unit's transfer function to the joint latch-effect /
+    may-yield fixpoint (both reset to bottom first, callers requeued on
+    growth of either, per-unit visit cap as a termination backstop).
+    Mutates [u_effect] and [u_yield] in place; emission is off.
+
+    [order] permutes only the initial worklist enqueue order — the
+    converged solution must be (and is, see the order-independence
+    property test) insensitive to it. *)
 
 val reach :
   Callgraph.t ->

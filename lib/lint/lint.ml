@@ -19,6 +19,7 @@ type stats = {
   st_by_rule : (string * int) list;
   st_suppressed_by_rule : (string * int) list;
   st_suppressions : (string * string * string) list;
+  st_baselined : int;
   st_phase_ms : (string * float) list;
   st_rule_ms : (string * float) list;
 }
@@ -127,6 +128,7 @@ let run_files ?(options = default_options) files =
           (fun (d : Diag.t) ->
             (d.file, d.rule, Option.value ~default:"" d.suppressed))
           suppressed;
+      st_baselined = 0;
       st_phase_ms =
         [
           ("summarize", ms t0 t1);
@@ -150,6 +152,71 @@ let run_tree ?(options = default_options) root =
 
 let errors r =
   List.filter (fun (d : Diag.t) -> d.suppressed = None) r.r_diags
+
+(* --- findings baseline (grandfathering) ---
+
+   A baseline file snapshots the unsuppressed findings of a run; a
+   later run with [--baseline FILE] marks findings whose key matches a
+   baseline entry as [suppressed = Some "baselined"]. Grandfathering
+   is deliberately explicit: baselined findings stay in the report and
+   are counted in their own stats row, never folded into the
+   allow-suppression counts. The key excludes line/column so the
+   baseline survives unrelated edits above the finding. *)
+
+let baseline_header = "oib-lint-baseline/v1"
+
+let baseline_key (d : Diag.t) =
+  d.rule ^ "|" ^ d.file ^ "|" ^ d.site ^ "|" ^ d.msg
+
+let write_baseline file r =
+  let oc = open_out file in
+  output_string oc (baseline_header ^ "\n");
+  List.iter
+    (fun k -> output_string oc (k ^ "\n"))
+    (List.sort_uniq compare (List.map baseline_key (errors r)));
+  close_out oc
+
+let read_baseline file =
+  let ic = open_in file in
+  let keys = Hashtbl.create 32 in
+  (try
+     let hdr = input_line ic in
+     if hdr <> baseline_header then
+       failwith
+         (file ^ ": not an oib-lint baseline (header " ^ hdr ^ ")");
+     while true do
+       let line = input_line ic in
+       if line <> "" then Hashtbl.replace keys line ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  keys
+
+let apply_baseline keys r =
+  let baselined = ref 0 in
+  let diags =
+    List.map
+      (fun (d : Diag.t) ->
+        if d.suppressed = None && Hashtbl.mem keys (baseline_key d) then begin
+          incr baselined;
+          { d with suppressed = Some "baselined" }
+        end
+        else d)
+      r.r_diags
+  in
+  let unsuppressed =
+    List.filter (fun (d : Diag.t) -> d.suppressed = None) diags
+  in
+  {
+    r with
+    r_diags = diags;
+    r_stats =
+      {
+        r.r_stats with
+        st_by_rule = count_by_rule unsuppressed;
+        st_baselined = !baselined;
+      };
+  }
 
 (* --- tiny hand-rolled JSON (no external dependency) --- *)
 
@@ -192,6 +259,7 @@ let stats_to_json st =
             ^ "\",\"reason\":\"" ^ json_escape why ^ "\"}")
           st.st_suppressions));
   Buffer.add_string b "]";
+  Buffer.add_string b (",\"baselined\":" ^ string_of_int st.st_baselined);
   let times l =
     "{"
     ^ String.concat ","

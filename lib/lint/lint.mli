@@ -26,6 +26,9 @@ type stats = {
   st_suppressed_by_rule : (string * int) list;
   st_suppressions : (string * string * string) list;
       (** (file, rule, justification) for every applied suppression *)
+  st_baselined : int;
+      (** findings grandfathered by {!apply_baseline} (counted
+          separately from allow suppressions, never hidden) *)
   st_phase_ms : (string * float) list;
       (** wall time per engine phase: summarize, solve, emit, rules *)
   st_rule_ms : (string * float) list;
@@ -55,6 +58,24 @@ val run_tree : ?options:options -> string -> result
 
 val errors : result -> Diag.t list
 (** The unsuppressed diagnostics — non-empty means the lint fails. *)
+
+val baseline_key : Diag.t -> string
+(** The grandfathering identity of a finding:
+    [rule|file|site|msg] — no line/column, so the baseline survives
+    unrelated edits above the finding. *)
+
+val write_baseline : string -> result -> unit
+(** Snapshot the current unsuppressed findings (sorted, one key per
+    line under an [oib-lint-baseline/v1] header). *)
+
+val read_baseline : string -> (string, unit) Hashtbl.t
+(** Load a baseline file. Raises [Failure] on a bad header. *)
+
+val apply_baseline : (string, unit) Hashtbl.t -> result -> result
+(** Mark findings whose key is in the baseline as
+    [suppressed = Some "baselined"]; they stay in [r_diags] and are
+    counted in [st_baselined] but no longer in [st_by_rule] (so they
+    do not fail the run). *)
 
 val stats_to_json : stats -> string
 (** Render statistics as a small JSON object (for [LINT_stats.json]). *)

@@ -40,6 +40,7 @@ type t = {
   acquiring_units : (string * string) list;
   order_edges : (string * string) list;
   rule_ms : (string * float) list;
+  atomics : Atomics.t;  (* L12 static atomic-section table *)
 }
 
 (* --- suppression --- *)
@@ -419,7 +420,24 @@ let run ~config cg =
     timings := (name, (Sys.time () -. t0) *. 1000.) :: !timings;
     r
   in
-  let local = timed "local" (fun () -> local_diags summaries) in
+  let all_local = timed "local" (fun () -> local_diags summaries) in
+  (* L10/L11 findings are produced by the summariser's emit pass (they
+     need the converged may-yield fixpoint); carve them out of the
+     local bucket so they get their own wall-time and stats rows *)
+  let l10 =
+    timed "L10" (fun () ->
+        List.filter (fun d -> d.Diag.rule = "L10") all_local)
+  in
+  let l11 =
+    timed "L11" (fun () ->
+        List.filter (fun d -> d.Diag.rule = "L11") all_local)
+  in
+  let local =
+    List.filter
+      (fun d -> d.Diag.rule <> "L10" && d.Diag.rule <> "L11")
+      all_local
+  in
+  let atomics = timed "L12" (fun () -> Atomics.compute cg) in
   let l1 = timed "L1" (fun () -> l1_param_diags cg) in
   let blocking = ref (Hashtbl.create 0) in
   let l2 =
@@ -444,7 +462,7 @@ let run ~config cg =
   in
   let l9 = timed "L9" (fun () -> l9_diags ~config summaries) in
   let blocking = !blocking and acquiring = !acquiring and edges = !edges in
-  let diags = local @ l1 @ l2 @ l4 @ l5 @ l9 in
+  let diags = local @ l10 @ l11 @ l1 @ l2 @ l4 @ l5 @ l9 in
   let pairs tbl =
     List.sort_uniq compare (Hashtbl.fold (fun k _ a -> k :: a) tbl [])
   in
@@ -456,4 +474,5 @@ let run ~config cg =
       List.sort_uniq compare
         (Hashtbl.fold (fun (a, b) _ acc -> (a, b) :: acc) edges []);
     rule_ms = List.rev !timings;
+    atomics;
   }

@@ -40,6 +40,17 @@ type config = {
   l9_undo_modules : string list;
   l9_redo_classifier : string;
   l9_undo_classifier : string;
+  (* L10/L11: yield-point atomicity & stale projections *)
+  l10_yield_always : string list;
+      (* base calls that suspend on every invocation (Sched.yield &c) *)
+  l10_yield_may : string list;
+      (* base calls that may suspend (lock waits, log forces) *)
+  l10_shared_fields : (string * string) list;
+      (* mutable record field name -> shared-state class key *)
+  l10_shared_calls : (string * (string * int list * bool)) list;
+      (* call name -> (class key, instance arg positions, is_write) *)
+  l10_exempt_modules : string list;
+      (* single-fiber phases (recovery) where staleness is impossible *)
 }
 
 let default_config =
@@ -70,6 +81,36 @@ let default_config =
     l9_undo_modules = [ "Table_ops"; "Restart" ];
     l9_redo_classifier = "is_redoable";
     l9_undo_classifier = "is_undoable";
+    l10_yield_always =
+      [ "Sched.yield"; "Sched.suspend"; "Condvar.wait"; "Sched.Condvar.wait";
+        "Sched.Cond.wait" ];
+    l10_yield_may =
+      [ "Lock_manager.lock"; "Lock_manager.instant_lock";
+        "Log_manager.flush"; "Log_manager.flush_all" ];
+    l10_shared_fields =
+      [
+        ("phase", "Build_status.phase");
+        ("keys_processed", "Build_status.keys_processed");
+        ("backlog", "Build_status.backlog");
+        ("level", "Throttle.level");
+        ("state", "Catalog.state");
+        ("lsn", "Page.lsn");
+      ];
+    l10_shared_calls =
+      [
+        ("Catalog.state", ("Catalog.state", [ 1 ], false));
+        ("Catalog.set_state", ("Catalog.state", [ 2 ], true));
+        ("Catalog.set_phase", ("Catalog.phase", [ 1 ], true));
+        ("Build_status.set_phase", ("Build_status.phase", [ 0 ], true));
+        ("Throttle.level", ("Throttle.level", [ 0 ], false));
+        ("Throttle.scaled", ("Throttle.level", [ 0 ], false));
+        ("Throttle.extra_yields", ("Throttle.level", [ 0 ], false));
+        ("Range_set.add", ("Range_set", [ 0 ], true));
+        ("Range_set.mem", ("Range_set", [ 0 ], false));
+        ("Range_set.max_covered", ("Range_set", [ 0 ], false));
+        ("Range_set.missing", ("Range_set", [ 0 ], false));
+      ];
+    l10_exempt_modules = [ "Restart" ];
   }
 
 type allow = {
@@ -113,6 +154,9 @@ type ctx = {
   x_mutators : caller_module:string -> string -> (int * int) option;
       (* callee is a (possibly wrapped) lifecycle mutator: positional
          (index arg, state arg) *)
+  x_yields : caller_module:string -> string -> Yield_effect.t option;
+      (* callee's may-yield summary; None: unknown/out-of-tree callee
+         (assumed non-yielding — base sets name the true primitives) *)
   x_emit : bool;  (* final pass: produce findings *)
 }
 
@@ -121,6 +165,7 @@ let initial_ctx =
     x_effects = (fun ~caller_module:_ _ -> None);
     x_appends = (fun ~caller_module:_ _ -> false);
     x_mutators = (fun ~caller_module:_ _ -> None);
+    x_yields = (fun ~caller_module:_ _ -> None);
     x_emit = false;
   }
 
@@ -135,9 +180,18 @@ type u = {
   mutable u_acquires_latch : bool;
   mutable u_local : finding list;
   mutable u_effect : Latch_effect.t;
+  mutable u_yield : Yield_effect.t;
+  mutable u_yield_sites : (Location.t * string) list;
+      (* suspension points in walk order: (site, witness chain) *)
+  mutable u_accesses : (string * string * bool * Location.t) list;
+      (* shared-state footprint: (class, inst, is_write, site) *)
+  mutable u_crossings : string list;
+      (* class keys whose read-compute-write spans a yield (recorded
+         before [@lint.allow] suppression — the static L12 half) *)
   u_rerun : ctx -> unit;
       (* re-execute the transfer function under a new context, refreshing
-         u_calls / u_acquires_latch / u_local / u_effect in place *)
+         u_calls / u_acquires_latch / u_local / u_effect / u_yield &c
+         in place *)
 }
 
 (* L9 raw material, collected once per file: declared variants,
@@ -188,10 +242,11 @@ let allow_of_attribute (attr : attribute) =
           String.trim (String.sub s (i + 1) (String.length s - i - 1))
         in
         let rule_ok =
-          String.length rule = 2
+          (String.length rule = 2
           && rule.[0] = 'L'
           && rule.[1] >= '1'
-          && rule.[1] <= '9'
+          && rule.[1] <= '9')
+          || List.mem rule [ "L10"; "L11"; "L12" ]
         in
         if not rule_ok then
           malformed ("[@lint.allow]: unknown rule " ^ Filename.quote rule)
@@ -219,6 +274,28 @@ type item = {
   i_pending : bool;
 }
 
+(* A shared-state read the path has performed: class key (what kind of
+   state), instance key (which object, by source text), the read site,
+   and — once an unlatched may-yield call has been crossed — the yield
+   witness chain that staled it. *)
+type srd = {
+  sr_class : string;
+  sr_inst : string;
+  sr_loc : Location.t;
+  sr_stale : string option;
+}
+
+(* A local binding whose RHS projected a value out of shared state
+   (L11): the variable, the (class, instance) it was projected from,
+   the binding site, and the staling yield witness once crossed. *)
+type prj = {
+  pj_var : string;
+  pj_class : string;
+  pj_inst : string;
+  pj_loc : Location.t;
+  pj_stale : string option;
+}
+
 type state = {
   held : item list;
   pend : (string * Location.t) list;  (* L3: mutations awaiting an append *)
@@ -226,10 +303,14 @@ type state = {
   facts : (string * int) list;  (* L8: index key -> possible-state bitmask *)
   neg : Latch_effect.atom list;  (* releases of caller-held param latches *)
   alias : string list;  (* roots the last call's return value aliases *)
+  sreads : srd list;  (* L10: shared reads, freshest per (class, inst) *)
+  projs : prj list;  (* L11: projected-value bindings *)
+  ydef : bool;  (* the path has definitely suspended at least once *)
 }
 
 let empty_state =
-  { held = []; pend = []; dead = []; facts = []; neg = []; alias = [] }
+  { held = []; pend = []; dead = []; facts = []; neg = []; alias = [];
+    sreads = []; projs = []; ydef = false }
 
 let max_states = 48
 
@@ -256,9 +337,18 @@ type acc = {
   mutable calls : call list;
   mutable local : finding list;
   mutable acq : bool;
+  mutable yields : (Location.t * string) list;
+      (* yield sites in walk order: (site, witness chain) *)
+  mutable accesses : (string * string * bool * Location.t) list;
+      (* shared accesses in walk order: (class, inst, is_write, site) *)
+  crossings : (string, unit) Hashtbl.t;
+      (* class keys with a stale-read-then-write window, recorded
+         before suppression — the static half of the L12 twin *)
   l3_seen : (string, unit) Hashtbl.t;  (* dedup sites across states *)
   l7_seen : (string, unit) Hashtbl.t;
   l8_seen : (string, unit) Hashtbl.t;
+  l10_seen : (string, unit) Hashtbl.t;
+  l11_seen : (string, unit) Hashtbl.t;
   handles : (string, Location.t) Hashtbl.t;  (* page-handle vars *)
 }
 
@@ -267,9 +357,14 @@ let fresh_acc () =
     calls = [];
     local = [];
     acq = false;
+    yields = [];
+    accesses = [];
+    crossings = Hashtbl.create 4;
     l3_seen = Hashtbl.create 8;
     l7_seen = Hashtbl.create 8;
     l8_seen = Hashtbl.create 8;
+    l10_seen = Hashtbl.create 4;
+    l11_seen = Hashtbl.create 4;
     handles = Hashtbl.create 8;
   }
 
@@ -279,6 +374,7 @@ type env = {
   modname : string;
   in_l3 : bool;
   in_l7 : bool;
+  in_l10 : bool;
   allows : allow list;
   acc : acc;
   units : u list ref;
@@ -1105,6 +1201,216 @@ let l8_call env sts name loc args =
         end;
         sts)
 
+(* --- L10/L11: yield-point atomicity ---------------------------------- *)
+
+(* "f -> g -> Sched.yield" -> ["f"; "g"; "Sched.yield"] (OCaml paths
+   never contain '-' or '>') *)
+let chain_frames w =
+  if w = "" then []
+  else
+    List.filter_map
+      (fun s -> match String.trim s with "" -> None | s -> Some s)
+      (String.split_on_char '>'
+         (String.concat "" (String.split_on_char '-' w)))
+
+let inst_of_positions pos positions =
+  let keys =
+    List.map
+      (fun i ->
+        match List.nth_opt pos i with
+        | Some e -> expr_key e
+        | None -> "?")
+      positions
+  in
+  String.concat "," keys
+
+(* is [e] (syntactically) a read of shared state? *)
+let l10_read_of env e =
+  match (strip_fun e).pexp_desc with
+  | Pexp_field (b, { txt; _ }) -> (
+    match List.rev (Longident.flatten txt) with
+    | f :: _ -> (
+      match List.assoc_opt f env.cfg.l10_shared_fields with
+      | Some cls -> Some (cls, expr_key b)
+      | None -> None)
+    | [] -> None)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    match List.assoc_opt (resolve env txt) env.cfg.l10_shared_calls with
+    | Some (cls, positions, false) ->
+      Some (cls, inst_of_positions (positional args) positions)
+    | _ -> None)
+  | _ -> None
+
+(* a fresh read replaces any staler knowledge of the same (class, inst) *)
+let l10_note_read env sts cls inst loc =
+  env.acc.accesses <- (cls, inst, false, loc) :: env.acc.accesses;
+  List.map
+    (fun s ->
+      let keep =
+        List.filter
+          (fun r -> not (r.sr_class = cls && r.sr_inst = inst))
+          s.sreads
+      in
+      { s with
+        sreads =
+          { sr_class = cls; sr_inst = inst; sr_loc = loc; sr_stale = None }
+          :: keep })
+    sts
+
+let l10_note_write env sts cls inst loc =
+  env.acc.accesses <- (cls, inst, true, loc) :: env.acc.accesses;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun r ->
+          if r.sr_class = cls && r.sr_inst = inst then
+            match r.sr_stale with
+            | Some w ->
+              Hashtbl.replace env.acc.crossings cls ();
+              if env.in_l10 then begin
+                let k = "l10:" ^ loc_key loc ^ ":" ^ cls in
+                if not (Hashtbl.mem env.acc.l10_seen k) then begin
+                  Hashtbl.add env.acc.l10_seen k ();
+                  emit ~trace:(chain_frames w) env ~rule:"L10"
+                    ~hint:
+                      "hold the protecting latch across the section, or \
+                       re-read/validate the shared state after the yield \
+                       before writing"
+                    loc
+                    ("read of " ^ cls ^ "(" ^ inst ^ ") at line "
+                    ^ string_of_int r.sr_loc.Location.loc_start.pos_lnum
+                    ^ " spans a may-yield call (" ^ w
+                    ^ ") before this write: lost-update window")
+                end
+              end
+            | None -> ())
+        s.sreads)
+    sts;
+  (* the write is now the freshest knowledge of the key *)
+  List.map
+    (fun s ->
+      { s with
+        sreads =
+          List.filter
+            (fun r -> not (r.sr_class = cls && r.sr_inst = inst))
+            s.sreads })
+    sts
+
+(* Crossing a suspension point: record the site; [always] marks every
+   path as definitely suspended; an unlatched crossing stales shared
+   reads and projections (a held latch is taken as the protection —
+   latched blocking is L2's complaint, not L10's). *)
+let note_yield env sts loc ~always witness =
+  if
+    not
+      (List.exists (fun (l, _) -> loc_key l = loc_key loc) env.acc.yields)
+  then env.acc.yields <- (loc, witness) :: env.acc.yields;
+  List.map
+    (fun s ->
+      let s = if always then { s with ydef = true } else s in
+      if s.held <> [] then s
+      else
+        {
+          s with
+          sreads =
+            List.map
+              (fun r ->
+                if r.sr_stale = None then { r with sr_stale = Some witness }
+                else r)
+              s.sreads;
+          projs =
+            List.map
+              (fun p ->
+                if p.pj_stale = None then { p with pj_stale = Some witness }
+                else p)
+              s.projs;
+        })
+    sts
+
+(* classify a call as a suspension point: base sets first, then the
+   interprocedural may-yield solution with its witness chain *)
+let yield_class env name =
+  if List.mem name env.cfg.l10_yield_always then Some (true, name)
+  else if List.mem name env.cfg.l10_yield_may then Some (false, name)
+  else
+    match env.ctx.x_yields ~caller_module:env.modname name with
+    | Some ye when Yield_effect.yields ye ->
+      let w =
+        if ye.Yield_effect.witness = "" then name
+        else name ^ " -> " ^ ye.Yield_effect.witness
+      in
+      Some (Yield_effect.definite ye, w)
+    | _ -> None
+
+(* L11: positional ident arguments that are stale projections. A
+   comparison of a stale projection against a fresh read of the same
+   (class, inst) is the sanctioned re-validation idiom: it clears the
+   staleness instead of firing. *)
+let l11_check_args env sts name loc pos =
+  let revalidating p =
+    (name = "=" || name = "<>")
+    && List.exists
+         (fun e ->
+           match l10_read_of env e with
+           | Some (cls, inst) -> cls = p.pj_class && inst = p.pj_inst
+           | None -> false)
+         pos
+  in
+  let arg_vars =
+    List.filter_map
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident r; _ } -> Some r
+        | _ -> None)
+      pos
+  in
+  List.map
+    (fun s ->
+      let projs =
+        List.map
+          (fun p ->
+            if (not (List.mem p.pj_var arg_vars)) || p.pj_stale = None then p
+            else if revalidating p then { p with pj_stale = None }
+            else begin
+              (match p.pj_stale with
+              | Some w when env.in_l10 ->
+                let k = "l11:" ^ loc_key loc ^ ":" ^ p.pj_var in
+                if not (Hashtbl.mem env.acc.l11_seen k) then begin
+                  Hashtbl.add env.acc.l11_seen k ();
+                  emit ~trace:(chain_frames w) env ~rule:"L11"
+                    ~hint:
+                      "re-fetch the value after the yield (or compare it \
+                       against a fresh read) before acting on it"
+                    loc
+                    ("value " ^ p.pj_var ^ " projected from " ^ p.pj_class
+                    ^ "(" ^ p.pj_inst ^ ") at line "
+                    ^ string_of_int p.pj_loc.Location.loc_start.pos_lnum
+                    ^ " is used after a may-yield call (" ^ w
+                    ^ ") without re-fetching")
+                end
+              | _ -> ());
+              p
+            end)
+          s.projs
+      in
+      { s with projs })
+    sts
+
+(* the L10/L11 transfer at a generic call site *)
+let l10_call env sts name loc pos =
+  let sts = l11_check_args env sts name loc pos in
+  let sts =
+    match List.assoc_opt name env.cfg.l10_shared_calls with
+    | Some (cls, positions, is_write) ->
+      let inst = inst_of_positions pos positions in
+      if is_write then l10_note_write env sts cls inst loc
+      else l10_note_read env sts cls inst loc
+    | None -> sts
+  in
+  match yield_class env name with
+  | Some (always, w) -> note_yield env sts loc ~always w
+  | None -> sts
+
 let rec walk env sts e =
   let env =
     match collect_allows env e.pexp_attributes with
@@ -1186,19 +1492,30 @@ let rec walk env sts e =
     let sts = match base with Some b -> walk env sts b | None -> sts in
     List.fold_left (fun sts (_, fe) -> walk env sts fe) sts fields
   | Pexp_field (b, fld) ->
+    let fname =
+      match List.rev (Longident.flatten fld.txt) with
+      | f :: _ -> f
+      | [] -> ""
+    in
     (match b.pexp_desc with
     | Pexp_ident { txt = Longident.Lident r; _ } ->
-      let fname =
-        match List.rev (Longident.flatten fld.txt) with
-        | f :: _ -> f
-        | [] -> ""
-      in
       if fname <> "id" then l7_dead_use env sts e.pexp_loc ("." ^ fname) r
     | _ -> ());
-    walk env sts b
-  | Pexp_setfield (a, _, b) ->
+    let sts = walk env sts b in
+    (match List.assoc_opt fname env.cfg.l10_shared_fields with
+    | Some cls -> l10_note_read env sts cls (expr_key b) e.pexp_loc
+    | None -> sts)
+  | Pexp_setfield (a, fld, b) ->
     l7_store_check env sts e.pexp_loc "a mutable field" b;
-    walk env (walk env sts a) b
+    let sts = walk env (walk env sts a) b in
+    let fname =
+      match List.rev (Longident.flatten fld.txt) with
+      | f :: _ -> f
+      | [] -> ""
+    in
+    (match List.assoc_opt fname env.cfg.l10_shared_fields with
+    | Some cls -> l10_note_write env sts cls (expr_key a) e.pexp_loc
+    | None -> sts)
   | Pexp_constraint (a, _)
   | Pexp_coerce (a, _, _)
   | Pexp_newtype (_, a)
@@ -1295,6 +1612,22 @@ and binding env sts vb =
       Hashtbl.replace env.acc.handles v vb.pvb_loc
     | _ -> ());
     let sts = walk env sts vb.pvb_expr in
+    (* a var bound to a shared-state projection is L11-tracked *)
+    let sts =
+      match (vars, l10_read_of env vb.pvb_expr) with
+      | [ v ], Some (cls, inst) ->
+        List.map
+          (fun s ->
+            {
+              s with
+              projs =
+                { pj_var = v; pj_class = cls; pj_inst = inst;
+                  pj_loc = vb.pvb_loc; pj_stale = None }
+                :: List.filter (fun p -> p.pj_var <> v) s.projs;
+            })
+          sts
+      | _ -> sts
+    in
     (* vars bound to a returned latch are handles too *)
     List.iter
       (fun s ->
@@ -1466,6 +1799,7 @@ and named_call env sts name loc args =
       pos;
     record_call env sts name loc pos;
     let sts = l8_call env sts name loc args in
+    let sts = l10_call env sts name loc pos in
     let sts =
       if env.in_l3 && List.mem name env.cfg.l3_mutators then
         List.map (fun s -> { s with pend = (name, loc) :: s.pend }) sts
@@ -1600,7 +1934,20 @@ and do_run env u expr ctx =
   u.u_calls <- List.rev acc.calls;
   u.u_acquires_latch <- acc.acq;
   u.u_local <- List.rev acc.local;
-  u.u_effect <- Latch_effect.make ~alts ~ret_params:!ret_params
+  u.u_effect <- Latch_effect.make ~alts ~ret_params:!ret_params;
+  u.u_yield_sites <- List.rev acc.yields;
+  u.u_accesses <- List.rev acc.accesses;
+  u.u_crossings <-
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k () a -> k :: a) acc.crossings []);
+  u.u_yield <-
+    (if exits = [] then Yield_effect.bottom
+     else
+       match List.rev acc.yields with
+       | [] -> Yield_effect.never
+       | (_, w) :: _ ->
+         if List.for_all (fun s -> s.ydef) exits then Yield_effect.always w
+         else Yield_effect.may w)
 
 and analyze_unit env ~name ~loc ~allows expr =
   let params = fun_params (strip_fun expr) in
@@ -1616,6 +1963,10 @@ and analyze_unit env ~name ~loc ~allows expr =
       u_acquires_latch = false;
       u_local = [];
       u_effect = Latch_effect.bottom;
+      u_yield = Yield_effect.bottom;
+      u_yield_sites = [];
+      u_accesses = [];
+      u_crossings = [];
       u_rerun = (fun ctx -> do_run { env with register = false } u expr ctx);
     }
   in
@@ -1760,6 +2111,7 @@ let summarize_source ?(config = default_config) ~file src =
       modname;
       in_l3 = List.mem modname config.l3_modules;
       in_l7 = not (List.mem modname config.l7_exempt_modules);
+      in_l10 = not (List.mem modname config.l10_exempt_modules);
       allows = [];
       acc = fresh_acc ();
       units;

@@ -50,12 +50,27 @@ type config = {
   l9_undo_modules : string list;
   l9_redo_classifier : string;  (** e.g. ["is_redoable"] *)
   l9_undo_classifier : string;
+  l10_yield_always : string list;
+      (** calls that suspend the fiber on every invocation
+          ([Sched.yield], [Condvar.wait]) *)
+  l10_yield_may : string list;
+      (** calls that may suspend ([Lock_manager.lock],
+          [Log_manager.flush]) *)
+  l10_shared_fields : (string * string) list;
+      (** mutable record fields that are cross-fiber shared state:
+          field name -> class key, e.g. [("level", "Throttle.level")] *)
+  l10_shared_calls : (string * (string * int list * bool)) list;
+      (** accessor calls over shared state: name -> (class key,
+          instance-argument positions, is-write) *)
+  l10_exempt_modules : string list;
+      (** single-fiber phases (recovery) where interference rules are
+          vacuous *)
 }
 
 val default_config : config
 
 type allow = {
-  a_rule : string;  (** "L1".."L9" *)
+  a_rule : string;  (** "L1".."L12" *)
   a_reason : string;
   a_loc : Location.t;  (** the attribute itself, for unused-allow reports *)
   a_used : bool ref;
@@ -94,6 +109,8 @@ type ctx = {
       (** callee may (transitively) append to the WAL (discharges L3) *)
   x_mutators : caller_module:string -> string -> (int * int) option;
       (** callee is a (wrapped) lifecycle mutator: (index pos, state pos) *)
+  x_yields : caller_module:string -> string -> Yield_effect.t option;
+      (** resolve a callee's may-yield effect; [None] = unknown *)
   x_emit : bool;  (** final pass: produce findings *)
 }
 
@@ -112,6 +129,15 @@ type u = {
       (** the unit contains a direct [Latch.acquire]/[with_latch] *)
   mutable u_local : finding list;  (** unit-local L1/L3/L7/L8 findings *)
   mutable u_effect : Latch_effect.t;  (** current fixpoint value *)
+  mutable u_yield : Yield_effect.t;
+      (** current may-yield fixpoint value *)
+  mutable u_yield_sites : (Location.t * string) list;
+      (** suspension points in the body: (site, witness chain) *)
+  mutable u_accesses : (string * string * bool * Location.t) list;
+      (** shared-state accesses: (class key, instance, is-write, site) *)
+  mutable u_crossings : string list;
+      (** class keys with a read→yield→write window in this unit,
+          recorded before allow suppression (feeds the L12 export) *)
   u_rerun : ctx -> unit;
       (** re-execute the transfer function, refreshing the mutable
           fields in place *)

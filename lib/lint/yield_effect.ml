@@ -1,0 +1,59 @@
+(* Interprocedural may-yield summaries.
+
+   Each unit is summarized on the four-point diamond
+
+                 May
+                /   \
+            Never   Always
+                \   /
+                 Bot
+
+   Bot is the optimistic fixpoint start ("no evidence yet") and the
+   final value for units that never return normally. Never and Always
+   are definite one-sided claims; their join must be May — a caller
+   with one never-yielding and one always-yielding candidate callee
+   merely *may* yield. The witness is a human-readable call chain
+   ("f -> g -> Sched.yield") carried for --explain; like latch-effect
+   origins it is explanation metadata, excluded from fixpoint
+   equality so it cannot keep the worklist spinning. *)
+
+type level = Bot | Never | Always | May
+
+type t = {
+  level : level;
+  witness : string;  (* call chain to a yield site; "" when none *)
+}
+
+let bottom = { level = Bot; witness = "" }
+let never = { level = Never; witness = "" }
+let always w = { level = Always; witness = w }
+let may w = { level = May; witness = w }
+
+(* fixpoint equality: level only (witness is metadata) *)
+let equal a b = a.level = b.level
+
+let pick_witness a b = if a.witness <> "" then a.witness else b.witness
+
+let join a b =
+  let w = pick_witness a b in
+  match (a.level, b.level) with
+  | Bot, _ -> { b with witness = w }
+  | _, Bot -> { a with witness = w }
+  | x, y when x = y -> { a with witness = w }
+  | _ -> { level = May; witness = w }
+
+(* the unit may suspend on some path *)
+let yields t = match t.level with May | Always -> true | Bot | Never -> false
+
+(* the unit suspends on every normal exit path *)
+let definite t = t.level = Always
+
+let level_string = function
+  | Bot -> "bottom"
+  | Never -> "never"
+  | Always -> "always"
+  | May -> "may"
+
+let to_string t =
+  level_string t.level
+  ^ if t.witness = "" then "" else " via " ^ t.witness

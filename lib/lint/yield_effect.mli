@@ -1,0 +1,42 @@
+(** Interprocedural may-yield summaries on the four-point diamond
+    lattice [Bot ⊑ {Never, Always} ⊑ May].
+
+    [Bot] is the optimistic start of the fixpoint ("no evidence yet",
+    also the final value of units that never return normally); [Never]
+    and [Always] are definite one-sided claims about every normal exit
+    path; [May] is the top. Crucially [join never (always w) = may w]:
+    a caller that can reach both a never-yielding and an
+    always-yielding callee only {e may} yield. *)
+
+type level = Bot | Never | Always | May
+
+type t = {
+  level : level;
+  witness : string;
+      (** human-readable call chain to a yield site
+          ("f -> g -> Sched.yield"), for --explain; [""] when none *)
+}
+
+val bottom : t
+val never : t
+
+val always : string -> t
+(** [always witness] — every normal exit path yields. *)
+
+val may : string -> t
+(** [may witness] — some path yields. *)
+
+val equal : t -> t -> bool
+(** Fixpoint equality: compares levels only. The witness is
+    explanation metadata, recomputed deterministically, and must not
+    keep the worklist spinning. *)
+
+val join : t -> t -> t
+
+val yields : t -> bool
+(** The unit may suspend on some path ([May] or [Always]). *)
+
+val definite : t -> bool
+(** The unit suspends on every normal exit path ([Always]). *)
+
+val to_string : t -> string

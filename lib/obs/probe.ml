@@ -25,6 +25,8 @@ type event =
   | Log_append of { txn : int; kind : string }
   | Undo_begin of { txn : int }
   | Undo_end of { txn : int }
+  | Yield
+  | Shared of { key : string; write : bool; site : string }
   | Epoch of { label : string }
 
 let kind = function
@@ -42,4 +44,6 @@ let kind = function
   | Log_append _ -> "log_append"
   | Undo_begin _ -> "undo_begin"
   | Undo_end _ -> "undo_end"
+  | Yield -> "yield"
+  | Shared _ -> "shared"
   | Epoch _ -> "epoch"

@@ -40,6 +40,15 @@ type event =
   | Log_append of { txn : int; kind : string }
   | Undo_begin of { txn : int }  (** rollback of [txn] starts *)
   | Undo_end of { txn : int }
+  | Yield
+      (** the stamped fiber is about to suspend ([Sched.yield] /
+          [Sched.suspend]); everything it read from shared state before
+          this point may be stale when it resumes *)
+  | Shared of { key : string; write : bool; site : string }
+      (** an access to cross-fiber shared state; [key] is the lint
+          class key (e.g. ["Throttle.level"], ["Catalog.state"]) so the
+          dynamic interference automaton lines up with the static L12
+          atomics table, [site] names the emission point *)
   | Epoch of { label : string }
       (** incarnation/run boundary: all volatile state (fibers, latches,
           pages) from before is gone *)

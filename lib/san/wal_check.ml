@@ -45,5 +45,5 @@ let feed t (ev : Oib_obs.Probe.event) =
     Hashtbl.reset t.page_lsn;
     Hashtbl.reset t.undoing
   | Spawn _ | Fiber_exit | Resume _ | Latch_acq _ | Latch_rel _ | Lock_acq _
-  | Lock_rel _ | Access _ ->
+  | Lock_rel _ | Access _ | Yield | Shared _ ->
     ()

@@ -158,10 +158,19 @@ let spawn t ?name f =
 
 let in_fiber t = t.current <> None
 
-let yield t = if in_fiber t then perform Yield
+let yield t =
+  if in_fiber t then begin
+    if Oib_obs.Trace.probing t.trace then
+      Oib_obs.Trace.probe_emit t.trace Oib_obs.Probe.Yield;
+    perform Yield
+  end
 
 let suspend t register =
-  if in_fiber t then perform (Suspend register)
+  if in_fiber t then begin
+    if Oib_obs.Trace.probing t.trace then
+      Oib_obs.Trace.probe_emit t.trace Oib_obs.Probe.Yield;
+    perform (Suspend register)
+  end
   else invalid_arg "Sched.suspend: not inside a fiber"
 
 (* Remove and return a uniformly random element of the run queue. Random

@@ -1,0 +1,8 @@
+(* clean twin of l11_stale: the projected catalog state is re-validated
+   against a fresh read after the yield before anything acts on it.
+   Expected: no findings. *)
+
+let revalidated cat sched id =
+  let s = Catalog.state cat id in
+  Sched.yield sched;
+  if s = Catalog.state cat id then proceed cat id

@@ -1,0 +1,19 @@
+(* planted: two stale-projection uses — a catalog state compared after
+   a direct yield, and a counter snapshot used after a transitively
+   yielding call. Expected: 2 x L11, 0 x L10 (no write-back). *)
+
+type st = { mutable keys_processed : int }
+
+let force lm = Log_manager.flush_all lm
+
+let stale_direct cat sched id =
+  let s = Catalog.state cat id in
+  Sched.yield sched;
+  (* s describes the pre-yield world; deciding on it now acts on a
+     snapshot another fiber may have invalidated *)
+  if s = Disabled then drop_index cat id
+
+let stale_via_helper st lm =
+  let n = st.keys_processed in
+  force lm;
+  report n

@@ -1,0 +1,18 @@
+(* atomics-table fixture: one class crosses a yield (backlog), one is
+   touched only inside a yield-free region (keys_processed). Expected:
+   1 x L10 when linted alone; the --emit-atomics table lists
+   Build_status.backlog under "crossing" and Build_status.keys_processed
+   under "atomic". *)
+
+type st = { mutable keys_processed : int; mutable backlog : int }
+
+let force lm = Log_manager.flush_all lm
+
+let crossing_fn st lm =
+  if st.backlog > 0 then begin
+    force lm;
+    st.backlog <- 0
+  end
+
+let atomic_fn st =
+  st.keys_processed <- st.keys_processed + 1

@@ -193,6 +193,103 @@ let test_explain_trace () =
   Alcotest.(check bool) "at least one L2 carries a call path" true
     (List.exists (fun (d : Diag.t) -> List.length d.Diag.trace >= 2) l2)
 
+let test_l10_atomicity () =
+  let res = run [ "l10_window.ml"; "l10_clean.ml" ] in
+  check_rules "only the planted file trips L10"
+    [ ("L10", "l10_window.ml") ]
+    res;
+  Alcotest.(check int) "direct yield + transitive flush window" 2
+    (count_rule "L10" res);
+  Alcotest.(check int) "no spurious L11 from the guards" 0
+    (count_rule "L11" res)
+
+let test_l10_allowed () =
+  let res = run [ "l10_allowed.ml" ] in
+  Alcotest.(check int) "no unsuppressed diagnostics" 0
+    (List.length (Lint.errors res));
+  let supp =
+    List.filter (fun (d : Diag.t) -> d.Diag.suppressed <> None) res.Lint.r_diags
+  in
+  Alcotest.(check int) "one suppressed L10" 1 (List.length supp);
+  Alcotest.(check string) "rule" "L10" (List.hd supp).Diag.rule
+
+let test_l11_stale_handle () =
+  let res = run [ "l11_stale.ml"; "l11_clean.ml" ] in
+  check_rules "only the planted file trips L11"
+    [ ("L11", "l11_stale.ml") ]
+    res;
+  Alcotest.(check int) "stale catalog state + stale counter snapshot" 2
+    (count_rule "L11" res);
+  Alcotest.(check int) "projection-only code has no write window" 0
+    (count_rule "L10" res)
+
+let test_l10_explain_trace () =
+  (* acceptance: the transitive L10 (yield reached through the [force]
+     helper) must carry the interprocedural witness chain *)
+  let res = run [ "l10_window.ml" ] in
+  let l10 =
+    List.filter (fun (d : Diag.t) -> d.Diag.rule = "L10") (Lint.errors res)
+  in
+  Alcotest.(check bool) "at least one L10 carries a call path" true
+    (List.exists (fun (d : Diag.t) -> List.length d.Diag.trace >= 2) l10)
+
+let test_l12_atomics_table () =
+  let res = run [ "l12_regions.ml" ] in
+  let at = res.Lint.r_rules.Rules.atomics in
+  Alcotest.(check bool) "backlog crosses a yield" true
+    (List.mem "Build_status.backlog" at.Atomics.at_crossing);
+  Alcotest.(check bool) "keys_processed stays atomic" true
+    (List.mem "Build_status.keys_processed" at.Atomics.at_atomic);
+  Alcotest.(check bool) "crossing keys never listed as atomic" true
+    (not (List.mem "Build_status.backlog" at.Atomics.at_atomic));
+  let json = Atomics.to_json at in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true
+        (contains json needle))
+    [ "oib-lint-atomics/v1"; "\"crossing\""; "\"atomic\""; "\"regions\"" ]
+
+let test_baseline_grandfathers () =
+  let res = run [ "l10_window.ml" ] in
+  Alcotest.(check int) "two findings before baselining" 2
+    (List.length (Lint.errors res));
+  let path = Filename.temp_file "oib_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Lint.write_baseline path res;
+      let bl = Lint.read_baseline path in
+      let res' = Lint.apply_baseline bl res in
+      Alcotest.(check int) "baselined findings no longer fail the run" 0
+        (List.length (Lint.errors res'));
+      Alcotest.(check int) "both are counted as baselined" 2
+        res'.Lint.r_stats.Lint.st_baselined;
+      Alcotest.(check bool) "they stay visible in r_diags" true
+        (List.exists
+           (fun (d : Diag.t) -> d.Diag.suppressed = Some "baselined")
+           res'.Lint.r_diags);
+      Alcotest.(check bool) "stats json reports the count" true
+        (contains
+           (Lint.stats_to_json res'.Lint.r_stats)
+           "\"baselined\":2");
+      (* a fresh finding in another file is NOT covered by the baseline *)
+      let mixed =
+        Lint.apply_baseline bl (run [ "l10_window.ml"; "l11_stale.ml" ])
+      in
+      Alcotest.(check int) "new findings still fail" 2
+        (List.length (Lint.errors mixed)));
+  (* a bad header is rejected, not silently ignored *)
+  let bogus = Filename.temp_file "oib_lint_baseline" ".txt" in
+  let oc = open_out bogus in
+  output_string oc "not-a-baseline\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bogus with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.check_raises "bad header raises"
+        (Failure (bogus ^ ": not an oib-lint baseline (header not-a-baseline)"))
+        (fun () -> ignore (Lint.read_baseline bogus)))
+
 let all_fixture_files =
   [
     "l1_unbalanced.ml"; "l1_balanced.ml"; "l2_yield_under_latch.ml";
@@ -203,6 +300,8 @@ let all_fixture_files =
     "l8_illegal.ml"; "l8_clean.ml"; "l9_records.ml"; "l9_codec.ml";
     "l9_redo.ml"; "l9_clean_records.ml"; "l9_clean_codec.ml";
     "l9_clean_redo.ml"; "malformed_allow.ml"; "unused_allow.ml";
+    "l10_window.ml"; "l10_clean.ml"; "l10_allowed.ml"; "l11_stale.ml";
+    "l11_clean.ml"; "l12_regions.ml"; "df_recursion.ml";
   ]
 
 let shuffle st l =
@@ -233,6 +332,35 @@ let determinism_test =
       String.equal (render shuffled) (render rerun)
       && String.equal (render canonical) (render shuffled))
 
+(* Satellite property: the joint latch-effect / may-yield fixpoint must
+   not depend on the worklist's initial enqueue order. The corpus pins
+   the hard convergence shapes: mutual recursion through a yield point,
+   self-recursion through a may-yield call, higher-order application
+   (df_recursion.ml), plus real L10/L11 windows whose witness chains
+   must also come out identical. *)
+let yield_corpus =
+  [
+    "df_recursion.ml"; "l10_window.ml"; "l10_clean.ml"; "l11_stale.ml";
+    "l12_regions.ml"; "l2_yield_under_latch.ml";
+  ]
+
+let solved_graph_json ~order =
+  let summaries =
+    List.map (fun f -> Summary.summarize_file (fx f)) yield_corpus
+  in
+  let cg = Callgraph.build summaries in
+  Dataflow.solve_effects ~order cg;
+  Dataflow.emit_pass ~config:Summary.default_config cg;
+  Callgraph.to_json cg
+
+let worklist_order_test =
+  QCheck.Test.make ~name:"yield fixpoint is worklist-order independent"
+    ~count:25 QCheck.small_int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let canonical = solved_graph_json ~order:(fun us -> us) in
+      let shuffled = solved_graph_json ~order:(shuffle st) in
+      String.equal canonical shuffled)
+
 let test_stats_json () =
   let res = run [ "l1_unbalanced.ml" ] in
   let json = Lint.stats_to_json res.Lint.r_stats in
@@ -262,6 +390,15 @@ let () =
           Alcotest.test_case "L8 lifecycle protocol" `Quick test_l8_lifecycle;
           Alcotest.test_case "L9 WAL exhaustiveness" `Quick
             test_l9_exhaustiveness;
+          Alcotest.test_case "L10 yield atomicity" `Quick test_l10_atomicity;
+          Alcotest.test_case "L10 suppression recorded" `Quick
+            test_l10_allowed;
+          Alcotest.test_case "L11 stale handle" `Quick test_l11_stale_handle;
+          Alcotest.test_case "L10 explain carries call path" `Quick
+            test_l10_explain_trace;
+          Alcotest.test_case "L12 atomics table" `Quick test_l12_atomics_table;
+          Alcotest.test_case "baseline grandfathers findings" `Quick
+            test_baseline_grandfathers;
           Alcotest.test_case "explain carries call path" `Quick
             test_explain_trace;
           Alcotest.test_case "malformed allow reported" `Quick
@@ -270,5 +407,9 @@ let () =
             test_unused_allow_reported;
           Alcotest.test_case "stats json" `Quick test_stats_json;
         ] );
-      ("engine", [ QCheck_alcotest.to_alcotest determinism_test ]);
+      ( "engine",
+        [
+          QCheck_alcotest.to_alcotest determinism_test;
+          QCheck_alcotest.to_alcotest worklist_order_test;
+        ] );
     ]
